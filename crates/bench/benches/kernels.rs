@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the computational substrates: the GEMM block
+//! kernel (which calibration times to derive `w`) and the simplex solver
+//! behind Table 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use stargemm_core::steady::{bandwidth_centric, table1_lp};
+use stargemm_linalg::gemm::{gemm_naive, gemm_tiled};
+use stargemm_linalg::Block;
+use stargemm_platform::presets;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mut rng = StdRng::seed_from_u64(1);
+    for q in [32usize, 80, 100] {
+        let a = Block::random(q, &mut rng);
+        let b = Block::random(q, &mut rng);
+        let mut out = Block::zeros(q);
+        group.bench_with_input(BenchmarkId::new("tiled", q), &q, |bch, &q| {
+            bch.iter(|| {
+                gemm_tiled(
+                    q,
+                    black_box(out.as_mut_slice()),
+                    black_box(a.as_slice()),
+                    black_box(b.as_slice()),
+                )
+            })
+        });
+        if q == 80 {
+            // The paper's block size: keep a naive reference point.
+            group.bench_with_input(BenchmarkId::new("naive", q), &q, |bch, &q| {
+                bch.iter(|| {
+                    gemm_naive(
+                        q,
+                        black_box(out.as_mut_slice()),
+                        black_box(a.as_slice()),
+                        black_box(b.as_slice()),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steady_state");
+    let platform = presets::lyon(false); // 20 workers → 41-var LP
+    group.bench_function("table1_simplex_20w", |b| {
+        b.iter(|| black_box(table1_lp(&platform, 100).solve().unwrap()))
+    });
+    group.bench_function("bandwidth_centric_greedy_20w", |b| {
+        b.iter(|| black_box(bandwidth_centric(&platform, 100)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gemm, bench_lp
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! One Criterion benchmark per paper artifact: each measures the full
+//! regeneration of a table or figure (the same code paths the `exp_*`
+//! binaries run, on the paper's actual instance sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use stargemm_bench::Instance;
+use stargemm_core::bounds::{ccr_lower_bound, maxreuse_ccr};
+use stargemm_core::maxreuse::simulate_max_reuse;
+use stargemm_core::steady::{bandwidth_centric, lp_throughput, table2_platform};
+use stargemm_core::Job;
+use stargemm_platform::{presets, random::figure7_random_platforms, WorkerSpec};
+
+fn bench_bounds(c: &mut Criterion) {
+    c.bench_function("exp_bounds_section3", |b| {
+        b.iter(|| {
+            for m in [100usize, 1_000, 20_000] {
+                black_box(ccr_lower_bound(m));
+                black_box(maxreuse_ccr(m, 100));
+            }
+            let job = Job::new(9, 50, 18, 80);
+            black_box(simulate_max_reuse(&job, WorkerSpec::new(1.0, 1.0, 99)).unwrap())
+        })
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let platform = presets::het_comm();
+    c.bench_function("exp_table1_lp_vs_greedy", |b| {
+        b.iter(|| {
+            let g = bandwidth_centric(&platform, 100).throughput;
+            let l = lp_throughput(&platform, 100);
+            black_box((g, l))
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let job = Job::new(8, 50, 16, 80);
+    c.bench_function("exp_table2_infeasibility", |b| {
+        b.iter(|| {
+            let p = table2_platform(8.0);
+            black_box(Instance::run(&p, &job))
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let platform = presets::het_memory();
+    let job = Job::paper(80_000);
+    c.bench_function("exp_fig4_het_memory", |b| {
+        b.iter(|| black_box(Instance::run(&platform, &job)))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let platform = presets::het_comm();
+    let job = Job::paper(80_000);
+    c.bench_function("exp_fig5_het_comm", |b| {
+        b.iter(|| black_box(Instance::run(&platform, &job)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let platform = presets::het_comp();
+    let job = Job::paper(80_000);
+    c.bench_function("exp_fig6_het_comp", |b| {
+        b.iter(|| black_box(Instance::run(&platform, &job)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let platforms = figure7_random_platforms(2008);
+    let job = Job::paper(80_000);
+    c.bench_function("exp_fig7_one_random_platform", |b| {
+        b.iter(|| black_box(Instance::run(&platforms[0], &job)))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let platform = presets::lyon(false);
+    let job = Job::paper(320_000);
+    c.bench_function("exp_fig8_lyon_nov2006", |b| {
+        b.iter(|| black_box(Instance::run(&platform, &job)))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    // The summary's marginal work beyond figs 4-8 is the steady-state
+    // bound per platform.
+    let platforms = [presets::het_memory(), presets::het_comm(), presets::het_comp()];
+    c.bench_function("exp_fig9_steady_bounds", |b| {
+        b.iter(|| {
+            for p in &platforms {
+                black_box(bandwidth_centric(p, 100));
+            }
+        })
+    });
+}
+
+fn bench_lu_extension(c: &mut Criterion) {
+    use stargemm_core::algorithms::Algorithm;
+    use stargemm_core::lu::schedule_lu;
+    let platform = presets::het_memory();
+    c.bench_function("ext_lu_schedule_20_blocks", |b| {
+        b.iter(|| black_box(schedule_lu(&platform, 20, 80, Algorithm::Oddoml).unwrap()))
+    });
+}
+
+fn bench_ooc(c: &mut Criterion) {
+    let job = Job::new(32, 32, 32, 80);
+    c.bench_function("exp_ooc_maxreuse_single_worker", |b| {
+        b.iter(|| black_box(simulate_max_reuse(&job, WorkerSpec::new(0.002, 0.0005, 1_200)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bounds, bench_table1, bench_table2, bench_fig4, bench_fig5,
+              bench_fig6, bench_fig7, bench_fig8, bench_fig9, bench_lu_extension,
+              bench_ooc
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! EXP-LB — Section 3: communication-volume bounds.
+//!
+//! Prints, for a sweep of memory sizes, the paper's lower bound
+//! `√(27/8m)`, the previous Ironya-Toledo-Tiskin bound `√(1/8m)`, the
+//! maximum re-use algorithm's analytic CCR `2/t + 2/μ`, Toledo's
+//! equal-thirds CCR, and the CCR *measured* by simulating the maximum
+//! re-use policy on a single worker.
+
+use stargemm_bench::write_results;
+use stargemm_core::bounds::{
+    ccr_lower_bound, ito_lower_bound, maxreuse_ccr, maxreuse_ccr_asymptotic,
+    toledo_ccr_asymptotic,
+};
+use stargemm_core::maxreuse::simulate_max_reuse;
+use stargemm_core::Job;
+use stargemm_platform::WorkerSpec;
+
+fn main() {
+    let t = 100;
+    let mut out = String::new();
+    out.push_str("Section 3: communication-to-computation ratio vs memory (t = 100)\n");
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12} {:>12} {:>12}\n",
+        "m", "bound 27/8m", "ITO 1/8m", "maxreuse(t)", "maxreuse inf", "Toledo", "simulated"
+    ));
+    for m in [50usize, 100, 200, 500, 1_000, 5_000, 10_000, 20_000] {
+        // Simulate on a single worker with enough rows to form chunks.
+        let mu = stargemm_core::layout::mu_no_overlap(m);
+        let job = Job::new(mu.max(1), t, 2 * mu.max(1), 80);
+        let spec = WorkerSpec::new(1.0, 1.0, m);
+        let sim_ccr = simulate_max_reuse(&job, spec)
+            .map(|s| s.ccr())
+            .unwrap_or(f64::NAN);
+        out.push_str(&format!(
+            "{:>8} {:>12.5} {:>12.5} {:>14.5} {:>12.5} {:>12.5} {:>12.5}\n",
+            m,
+            ccr_lower_bound(m),
+            ito_lower_bound(m),
+            maxreuse_ccr(m, t),
+            maxreuse_ccr_asymptotic(m),
+            toledo_ccr_asymptotic(m),
+            sim_ccr,
+        ));
+    }
+    out.push_str("\nInvariants: bound < maxreuse; maxreuse/bound -> sqrt(32/27) ~ 1.089; Toledo/maxreuse -> sqrt(3).\n");
+    print!("{out}");
+    if let Ok(p) = write_results("exp_bounds.txt", &out) {
+        eprintln!("(written to {})", p.display());
+    }
+}

@@ -1,0 +1,47 @@
+//! EXP-F7 — Figure 7: fully heterogeneous platforms.
+//!
+//! Twelve platforms — the fixed ratio-2 and ratio-4 combinations plus
+//! ten random draws (heterogeneity ratios up to 4) — with A 8000×8000
+//! and B 8000×80000. The paper's headline: Het achieves the best
+//! makespan on all but two platforms and is never far off, while every
+//! other algorithm is at least once badly beaten.
+
+use stargemm_bench::{emit_figure, geomean, Instance};
+use stargemm_core::algorithms::Algorithm;
+use stargemm_core::Job;
+use stargemm_platform::{presets, random::figure7_random_platforms};
+
+fn main() {
+    let job = Job::paper(80_000);
+    let mut platforms = vec![presets::fully_het(2.0), presets::fully_het(4.0)];
+    platforms.extend(figure7_random_platforms(2008));
+    let instances: Vec<Instance> = platforms
+        .iter()
+        .map(|p| Instance::run(p, &job))
+        .collect();
+    emit_figure(
+        "fig7",
+        "Figure 7. Fully heterogeneous platforms.",
+        &instances,
+        |i| i.platform_name.clone(),
+    );
+
+    // Paper-style summary claims.
+    let het_costs: Vec<f64> = instances
+        .iter()
+        .map(|i| i.relative_cost(Algorithm::Het))
+        .collect();
+    let worst_het = het_costs.iter().copied().fold(0.0, f64::max);
+    println!(
+        "Het relative cost: geomean {:.3}, worst {:.3} (paper: best on 10/12, ≤ 1.09 otherwise)",
+        geomean(het_costs.iter().copied()),
+        worst_het
+    );
+    for alg in Algorithm::all() {
+        let worst = instances
+            .iter()
+            .map(|i| i.relative_cost(alg))
+            .fold(0.0, f64::max);
+        println!("worst-case relative cost of {:>7}: {:.3}", alg.name(), worst);
+    }
+}

@@ -1,0 +1,36 @@
+//! EXP-F8 — Figure 8: the real Lyon platform.
+//!
+//! Twenty workers (five per machine group), B = 8000 × 320000, in the
+//! August-2007 configuration (all 1 GB, nearly homogeneous) and the
+//! November-2006 one (ten nodes still at 256 MB — memory-heterogeneous).
+
+use stargemm_bench::{emit_figure, Instance};
+use stargemm_core::Job;
+use stargemm_platform::presets;
+
+fn main() {
+    let job = Job::paper(320_000);
+    let instances = vec![
+        Instance::run(&presets::lyon(true), &job),
+        Instance::run(&presets::lyon(false), &job),
+    ];
+    emit_figure(
+        "fig8",
+        "Figure 8. Real platform (Lyon cluster).",
+        &instances,
+        |i| i.platform_name.clone(),
+    );
+    for inst in &instances {
+        for r in &inst.results {
+            if let Some(s) = &r.stats {
+                println!(
+                    "{:<14} {:<7} makespan {:>8.1}s, {} workers enrolled",
+                    inst.platform_name,
+                    r.algorithm.name(),
+                    s.makespan,
+                    s.enrolled()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! EXP-F9 — Figure 9: summary of all experiments.
+//!
+//! Re-runs every experimental campaign (Figures 4–8) and reports, per
+//! experiment and aggregated, the relative cost and relative work of
+//! `Het`, the best dynamic heuristic with the optimized layout
+//! (`ODDOML`) and Toledo's `BMM` — the paper's headline comparison —
+//! plus the steady-state upper-bound ratio (paper: mean 2.29×, worst
+//! 3.42×).
+
+use stargemm_bench::{geomean, size_sweep, to_csv, write_results, Instance};
+use stargemm_core::algorithms::Algorithm;
+use stargemm_core::steady::bandwidth_centric;
+use stargemm_core::Job;
+use stargemm_platform::{presets, random::figure7_random_platforms, Platform};
+
+fn main() {
+    let mut campaigns: Vec<(String, Vec<Instance>)> = Vec::new();
+    campaigns.push(("fig4-memory".into(), size_sweep(&presets::het_memory())));
+    campaigns.push(("fig5-comm".into(), size_sweep(&presets::het_comm())));
+    campaigns.push(("fig6-comp".into(), size_sweep(&presets::het_comp())));
+
+    let job7 = Job::paper(80_000);
+    let mut p7: Vec<Platform> = vec![presets::fully_het(2.0), presets::fully_het(4.0)];
+    p7.extend(figure7_random_platforms(2008));
+    campaigns.push((
+        "fig7-fullhet".into(),
+        p7.iter().map(|p| Instance::run(p, &job7)).collect(),
+    ));
+
+    let job8 = Job::paper(320_000);
+    campaigns.push((
+        "fig8-lyon".into(),
+        vec![
+            Instance::run(&presets::lyon(true), &job8),
+            Instance::run(&presets::lyon(false), &job8),
+        ],
+    ));
+
+    let spotlight = [Algorithm::Het, Algorithm::Oddoml, Algorithm::Bmm];
+    let mut out = String::new();
+    out.push_str("Figure 9. Summary of experiments (relative cost | relative work)\n");
+    out.push_str(&format!("{:<16}", "experiment"));
+    for a in spotlight {
+        out.push_str(&format!("{:>16}", a.name()));
+    }
+    out.push('\n');
+
+    let mut all: Vec<Instance> = Vec::new();
+    for (name, instances) in &campaigns {
+        out.push_str(&format!("{name:<16}"));
+        for a in spotlight {
+            let cost = geomean(instances.iter().map(|i| i.relative_cost(a)));
+            let work = geomean(instances.iter().map(|i| i.relative_work(a)));
+            out.push_str(&format!("{:>8.3}|{:<7.3}", cost, work));
+        }
+        out.push('\n');
+        all.extend(instances.iter().cloned());
+    }
+
+    out.push_str("\nAggregates over all instances:\n");
+    for a in spotlight {
+        let costs: Vec<f64> = all.iter().map(|i| i.relative_cost(a)).collect();
+        let mean = geomean(costs.iter().copied());
+        let worst = costs.iter().copied().fold(0.0, f64::max);
+        out.push_str(&format!(
+            "  {:<7} relative cost: geomean {:.3}, worst {:.3}\n",
+            a.name(),
+            mean,
+            worst
+        ));
+    }
+    // Layout gain: ODDOML vs BMM; selection gain: Het vs ODDOML (paper:
+    // 19% and a further 10%, 27% total).
+    let gain = |x: Algorithm, y: Algorithm| {
+        let ratios: Vec<f64> = all
+            .iter()
+            .map(|i| i.result(y).makespan() / i.result(x).makespan())
+            .collect();
+        geomean(ratios)
+    };
+    out.push_str(&format!(
+        "  memory-layout gain (BMM/ODDOML makespan):       {:.3}  (paper ≈ 1.23)\n",
+        gain(Algorithm::Oddoml, Algorithm::Bmm)
+    ));
+    out.push_str(&format!(
+        "  +resource-selection gain (BMM/Het makespan):    {:.3}  (paper ≈ 1.37)\n",
+        gain(Algorithm::Het, Algorithm::Bmm)
+    ));
+
+    // Steady-state upper bound vs Het's achieved throughput.
+    let mut ratios = Vec::new();
+    let mut eval = |platform: &Platform, inst: &Instance| {
+        if let Some(s) = &inst.result(Algorithm::Het).stats {
+            let bound = bandwidth_centric(platform, inst.job.r).throughput;
+            ratios.push(bound / s.throughput());
+        }
+    };
+    // Per-campaign pairing for figs 4-6 (platform constant per campaign).
+    for (idx, p) in [presets::het_memory(), presets::het_comm(), presets::het_comp()]
+        .into_iter()
+        .enumerate()
+    {
+        for inst in &campaigns[idx].1 {
+            eval(&p, inst);
+        }
+    }
+    for (p, inst) in p7.iter().zip(campaigns[3].1.iter()) {
+        eval(p, inst);
+    }
+    for (p, inst) in [presets::lyon(true), presets::lyon(false)]
+        .iter()
+        .zip(campaigns[4].1.iter())
+    {
+        eval(p, inst);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let worst = ratios.iter().copied().fold(0.0, f64::max);
+    out.push_str(&format!(
+        "  steady-state bound / Het throughput: mean {:.2}, worst {:.2}  (paper: 2.29 / 3.42)\n",
+        mean, worst
+    ));
+
+    print!("{out}");
+    if let Ok(p) = write_results("fig9.txt", &out) {
+        eprintln!("(written to {})", p.display());
+    }
+    if let Ok(p) = write_results("fig9_all.csv", &to_csv(&all)) {
+        eprintln!("(written to {})", p.display());
+    }
+}

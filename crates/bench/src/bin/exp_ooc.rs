@@ -1,0 +1,61 @@
+//! EXP-OOC — the conclusion's open question: does the maximum re-use
+//! layout help *out-of-core* algorithms?
+//!
+//! An out-of-core product is the single-worker case with the disk as the
+//! master: `m` = RAM capacity in blocks, `c` = per-block disk transfer
+//! time, `w` = in-core block-update time. We compare the maximum re-use
+//! layout against Toledo's equal-thirds layout (the standard out-of-core
+//! scheme) across RAM sizes and disk speeds, simulated on the same
+//! engine as everything else.
+
+use stargemm_bench::write_results;
+use stargemm_core::algorithms::{run_algorithm, Algorithm};
+use stargemm_core::bounds::{maxreuse_ccr_asymptotic, toledo_ccr_asymptotic};
+use stargemm_core::maxreuse::simulate_max_reuse;
+use stargemm_core::Job;
+use stargemm_platform::{Platform, WorkerSpec};
+
+fn main() {
+    let q = 80;
+    let w = 5.12e-4; // 2 GFLOP/s kernel
+    let job = Job::new(64, 64, 64, q); // 5120³ scalars out of core
+    let mut out = String::new();
+    out.push_str("Out-of-core product: maximum re-use layout vs Toledo thirds\n");
+    out.push_str("(single machine; disk = the master of the star)\n\n");
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>12} {:>12} {:>9} {:>11} {:>11}\n",
+        "RAM (blk)", "disk MB/s", "maxreuse(s)", "Toledo(s)", "gain", "CCR mr", "CCR tol"
+    ));
+    for m in [300usize, 1_200, 4_800] {
+        for disk_mbs in [50.0f64, 200.0, 800.0] {
+            let c = (q * q * 8) as f64 / (disk_mbs * 1e6);
+            let spec = WorkerSpec::new(c, w, m);
+            let mr = simulate_max_reuse(&job, spec).expect("fits");
+            let platform = Platform::new("ooc", vec![spec]);
+            let tol = run_algorithm(&platform, &job, Algorithm::Bmm).expect("fits");
+            out.push_str(&format!(
+                "{:>10} {:>12.0} {:>12.1} {:>12.1} {:>9.3} {:>11.4} {:>11.4}\n",
+                m,
+                disk_mbs,
+                mr.makespan,
+                tol.makespan,
+                tol.makespan / mr.makespan,
+                mr.ccr(),
+                tol.ccr(),
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\nasymptotic CCR ratio (Toledo/maxreuse) at m=4800: {:.3} (≈ √3)\n",
+        toledo_ccr_asymptotic(4_800) / maxreuse_ccr_asymptotic(4_800)
+    ));
+    out.push_str(
+        "Gains approach the CCR ratio when the disk is the bottleneck and\n\
+         vanish when the product is compute-bound — the layout helps\n\
+         out-of-core exactly where it helps distributed platforms.\n",
+    );
+    print!("{out}");
+    if let Ok(p) = write_results("exp_ooc.txt", &out) {
+        eprintln!("(written to {})", p.display());
+    }
+}

@@ -1,0 +1,82 @@
+//! EXP-RT — model validation: the threaded runtime vs the simulator.
+//!
+//! Calibrates this machine's kernel (the paper's benchmark phase), builds
+//! a small heterogeneous platform whose `w` is the measured value, runs
+//! the same policy (a) in the discrete-event simulator and (b) for real
+//! through the hand-rolled messaging layer, and compares makespans and
+//! verifies the numerical result. Agreement within a few tens of percent
+//! validates the one-port linear-cost model the experiments rely on.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stargemm_bench::write_results;
+use stargemm_core::algorithms::{build_policy, Algorithm};
+use stargemm_core::Job;
+use stargemm_linalg::verify::{tolerance_for, verify_product};
+use stargemm_linalg::BlockMatrix;
+use stargemm_net::calibrate::{measure_block_update_seconds, measure_gflops};
+use stargemm_net::{NetOptions, NetRuntime};
+use stargemm_platform::{Platform, WorkerSpec};
+use stargemm_sim::Simulator;
+
+fn main() {
+    let q = 48;
+    let w = measure_block_update_seconds(q, 10);
+    let gflops = measure_gflops(q, 10);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "calibration: q={q} block update {w:.2e}s  ({gflops:.2} GFLOP/s)\n"
+    ));
+
+    // Heterogeneous platform: links sized so communication and compute
+    // are comparable; worker 1 slower via a bigger c.
+    let specs = vec![
+        WorkerSpec::new(2.0 * w, w, 60),
+        WorkerSpec::new(4.0 * w, w, 40),
+        WorkerSpec::new(8.0 * w, w, 24),
+    ];
+    let platform = Platform::new("validation", specs);
+    let job = Job::new(8, 12, 12, q);
+
+    let mut rng = StdRng::seed_from_u64(2008);
+    let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+    let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+    let c0 = BlockMatrix::random(job.r, job.s, job.q, &mut rng);
+
+    out.push_str(&format!(
+        "{:<8} {:>12} {:>12} {:>8} {:>8}\n",
+        "policy", "sim (s)", "net (s)", "ratio", "verify"
+    ));
+    for alg in [Algorithm::Het, Algorithm::Oddoml, Algorithm::Bmm] {
+        let mut sim_policy = build_policy(&platform, &job, alg).unwrap();
+        let sim_stats = Simulator::new(platform.clone())
+            .run(&mut sim_policy)
+            .unwrap();
+
+        let mut net_policy = build_policy(&platform, &job, alg).unwrap();
+        let mut c = c0.clone();
+        let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
+            time_scale: 1.0,
+            ..Default::default()
+        });
+        let net_stats = rt.run(&mut net_policy, &a, &b, &mut c).unwrap();
+        let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+        out.push_str(&format!(
+            "{:<8} {:>12.4} {:>12.4} {:>8.2} {:>8}\n",
+            alg.name(),
+            sim_stats.makespan,
+            net_stats.makespan,
+            net_stats.makespan / sim_stats.makespan,
+            if report.passed() { "ok" } else { "FAIL" },
+        ));
+        assert!(report.passed(), "numerical verification failed");
+    }
+    out.push_str(
+        "ratio ~ 1 validates the one-port linear-cost model; >1 reflects\n\
+         thread scheduling and kernel-time variance on this machine.\n",
+    );
+    print!("{out}");
+    if let Ok(p) = write_results("exp_runtime.txt", &out) {
+        eprintln!("(written to {})", p.display());
+    }
+}

@@ -1,0 +1,47 @@
+//! EXP-T1 — Table 1: the steady-state linear program.
+//!
+//! Solves the LP with the dense simplex and cross-checks the
+//! bandwidth-centric greedy (they must agree — the greedy is the LP's
+//! closed-form optimum) on every platform of the experimental section.
+
+use stargemm_bench::write_results;
+use stargemm_core::steady::{bandwidth_centric, lp_throughput};
+use stargemm_platform::{presets, random::figure7_random_platforms};
+
+fn main() {
+    let mut out = String::new();
+    out.push_str("Table 1: steady-state throughput (block updates/s), greedy vs simplex\n");
+    out.push_str(&format!(
+        "{:<22} {:>12} {:>12} {:>10} {:>9}\n",
+        "platform", "greedy", "simplex LP", "agree", "enrolled"
+    ));
+    let mut platforms = vec![
+        presets::homogeneous(8),
+        presets::het_memory(),
+        presets::het_comm(),
+        presets::het_comp(),
+        presets::fully_het(2.0),
+        presets::fully_het(4.0),
+        presets::lyon(true),
+        presets::lyon(false),
+    ];
+    platforms.extend(figure7_random_platforms(2008));
+    for p in &platforms {
+        let ss = bandwidth_centric(p, 100);
+        let lp = lp_throughput(p, 100);
+        let agree = (ss.throughput - lp).abs() / lp.max(1e-12) < 1e-6;
+        out.push_str(&format!(
+            "{:<22} {:>12.2} {:>12.2} {:>10} {:>9}\n",
+            p.name,
+            ss.throughput,
+            lp,
+            if agree { "yes" } else { "NO" },
+            ss.enrolled.len(),
+        ));
+        assert!(agree, "greedy must match the LP on {}", p.name);
+    }
+    print!("{out}");
+    if let Ok(path) = write_results("exp_table1.txt", &out) {
+        eprintln!("(written to {})", path.display());
+    }
+}

@@ -1,0 +1,73 @@
+//! EXP-T2 — Table 2: the bandwidth-centric solution is not always
+//! feasible with finite memory.
+//!
+//! Two demonstrations on the paper's two-worker platform
+//! (`P1 = (c=1, w=2)`, `P2 = (c=x, w=2x)`, both μ = 2):
+//!
+//! 1. the achieved throughput of the best practical algorithm falls
+//!    increasingly short of the steady-state bound as `x` grows — the
+//!    fast worker starves while the port serves the slow one;
+//! 2. a policy that tries to buffer far enough ahead to keep `P1` busy
+//!    (a deep lookahead window) is caught violating `P1`'s memory
+//!    capacity by the simulator.
+
+use stargemm_bench::write_results;
+use stargemm_core::algorithms::{run_algorithm, Algorithm};
+use stargemm_core::assign::{layout_sides, round_robin_queues};
+use stargemm_core::steady::{bandwidth_centric, table2_platform};
+use stargemm_core::stream::{Serving, StreamingMaster};
+use stargemm_core::Job;
+use stargemm_sim::Simulator;
+
+fn main() {
+    let job = Job::new(8, 50, 16, 80);
+    let mut out = String::new();
+    out.push_str("Table 2: steady-state bound vs achieved throughput (μ1 = μ2 = 2)\n");
+    out.push_str(&format!(
+        "{:>6} {:>12} {:>14} {:>14} {:>8}\n",
+        "x", "bound ρ*", "best achieved", "ratio ρ*/ρ", "best alg"
+    ));
+    for x in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let p = table2_platform(x);
+        let bound = bandwidth_centric(&p, job.r).throughput;
+        let mut best = (f64::INFINITY, "-");
+        for alg in [Algorithm::Het, Algorithm::Oddoml, Algorithm::Orroml] {
+            if let Ok(s) = run_algorithm(&p, &job, alg) {
+                if s.makespan < best.0 {
+                    best = (s.makespan, alg.name());
+                }
+            }
+        }
+        let achieved = job.total_updates() as f64 / best.0;
+        out.push_str(&format!(
+            "{:>6} {:>12.4} {:>14.4} {:>14.2} {:>8}\n",
+            x,
+            bound,
+            achieved,
+            bound / achieved,
+            best.1,
+        ));
+    }
+
+    out.push_str(
+        "\nInfeasibility probe: a window deep enough to keep P1 fed during\n\
+         P2's slow transfers needs more than P1's m = 12 buffers:\n",
+    );
+    let p = table2_platform(8.0);
+    let sides = layout_sides(&p, &job);
+    let queues = round_robin_queues(&job, 2, &[0, 1], &sides, |_| 1);
+    // Window 5 → up to 5 steps of A/B double buffers: 2·5·2 + μ² = 24 > 12.
+    let mut aggressive =
+        StreamingMaster::new_static("deep-window", job, queues, Serving::DemandDriven, 5);
+    match Simulator::new(p).run(&mut aggressive) {
+        Err(e) => out.push_str(&format!("  simulator verdict: {e}\n")),
+        Ok(s) => out.push_str(&format!(
+            "  unexpectedly feasible (makespan {:.2}s)\n",
+            s.makespan
+        )),
+    }
+    print!("{out}");
+    if let Ok(path) = write_results("exp_table2.txt", &out) {
+        eprintln!("(written to {})", path.display());
+    }
+}

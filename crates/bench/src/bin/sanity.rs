@@ -1,0 +1,30 @@
+//! Quick smoke check: the seven algorithms on the three single-axis
+//! heterogeneous platforms, with wall-clock decision+simulation times.
+//! Useful for eyeballing that shapes still match the paper after a
+//! change (`cargo run --release -p stargemm-bench --bin sanity`).
+
+use stargemm_core::algorithms::{run_algorithm, Algorithm};
+use stargemm_core::Job;
+use stargemm_platform::presets;
+use std::time::Instant;
+
+fn main() {
+    let job = Job::paper(80_000);
+    for (name, p) in [
+        ("het-memory", presets::het_memory()),
+        ("het-comm", presets::het_comm()),
+        ("het-comp", presets::het_comp()),
+    ] {
+        println!("== {name} ==");
+        for alg in Algorithm::all() {
+            let t0 = Instant::now();
+            match run_algorithm(&p, &job, alg) {
+                Ok(s) => println!(
+                    "{:8} makespan {:8.1}s enrolled {} work {:9.1} ccr {:.4} (decided+simulated in {:?})",
+                    alg.name(), s.makespan, s.enrolled(), s.work(), s.ccr(), t0.elapsed()
+                ),
+                Err(e) => println!("{:8} ERROR: {e}", alg.name()),
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Experiment harness: shared utilities for regenerating every table and
+//! figure of the paper (see `EXPERIMENTS.md` for the index).
+//!
+//! Each `src/bin/exp_*.rs` binary reproduces one artifact; this library
+//! holds the common machinery — running the seven competitors on a
+//! platform/job grid, computing the paper's *relative cost* and
+//! *relative work* metrics, and rendering aligned text tables and CSV.
+
+use stargemm_core::algorithms::{run_algorithm, Algorithm};
+use stargemm_core::Job;
+use stargemm_platform::Platform;
+use stargemm_sim::RunStats;
+
+/// Result of one algorithm on one instance.
+#[derive(Clone, Debug)]
+pub struct AlgResult {
+    pub algorithm: Algorithm,
+    pub stats: Option<RunStats>,
+    /// Error string when the run failed (e.g. no feasible layout).
+    pub error: Option<String>,
+}
+
+impl AlgResult {
+    /// Makespan, or infinity for failed runs.
+    pub fn makespan(&self) -> f64 {
+        self.stats.as_ref().map_or(f64::INFINITY, |s| s.makespan)
+    }
+
+    /// The paper's work metric (makespan × enrolled processors).
+    pub fn work(&self) -> f64 {
+        self.stats.as_ref().map_or(f64::INFINITY, |s| s.work())
+    }
+}
+
+/// One experiment instance: every algorithm on a platform and job.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    pub platform_name: String,
+    pub job: Job,
+    pub results: Vec<AlgResult>,
+}
+
+impl Instance {
+    /// Runs all seven algorithms.
+    pub fn run(platform: &Platform, job: &Job) -> Instance {
+        let results = Algorithm::all()
+            .into_iter()
+            .map(|alg| match run_algorithm(platform, job, alg) {
+                Ok(stats) => AlgResult {
+                    algorithm: alg,
+                    stats: Some(stats),
+                    error: None,
+                },
+                Err(e) => AlgResult {
+                    algorithm: alg,
+                    stats: None,
+                    error: Some(e.to_string()),
+                },
+            })
+            .collect();
+        Instance {
+            platform_name: platform.name.clone(),
+            job: *job,
+            results,
+        }
+    }
+
+    /// Best (smallest) makespan across algorithms.
+    pub fn best_makespan(&self) -> f64 {
+        self.results
+            .iter()
+            .map(AlgResult::makespan)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Best (smallest) work across algorithms.
+    pub fn best_work(&self) -> f64 {
+        self.results
+            .iter()
+            .map(AlgResult::work)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The paper's *relative cost* of one algorithm on this instance:
+    /// its makespan divided by the best makespan achieved here.
+    pub fn relative_cost(&self, alg: Algorithm) -> f64 {
+        self.result(alg).makespan() / self.best_makespan()
+    }
+
+    /// The paper's *relative work*.
+    pub fn relative_work(&self, alg: Algorithm) -> f64 {
+        self.result(alg).work() / self.best_work()
+    }
+
+    /// Result entry for `alg`.
+    pub fn result(&self, alg: Algorithm) -> &AlgResult {
+        self.results
+            .iter()
+            .find(|r| r.algorithm == alg)
+            .expect("all algorithms present")
+    }
+}
+
+/// Renders the classic two-panel figure (relative cost, relative work) as
+/// aligned text tables, one row per instance.
+pub fn render_figure(title: &str, instances: &[Instance], label: impl Fn(&Instance) -> String) -> String {
+    let algs = Algorithm::all();
+    let mut out = String::new();
+    for (panel, metric) in [("(a) relative cost", 0), ("(b) relative work", 1)] {
+        out.push_str(&format!("{title} {panel}\n"));
+        out.push_str(&format!("{:<22}", "instance"));
+        for a in algs {
+            out.push_str(&format!("{:>9}", a.name()));
+        }
+        out.push('\n');
+        for inst in instances {
+            out.push_str(&format!("{:<22}", label(inst)));
+            for a in algs {
+                let v = if metric == 0 {
+                    inst.relative_cost(a)
+                } else {
+                    inst.relative_work(a)
+                };
+                if v.is_finite() {
+                    out.push_str(&format!("{v:>9.3}"));
+                } else {
+                    out.push_str(&format!("{:>9}", "-"));
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV rows (one per instance × algorithm) for downstream plotting.
+pub fn to_csv(instances: &[Instance]) -> String {
+    let mut out = String::from(
+        "platform,r,t,s,q,algorithm,makespan,enrolled,work,ccr,relative_cost,relative_work\n",
+    );
+    for inst in instances {
+        for r in &inst.results {
+            let (mk, en, wk, ccr) = match &r.stats {
+                Some(s) => (s.makespan, s.enrolled(), s.work(), s.ccr()),
+                None => (f64::NAN, 0, f64::NAN, f64::NAN),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{:.3},{},{:.3},{:.5},{:.4},{:.4}\n",
+                inst.platform_name,
+                inst.job.r,
+                inst.job.t,
+                inst.job.s,
+                inst.job.q,
+                r.algorithm.name(),
+                mk,
+                en,
+                wk,
+                ccr,
+                inst.relative_cost(r.algorithm),
+                inst.relative_work(r.algorithm),
+            ));
+        }
+    }
+    out
+}
+
+/// Writes experiment output under `results/` (created on demand) and
+/// echoes the path.
+pub fn write_results(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Runs the Figures 4–6 protocol: the five increasing matrix sizes on
+/// one platform.
+pub fn size_sweep(platform: &Platform) -> Vec<Instance> {
+    Job::paper_sweep()
+        .iter()
+        .map(|job| Instance::run(platform, job))
+        .collect()
+}
+
+/// Standard output for a figure: render both panels, print, and persist
+/// table + CSV under `results/`.
+pub fn emit_figure(id: &str, title: &str, instances: &[Instance], label: impl Fn(&Instance) -> String) {
+    let fig = render_figure(title, instances, label);
+    print!("{fig}");
+    if let Ok(p) = write_results(&format!("{id}.txt"), &fig) {
+        eprintln!("(written to {})", p.display());
+    }
+    if let Ok(p) = write_results(&format!("{id}.csv"), &to_csv(instances)) {
+        eprintln!("(written to {})", p.display());
+    }
+}
+
+/// Geometric mean helper for summary statistics.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0, 0usize);
+    for v in values {
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stargemm_platform::WorkerSpec;
+
+    fn tiny() -> (Platform, Job) {
+        (
+            Platform::new(
+                "t",
+                vec![WorkerSpec::new(0.5, 0.3, 40), WorkerSpec::new(1.0, 0.6, 20)],
+            ),
+            Job::new(6, 5, 8, 2),
+        )
+    }
+
+    #[test]
+    fn instance_runs_all_algorithms() {
+        let (p, j) = tiny();
+        let inst = Instance::run(&p, &j);
+        assert_eq!(inst.results.len(), 7);
+        assert!(inst.results.iter().all(|r| r.stats.is_some()));
+        assert!(inst.best_makespan().is_finite());
+        // Relative cost of the best algorithm is exactly 1.
+        let min = Algorithm::all()
+            .into_iter()
+            .map(|a| inst.relative_cost(a))
+            .fold(f64::INFINITY, f64::min);
+        assert!((min - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_a_row_per_algorithm() {
+        let (p, j) = tiny();
+        let inst = Instance::run(&p, &j);
+        let csv = to_csv(std::slice::from_ref(&inst));
+        assert_eq!(csv.lines().count(), 1 + 7);
+        assert!(csv.contains("ORROML"));
+    }
+
+    #[test]
+    fn figure_rendering_mentions_all_algorithms() {
+        let (p, j) = tiny();
+        let inst = Instance::run(&p, &j);
+        let fig = render_figure("Figure X.", &[inst], |i| i.platform_name.clone());
+        for a in Algorithm::all() {
+            assert!(fig.contains(a.name()));
+        }
+        assert!(fig.contains("relative cost"));
+        assert!(fig.contains("relative work"));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!(geomean(std::iter::empty()).is_nan());
+    }
+}

@@ -1,0 +1,115 @@
+//! Communication-volume bounds (Section 3).
+//!
+//! For a worker with `m` block buffers, any standard matrix-product
+//! algorithm has communication-to-computation ratio at least
+//! `√(27/(8m))` — the paper's refinement (via Loomis–Whitney) of the
+//! Ironya–Toledo–Tiskin bound `√(1/(8m))`. The maximum re-use algorithm
+//! achieves `2/t + 2/μ → 2/√m = √(32/(8m))`, within `√(32/27) ≈ 1.09`
+//! of optimal and a factor `√3` below Toledo's equal-thirds layout.
+
+use crate::layout::{mu_single, toledo_g};
+
+/// The paper's lower bound on CCR: `√(27 / (8m))`.
+///
+/// # Panics
+/// Panics when `m == 0`.
+pub fn ccr_lower_bound(m: usize) -> f64 {
+    assert!(m > 0, "memory must be positive");
+    (27.0 / (8.0 * m as f64)).sqrt()
+}
+
+/// The previous best bound (Ironya, Toledo, Tiskin): `√(1 / (8m))`.
+///
+/// # Panics
+/// Panics when `m == 0`.
+pub fn ito_lower_bound(m: usize) -> f64 {
+    assert!(m > 0, "memory must be positive");
+    (1.0 / (8.0 * m as f64)).sqrt()
+}
+
+/// Exact CCR of the maximum re-use algorithm for memory `m` and inner
+/// block dimension `t`: `2/t + 2/μ` with `μ` from the `1 + μ + μ² ≤ m`
+/// layout (block units; per *scalar* the ratio is a further factor `q`
+/// lower).
+///
+/// # Panics
+/// Panics when `m` is too small to hold the layout (`μ = 0`) or `t == 0`.
+pub fn maxreuse_ccr(m: usize, t: usize) -> f64 {
+    assert!(t > 0, "t must be positive");
+    let mu = mu_single(m);
+    assert!(mu > 0, "memory m = {m} cannot hold the max re-use layout");
+    2.0 / t as f64 + 2.0 / mu as f64
+}
+
+/// Asymptotic (`t → ∞`) CCR of the maximum re-use algorithm: `2/√m`.
+pub fn maxreuse_ccr_asymptotic(m: usize) -> f64 {
+    assert!(m > 0, "memory must be positive");
+    2.0 / (m as f64).sqrt()
+}
+
+/// Asymptotic CCR of Toledo's blocked algorithm (equal thirds of memory):
+/// per step it moves `2g²` blocks for `g³` updates, i.e. `2/g` with
+/// `g = √(m/3)` — `√3` worse than maximum re-use.
+pub fn toledo_ccr_asymptotic(m: usize) -> f64 {
+    let g = toledo_g(m);
+    assert!(g > 0, "memory m = {m} cannot hold the Toledo layout");
+    2.0 / g as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bound_improves_ito_by_sqrt27() {
+        for m in [21, 100, 1000, 20_000] {
+            let ratio = ccr_lower_bound(m) / ito_lower_bound(m);
+            assert!((ratio - 27f64.sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn maxreuse_is_within_sqrt_32_27_of_bound_asymptotically() {
+        for m in [100, 1_000, 10_000, 100_000] {
+            let gap = maxreuse_ccr_asymptotic(m) / ccr_lower_bound(m);
+            assert!((gap - (32.0f64 / 27.0).sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn maxreuse_ccr_approaches_asymptote_from_above() {
+        let m = 10_000;
+        let mu = mu_single(m) as f64;
+        // Finite-t CCR exceeds the infinite-t value 2/μ, which itself is
+        // within a vanishing term of 2/√m.
+        assert!(maxreuse_ccr(m, 10) > maxreuse_ccr(m, 1_000));
+        assert!(maxreuse_ccr(m, 1_000_000) - 2.0 / mu < 1e-5);
+    }
+
+    #[test]
+    fn maxreuse_never_beats_the_lower_bound() {
+        for m in [21, 50, 100, 5_000, 20_000] {
+            for t in [1, 10, 100, 10_000] {
+                assert!(
+                    maxreuse_ccr(m, t) >= ccr_lower_bound(m),
+                    "m={m} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn toledo_is_about_sqrt3_worse() {
+        for m in [3_000, 12_000, 48_000] {
+            let ratio = toledo_ccr_asymptotic(m) / maxreuse_ccr_asymptotic(m);
+            // Integer floors put the ratio near √3 ≈ 1.732.
+            assert!((ratio - 3f64.sqrt()).abs() < 0.1, "m={m}: {ratio}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "max re-use layout")]
+    fn tiny_memory_panics() {
+        maxreuse_ccr(2, 10);
+    }
+}

@@ -1,0 +1,75 @@
+//! Analytic makespan estimator for the homogeneous algorithm.
+//!
+//! Used by Hom/HomI to rank candidate virtual platforms (the paper
+//! "estimates the total execution time of our homogeneous algorithm on
+//! that virtual platform" for every candidate). The estimate is the
+//! standard steady-state bound — the maximum of the master's total
+//! communication time and the per-worker compute time — plus a pipeline
+//! fill/drain term for the first chunk.
+
+use crate::job::Job;
+
+/// Estimated makespan of the homogeneous algorithm with `p_used`
+/// identical workers of per-block costs `(c, w)` and chunk side `mu`.
+///
+/// # Panics
+/// Panics when `mu == 0` or `p_used == 0`.
+pub fn estimate_hom_makespan(job: &Job, p_used: usize, c: f64, w: f64, mu: usize) -> f64 {
+    assert!(mu > 0, "chunk side must be positive");
+    assert!(p_used > 0, "need at least one worker");
+    let strips = job.s.div_ceil(mu) as f64;
+    let chunks_per_strip = job.r.div_ceil(mu) as f64;
+    // Master communication: every C block in and out once, plus per chunk
+    // and step one A column (h blocks) and one B row (w blocks):
+    // Σ_chunks t·(h + w) = t·(r·strips + s·chunks_per_strip).
+    let comm_blocks = 2.0 * (job.r * job.s) as f64
+        + job.t as f64 * (job.r as f64 * strips + job.s as f64 * chunks_per_strip);
+    let comm = comm_blocks * c;
+    // Computation spread over the enrolled workers.
+    let comp = job.total_updates() as f64 * w / p_used as f64;
+    // Pipeline fill (first C chunk + first step) and drain (last
+    // retrieval) — second-order, but breaks ties between close candidates.
+    let mu2 = (mu * mu) as f64;
+    let startup = mu2 * c + 2.0 * mu as f64 * c + mu2 * w + mu2 * c;
+    comm.max(comp) + startup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job::new(100, 100, 1000, 80)
+    }
+
+    #[test]
+    fn more_workers_help_only_when_compute_bound() {
+        let j = job();
+        // Compute-bound regime: w ≫ c.
+        let e1 = estimate_hom_makespan(&j, 1, 1e-3, 1e-1, 50);
+        let e4 = estimate_hom_makespan(&j, 4, 1e-3, 1e-1, 50);
+        assert!(e4 < e1 / 2.0);
+        // Communication-bound regime: c ≫ w — extra workers change nothing.
+        let f1 = estimate_hom_makespan(&j, 1, 1e-1, 1e-3, 50);
+        let f4 = estimate_hom_makespan(&j, 4, 1e-1, 1e-3, 50);
+        assert!((f1 - f4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_mu_reduces_communication() {
+        let j = job();
+        // Communication-bound: bigger chunks → fewer A/B resends.
+        let small = estimate_hom_makespan(&j, 4, 1e-2, 1e-4, 10);
+        let large = estimate_hom_makespan(&j, 4, 1e-2, 1e-4, 100);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn estimate_is_a_sane_lower_envelope() {
+        // For the paper's base calibration the estimate should be within
+        // the right order of magnitude (thousands of seconds).
+        let j = job();
+        let est = estimate_hom_makespan(&j, 8, 4.096e-3, 5.12e-4, 100);
+        assert!(est > 500.0 && est < 20_000.0, "est = {est}");
+    }
+}

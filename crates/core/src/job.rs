@@ -1,0 +1,100 @@
+//! Problem instances: the three matrices in block units (Section 2).
+
+use serde::{Deserialize, Serialize};
+
+/// A matrix-product instance `C ← C + A·B` in block units:
+/// `A` is `r × t` blocks, `B` is `t × s` blocks, `C` is `r × s` blocks,
+/// each block `q × q` scalars.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Block rows of A and C (`n_A / q`).
+    pub r: usize,
+    /// Inner block dimension (`n_AB / q`).
+    pub t: usize,
+    /// Block columns of B and C (`n_B / q`).
+    pub s: usize,
+    /// Block side in scalars.
+    pub q: usize,
+}
+
+impl Job {
+    /// Creates a job; all dimensions must be positive.
+    ///
+    /// # Panics
+    /// Panics on a zero dimension.
+    pub fn new(r: usize, t: usize, s: usize, q: usize) -> Self {
+        assert!(r > 0 && t > 0 && s > 0 && q > 0, "job dims must be positive");
+        Job { r, t, s, q }
+    }
+
+    /// A job from scalar matrix dimensions (`A: n_a × n_ab`,
+    /// `B: n_ab × n_b`), which must be multiples of `q`.
+    ///
+    /// # Panics
+    /// Panics when a dimension is not a positive multiple of `q`.
+    pub fn from_scalar_dims(n_a: usize, n_ab: usize, n_b: usize, q: usize) -> Self {
+        assert!(q > 0, "q must be positive");
+        for (name, n) in [("n_a", n_a), ("n_ab", n_ab), ("n_b", n_b)] {
+            assert!(
+                n > 0 && n % q == 0,
+                "{name} = {n} must be a positive multiple of q = {q}"
+            );
+        }
+        Job::new(n_a / q, n_ab / q, n_b / q, q)
+    }
+
+    /// Total block updates (`r · s · t`) of the standard algorithm.
+    pub fn total_updates(&self) -> u64 {
+        self.r as u64 * self.s as u64 * self.t as u64
+    }
+
+    /// Number of C blocks (`r · s`).
+    pub fn c_blocks(&self) -> u64 {
+        self.r as u64 * self.s as u64
+    }
+
+    /// The paper's experiment matrices: `A` is 8000 × 8000 and `B` is
+    /// 8000 × `n_b`, with q = 80. Section 6 uses
+    /// `n_b ∈ {64 000, 80 000, 96 000, 112 000, 128 000}` for the
+    /// heterogeneity sweeps and 320 000 for the real-platform runs.
+    pub fn paper(n_b: usize) -> Self {
+        Job::from_scalar_dims(8000, 8000, n_b, 80)
+    }
+
+    /// The five increasing sizes of Figures 4–6.
+    pub fn paper_sweep() -> Vec<Job> {
+        [64_000, 80_000, 96_000, 112_000, 128_000]
+            .into_iter()
+            .map(Job::paper)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_conversion() {
+        let j = Job::from_scalar_dims(8000, 8000, 80_000, 80);
+        assert_eq!((j.r, j.t, j.s), (100, 100, 1000));
+        assert_eq!(j.total_updates(), 100 * 100 * 1000);
+        assert_eq!(j.c_blocks(), 100_000);
+    }
+
+    #[test]
+    fn paper_sweep_is_increasing_in_s() {
+        let sweep = Job::paper_sweep();
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep[0].s, 800);
+        assert_eq!(sweep[4].s, 1600);
+        assert!(sweep.windows(2).all(|w| w[0].s < w[1].s));
+        assert!(sweep.iter().all(|j| j.r == 100 && j.t == 100 && j.q == 80));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of q")]
+    fn rejects_non_multiple() {
+        Job::from_scalar_dims(8001, 8000, 80_000, 80);
+    }
+}

@@ -1,0 +1,193 @@
+//! Memory layouts: how a worker's `m` block buffers are split among the
+//! three matrices (Sections 3–5).
+//!
+//! * [`mu_single`] — the maximum re-use layout for a lone worker:
+//!   `1 + μ + μ² ≤ m` (1 buffer of A, μ of B, μ² of C). The single A
+//!   buffer relies on sub-step pipelining; the execution engines work at
+//!   step granularity, so the *simulated* variant is [`mu_no_overlap`]
+//!   (`2μ + μ² ≤ m`: a full A column resident per step). Communication
+//!   volume and the asymptotic CCR `2/√m` are identical.
+//! * [`mu_overlapped`] — the platform layout of Sections 4–5:
+//!   `μ² + 4μ ≤ m`, i.e. μ² C buffers plus *double-buffered* A columns
+//!   and B rows so communication overlaps computation.
+//! * [`toledo_g`] — Toledo's equal-thirds layout used by the BMM
+//!   baseline: `3 g² ≤ m`.
+
+/// Largest `μ ≥ 0` with `1 + μ + μ² ≤ m` (paper Figure 2 layout).
+pub fn mu_single(m: usize) -> usize {
+    largest(|mu| 1 + mu + mu * mu, m)
+}
+
+/// Largest `μ ≥ 0` with `2μ + μ² ≤ m` (step-granular max re-use: one A
+/// column and one B row resident at a time, no double buffering).
+pub fn mu_no_overlap(m: usize) -> usize {
+    largest(|mu| 2 * mu + mu * mu, m)
+}
+
+/// Largest `μ ≥ 0` with `μ² + 4μ ≤ m` (Sections 4–5 layout: double
+/// buffers for A and B).
+pub fn mu_overlapped(m: usize) -> usize {
+    largest(|mu| 4 * mu + mu * mu, m)
+}
+
+/// Largest `g ≥ 0` with `3 g² ≤ m` (Toledo's BMM layout: equal thirds
+/// for A, B and C).
+pub fn toledo_g(m: usize) -> usize {
+    largest(|g| 3 * g * g, m)
+}
+
+/// Largest `μ ≥ 0` with `μ² + 2·window·μ ≤ m`: the generalization of
+/// the paper's layouts to an arbitrary lookahead window (window 1 =
+/// [`mu_no_overlap`], window 2 = [`mu_overlapped`]). Used by the window
+/// ablation.
+pub fn mu_with_window(m: usize, window: usize) -> usize {
+    assert!(window >= 1, "window must be at least 1 step");
+    largest(|mu| mu * mu + 2 * window * mu, m)
+}
+
+/// Rectangular-chunk layout: largest scale `x ≥ 0` such that an
+/// `(aspect_h·x) × (aspect_w·x)` chunk with double-buffered fragments
+/// fits: `(a_h·x)(a_w·x) + 4·max(a_h, a_w)·x ≤ m` — the generalization
+/// behind the chunk-shape ablation. Returns the two sides.
+pub fn rect_sides(m: usize, aspect_h: usize, aspect_w: usize) -> (usize, usize) {
+    assert!(aspect_h > 0 && aspect_w > 0, "aspect must be positive");
+    let long = aspect_h.max(aspect_w);
+    let x = largest(
+        |x| aspect_h * x * aspect_w * x + 4 * long * x,
+        m,
+    );
+    (aspect_h * x, aspect_w * x)
+}
+
+/// Effective chunk side for a worker on a given job: the layout `μ`
+/// capped by the number of block rows `r` (chunks never span more rows
+/// than C has).
+pub fn effective_mu(m: usize, r: usize) -> usize {
+    mu_overlapped(m).min(r)
+}
+
+/// Effective Toledo chunk side, capped by `r`.
+pub fn effective_g(m: usize, r: usize) -> usize {
+    toledo_g(m).min(r)
+}
+
+fn largest(cost: impl Fn(usize) -> usize, m: usize) -> usize {
+    // cost is monotonically increasing; binary search the largest feasible
+    // value. Upper bound: cost(x) ≥ x², so x ≤ √m + 2 is safe.
+    let mut lo = 0usize;
+    let mut hi = (m as f64).sqrt() as usize + 2;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if cost(mid) <= m {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_m_21() {
+        // Figure 2: m = 21 → μ = 4 (1 + 4 + 16 = 21).
+        assert_eq!(mu_single(21), 4);
+        // One fewer buffer and μ drops.
+        assert_eq!(mu_single(20), 3);
+    }
+
+    #[test]
+    fn overlapped_layout_values() {
+        // μ² + 4μ ≤ m: m = 21 → μ = 3 (9 + 12 = 21).
+        assert_eq!(mu_overlapped(21), 3);
+        assert_eq!(mu_overlapped(20), 2);
+        // Paper memory tiers (q = 80): 5 000 → 68, 10 000 → 98, 20 000 → 139.
+        assert_eq!(mu_overlapped(5_000), 68);
+        assert_eq!(mu_overlapped(10_000), 98);
+        assert_eq!(mu_overlapped(20_000), 139);
+    }
+
+    #[test]
+    fn toledo_layout_values() {
+        assert_eq!(toledo_g(3), 1);
+        assert_eq!(toledo_g(12), 2);
+        assert_eq!(toledo_g(5_000), 40);
+        assert_eq!(toledo_g(20_000), 81);
+    }
+
+    #[test]
+    fn layouts_are_maximal() {
+        // Exhaustive maximality check over a dense range of m.
+        for m in 0..5_000 {
+            let mu = mu_single(m);
+            assert!(1 + mu + mu * mu <= m || mu == 0);
+            assert!(1 + (mu + 1) + (mu + 1) * (mu + 1) > m);
+
+            let mo = mu_overlapped(m);
+            assert!(mo * mo + 4 * mo <= m);
+            assert!((mo + 1) * (mo + 1) + 4 * (mo + 1) > m);
+
+            let g = toledo_g(m);
+            assert!(3 * g * g <= m);
+            assert!(3 * (g + 1) * (g + 1) > m);
+
+            let mn = mu_no_overlap(m);
+            assert!(mn * mn + 2 * mn <= m);
+            assert!((mn + 1) * (mn + 1) + 2 * (mn + 1) > m);
+        }
+    }
+
+    #[test]
+    fn effective_sides_are_capped_by_r() {
+        assert_eq!(effective_mu(20_000, 100), 100);
+        assert_eq!(effective_mu(20_000, 1000), 139);
+        assert_eq!(effective_g(20_000, 50), 50);
+    }
+
+    #[test]
+    fn windowed_layout_generalizes_the_fixed_ones() {
+        for m in [0usize, 5, 21, 100, 5_000, 20_000] {
+            assert_eq!(mu_with_window(m, 1), mu_no_overlap(m));
+            assert_eq!(mu_with_window(m, 2), mu_overlapped(m));
+            // Deeper windows never increase μ.
+            assert!(mu_with_window(m, 4) <= mu_with_window(m, 2));
+        }
+        // Maximality of the windowed layout.
+        for m in 0..2_000 {
+            for wdw in [1usize, 3, 4] {
+                let mu = mu_with_window(m, wdw);
+                assert!(mu * mu + 2 * wdw * mu <= m);
+                assert!((mu + 1) * (mu + 1) + 2 * wdw * (mu + 1) > m);
+            }
+        }
+    }
+
+    #[test]
+    fn rect_sides_fit_memory_and_follow_aspect() {
+        for m in [50usize, 500, 5_000, 20_000] {
+            for (ah, aw) in [(1, 1), (1, 4), (4, 1), (2, 3)] {
+                let (h, w) = rect_sides(m, ah, aw);
+                assert!(h * w + 4 * h.max(w) <= m, "m={m} aspect {ah}:{aw}");
+                if h > 0 {
+                    assert_eq!(h * aw, w * ah, "aspect preserved");
+                }
+            }
+        }
+        // Square aspect equals (roughly) the overlapped layout.
+        let (h, w) = rect_sides(20_000, 1, 1);
+        assert_eq!((h, w), (mu_overlapped(20_000), mu_overlapped(20_000)));
+    }
+
+    #[test]
+    fn tiny_memory_yields_zero_mu() {
+        // μ = 0 means the worker cannot hold the layout at all; the
+        // algorithms must skip such workers.
+        assert_eq!(mu_overlapped(4), 0);
+        assert_eq!(mu_overlapped(5), 1);
+        assert_eq!(mu_single(2), 0);
+        assert_eq!(mu_single(3), 1);
+    }
+}

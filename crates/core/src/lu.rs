@@ -1,0 +1,194 @@
+//! Master-worker LU factorization scheduling — the extension the paper's
+//! conclusion defers to its companion report ("how to adapt the approach
+//! for LU factorization").
+//!
+//! Right-looking block LU of an `n × n` block matrix held by the master:
+//! at step `k` the pivot block and panels are factored (cheap,
+//! `O(n−k)` block operations on the critical path), then the trailing
+//! submatrix update `A₂₂ ← A₂₂ − L₂₁·U₁₂` — a rank-one *block* outer
+//! product, `(n−k−1) × 1 × (n−k−1)` in block terms — is exactly a
+//! matrix-product job for the Section 5 machinery. The memory layout,
+//! resource selection and one-port schedule are reused unchanged;
+//! iteration `k`'s update is scheduled with any of the seven algorithms.
+//!
+//! The returned plan reports per-iteration makespans from the
+//! discrete-event simulator plus the panel critical path, costed on the
+//! fastest enrolled worker (the master has no compute capability in the
+//! paper's model).
+
+use serde::{Deserialize, Serialize};
+use stargemm_platform::Platform;
+use stargemm_sim::SimError;
+
+use crate::algorithms::{run_algorithm, Algorithm};
+use crate::job::Job;
+
+/// Cost report of one outer iteration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LuIteration {
+    /// Diagonal step index `k`.
+    pub k: usize,
+    /// Seconds spent on the pivot/panel critical path.
+    pub panel_time: f64,
+    /// Seconds of the distributed trailing update (0 for the last step).
+    pub update_makespan: f64,
+    /// Workers enrolled in the trailing update.
+    pub enrolled: usize,
+}
+
+/// Whole-factorization schedule report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LuPlan {
+    /// Matrix size in blocks.
+    pub n: usize,
+    /// Scheduling algorithm used for the trailing updates.
+    pub algorithm: String,
+    /// Per-iteration breakdown.
+    pub iterations: Vec<LuIteration>,
+    /// Total factorization time.
+    pub total: f64,
+}
+
+impl LuPlan {
+    /// Fraction of the total spent in distributed updates (the part the
+    /// paper's algorithms accelerate).
+    pub fn update_fraction(&self) -> f64 {
+        if self.total == 0.0 {
+            return 0.0;
+        }
+        self.iterations
+            .iter()
+            .map(|i| i.update_makespan)
+            .sum::<f64>()
+            / self.total
+    }
+}
+
+/// Schedules the LU factorization of an `n × n` block matrix on
+/// `platform`, using `alg` for every trailing update.
+///
+/// Panel model: factoring the pivot block costs one block update
+/// (`w_min`); the `2(n−k−1)` panel triangular solves each cost a block
+/// update and their operands cross the master's port once in each
+/// direction (`2 c_min` per block) — they are serialized on the critical
+/// path, as in right-looking out-of-core LU.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn schedule_lu(
+    platform: &Platform,
+    n: usize,
+    q: usize,
+    alg: Algorithm,
+) -> Result<LuPlan, SimError> {
+    assert!(n > 0, "empty matrix");
+    let w_min = platform
+        .workers()
+        .iter()
+        .map(|s| s.w)
+        .fold(f64::INFINITY, f64::min);
+    let c_min = platform
+        .workers()
+        .iter()
+        .map(|s| s.c)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut iterations = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for k in 0..n {
+        let trailing = n - k - 1;
+        // Pivot block + two panels of `trailing` blocks each: factor /
+        // solve (one block update each) + port round trip.
+        let panel_ops = 1 + 2 * trailing;
+        let panel_time = panel_ops as f64 * w_min + panel_ops as f64 * 2.0 * c_min;
+        let (update_makespan, enrolled) = if trailing > 0 {
+            let job = Job::new(trailing, 1, trailing, q);
+            let stats = run_algorithm(platform, &job, alg)?;
+            (stats.makespan, stats.enrolled())
+        } else {
+            (0.0, 0)
+        };
+        total += panel_time + update_makespan;
+        iterations.push(LuIteration {
+            k,
+            panel_time,
+            update_makespan,
+            enrolled,
+        });
+    }
+    Ok(LuPlan {
+        n,
+        algorithm: alg.name().to_string(),
+        iterations,
+        total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stargemm_platform::WorkerSpec;
+
+    fn platform() -> Platform {
+        Platform::new(
+            "lu",
+            vec![
+                WorkerSpec::new(0.2, 0.1, 80),
+                WorkerSpec::new(0.4, 0.2, 40),
+            ],
+        )
+    }
+
+    #[test]
+    fn single_block_is_panel_only() {
+        let plan = schedule_lu(&platform(), 1, 4, Algorithm::Oddoml).unwrap();
+        assert_eq!(plan.iterations.len(), 1);
+        assert_eq!(plan.iterations[0].update_makespan, 0.0);
+        assert!(plan.total > 0.0);
+        assert_eq!(plan.update_fraction(), 0.0);
+    }
+
+    #[test]
+    fn trailing_updates_shrink_monotonically() {
+        let plan = schedule_lu(&platform(), 6, 4, Algorithm::Oddoml).unwrap();
+        assert_eq!(plan.iterations.len(), 6);
+        let updates: Vec<f64> = plan.iterations.iter().map(|i| i.update_makespan).collect();
+        for w in updates.windows(2) {
+            assert!(w[0] >= w[1], "updates must shrink: {updates:?}");
+        }
+        assert_eq!(*updates.last().unwrap(), 0.0);
+        // Most of a sizeable LU is trailing updates.
+        assert!(plan.update_fraction() > 0.5, "{}", plan.update_fraction());
+    }
+
+    #[test]
+    fn cost_grows_superlinearly_in_n() {
+        let t4 = schedule_lu(&platform(), 4, 4, Algorithm::Oddoml).unwrap().total;
+        let t8 = schedule_lu(&platform(), 8, 4, Algorithm::Oddoml).unwrap().total;
+        assert!(t8 > 4.0 * t4, "t4={t4} t8={t8}");
+    }
+
+    #[test]
+    fn het_scheduling_is_no_worse_than_round_robin() {
+        // On a heterogeneous platform the selection-aware algorithm
+        // should not lose to plain round-robin across a whole LU.
+        let p = Platform::new(
+            "lu-het",
+            vec![
+                WorkerSpec::new(0.1, 0.05, 80),
+                WorkerSpec::new(0.8, 0.4, 40),
+                WorkerSpec::new(1.6, 0.8, 20),
+            ],
+        );
+        let het = schedule_lu(&p, 6, 4, Algorithm::Het).unwrap().total;
+        let rr = schedule_lu(&p, 6, 4, Algorithm::Orroml).unwrap().total;
+        assert!(het <= rr * 1.001, "het {het} vs rr {rr}");
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = schedule_lu(&platform(), 5, 4, Algorithm::Het).unwrap();
+        let b = schedule_lu(&platform(), 5, 4, Algorithm::Het).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,365 @@
+//! Incremental resource selection for heterogeneous platforms — the
+//! paper's main practical contribution (Section 5).
+//!
+//! Phase 1 pre-computes the allocation of chunks to workers with a
+//! step-by-step simulation of the master's link: each selection assigns
+//! one `μ_i × μ_i` chunk (processed over `t` steps) to a worker, chosen
+//! by one of eight heuristics — {global, local} × {greedy, look-ahead} ×
+//! {count C I/O, ignore it}. Every `⌈r/μ_i⌉` selections a worker locks in
+//! a strip of `μ_i` block columns; the phase stops when all of C is
+//! allocated.
+//!
+//! Phase 2 executes the allocation with the generic streaming master
+//! (demand-driven serving over the statically allocated queues).
+//!
+//! The `Het` competitor of Section 6 simulates all eight variants and
+//! runs the best one — [`het_best`] reproduces exactly that.
+
+use serde::{Deserialize, Serialize};
+use stargemm_platform::Platform;
+use stargemm_sim::Simulator;
+
+use crate::assign::layout_sides;
+use crate::geometry::{carve_strip, PlannedChunk};
+use crate::job::Job;
+use crate::stream::{Serving, StreamingMaster};
+
+/// One of the eight selection heuristics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionVariant {
+    /// `true`: local ratio (work of this assignment over the link time it
+    /// occupies); `false`: global ratio (total work over completion time
+    /// of the last communication).
+    pub local: bool,
+    /// Evaluate pairs of consecutive selections instead of one.
+    pub lookahead: bool,
+    /// Charge the C-chunk I/O (`2μ²c`) to the selection's communication
+    /// time instead of neglecting it.
+    pub c_cost: bool,
+}
+
+impl SelectionVariant {
+    /// All eight variants, in a stable order.
+    pub fn all() -> [SelectionVariant; 8] {
+        let mut v = [SelectionVariant {
+            local: false,
+            lookahead: false,
+            c_cost: false,
+        }; 8];
+        for (i, slot) in v.iter_mut().enumerate() {
+            slot.local = i & 1 != 0;
+            slot.lookahead = i & 2 != 0;
+            slot.c_cost = i & 4 != 0;
+        }
+        v
+    }
+
+    /// Short label, e.g. `"global+la+c"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}{}{}",
+            if self.local { "local" } else { "global" },
+            if self.lookahead { "+la" } else { "" },
+            if self.c_cost { "+c" } else { "" },
+        )
+    }
+}
+
+/// Link/worker timing model of one candidate selection.
+#[derive(Clone, Copy, Debug)]
+struct Projection {
+    /// Completion time of the assignment's communication.
+    link_after: f64,
+    /// When the worker would finish computing the assigned chunk.
+    ready_after: f64,
+    /// Block updates the assignment performs.
+    work: f64,
+}
+
+/// Internal selection state.
+struct SelState {
+    link: f64,
+    ready: Vec<f64>,
+    total_work: f64,
+}
+
+impl SelState {
+    fn project(
+        &self,
+        w: usize,
+        mu: usize,
+        c: f64,
+        wt: f64,
+        t: usize,
+        c_cost: bool,
+    ) -> Projection {
+        let mu_f = mu as f64;
+        let t_f = t as f64;
+        let mut d_comm = 2.0 * mu_f * t_f * c;
+        if c_cost {
+            d_comm += 2.0 * mu_f * mu_f * c; // C chunk in and out
+        }
+        let d_comp = t_f * mu_f * mu_f * wt;
+        // The worker's limited memory forbids receiving the next chunk's
+        // data much in advance: its communication starts when both the
+        // link and the worker are available.
+        let start = self.link.max(self.ready[w]);
+        Projection {
+            link_after: start + d_comm,
+            ready_after: start + d_comm.max(d_comp),
+            work: mu_f * mu_f * t_f,
+        }
+    }
+
+    fn ratio(&self, p: Projection, variant: SelectionVariant) -> f64 {
+        if variant.local {
+            p.work / (p.link_after - self.link).max(f64::MIN_POSITIVE)
+        } else {
+            (self.total_work + p.work) / p.link_after.max(f64::MIN_POSITIVE)
+        }
+    }
+
+    fn commit(&mut self, w: usize, p: Projection) {
+        self.link = p.link_after;
+        self.ready[w] = p.ready_after;
+        self.total_work += p.work;
+    }
+}
+
+/// The phase-1 allocation: per-worker chunk queues (indexed by worker id)
+/// plus the selection sequence for inspection.
+#[derive(Clone, Debug)]
+pub struct HetAllocation {
+    /// Per-worker chunk queues in materialization order.
+    pub queues: Vec<Vec<PlannedChunk>>,
+    /// Worker chosen at each selection step.
+    pub selections: Vec<usize>,
+}
+
+/// Runs phase 1 for one variant.
+///
+/// # Panics
+/// Panics when no worker can hold the layout.
+pub fn allocate(platform: &Platform, job: &Job, variant: SelectionVariant) -> HetAllocation {
+    let p = platform.len();
+    let sides = layout_sides(platform, job);
+    assert!(
+        sides.iter().any(|&s| s > 0),
+        "no worker fits the memory layout"
+    );
+    let usable: Vec<usize> = (0..p).filter(|&w| sides[w] > 0).collect();
+    let cps: Vec<usize> = (0..p)
+        .map(|w| if sides[w] > 0 { job.r.div_ceil(sides[w]) } else { usize::MAX })
+        .collect();
+
+    let mut st = SelState {
+        link: 0.0,
+        ready: vec![0.0; p],
+        total_work: 0.0,
+    };
+    let mut sel_count = vec![0usize; p];
+    let mut queues = vec![Vec::new(); p];
+    let mut selections = Vec::new();
+    let mut next_col = 0usize;
+    let mut next_id = 0u32;
+
+    while next_col < job.s {
+        let score = |st: &SelState, w: usize| -> (f64, Projection) {
+            let spec = platform.worker(w);
+            let proj = st.project(w, sides[w], spec.c, spec.w, job.t, variant.c_cost);
+            if !variant.lookahead {
+                return (st.ratio(proj, variant), proj);
+            }
+            // Look-ahead: tentatively commit w, then score the best
+            // follow-up selection; the pair's combined ratio decides.
+            let mut tent = SelState {
+                link: st.link,
+                ready: st.ready.clone(),
+                total_work: st.total_work,
+            };
+            tent.commit(w, proj);
+            let mut best_pair = f64::NEG_INFINITY;
+            for &w2 in &usable {
+                let spec2 = platform.worker(w2);
+                let proj2 =
+                    tent.project(w2, sides[w2], spec2.c, spec2.w, job.t, variant.c_cost);
+                let pair = if variant.local {
+                    (proj.work + proj2.work)
+                        / (proj2.link_after - st.link).max(f64::MIN_POSITIVE)
+                } else {
+                    (st.total_work + proj.work + proj2.work)
+                        / proj2.link_after.max(f64::MIN_POSITIVE)
+                };
+                best_pair = best_pair.max(pair);
+            }
+            (best_pair, proj)
+        };
+
+        let mut best: Option<(f64, usize, Projection)> = None;
+        for &w in &usable {
+            let (r, proj) = score(&st, w);
+            if best.as_ref().is_none_or(|(br, bw, _)| r > *br + 1e-15 || (r > *br - 1e-15 && w < *bw))
+            {
+                // Strictly better, or tied with a smaller index.
+                if best.as_ref().is_none_or(|(br, _, _)| r > *br - 1e-15) {
+                    best = Some((r, w, proj));
+                }
+            }
+        }
+        let (_, w, proj) = best.expect("usable non-empty");
+        st.commit(w, proj);
+        sel_count[w] += 1;
+        selections.push(w);
+        if sel_count[w].is_multiple_of(cps[w]) {
+            if let Some(strip) =
+                carve_strip(job, w, sides[w], 1, &mut next_col, &mut next_id)
+            {
+                queues[w].extend(strip);
+            }
+        }
+    }
+
+    HetAllocation { queues, selections }
+}
+
+/// Builds the phase-2 executable policy for one variant.
+pub fn het_policy(
+    platform: &Platform,
+    job: &Job,
+    variant: SelectionVariant,
+) -> StreamingMaster {
+    let alloc = allocate(platform, job, variant);
+    StreamingMaster::new_static("Het", *job, alloc.queues, Serving::DemandDriven, 2)
+}
+
+/// Simulates all eight variants and returns a fresh policy of the best
+/// one, its variant, and every variant's simulated makespan — exactly the
+/// paper's `Het` decision procedure.
+pub fn het_best(
+    platform: &Platform,
+    job: &Job,
+) -> (StreamingMaster, SelectionVariant, Vec<(SelectionVariant, f64)>) {
+    let mut scores = Vec::with_capacity(8);
+    let mut best: Option<(f64, SelectionVariant)> = None;
+    for v in SelectionVariant::all() {
+        let mut policy = het_policy(platform, job, v);
+        let sim = Simulator::new(platform.clone());
+        let makespan = match sim.run(&mut policy) {
+            Ok(stats) => stats.makespan,
+            Err(_) => f64::INFINITY, // infeasible variant: never picked
+        };
+        scores.push((v, makespan));
+        if best.is_none_or(|(b, _)| makespan < b) {
+            best = Some((makespan, v));
+        }
+    }
+    let (_, v) = best.expect("eight variants scored");
+    (het_policy(platform, job, v), v, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::validate_coverage;
+    use stargemm_platform::WorkerSpec;
+
+    fn het_platform() -> Platform {
+        Platform::new(
+            "het",
+            vec![
+                WorkerSpec::new(0.5, 0.2, 60),
+                WorkerSpec::new(1.0, 0.4, 30),
+                WorkerSpec::new(2.0, 0.8, 120),
+                WorkerSpec::new(4.0, 1.6, 15),
+            ],
+        )
+    }
+
+    fn job() -> Job {
+        Job::new(12, 8, 20, 2)
+    }
+
+    #[test]
+    fn all_variants_are_distinct() {
+        let vs = SelectionVariant::all();
+        for i in 0..8 {
+            for j in i + 1..8 {
+                assert_ne!(vs[i], vs[j]);
+            }
+        }
+        assert_eq!(vs[0].label(), "global");
+        assert_eq!(vs[7].label(), "local+la+c");
+    }
+
+    #[test]
+    fn every_variant_covers_c() {
+        for v in SelectionVariant::all() {
+            let alloc = allocate(&het_platform(), &job(), v);
+            let geoms: Vec<_> = alloc
+                .queues
+                .iter()
+                .flatten()
+                .map(|c| c.geom)
+                .collect();
+            validate_coverage(&job(), &geoms).unwrap();
+            assert!(!alloc.selections.is_empty());
+        }
+    }
+
+    #[test]
+    fn selection_favors_efficient_workers() {
+        // Worker 0 has the best link and CPU; it must receive the most
+        // work under every variant.
+        for v in SelectionVariant::all() {
+            let alloc = allocate(&het_platform(), &job(), v);
+            let work: Vec<u64> = alloc
+                .queues
+                .iter()
+                .map(|q| q.iter().map(|c| c.descr.total_updates()).sum())
+                .collect();
+            let max = *work.iter().max().unwrap();
+            assert_eq!(work[0], max, "{}: {work:?}", v.label());
+        }
+    }
+
+    #[test]
+    fn het_policies_run_to_completion() {
+        use stargemm_sim::Simulator;
+        for v in SelectionVariant::all() {
+            let mut policy = het_policy(&het_platform(), &job(), v);
+            let stats = Simulator::new(het_platform()).run(&mut policy).unwrap();
+            assert_eq!(stats.total_updates, job().total_updates(), "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn het_best_picks_the_minimum() {
+        let (policy, v, scores) = het_best(&het_platform(), &job());
+        assert_eq!(scores.len(), 8);
+        let min = scores.iter().map(|(_, m)| *m).fold(f64::INFINITY, f64::min);
+        let picked = scores.iter().find(|(sv, _)| *sv == v).unwrap().1;
+        assert!((picked - min).abs() < 1e-12);
+        assert_eq!(stargemm_sim::MasterPolicy::name(&policy), "Het");
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let v = SelectionVariant {
+            local: true,
+            lookahead: true,
+            c_cost: true,
+        };
+        let a = allocate(&het_platform(), &job(), v);
+        let b = allocate(&het_platform(), &job(), v);
+        assert_eq!(a.selections, b.selections);
+    }
+
+    #[test]
+    fn single_worker_platform_degenerates_gracefully() {
+        let p = Platform::new("one", vec![WorkerSpec::new(1.0, 1.0, 60)]);
+        let alloc = allocate(&p, &job(), SelectionVariant::all()[0]);
+        let geoms: Vec<_> = alloc.queues.iter().flatten().map(|c| c.geom).collect();
+        validate_coverage(&job(), &geoms).unwrap();
+        assert!(alloc.selections.iter().all(|&w| w == 0));
+    }
+}

@@ -1,0 +1,266 @@
+//! Steady-state bandwidth-centric analysis (Section 5, Table 1) and the
+//! Table 2 counter-example.
+//!
+//! In steady state, worker `i` receiving `2μ_i` blocks per `μ_i²` block
+//! updates occupies the master's port for `2c_i/μ_i` seconds per update
+//! and its own CPU for `w_i` seconds per update. Maximizing total
+//! throughput under the one-port and per-worker rate constraints is the
+//! linear program of Table 1, whose optimum is the *bandwidth-centric*
+//! greedy: enroll workers by non-decreasing `2c_i/μ_i` while
+//! `Σ 2c_i/(μ_i w_i) ≤ 1`.
+//!
+//! The resulting throughput is an **upper bound** that finite memory may
+//! make unreachable (Table 2): the paper uses it to certify that `Het`'s
+//! absolute performance is good (within ~2.3× on average).
+
+use stargemm_lp::LpProblem;
+use stargemm_platform::{Platform, WorkerId, WorkerSpec};
+
+use crate::job::Job;
+use crate::layout::effective_mu;
+
+/// The steady-state solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SteadyState {
+    /// Per-worker work rates `x_i` (block updates per second).
+    pub rates: Vec<f64>,
+    /// Total throughput `ρ = Σ x_i`.
+    pub throughput: f64,
+    /// Workers with a positive rate, in enrollment order.
+    pub enrolled: Vec<WorkerId>,
+}
+
+/// Bandwidth-centric greedy (optimal for the Table 1 LP).
+///
+/// `r` caps each worker's `μ_i` exactly as the execution layouts do.
+///
+/// # Panics
+/// Panics when no worker fits the layout.
+pub fn bandwidth_centric(platform: &Platform, r: usize) -> SteadyState {
+    let mus: Vec<usize> = platform
+        .workers()
+        .iter()
+        .map(|s| effective_mu(s.m, r))
+        .collect();
+    assert!(mus.iter().any(|&m| m > 0), "no worker fits the layout");
+
+    let mut order: Vec<WorkerId> = (0..platform.len()).filter(|&w| mus[w] > 0).collect();
+    // Sort by port cost per unit of work, 2c_i/μ_i.
+    order.sort_by(|&a, &b| {
+        let ka = 2.0 * platform.worker(a).c / mus[a] as f64;
+        let kb = 2.0 * platform.worker(b).c / mus[b] as f64;
+        ka.total_cmp(&kb).then(a.cmp(&b))
+    });
+
+    let mut rates = vec![0.0; platform.len()];
+    let mut enrolled = Vec::new();
+    let mut port_budget = 1.0f64;
+    for &w in &order {
+        if port_budget <= 0.0 {
+            break;
+        }
+        let spec = platform.worker(w);
+        let port_per_update = 2.0 * spec.c / mus[w] as f64;
+        let full_rate = 1.0 / spec.w;
+        let full_port = port_per_update * full_rate; // = 2c/(μw)
+        let rate = if full_port <= port_budget {
+            port_budget -= full_port;
+            full_rate
+        } else {
+            let r = port_budget / port_per_update;
+            port_budget = 0.0;
+            r
+        };
+        if rate > 0.0 {
+            rates[w] = rate;
+            enrolled.push(w);
+        }
+    }
+    let throughput = rates.iter().sum();
+    SteadyState {
+        rates,
+        throughput,
+        enrolled,
+    }
+}
+
+/// The Table 1 linear program, in the solver's standard form.
+///
+/// Variables `[x_1..x_p, y_1..y_p]` (`x_i` = updates/s, `y_i` = blocks/s
+/// received):
+///
+/// * `Σ y_i c_i ≤ 1` — one-port;
+/// * `x_i w_i ≤ 1` — compute rate;
+/// * `x_i/μ_i² ≤ y_i/(2μ_i)` — a chunk's updates need its fragments.
+pub fn table1_lp(platform: &Platform, r: usize) -> LpProblem {
+    let p = platform.len();
+    let mus: Vec<f64> = platform
+        .workers()
+        .iter()
+        .map(|s| effective_mu(s.m, r).max(1) as f64)
+        .collect();
+    let nvars = 2 * p;
+    let mut objective = vec![0.0; nvars];
+    for (i, o) in objective.iter_mut().take(p).enumerate() {
+        *o = if effective_mu(platform.worker(i).m, r) > 0 {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let mut constraints = Vec::new();
+    let mut rhs = Vec::new();
+    // One-port.
+    let mut port = vec![0.0; nvars];
+    for (i, spec) in platform.iter() {
+        port[p + i] = spec.c;
+    }
+    constraints.push(port);
+    rhs.push(1.0);
+    // Compute rates.
+    for (i, spec) in platform.iter() {
+        let mut row = vec![0.0; nvars];
+        row[i] = spec.w;
+        constraints.push(row);
+        rhs.push(1.0);
+    }
+    // Data-dependency coupling: x_i/μ_i² − y_i/(2μ_i) ≤ 0.
+    for i in 0..p {
+        let mut row = vec![0.0; nvars];
+        row[i] = 1.0 / (mus[i] * mus[i]);
+        row[p + i] = -1.0 / (2.0 * mus[i]);
+        constraints.push(row);
+        rhs.push(0.0);
+    }
+    LpProblem {
+        objective,
+        constraints,
+        rhs,
+    }
+}
+
+/// Throughput according to the LP (cross-check of the greedy).
+pub fn lp_throughput(platform: &Platform, r: usize) -> f64 {
+    table1_lp(platform, r)
+        .solve()
+        .expect("Table 1 LP is feasible and bounded")
+        .objective
+}
+
+/// Makespan lower bound implied by the steady-state throughput:
+/// `r·s·t / ρ`. The paper compares Het's achieved throughput against
+/// this optimistic bound (ratio ≈ 2.3× on average).
+pub fn makespan_lower_bound(platform: &Platform, job: &Job) -> f64 {
+    let ss = bandwidth_centric(platform, job.r);
+    job.total_updates() as f64 / ss.throughput
+}
+
+/// The Table 2 platform: `P1 = (c=1, w=2, μ=2)`, `P2 = (c=x, w=2x, μ=2)`.
+/// Both saturate exactly half the port in steady state
+/// (`2c_i/(μ_i w_i) = ½` each), yet as `x` grows `P1` needs unboundedly
+/// many buffers to sustain its rate — the bandwidth-centric solution is
+/// not always feasible with finite memory.
+pub fn table2_platform(x: f64) -> Platform {
+    assert!(x >= 1.0, "the example uses x >= 1");
+    // m = 12 gives μ_overlapped = 2 for both workers.
+    Platform::new(
+        format!("table2-x{x}"),
+        vec![WorkerSpec::new(1.0, 2.0, 12), WorkerSpec::new(x, 2.0 * x, 12)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn platform() -> Platform {
+        Platform::new(
+            "p",
+            vec![
+                WorkerSpec::new(0.5, 0.2, 60),  // μ=6
+                WorkerSpec::new(1.0, 0.4, 30),  // μ=3
+                WorkerSpec::new(2.0, 0.8, 120), // μ=8
+            ],
+        )
+    }
+
+    #[test]
+    fn greedy_matches_lp_optimum() {
+        for r in [4, 8, 100] {
+            let ss = bandwidth_centric(&platform(), r);
+            let lp = lp_throughput(&platform(), r);
+            assert!(
+                (ss.throughput - lp).abs() < 1e-6,
+                "r={r}: greedy {} vs LP {lp}",
+                ss.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn table2_rates_match_paper() {
+        // Each worker contributes 2c/(μw) = 1/2 of the port: both fully
+        // enrolled, throughput = 1/w1 + 1/w2 = 1/2 + 1/(2x).
+        for x in [1.0, 2.0, 8.0] {
+            let p = table2_platform(x);
+            let ss = bandwidth_centric(&p, 100);
+            assert_eq!(ss.enrolled.len(), 2);
+            let expect = 0.5 + 1.0 / (2.0 * x);
+            assert!((ss.throughput - expect).abs() < 1e-9, "x={x}");
+        }
+    }
+
+    #[test]
+    fn saturated_port_limits_enrollment() {
+        // Many workers with heavy port usage: 2c/(μw) = 2·1/(2·0.5) = 2
+        // each → only a fraction of the first worker is enrolled.
+        let specs = vec![WorkerSpec::new(1.0, 0.5, 12); 4];
+        let p = Platform::new("sat", specs);
+        let ss = bandwidth_centric(&p, 100);
+        assert_eq!(ss.enrolled, vec![0]);
+        // Rate limited by port: x = 1/(2c/μ) = 1.
+        assert!((ss.throughput - 1.0).abs() < 1e-9);
+        // LP agrees.
+        assert!((lp_throughput(&p, 100) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn underloaded_port_enrolls_everyone_at_full_rate() {
+        // 2c/(μw) = 0.1 each with 4 workers → Σ = 0.4 < 1.
+        let specs = vec![WorkerSpec::new(0.1, 0.5, 60); 4]; // μ=6: 2·0.1/(6·0.5)≈0.067
+        let p = Platform::new("under", specs);
+        let ss = bandwidth_centric(&p, 100);
+        assert_eq!(ss.enrolled.len(), 4);
+        assert!((ss.throughput - 4.0 / 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn makespan_bound_is_optimistic() {
+        let job = Job::new(12, 8, 20, 2);
+        let bound = makespan_lower_bound(&platform(), &job);
+        assert!(bound > 0.0);
+        // The bound neglects C I/O and startup: any real schedule is
+        // slower. Cross-check against an actual Het run.
+        let (mut policy, _, _) = crate::select_het::het_best(&platform(), &job);
+        let stats = stargemm_sim::Simulator::new(platform())
+            .run(&mut policy)
+            .unwrap();
+        assert!(
+            stats.makespan >= bound * 0.999,
+            "sim {} vs bound {bound}",
+            stats.makespan
+        );
+    }
+
+    #[test]
+    fn bound_order_is_by_port_cost_per_work() {
+        let ss = bandwidth_centric(&platform(), 100);
+        // Worker 0: 2·0.5/6 ≈ 0.167, worker 2: 2·2/8 = 0.5,
+        // worker 1: 2·1/3 ≈ 0.667 — enrollment order 0, 2, 1 (until
+        // the port budget runs out).
+        assert_eq!(ss.enrolled[0], 0);
+        if ss.enrolled.len() > 1 {
+            assert_eq!(ss.enrolled[1], 2);
+        }
+    }
+}

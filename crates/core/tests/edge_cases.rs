@@ -1,0 +1,149 @@
+//! Edge-case integration tests for the scheduling layer: degenerate
+//! dimensions, single-chunk jobs, extreme platforms.
+
+use stargemm_core::algorithms::{build_policy, run_algorithm, Algorithm};
+use stargemm_core::geometry::validate_coverage;
+use stargemm_core::maxreuse::simulate_max_reuse;
+use stargemm_core::Job;
+use stargemm_platform::{Platform, WorkerSpec};
+use stargemm_sim::Simulator;
+
+fn duo() -> Platform {
+    Platform::new(
+        "duo",
+        vec![WorkerSpec::new(0.5, 0.25, 60), WorkerSpec::new(1.0, 0.5, 24)],
+    )
+}
+
+fn run_all(platform: &Platform, job: &Job) {
+    for alg in Algorithm::all() {
+        let stats = run_algorithm(platform, job, alg)
+            .unwrap_or_else(|e| panic!("{} on {:?}: {e}", alg.name(), job));
+        assert_eq!(stats.total_updates, job.total_updates(), "{}", alg.name());
+        let mut policy = build_policy(platform, job, alg).unwrap();
+        Simulator::new(platform.clone()).run(&mut policy).unwrap();
+        let geoms: Vec<_> = policy.geoms().copied().collect();
+        validate_coverage(job, &geoms).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+    }
+}
+
+#[test]
+fn single_row_of_c() {
+    run_all(&duo(), &Job::new(1, 6, 9, 4));
+}
+
+#[test]
+fn single_column_of_c() {
+    run_all(&duo(), &Job::new(9, 6, 1, 4));
+}
+
+#[test]
+fn rank_one_block_product() {
+    // t = 1: one update step per chunk (the LU trailing-update shape).
+    run_all(&duo(), &Job::new(7, 1, 7, 4));
+}
+
+#[test]
+fn one_by_one_by_one() {
+    run_all(&duo(), &Job::new(1, 1, 1, 4));
+}
+
+#[test]
+fn single_chunk_covers_everything() {
+    // μ of the big worker exceeds both r and s: the whole C fits in one
+    // chunk on one worker.
+    let p = Platform::new("big", vec![WorkerSpec::new(0.1, 0.1, 10_000)]);
+    run_all(&p, &Job::new(4, 5, 4, 4));
+}
+
+#[test]
+fn tiny_memory_only_fits_toledo() {
+    // m = 4: μ_overlapped = 0 but g = 1, so BMM alone can run.
+    let p = Platform::new("tiny", vec![WorkerSpec::new(1.0, 1.0, 4)]);
+    let job = Job::new(3, 3, 3, 4);
+    for alg in [Algorithm::Oddoml, Algorithm::Orroml, Algorithm::Het] {
+        assert!(build_policy(&p, &job, alg).is_err(), "{}", alg.name());
+    }
+    let stats = run_algorithm(&p, &job, Algorithm::Bmm).unwrap();
+    assert_eq!(stats.total_updates, job.total_updates());
+    assert!(stats.per_worker[0].mem_high_water <= 4);
+}
+
+#[test]
+fn mixed_fit_platform_skips_undersized_workers() {
+    // Worker 1 cannot hold the optimized layout; everyone else carries it.
+    let p = Platform::new(
+        "mixed",
+        vec![WorkerSpec::new(0.5, 0.25, 60), WorkerSpec::new(0.5, 0.25, 4)],
+    );
+    let job = Job::new(6, 5, 8, 4);
+    for alg in [Algorithm::Oddoml, Algorithm::Orroml, Algorithm::Het, Algorithm::Ommoml] {
+        let stats = run_algorithm(&p, &job, alg).unwrap();
+        assert_eq!(stats.total_updates, job.total_updates(), "{}", alg.name());
+        assert!(
+            !stats.per_worker[1].enrolled(),
+            "{}: undersized worker must be skipped",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn many_workers_few_columns() {
+    // More workers than column strips: some necessarily stay idle.
+    let p = Platform::homogeneous("many", 12, WorkerSpec::new(0.5, 0.5, 60));
+    let job = Job::new(4, 4, 6, 4);
+    for alg in [Algorithm::Oddoml, Algorithm::Het] {
+        let stats = run_algorithm(&p, &job, alg).unwrap();
+        assert_eq!(stats.total_updates, job.total_updates());
+        assert!(stats.enrolled() <= 12);
+    }
+}
+
+#[test]
+fn deep_inner_dimension() {
+    // t much larger than r, s: CCR approaches 2/μ.
+    let p = Platform::new("deep", vec![WorkerSpec::new(0.2, 0.1, 48)]);
+    let job = Job::new(5, 200, 5, 4);
+    let stats = run_algorithm(&p, &job, Algorithm::Oddoml).unwrap();
+    assert_eq!(stats.total_updates, job.total_updates());
+    // μ(48) = 5 (25 + 20 ≤ 48); C is a single 5×5 chunk, so
+    // CCR = 2/t + 2/μ = 0.01 + 0.4.
+    assert!((stats.ccr() - 0.41).abs() < 1e-9, "ccr {}", stats.ccr());
+}
+
+#[test]
+fn maxreuse_handles_non_dividing_mu() {
+    // μ does not divide r or s: ragged chunks must still tile C.
+    let job = Job::new(7, 9, 11, 4);
+    let stats = simulate_max_reuse(&job, WorkerSpec::new(1.0, 1.0, 35)).unwrap();
+    assert_eq!(stats.total_updates, job.total_updates());
+    assert_eq!(stats.blocks_to_master, job.c_blocks());
+}
+
+#[test]
+fn identical_seeds_identical_runs_across_all_algorithms() {
+    let p = duo();
+    let job = Job::new(8, 6, 10, 4);
+    for alg in Algorithm::all() {
+        let a = run_algorithm(&p, &job, alg).unwrap();
+        let b = run_algorithm(&p, &job, alg).unwrap();
+        assert_eq!(a, b, "{} must be deterministic", alg.name());
+    }
+}
+
+#[test]
+fn twenty_worker_platform_scales() {
+    let p = Platform::homogeneous("twenty", 20, WorkerSpec::new(0.05, 0.5, 60));
+    let job = Job::new(12, 10, 40, 4);
+    let solo = Platform::homogeneous("one", 1, WorkerSpec::new(0.05, 0.5, 60));
+    let many = run_algorithm(&p, &job, Algorithm::Oddoml).unwrap();
+    let one = run_algorithm(&solo, &job, Algorithm::Oddoml).unwrap();
+    // Compute-bound job: 20 workers must be much faster than one.
+    assert!(
+        many.makespan < one.makespan / 4.0,
+        "{} vs {}",
+        many.makespan,
+        one.makespan
+    );
+}

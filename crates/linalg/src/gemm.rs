@@ -1,0 +1,235 @@
+//! Block-update kernels: `C ← C + A · B` on `q × q` tiles.
+//!
+//! Two implementations are provided:
+//!
+//! * [`gemm_naive`] — textbook triple loop, used as the correctness oracle;
+//! * [`gemm_tiled`] — cache-blocked `i-k-j` kernel with a 4-wide unrolled
+//!   inner loop; this is what the `stargemm-net` worker threads run, and
+//!   what the calibration code times to derive the platform parameter
+//!   `w_i` (seconds per block update).
+//!
+//! Both operate on raw row-major slices so they can run on borrowed buffer
+//! pool memory without copies.
+
+use crate::block::Block;
+
+/// Tile edge (in scalar elements) for the cache-blocked kernel. 32×32 f64
+/// tiles (8 KiB per operand) fit comfortably in L1 alongside the C tile.
+const TILE: usize = 32;
+
+/// Reference triple-loop kernel: `c += a * b`, all `q × q` row-major.
+///
+/// # Panics
+/// Panics when the slice lengths are not all `q * q`.
+pub fn gemm_naive(q: usize, c: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(c.len(), q * q);
+    assert_eq!(a.len(), q * q);
+    assert_eq!(b.len(), q * q);
+    for i in 0..q {
+        for j in 0..q {
+            let mut acc = 0.0;
+            for k in 0..q {
+                acc += a[i * q + k] * b[k * q + j];
+            }
+            c[i * q + j] += acc;
+        }
+    }
+}
+
+/// Cache-blocked `i-k-j` kernel with an unrolled inner loop.
+///
+/// The `i-k-j` loop order streams rows of `B` and `C` contiguously, which
+/// lets the compiler vectorize the inner `j` loop; tiling bounds the
+/// working set so q=80..100 blocks (the paper's BLAS-3 sweet spot) stay
+/// cache-resident.
+///
+/// # Panics
+/// Panics when the slice lengths are not all `q * q`.
+pub fn gemm_tiled(q: usize, c: &mut [f64], a: &[f64], b: &[f64]) {
+    assert_eq!(c.len(), q * q);
+    assert_eq!(a.len(), q * q);
+    assert_eq!(b.len(), q * q);
+    for i0 in (0..q).step_by(TILE) {
+        let imax = (i0 + TILE).min(q);
+        for k0 in (0..q).step_by(TILE) {
+            let kmax = (k0 + TILE).min(q);
+            for j0 in (0..q).step_by(TILE) {
+                let jmax = (j0 + TILE).min(q);
+                for i in i0..imax {
+                    let arow = &a[i * q..(i + 1) * q];
+                    for k in k0..kmax {
+                        let aik = arow[k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[k * q + j0..k * q + jmax];
+                        let crow = &mut c[i * q + j0..i * q + jmax];
+                        axpy(crow, brow, aik);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `c += alpha * b`, unrolled 4-wide; inner building block of
+/// [`gemm_tiled`].
+#[inline]
+fn axpy(c: &mut [f64], b: &[f64], alpha: f64) {
+    let n = c.len().min(b.len());
+    let chunks = n / 4;
+    for t in 0..chunks {
+        let base = t * 4;
+        c[base] += alpha * b[base];
+        c[base + 1] += alpha * b[base + 1];
+        c[base + 2] += alpha * b[base + 2];
+        c[base + 3] += alpha * b[base + 3];
+    }
+    for idx in chunks * 4..n {
+        c[idx] += alpha * b[idx];
+    }
+}
+
+/// Convenience wrapper performing the paper's atomic operation on owned
+/// [`Block`]s: `c ← c + a · b`.
+///
+/// # Panics
+/// Panics when block sides differ.
+pub fn block_update(c: &mut Block, a: &Block, b: &Block) {
+    let q = c.q();
+    assert_eq!(a.q(), q, "A block side mismatch");
+    assert_eq!(b.q(), q, "B block side mismatch");
+    // Split borrows: C is mutated, A and B are read-only.
+    let (aq, bq) = (a.as_slice(), b.as_slice());
+    gemm_tiled(q, c.as_mut_slice(), aq, bq);
+}
+
+/// Floating-point operations per block update (`2 q³`: one multiply and
+/// one add per inner step). Used by calibration to convert measured
+/// kernel time into the paper's elementary cost `a` (`w = q³ a`).
+#[inline]
+pub fn flops_per_update(q: usize) -> u64 {
+    2 * (q as u64).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn naive_matches_hand_computed_2x2() {
+        // A = [1 2; 3 4], B = [5 6; 7 8], C starts at [1 1; 1 1].
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![1.0; 4];
+        gemm_naive(2, &mut c, &a, &b);
+        assert_eq!(c, vec![20.0, 23.0, 44.0, 51.0]);
+    }
+
+    #[test]
+    fn tiled_matches_naive_on_exact_tile_multiple() {
+        let q = 64;
+        let a = random_vec(q * q, 1);
+        let b = random_vec(q * q, 2);
+        let mut c1 = random_vec(q * q, 3);
+        let mut c2 = c1.clone();
+        gemm_naive(q, &mut c1, &a, &b);
+        gemm_tiled(q, &mut c2, &a, &b);
+        let max = c1
+            .iter()
+            .zip(&c2)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(max < 1e-10, "max diff {max}");
+    }
+
+    #[test]
+    fn tiled_matches_naive_on_ragged_size() {
+        // q = 80 is the paper's default and is not a multiple of TILE=32.
+        let q = 80;
+        let a = random_vec(q * q, 4);
+        let b = random_vec(q * q, 5);
+        let mut c1 = random_vec(q * q, 6);
+        let mut c2 = c1.clone();
+        gemm_naive(q, &mut c1, &a, &b);
+        gemm_tiled(q, &mut c2, &a, &b);
+        let max = c1
+            .iter()
+            .zip(&c2)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max);
+        assert!(max < 1e-10, "max diff {max}");
+    }
+
+    #[test]
+    fn tiled_handles_tiny_blocks() {
+        for q in 1..=5 {
+            let a = random_vec(q * q, 10 + q as u64);
+            let b = random_vec(q * q, 20 + q as u64);
+            let mut c1 = vec![0.0; q * q];
+            let mut c2 = vec![0.0; q * q];
+            gemm_naive(q, &mut c1, &a, &b);
+            gemm_tiled(q, &mut c2, &a, &b);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn block_update_accumulates() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Block::random(16, &mut rng);
+        let b = Block::random(16, &mut rng);
+        let mut c = Block::zeros(16);
+        block_update(&mut c, &a, &b);
+        let after_one = c.clone();
+        block_update(&mut c, &a, &b);
+        // Second update doubles the accumulated product.
+        for (x, y) in c.as_slice().iter().zip(after_one.as_slice()) {
+            assert!((x - 2.0 * y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn update_is_additive_in_k() {
+        // C + A1 B1 + A2 B2 computed in two updates equals the blocked sum.
+        let q = 24;
+        let mut rng = StdRng::seed_from_u64(42);
+        let a1 = Block::random(q, &mut rng);
+        let b1 = Block::random(q, &mut rng);
+        let a2 = Block::random(q, &mut rng);
+        let b2 = Block::random(q, &mut rng);
+        let mut c = Block::zeros(q);
+        block_update(&mut c, &a1, &b1);
+        block_update(&mut c, &a2, &b2);
+
+        let mut expect = vec![0.0; q * q];
+        gemm_naive(q, &mut expect, a1.as_slice(), b1.as_slice());
+        gemm_naive(q, &mut expect, a2.as_slice(), b2.as_slice());
+        for (x, y) in c.as_slice().iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(flops_per_update(80), 2 * 80u64.pow(3));
+        assert_eq!(flops_per_update(1), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut c = vec![0.0; 4];
+        gemm_naive(2, &mut c, &[0.0; 3], &[0.0; 4]);
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's benchmark phase: measure this machine's kernel rate and
+//! derive a `WorkerSpec`.
+//!
+//! Before every run, the paper's implementation times the transfer and
+//! the update of a single `q × q` block ten times per worker and takes
+//! the median. Here the compute half is measured for real (the links are
+//! emulated, so `c` comes from the configured bandwidth).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stargemm_linalg::gemm::{block_update, flops_per_update};
+use stargemm_linalg::Block;
+use stargemm_platform::units::{blocks_from_megabytes, c_from_bandwidth_mbps};
+use stargemm_platform::WorkerSpec;
+
+/// Median wall-clock time of one `q × q` block update over `reps`
+/// repetitions (the paper uses ten).
+pub fn measure_block_update_seconds(q: usize, reps: usize) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    let mut rng = StdRng::seed_from_u64(0xCA11B);
+    let a = Block::random(q, &mut rng);
+    let b = Block::random(q, &mut rng);
+    let mut c = Block::zeros(q);
+    // Warm-up: fault pages and warm the cache.
+    block_update(&mut c, &a, &b);
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            block_update(&mut c, &a, &b);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Sustained kernel rate in GFLOP/s.
+pub fn measure_gflops(q: usize, reps: usize) -> f64 {
+    let secs = measure_block_update_seconds(q, reps);
+    flops_per_update(q) as f64 / secs / 1e9
+}
+
+/// A `WorkerSpec` for this machine: measured `w`, configured link
+/// bandwidth and memory budget.
+pub fn calibrated_spec(q: usize, link_mbps: f64, memory_mb: f64, reps: usize) -> WorkerSpec {
+    WorkerSpec::new(
+        c_from_bandwidth_mbps(q, link_mbps),
+        measure_block_update_seconds(q, reps),
+        blocks_from_megabytes(q, memory_mb).max(3),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_is_positive_and_plausible() {
+        let secs = measure_block_update_seconds(32, 5);
+        assert!(secs > 0.0);
+        // A 32³ update is 65 kflop; any machine does it within a second.
+        assert!(secs < 1.0);
+    }
+
+    #[test]
+    fn gflops_is_positive() {
+        let g = measure_gflops(32, 5);
+        assert!(g > 0.01, "implausibly slow: {g} GFLOP/s");
+    }
+
+    #[test]
+    fn calibrated_spec_is_valid() {
+        let spec = calibrated_spec(16, 100.0, 64.0, 3);
+        assert!(spec.c > 0.0 && spec.w > 0.0 && spec.m >= 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! A hand-rolled one-port messaging runtime — the reproduction's
+//! substitute for MPI.
+//!
+//! The paper's experiments ran over MPI on a physical cluster. Rust has
+//! no mature MPI binding, so this crate implements the messaging layer
+//! the algorithms need from scratch:
+//!
+//! * [`wire`] — a binary message format (tag + header + raw `f64` block
+//!   payloads) with explicit encode/decode, exactly what would cross a
+//!   socket;
+//! * [`link`] — per-worker links sharing the master's single port (a
+//!   mutex — the one-port model) with bandwidth throttling so a
+//!   `WorkerSpec`'s `c_i` is honoured in wall-clock time;
+//! * [`worker`] — real worker threads holding block buffers and running
+//!   the actual GEMM kernel on received fragments;
+//! * [`runtime`] — the master driver that executes any
+//!   `stargemm-core` policy over real matrices and returns the computed
+//!   `C` (verified against the sequential oracle in the tests) together
+//!   with wall-clock [`stargemm_sim::RunStats`];
+//! * [`calibrate`] — the paper's benchmark phase: measure the kernel and
+//!   derive `w` for this machine.
+//!
+//! Fidelity notes: worker→master control notifications (step/chunk
+//! completion) are a few bytes and travel un-throttled, mirroring the
+//! paper's decision to neglect start-up overheads and small messages.
+//! Memory admission is enforced master-side from the same accounting the
+//! simulator uses.
+
+pub mod calibrate;
+pub mod link;
+pub mod runtime;
+pub mod wire;
+pub mod worker;
+
+pub use runtime::{NetError, NetOptions, NetRuntime};

@@ -1,0 +1,169 @@
+//! One-port, bandwidth-throttled links.
+//!
+//! Every data transfer — in either direction — must hold the master's
+//! single [`Port`] while it "occupies the wire" for
+//! `blocks × c_i × time_scale` seconds. This is precisely the paper's
+//! one-port model: current hardware serializes concurrent sends anyway
+//! (Bhat et al.; Saif & Parashar), so the master transfers to one worker
+//! at a time. Control messages (a few bytes) bypass the throttle.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::wire::{ToMaster, ToWorker};
+
+/// The master's single network port (one-port model).
+#[derive(Clone, Default)]
+pub struct Port {
+    inner: Arc<Mutex<()>>,
+}
+
+impl Port {
+    /// Creates the port.
+    pub fn new() -> Self {
+        Port::default()
+    }
+
+    /// Occupies the port for `seconds` of simulated wire time.
+    pub fn transfer(&self, seconds: f64) {
+        let _guard = self.inner.lock();
+        if seconds > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(seconds));
+        }
+    }
+}
+
+/// Master-side endpoint of one worker's link.
+pub struct MasterLink {
+    /// Per-block transfer cost of this link (seconds).
+    pub c: f64,
+    /// Wall-clock scale applied to transfer times (tests shrink it).
+    pub time_scale: f64,
+    port: Port,
+    to_worker: Sender<ToWorker>,
+}
+
+/// The worker's end of the link has gone away (its thread died).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkDown;
+
+impl MasterLink {
+    /// Sends a data message, holding the port for its transfer time.
+    /// Fails when the worker thread is gone.
+    pub fn send_data(&self, msg: ToWorker) -> Result<(), LinkDown> {
+        let blocks = msg.data_blocks();
+        self.port.transfer(blocks as f64 * self.c * self.time_scale);
+        self.to_worker.send(msg).map_err(|_| LinkDown)
+    }
+
+    /// Sends a control message without throttling. Fails when the worker
+    /// thread is gone.
+    pub fn send_control(&self, msg: ToWorker) -> Result<(), LinkDown> {
+        self.to_worker.send(msg).map_err(|_| LinkDown)
+    }
+
+    /// Charges the port for a worker→master result transfer of `blocks`
+    /// (the payload itself arrives on the shared event channel).
+    pub fn charge_inbound(&self, blocks: u64) {
+        self.port.transfer(blocks as f64 * self.c * self.time_scale);
+    }
+}
+
+/// Worker-side endpoint.
+pub struct WorkerLink {
+    /// Worker id, stamped on outgoing events.
+    pub id: usize,
+    from_master: Receiver<ToWorker>,
+    to_master: Sender<(usize, ToMaster)>,
+}
+
+impl WorkerLink {
+    /// Blocks for the next master message.
+    pub fn recv(&self) -> ToWorker {
+        self.from_master.recv().expect("master hung up")
+    }
+
+    /// Sends an event/result to the master.
+    pub fn send(&self, msg: ToMaster) {
+        // The master may already have torn down after an error; a worker
+        // finishing late must not panic the whole process.
+        let _ = self.to_master.send((self.id, msg));
+    }
+}
+
+/// Builds the full star: one [`MasterLink`] per worker, the matching
+/// [`WorkerLink`]s, and the shared master-side event receiver.
+pub fn build_star(
+    cs: &[f64],
+    time_scale: f64,
+) -> (Vec<MasterLink>, Vec<WorkerLink>, Receiver<(usize, ToMaster)>) {
+    let port = Port::new();
+    let (evt_tx, evt_rx) = unbounded();
+    let mut masters = Vec::with_capacity(cs.len());
+    let mut workers = Vec::with_capacity(cs.len());
+    for (id, &c) in cs.iter().enumerate() {
+        let (tx, rx) = unbounded();
+        masters.push(MasterLink {
+            c,
+            time_scale,
+            port: port.clone(),
+            to_worker: tx,
+        });
+        workers.push(WorkerLink {
+            id,
+            from_master: rx,
+            to_master: evt_tx.clone(),
+        });
+    }
+    (masters, workers, evt_rx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn star_routes_messages_per_worker() {
+        let (masters, workers, evt) = build_star(&[1e-9, 1e-9], 1.0);
+        masters[0].send_control(ToWorker::Retrieve { chunk: 5 }).unwrap();
+        masters[1].send_control(ToWorker::Shutdown).unwrap();
+        assert_eq!(workers[0].recv(), ToWorker::Retrieve { chunk: 5 });
+        assert_eq!(workers[1].recv(), ToWorker::Shutdown);
+        workers[1].send(ToMaster::ChunkComputed { chunk: 5 });
+        let (id, msg) = evt.recv().unwrap();
+        assert_eq!(id, 1);
+        assert_eq!(msg, ToMaster::ChunkComputed { chunk: 5 });
+    }
+
+    #[test]
+    fn port_serializes_transfers() {
+        // Two threads each holding the port 30 ms: total wall time must
+        // be at least 60 ms (serialized), not ~30 (parallel).
+        let port = Port::new();
+        let start = Instant::now();
+        let t1 = {
+            let p = port.clone();
+            std::thread::spawn(move || p.transfer(0.03))
+        };
+        let t2 = {
+            let p = port.clone();
+            std::thread::spawn(move || p.transfer(0.03))
+        };
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert!(start.elapsed().as_secs_f64() >= 0.058);
+    }
+
+    #[test]
+    fn control_messages_are_instant() {
+        let (masters, workers, _evt) = build_star(&[10.0], 1.0); // huge c
+        let start = Instant::now();
+        masters[0].send_control(ToWorker::Shutdown).unwrap();
+        assert!(start.elapsed().as_secs_f64() < 0.05);
+        assert_eq!(workers[0].recv(), ToWorker::Shutdown);
+    }
+}

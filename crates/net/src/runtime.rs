@@ -1,0 +1,540 @@
+//! The master driver: executes a scheduling policy over real matrices
+//! through the hand-rolled messaging layer.
+//!
+//! This is the same control loop as the discrete-event engine, but time
+//! is wall-clock: transfers really occupy the one-port for
+//! `blocks · c_i · time_scale` seconds, and compute steps really run the
+//! GEMM kernel on worker threads. Any `stargemm-core` policy runs
+//! unchanged.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use stargemm_core::stream::GeometryAccess;
+use stargemm_linalg::BlockMatrix;
+use stargemm_platform::Platform;
+use stargemm_sim::{
+    Action, ChunkDescr, ChunkId, CtxMirror, Fragment, MasterPolicy, MatKind, RunStats, SimEvent,
+};
+
+use crate::link::{build_star, MasterLink};
+use crate::wire::{ToMaster, ToWorker};
+
+/// Runtime tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct NetOptions {
+    /// Multiplier on link transfer times (tests shrink it; 1.0 = honour
+    /// the platform's `c_i` in real seconds).
+    pub time_scale: f64,
+    /// Give up if no worker event arrives for this long.
+    pub idle_timeout: Duration,
+    /// Fault injection: `(worker, n)` makes that worker panic after
+    /// processing `n` messages. Testing-only.
+    pub inject_fault: Option<(usize, usize)>,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            time_scale: 1.0,
+            idle_timeout: Duration::from_secs(30),
+            inject_fault: None,
+        }
+    }
+}
+
+/// Runtime failures.
+#[derive(Debug)]
+pub enum NetError {
+    /// A send would overflow the worker's block buffers.
+    MemoryViolation { worker: usize, attempted: u64, capacity: u64 },
+    /// The policy referenced a chunk with no known geometry.
+    UnknownChunk(ChunkId),
+    /// The policy finished with chunks unretrieved, or similar misuse.
+    Protocol(String),
+    /// No worker event within the idle timeout (deadlock).
+    Timeout,
+    /// A worker thread panicked.
+    WorkerFailure(String),
+    /// Matrix dimensions disagree with the policy's job.
+    DimensionMismatch(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::MemoryViolation {
+                worker,
+                attempted,
+                capacity,
+            } => write!(
+                f,
+                "memory violation on worker {worker}: {attempted} of {capacity} buffers"
+            ),
+            NetError::UnknownChunk(id) => write!(f, "no geometry for chunk {id}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::Timeout => write!(f, "runtime idle timeout (deadlock?)"),
+            NetError::WorkerFailure(m) => write!(f, "worker thread failed: {m}"),
+            NetError::DimensionMismatch(m) => write!(f, "dimension mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Applies one worker control event to the mirror and the policy.
+fn apply_worker_event<P: MasterPolicy>(
+    descrs: &HashMap<ChunkId, (usize, ChunkDescr)>,
+    msg: &ToMaster,
+    wid: usize,
+    mirror: &mut CtxMirror,
+    policy: &mut P,
+    now: f64,
+) -> Result<(), NetError> {
+    mirror.set_now(now);
+    match msg {
+        ToMaster::StepDone { chunk, step } => {
+            let (_, d) = descrs.get(chunk).ok_or(NetError::UnknownChunk(*chunk))?;
+            mirror.on_step(wid, d.a_for(*step) + d.b_for(*step), d.updates_for(*step));
+            let ev = SimEvent::StepDone {
+                worker: wid,
+                chunk: *chunk,
+                step: *step,
+            };
+            policy.on_event(&ev, &mirror.ctx());
+        }
+        ToMaster::ChunkComputed { chunk } => {
+            let ev = SimEvent::ChunkComputed {
+                worker: wid,
+                chunk: *chunk,
+            };
+            policy.on_event(&ev, &mirror.ctx());
+        }
+        ToMaster::Result { chunk, .. } => {
+            return Err(NetError::Protocol(format!(
+                "unsolicited result for chunk {chunk}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The threaded runtime for one platform.
+pub struct NetRuntime {
+    platform: Platform,
+    opts: NetOptions,
+}
+
+impl NetRuntime {
+    /// Creates a runtime with default options.
+    pub fn new(platform: Platform) -> Self {
+        NetRuntime {
+            platform,
+            opts: NetOptions::default(),
+        }
+    }
+
+    /// Overrides the options.
+    pub fn with_options(mut self, opts: NetOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Executes `policy` for `C ← C + A·B`, mutating `c` in place, and
+    /// returns wall-clock run statistics.
+    pub fn run<P: MasterPolicy + GeometryAccess>(
+        &self,
+        policy: &mut P,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        c: &mut BlockMatrix,
+    ) -> Result<RunStats, NetError> {
+        let job = policy.job_dims();
+        if a.block_rows() != job.r
+            || a.block_cols() != job.t
+            || b.block_rows() != job.t
+            || b.block_cols() != job.s
+            || c.block_rows() != job.r
+            || c.block_cols() != job.s
+        {
+            return Err(NetError::DimensionMismatch(format!(
+                "job {job:?} vs A {}×{}, B {}×{}, C {}×{}",
+                a.block_rows(),
+                a.block_cols(),
+                b.block_rows(),
+                b.block_cols(),
+                c.block_rows(),
+                c.block_cols()
+            )));
+        }
+
+        let cs: Vec<f64> = self.platform.workers().iter().map(|s| s.c).collect();
+        let (masters, worker_links, events) = build_star(&cs, self.opts.time_scale);
+        let handles: Vec<_> = worker_links
+            .into_iter()
+            .map(|wl| {
+                let fault = match self.opts.inject_fault {
+                    Some((w, n)) if w == wl.id => Some(n),
+                    _ => None,
+                };
+                std::thread::Builder::new()
+                    .name(format!("stargemm-worker-{}", wl.id))
+                    .spawn(move || crate::worker::worker_main_with_fault(wl, fault))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let result = self.drive(policy, a, b, c, &masters, &events);
+
+        // Tear down regardless of outcome.
+        for m in &masters {
+            let _ = m.send_control(ToWorker::Shutdown);
+        }
+        let mut join_err = None;
+        for h in handles {
+            if let Err(e) = h.join() {
+                let msg = e
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "unknown panic".into());
+                join_err = Some(NetError::WorkerFailure(msg));
+            }
+        }
+        match (result, join_err) {
+            (Ok(stats), None) => Ok(stats),
+            (Err(e), _) => Err(e),
+            (_, Some(e)) => Err(e),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn drive<P: MasterPolicy + GeometryAccess>(
+        &self,
+        policy: &mut P,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        c: &mut BlockMatrix,
+        masters: &[MasterLink],
+        events: &crossbeam::channel::Receiver<(usize, ToMaster)>,
+    ) -> Result<RunStats, NetError> {
+        let start = Instant::now();
+        let mut mirror = CtxMirror::new(&self.platform);
+        let mut descrs: HashMap<ChunkId, (usize, ChunkDescr)> = HashMap::new();
+        let mut port_busy = 0.0f64;
+        let mut chunks_retrieved = 0u64;
+
+        loop {
+            mirror.set_now(start.elapsed().as_secs_f64());
+            let action = policy.next_action(&mirror.ctx());
+            match action {
+                Action::Send {
+                    worker,
+                    fragment,
+                    new_chunk,
+                } => {
+                    if worker >= masters.len() {
+                        return Err(NetError::Protocol(format!("unknown worker {worker}")));
+                    }
+                    let cap = self.platform.worker(worker).m as u64;
+                    let attempted = mirror.occupancy(worker) + fragment.blocks;
+                    if attempted > cap {
+                        return Err(NetError::MemoryViolation {
+                            worker,
+                            attempted,
+                            capacity: cap,
+                        });
+                    }
+                    if let Some(d) = new_chunk {
+                        descrs.insert(d.id, (worker, d));
+                    }
+                    let msg = self.materialize(policy, &fragment, new_chunk, a, b, c)?;
+                    // Round-trip through the wire format: the payload that
+                    // reaches the worker is exactly what a socket would
+                    // carry.
+                    let msg = ToWorker::decode(msg.encode());
+                    port_busy +=
+                        fragment.blocks as f64 * masters[worker].c * masters[worker].time_scale;
+                    masters[worker].send_data(msg).map_err(|_| {
+                        NetError::WorkerFailure(format!("worker {worker} link down"))
+                    })?;
+                    mirror.on_delivered(worker, fragment.blocks);
+                    let ev = SimEvent::SendDone { worker, fragment };
+                    mirror.set_now(start.elapsed().as_secs_f64());
+                    policy.on_event(&ev, &mirror.ctx());
+                }
+                Action::Retrieve { worker, chunk } => {
+                    masters[worker]
+                        .send_control(ToWorker::Retrieve { chunk })
+                        .map_err(|_| {
+                            NetError::WorkerFailure(format!("worker {worker} link down"))
+                        })?;
+                    // Blocking receive: drain events until our result.
+                    loop {
+                        let (wid, msg) = events
+                            .recv_timeout(self.opts.idle_timeout)
+                            .map_err(|_| NetError::Timeout)?;
+                        if let ToMaster::Result {
+                            chunk: got,
+                            blocks,
+                        } = msg
+                        {
+                            if wid != worker || got != chunk {
+                                return Err(NetError::Protocol(format!(
+                                    "result for chunk {got} from worker {wid}, \
+                                     expected chunk {chunk} from {worker}"
+                                )));
+                            }
+                            // Charge the port for the inbound transfer.
+                            masters[worker].charge_inbound(blocks.len() as u64);
+                            port_busy += blocks.len() as f64
+                                * masters[worker].c
+                                * masters[worker].time_scale;
+                            let geom = policy
+                                .chunk_geom(chunk)
+                                .ok_or(NetError::UnknownChunk(chunk))?;
+                            c.store_chunk(geom.i0, geom.j0, geom.h, geom.w, blocks);
+                            mirror.set_now(start.elapsed().as_secs_f64());
+                            mirror.on_retrieved(worker, (geom.h * geom.w) as u64);
+                            chunks_retrieved += 1;
+                            let ev = SimEvent::RetrieveDone { worker, chunk };
+                            policy.on_event(&ev, &mirror.ctx());
+                            break;
+                        }
+                        apply_worker_event(
+                            &descrs,
+                            &msg,
+                            wid,
+                            &mut mirror,
+                            policy,
+                            start.elapsed().as_secs_f64(),
+                        )?;
+                    }
+                }
+                Action::Wait => {
+                    let (wid, msg) = events
+                        .recv_timeout(self.opts.idle_timeout)
+                        .map_err(|_| NetError::Timeout)?;
+                    apply_worker_event(
+                        &descrs,
+                        &msg,
+                        wid,
+                        &mut mirror,
+                        policy,
+                        start.elapsed().as_secs_f64(),
+                    )?;
+                }
+                Action::Finished => break,
+            }
+        }
+
+        if chunks_retrieved != descrs.len() as u64 {
+            return Err(NetError::Protocol(format!(
+                "finished with {} of {} chunks retrieved",
+                chunks_retrieved,
+                descrs.len()
+            )));
+        }
+
+        let per_worker = mirror.stats();
+        Ok(RunStats {
+            makespan: start.elapsed().as_secs_f64(),
+            port_busy,
+            blocks_to_workers: per_worker.iter().map(|w| w.blocks_rx).sum(),
+            blocks_to_master: per_worker.iter().map(|w| w.blocks_tx).sum(),
+            total_updates: per_worker.iter().map(|w| w.updates).sum(),
+            chunks: chunks_retrieved,
+            per_worker,
+            policy: policy.name().to_string(),
+        })
+    }
+
+    /// Slices the real matrices into the fragment's payload.
+    fn materialize<P: GeometryAccess>(
+        &self,
+        policy: &P,
+        fragment: &Fragment,
+        new_chunk: Option<ChunkDescr>,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        c: &BlockMatrix,
+    ) -> Result<ToWorker, NetError> {
+        let job = policy.job_dims();
+        let geom = policy
+            .chunk_geom(fragment.chunk)
+            .ok_or(NetError::UnknownChunk(fragment.chunk))?;
+        Ok(match fragment.kind {
+            MatKind::C => {
+                let descr = new_chunk.ok_or_else(|| {
+                    NetError::Protocol("C load without chunk descriptor".into())
+                })?;
+                ToWorker::LoadC {
+                    descr,
+                    h: geom.h as u32,
+                    w: geom.w as u32,
+                    blocks: c.chunk(geom.i0, geom.j0, geom.h, geom.w),
+                }
+            }
+            MatKind::A => {
+                let (klo, khi) = geom.k_range(fragment.step, job.t);
+                let mut blocks = Vec::with_capacity(geom.h * (khi - klo));
+                for i in geom.i0..geom.i0 + geom.h {
+                    for kk in klo..khi {
+                        blocks.push(a.block(i, kk).clone());
+                    }
+                }
+                debug_assert_eq!(blocks.len() as u64, fragment.blocks);
+                ToWorker::FragA {
+                    chunk: fragment.chunk,
+                    step: fragment.step,
+                    blocks,
+                }
+            }
+            MatKind::B => {
+                let (klo, khi) = geom.k_range(fragment.step, job.t);
+                let mut blocks = Vec::with_capacity((khi - klo) * geom.w);
+                for kk in klo..khi {
+                    for j in geom.j0..geom.j0 + geom.w {
+                        blocks.push(b.block(kk, j).clone());
+                    }
+                }
+                debug_assert_eq!(blocks.len() as u64, fragment.blocks);
+                ToWorker::FragB {
+                    chunk: fragment.chunk,
+                    step: fragment.step,
+                    blocks,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stargemm_core::algorithms::{build_policy, Algorithm};
+    use stargemm_core::Job;
+    use stargemm_linalg::verify::{tolerance_for, verify_product};
+    use stargemm_platform::WorkerSpec;
+
+    fn fast_opts() -> NetOptions {
+        NetOptions {
+            time_scale: 1e-7, // effectively instant links for tests
+            idle_timeout: Duration::from_secs(20),
+            inject_fault: None,
+        }
+    }
+
+    fn run_and_verify(alg: Algorithm, platform: Platform, job: Job) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+        let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+        let c0 = BlockMatrix::random(job.r, job.s, job.q, &mut rng);
+        let mut c = c0.clone();
+        let mut policy = build_policy(&platform, &job, alg).unwrap();
+        let rt = NetRuntime::new(platform).with_options(fast_opts());
+        let stats = rt.run(&mut policy, &a, &b, &mut c).unwrap();
+        assert_eq!(stats.total_updates, job.total_updates());
+        let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+        assert!(report.passed(), "{alg:?}: {report:?}");
+    }
+
+    fn small_platform() -> Platform {
+        Platform::new(
+            "net-test",
+            vec![
+                WorkerSpec::new(1e-4, 1e-4, 60),
+                WorkerSpec::new(2e-4, 2e-4, 30),
+            ],
+        )
+    }
+
+    #[test]
+    fn oddoml_produces_the_exact_product() {
+        run_and_verify(Algorithm::Oddoml, small_platform(), Job::new(6, 5, 8, 4));
+    }
+
+    #[test]
+    fn het_produces_the_exact_product() {
+        run_and_verify(Algorithm::Het, small_platform(), Job::new(6, 5, 8, 4));
+    }
+
+    #[test]
+    fn bmm_produces_the_exact_product() {
+        // Toledo layout with step depth > 1 exercises the tail path.
+        run_and_verify(Algorithm::Bmm, small_platform(), Job::new(6, 5, 8, 4));
+    }
+
+    #[test]
+    fn round_robin_hom_produces_the_exact_product() {
+        run_and_verify(Algorithm::Hom, small_platform(), Job::new(6, 5, 8, 4));
+    }
+
+    #[test]
+    fn injected_worker_crash_surfaces_as_an_error() {
+        let job = Job::new(6, 5, 8, 4);
+        let platform = small_platform();
+        let mut policy = build_policy(&platform, &job, Algorithm::Oddoml).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+        let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+        let mut c = BlockMatrix::zeros(job.r, job.s, job.q);
+        let rt = NetRuntime::new(platform).with_options(NetOptions {
+            inject_fault: Some((0, 5)),
+            idle_timeout: Duration::from_secs(3),
+            ..fast_opts()
+        });
+        let err = rt.run(&mut policy, &a, &b, &mut c).unwrap_err();
+        // Either the broken link is observed mid-send, the run stalls
+        // waiting for the dead worker, or the panic is caught at join —
+        // all must surface as a runtime error, never a hang or a wrong
+        // result.
+        assert!(
+            matches!(err, NetError::WorkerFailure(_) | NetError::Timeout),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let job = Job::new(4, 4, 4, 4);
+        let platform = small_platform();
+        let mut policy = build_policy(&platform, &job, Algorithm::Oddoml).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = BlockMatrix::random(3, 4, 4, &mut rng); // wrong r
+        let b = BlockMatrix::random(4, 4, 4, &mut rng);
+        let mut c = BlockMatrix::random(4, 4, 4, &mut rng);
+        let rt = NetRuntime::new(platform).with_options(fast_opts());
+        let err = rt.run(&mut policy, &a, &b, &mut c).unwrap_err();
+        assert!(matches!(err, NetError::DimensionMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn throttled_links_slow_the_run_down() {
+        let job = Job::new(2, 2, 2, 4);
+        let platform = Platform::new("slow", vec![WorkerSpec::new(5e-3, 1e-6, 60)]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+        let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+        let mut c = BlockMatrix::zeros(job.r, job.s, job.q);
+
+        let mut policy = build_policy(&platform, &job, Algorithm::Oddoml).unwrap();
+        let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
+            time_scale: 1.0,
+            idle_timeout: Duration::from_secs(20),
+            inject_fault: None,
+        });
+        let stats = rt.run(&mut policy, &a, &b, &mut c).unwrap();
+        // Total traffic: C in+out (2·4 blocks) + A/B (2 steps × 2 chunks ×
+        // (2+2) blocks)... at least 16 blocks × 5 ms ≥ 80 ms.
+        assert!(
+            stats.makespan >= 0.08,
+            "throttling not applied: {}",
+            stats.makespan
+        );
+        assert!(stats.port_busy > 0.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Worker threads: receive fragments, run the real GEMM kernel, return
+//! results.
+//!
+//! A worker is a dataflow executor identical in semantics to the
+//! simulator's worker model: a step fires once its chunk's C blocks and
+//! the step's A and B fragments are all resident; step order within a
+//! chunk does not matter (block updates commute); A/B buffers are
+//! dropped after their step, C buffers when the master retrieves the
+//! chunk.
+
+use std::collections::HashMap;
+
+use stargemm_linalg::gemm::block_update;
+use stargemm_linalg::Block;
+use stargemm_sim::{ChunkDescr, ChunkId, StepId};
+
+use crate::link::WorkerLink;
+use crate::wire::{ToMaster, ToWorker};
+
+/// State of one chunk resident on a worker.
+struct WorkerChunk {
+    descr: ChunkDescr,
+    h: usize,
+    w: usize,
+    c: Vec<Block>,
+    pend_a: HashMap<StepId, Vec<Block>>,
+    pend_b: HashMap<StepId, Vec<Block>>,
+    steps_done: StepId,
+    retrieve_requested: bool,
+}
+
+impl WorkerChunk {
+    /// Fires every step whose operands are resident; returns the events
+    /// to notify the master with.
+    fn fire_ready(&mut self) -> Vec<ToMaster> {
+        let mut events = Vec::new();
+        // Collect ready steps first (both fragments present).
+        let ready: Vec<StepId> = self
+            .pend_a
+            .keys()
+            .filter(|k| self.pend_b.contains_key(k))
+            .copied()
+            .collect();
+        for step in ready {
+            let a = self.pend_a.remove(&step).expect("just checked");
+            let b = self.pend_b.remove(&step).expect("just checked");
+            self.compute_step(&a, &b);
+            self.steps_done += 1;
+            events.push(ToMaster::StepDone {
+                chunk: self.descr.id,
+                step,
+            });
+            if self.steps_done == self.descr.steps {
+                events.push(ToMaster::ChunkComputed {
+                    chunk: self.descr.id,
+                });
+            }
+        }
+        events
+    }
+
+    /// One update step: `C[i][j] += Σ_k A[i][k]·B[k][j]` over the
+    /// fragment's inner depth.
+    ///
+    /// A is ordered `(i-local major, k minor)`, B `(k major, j-local
+    /// minor)`, C row-major `h × w` — the master's slicing order.
+    fn compute_step(&mut self, a: &[Block], b: &[Block]) {
+        let depth = a.len() / self.h;
+        assert_eq!(a.len(), self.h * depth, "ragged A fragment");
+        assert_eq!(b.len(), depth * self.w, "ragged B fragment");
+        for kk in 0..depth {
+            for i in 0..self.h {
+                let a_ik = &a[i * depth + kk];
+                for j in 0..self.w {
+                    block_update(&mut self.c[i * self.w + j], a_ik, &b[kk * self.w + j]);
+                }
+            }
+        }
+    }
+}
+
+/// The worker main loop. Runs until `Shutdown`.
+pub fn worker_main(link: WorkerLink) {
+    worker_main_with_fault(link, None)
+}
+
+/// Worker loop with optional fault injection: panics after processing
+/// `fault_after` messages — used to test that the runtime surfaces
+/// worker crashes instead of hanging.
+pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
+    let mut chunks: HashMap<ChunkId, WorkerChunk> = HashMap::new();
+    let mut processed = 0usize;
+    loop {
+        let msg = link.recv();
+        processed += 1;
+        if fault_after.is_some_and(|n| processed > n) {
+            panic!("injected fault on worker {} after {n} messages", link.id, n = processed - 1);
+        }
+        match msg {
+            ToWorker::LoadC {
+                descr,
+                h,
+                w,
+                blocks,
+            } => {
+                assert_eq!(blocks.len(), (h * w) as usize, "C payload mismatch");
+                let prev = chunks.insert(
+                    descr.id,
+                    WorkerChunk {
+                        descr,
+                        h: h as usize,
+                        w: w as usize,
+                        c: blocks,
+                        pend_a: HashMap::new(),
+                        pend_b: HashMap::new(),
+                        steps_done: 0,
+                        retrieve_requested: false,
+                    },
+                );
+                assert!(prev.is_none(), "chunk {} loaded twice", descr.id);
+            }
+            ToWorker::FragA {
+                chunk,
+                step,
+                blocks,
+            } => {
+                let ch = chunks.get_mut(&chunk).expect("fragment for unknown chunk");
+                let prev = ch.pend_a.insert(step, blocks);
+                assert!(prev.is_none(), "duplicate A fragment");
+                drain(ch, &link);
+            }
+            ToWorker::FragB {
+                chunk,
+                step,
+                blocks,
+            } => {
+                let ch = chunks.get_mut(&chunk).expect("fragment for unknown chunk");
+                let prev = ch.pend_b.insert(step, blocks);
+                assert!(prev.is_none(), "duplicate B fragment");
+                drain(ch, &link);
+            }
+            ToWorker::Retrieve { chunk } => {
+                let ch = chunks.get_mut(&chunk).expect("retrieve of unknown chunk");
+                ch.retrieve_requested = true;
+                if ch.steps_done == ch.descr.steps {
+                    reply_result(&mut chunks, chunk, &link);
+                }
+                // Otherwise the reply happens when the last step fires —
+                // the master is blocked on its port meanwhile (one-port
+                // blocking receive).
+            }
+            ToWorker::Shutdown => break,
+        }
+        // A completed chunk with a pending retrieval replies immediately.
+        let due: Vec<ChunkId> = chunks
+            .iter()
+            .filter(|(_, c)| c.retrieve_requested && c.steps_done == c.descr.steps)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in due {
+            reply_result(&mut chunks, id, &link);
+        }
+    }
+}
+
+fn drain(ch: &mut WorkerChunk, link: &WorkerLink) {
+    for ev in ch.fire_ready() {
+        link.send(ev);
+    }
+}
+
+fn reply_result(chunks: &mut HashMap<ChunkId, WorkerChunk>, id: ChunkId, link: &WorkerLink) {
+    let ch = chunks.remove(&id).expect("due chunk exists");
+    link.send(ToMaster::Result {
+        chunk: id,
+        blocks: ch.c,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::build_star;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stargemm_linalg::gemm::gemm_naive;
+
+    fn blocks(n: usize, q: usize, rng: &mut StdRng) -> Vec<Block> {
+        (0..n).map(|_| Block::random(q, rng)).collect()
+    }
+
+    /// Drives a lone worker through a 2×2-chunk, 3-step job and checks
+    /// the numerical result against the naive kernel.
+    #[test]
+    fn worker_computes_a_chunk_exactly() {
+        let q = 6;
+        let (h, w, steps) = (2usize, 2usize, 3u32);
+        let descr = ChunkDescr {
+            id: 0,
+            c_blocks: (h * w) as u64,
+            steps,
+            a_blocks_per_step: h as u64,
+            b_blocks_per_step: w as u64,
+            updates_per_step: (h * w) as u64,
+            tail: None,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let c0 = blocks(h * w, q, &mut rng);
+        let a_frags: Vec<Vec<Block>> = (0..steps).map(|_| blocks(h, q, &mut rng)).collect();
+        let b_frags: Vec<Vec<Block>> = (0..steps).map(|_| blocks(w, q, &mut rng)).collect();
+
+        let (masters, mut workers, evt) = build_star(&[1e-9], 1.0);
+        let wl = workers.remove(0);
+        let handle = std::thread::spawn(move || worker_main(wl));
+
+        masters[0].send_data(ToWorker::LoadC {
+            descr,
+            h: h as u32,
+            w: w as u32,
+            blocks: c0.clone(),
+        }).unwrap();
+        // Send steps out of order to exercise commutativity.
+        for &k in &[1u32, 0, 2] {
+            masters[0].send_data(ToWorker::FragB {
+                chunk: 0,
+                step: k,
+                blocks: b_frags[k as usize].clone(),
+            }).unwrap();
+            masters[0].send_data(ToWorker::FragA {
+                chunk: 0,
+                step: k,
+                blocks: a_frags[k as usize].clone(),
+            }).unwrap();
+        }
+        masters[0].send_control(ToWorker::Retrieve { chunk: 0 }).unwrap();
+
+        let mut result = None;
+        let mut step_dones = 0;
+        let mut computed = 0;
+        for _ in 0..(steps as usize + 1 + 1) {
+            match evt.recv().unwrap().1 {
+                ToMaster::StepDone { .. } => step_dones += 1,
+                ToMaster::ChunkComputed { .. } => computed += 1,
+                ToMaster::Result { blocks, .. } => {
+                    result = Some(blocks);
+                    break;
+                }
+            }
+        }
+        masters[0].send_control(ToWorker::Shutdown).unwrap();
+        handle.join().unwrap();
+        assert_eq!(step_dones, steps as usize);
+        assert_eq!(computed, 1);
+
+        // Reference: C[i][j] = C0[i][j] + Σ_k A_k[i]·B_k[j].
+        let got = result.expect("result received");
+        for i in 0..h {
+            for j in 0..w {
+                let mut expect = c0[i * w + j].clone();
+                for k in 0..steps as usize {
+                    let mut tmp = vec![0.0; q * q];
+                    tmp.copy_from_slice(expect.as_slice());
+                    gemm_naive(
+                        q,
+                        &mut tmp,
+                        a_frags[k][i].as_slice(),
+                        b_frags[k][j].as_slice(),
+                    );
+                    expect = Block::from_vec(q, tmp);
+                }
+                let diff = got[i * w + j].max_abs_diff(&expect);
+                assert!(diff < 1e-9, "block ({i},{j}) diff {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn retrieve_before_completion_defers_the_reply() {
+        let q = 4;
+        let descr = ChunkDescr {
+            id: 3,
+            c_blocks: 1,
+            steps: 1,
+            a_blocks_per_step: 1,
+            b_blocks_per_step: 1,
+            updates_per_step: 1,
+            tail: None,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (masters, mut workers, evt) = build_star(&[1e-9], 1.0);
+        let wl = workers.remove(0);
+        let handle = std::thread::spawn(move || worker_main(wl));
+
+        masters[0].send_data(ToWorker::LoadC {
+            descr,
+            h: 1,
+            w: 1,
+            blocks: blocks(1, q, &mut rng),
+        }).unwrap();
+        // Retrieve first, then the operands.
+        masters[0].send_control(ToWorker::Retrieve { chunk: 3 }).unwrap();
+        masters[0].send_data(ToWorker::FragB {
+            chunk: 3,
+            step: 0,
+            blocks: blocks(1, q, &mut rng),
+        }).unwrap();
+        masters[0].send_data(ToWorker::FragA {
+            chunk: 3,
+            step: 0,
+            blocks: blocks(1, q, &mut rng),
+        }).unwrap();
+
+        // Expect StepDone, ChunkComputed, then the deferred Result.
+        let kinds: Vec<u8> = (0..3)
+            .map(|_| match evt.recv().unwrap().1 {
+                ToMaster::StepDone { .. } => 0,
+                ToMaster::ChunkComputed { .. } => 1,
+                ToMaster::Result { .. } => 2,
+            })
+            .collect();
+        assert_eq!(kinds, vec![0, 1, 2]);
+        masters[0].send_control(ToWorker::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+}

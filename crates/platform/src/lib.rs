@@ -1,0 +1,25 @@
+//! Heterogeneous star-platform model (Section 2 of the paper).
+//!
+//! The target platform is a star `S = {P0, P1, …, Pp}`: a master `P0`
+//! holding all matrix files and `p` workers, each described by three
+//! scalars:
+//!
+//! * `c_i` — time for the master to transfer **one `q × q` block** to or
+//!   from worker `i` (linear cost, one-port model),
+//! * `w_i` — time for worker `i` to perform **one block update**
+//!   `C_ij ← C_ij + A_ik · B_kj`,
+//! * `m_i` — number of block buffers that fit in worker `i`'s memory.
+//!
+//! [`units`] converts real-world figures (Mbps links, GFLOP/s CPUs,
+//! megabytes of RAM) into those block units; [`presets`] reconstructs
+//! every platform used in the paper's Section 6 experiments, and
+//! [`random`] generates the randomized fully-heterogeneous platforms of
+//! Figure 7.
+
+pub mod parse;
+pub mod platform;
+pub mod presets;
+pub mod random;
+pub mod units;
+
+pub use platform::{Platform, WorkerId, WorkerSpec};

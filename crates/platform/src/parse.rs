@@ -1,0 +1,143 @@
+//! A minimal text format for describing platforms, so experiments can be
+//! run on user-supplied machines (`stargemm --platform-file`).
+//!
+//! Format: one worker per non-empty, non-comment line;
+//! `#` starts a comment. Each line has three whitespace-separated
+//! fields, either raw block units or suffixed physical units:
+//!
+//! ```text
+//! # c/bandwidth   w/speed      memory
+//!   100Mbps       2.0gflops    1024MB
+//!   0.004         0.0005       20000
+//! ```
+//!
+//! Suffixes: `Mbps` (link bandwidth), `gflops` (kernel rate),
+//! `MB` (RAM). Unsuffixed numbers are seconds/block, seconds/update and
+//! block buffers respectively. The block size `q` is needed to convert
+//! physical units.
+
+use crate::platform::{Platform, WorkerSpec};
+use crate::units::{blocks_from_megabytes, c_from_bandwidth_mbps, w_from_gflops};
+
+/// Parse failure with line context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn fail(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_suffixed(tok: &str, suffix: &str) -> Option<Result<f64, ()>> {
+    tok.strip_suffix(suffix)
+        .map(|num| num.parse::<f64>().map_err(|_| ()))
+}
+
+/// Parses a platform description; `q` is the block side used for unit
+/// conversions.
+pub fn parse_platform(name: &str, text: &str, q: usize) -> Result<Platform, ParseError> {
+    let mut workers = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        if toks.len() != 3 {
+            return Err(fail(line_no, format!("expected 3 fields, got {}", toks.len())));
+        }
+        let c = match parse_suffixed(toks[0], "Mbps") {
+            Some(Ok(mbps)) if mbps > 0.0 => c_from_bandwidth_mbps(q, mbps),
+            Some(_) => return Err(fail(line_no, "bad bandwidth")),
+            None => toks[0]
+                .parse::<f64>()
+                .map_err(|_| fail(line_no, "bad c field"))?,
+        };
+        let w = match parse_suffixed(toks[1], "gflops") {
+            Some(Ok(g)) if g > 0.0 => w_from_gflops(q, g),
+            Some(_) => return Err(fail(line_no, "bad compute rate")),
+            None => toks[1]
+                .parse::<f64>()
+                .map_err(|_| fail(line_no, "bad w field"))?,
+        };
+        let m = match parse_suffixed(toks[2], "MB") {
+            Some(Ok(mb)) if mb > 0.0 => blocks_from_megabytes(q, mb),
+            Some(_) => return Err(fail(line_no, "bad memory size")),
+            None => toks[2]
+                .parse::<usize>()
+                .map_err(|_| fail(line_no, "bad m field"))?,
+        };
+        if !(c.is_finite() && c > 0.0 && w.is_finite() && w > 0.0) {
+            return Err(fail(line_no, "costs must be positive"));
+        }
+        if m < 3 {
+            return Err(fail(line_no, "memory below 3 block buffers"));
+        }
+        workers.push(WorkerSpec::new(c, w, m));
+    }
+    if workers.is_empty() {
+        return Err(fail(0, "no workers defined"));
+    }
+    Ok(Platform::new(name, workers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_units() {
+        let text = "\
+# a heterogeneous trio
+100Mbps  2.0gflops  1024MB
+50Mbps   1.0gflops  512MB   # slower node
+0.004    0.0005     20000
+";
+        let p = parse_platform("file", text, 80).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p.worker(0).c - 4.096e-3).abs() < 1e-9);
+        assert!((p.worker(1).c - 8.192e-3).abs() < 1e-9);
+        assert_eq!(p.worker(0).m, 20_000);
+        assert_eq!(p.worker(1).m, 10_000);
+        assert!((p.worker(2).c - 0.004).abs() < 1e-12);
+        assert_eq!(p.worker(2).m, 20_000);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = parse_platform("f", "100Mbps 2gflops 1024MB\noops\n", 80).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        assert!(parse_platform("f", "xMbps 1 10", 80).is_err());
+        assert!(parse_platform("f", "1 -2 10", 80).is_err());
+        assert!(parse_platform("f", "1 1 2", 80).is_err());
+        assert!(parse_platform("f", "1 1", 80).is_err());
+        assert!(parse_platform("f", "# only comments\n", 80).is_err());
+    }
+
+    #[test]
+    fn comment_only_and_blank_lines_are_skipped() {
+        let p = parse_platform("f", "\n# c\n\n1.0 1.0 10\n", 80).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,208 @@
+//! Reconstructions of every platform used in the paper's Section 6
+//! experiments.
+//!
+//! Calibration notes (documented in `DESIGN.md` / `EXPERIMENTS.md`):
+//!
+//! * `q = 80`, the paper's default ATLAS-friendly block size
+//!   (one block = 51 200 bytes).
+//! * The base link is modelled at 100 Mbps. The paper's hardware section
+//!   says "switched 10 Mbps Fast Ethernet", an internal contradiction
+//!   (Fast Ethernet is 100 Mbps); 100 Mbps is the only value consistent
+//!   with the reported makespans (~2000 s for 8 × 10⁶ block updates).
+//!   The *ratios* of the heterogeneous-link experiment (10 : 5 : 1) are
+//!   preserved exactly.
+//! * The base CPU sustains 2 GFLOP/s on the block kernel (a P4 2.4 GHz
+//!   running ATLAS dgemm), giving `w ≈ 0.512 ms` per block update; the
+//!   faster Lyon machines scale with clock rate.
+//! * Memory tiers follow the paper: 256 MB → 5 000 buffers,
+//!   512 MB → 10 000, 1 GB → 20 000.
+
+use crate::platform::{Platform, WorkerSpec};
+use crate::units::{blocks_from_megabytes, c_from_bandwidth_mbps, w_from_gflops};
+
+/// Block size used throughout the paper's experiments.
+pub const PAPER_Q: usize = 80;
+
+/// Base link bandwidth (Mbps) of the unmodified cluster.
+pub const BASE_MBPS: f64 = 100.0;
+
+/// Base sustained kernel rate (GFLOP/s) of the slowest cluster CPU.
+pub const BASE_GFLOPS: f64 = 2.0;
+
+/// The base worker: full-speed link, slowest CPU tier, 1 GB of memory.
+pub fn base_spec() -> WorkerSpec {
+    WorkerSpec::new(
+        c_from_bandwidth_mbps(PAPER_Q, BASE_MBPS),
+        w_from_gflops(PAPER_Q, BASE_GFLOPS),
+        blocks_from_megabytes(PAPER_Q, 1024.0),
+    )
+}
+
+/// A fully homogeneous platform of `p` base workers (Section 4 setting).
+pub fn homogeneous(p: usize) -> Platform {
+    Platform::homogeneous("homogeneous", p, base_spec())
+}
+
+/// Figure 4 platform: identical links and CPUs, heterogeneous memory —
+/// two workers with 256 MB, four with 512 MB, two with 1 GB.
+pub fn het_memory() -> Platform {
+    let b = base_spec();
+    let tier = |mb: f64| WorkerSpec::new(b.c, b.w, blocks_from_megabytes(PAPER_Q, mb));
+    let mut workers = Vec::with_capacity(8);
+    workers.extend(std::iter::repeat_n(tier(256.0), 2));
+    workers.extend(std::iter::repeat_n(tier(512.0), 4));
+    workers.extend(std::iter::repeat_n(tier(1024.0), 2));
+    Platform::new("het-memory", workers)
+}
+
+/// Figure 5 platform: heterogeneous links in the paper's 10 : 5 : 1
+/// ratios — two fast, four half-speed, two tenth-speed workers.
+pub fn het_comm() -> Platform {
+    let b = base_spec();
+    let tier = |mbps: f64| WorkerSpec::new(c_from_bandwidth_mbps(PAPER_Q, mbps), b.w, b.m);
+    let mut workers = Vec::with_capacity(8);
+    workers.extend(std::iter::repeat_n(tier(BASE_MBPS), 2));
+    workers.extend(std::iter::repeat_n(tier(BASE_MBPS / 2.0), 4));
+    workers.extend(std::iter::repeat_n(tier(BASE_MBPS / 10.0), 2));
+    Platform::new("het-comm", workers)
+}
+
+/// Figure 6 platform: heterogeneous CPUs — two workers at speed `S`, four
+/// at `S/2`, two at `S/4`.
+pub fn het_comp() -> Platform {
+    let b = base_spec();
+    let tier = |gflops: f64| WorkerSpec::new(b.c, w_from_gflops(PAPER_Q, gflops), b.m);
+    let mut workers = Vec::with_capacity(8);
+    workers.extend(std::iter::repeat_n(tier(BASE_GFLOPS), 2));
+    workers.extend(std::iter::repeat_n(tier(BASE_GFLOPS / 2.0), 4));
+    workers.extend(std::iter::repeat_n(tier(BASE_GFLOPS / 4.0), 2));
+    Platform::new("het-comp", workers)
+}
+
+/// Figure 7 fixed platforms: links, CPUs and memory each take two values
+/// whose large/small ratio is `ratio`; the eight workers cover the eight
+/// combinations.
+pub fn fully_het(ratio: f64) -> Platform {
+    assert!(ratio >= 1.0, "heterogeneity ratio must be >= 1");
+    let b = base_spec();
+    let m_small = (b.m as f64 / ratio).floor() as usize;
+    let mut workers = Vec::with_capacity(8);
+    for bits in 0..8u32 {
+        let c = if bits & 1 == 0 { b.c } else { b.c * ratio };
+        let w = if bits & 2 == 0 { b.w } else { b.w * ratio };
+        let m = if bits & 4 == 0 { b.m } else { m_small };
+        workers.push(WorkerSpec::new(c, w, m));
+    }
+    Platform::new(format!("fully-het-ratio{ratio}"), workers)
+}
+
+/// The four machine groups of the Lyon cluster (five used per group in
+/// the Figure 8 experiments): `(label, GHz, Aug-2007 MB, Nov-2006 MB)`.
+const LYON_GROUPS: [(&str, f64, f64, f64); 4] = [
+    ("5013-GM/P4-2.4", 2.4, 1024.0, 256.0),
+    ("6013PI/Xeon-2.4", 2.4, 1024.0, 1024.0),
+    ("5013SI/Xeon-2.6", 2.6, 1024.0, 1024.0),
+    ("IDE250W/P4-2.8", 2.8, 1024.0, 256.0),
+];
+
+/// Figure 8 platform: five machines of each Lyon group, with either the
+/// August-2007 memory configuration (everything upgraded to 1 GB) or the
+/// November-2006 one (two groups still at 256 MB).
+pub fn lyon(august_2007: bool) -> Platform {
+    let mut workers = Vec::with_capacity(20);
+    for (_, ghz, aug_mb, nov_mb) in LYON_GROUPS {
+        let mb = if august_2007 { aug_mb } else { nov_mb };
+        // Sustained GFLOP/s scales with clock rate from the 2.4 GHz base.
+        let gflops = BASE_GFLOPS * ghz / 2.4;
+        let spec = WorkerSpec::new(
+            c_from_bandwidth_mbps(PAPER_Q, BASE_MBPS),
+            w_from_gflops(PAPER_Q, gflops),
+            blocks_from_megabytes(PAPER_Q, mb),
+        );
+        workers.extend(std::iter::repeat_n(spec, 5));
+    }
+    Platform::new(
+        if august_2007 {
+            "lyon-aug2007"
+        } else {
+            "lyon-nov2006"
+        },
+        workers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_spec_is_calibrated() {
+        let b = base_spec();
+        assert!((b.c - 4.096e-3).abs() < 1e-9);
+        assert!((b.w - 5.12e-4).abs() < 1e-9);
+        assert_eq!(b.m, 20_000);
+    }
+
+    #[test]
+    fn het_memory_shape() {
+        let p = het_memory();
+        assert_eq!(p.len(), 8);
+        let ms: Vec<usize> = p.workers().iter().map(|s| s.m).collect();
+        assert_eq!(ms, vec![5000, 5000, 10000, 10000, 10000, 10000, 20000, 20000]);
+        // Only memory is heterogeneous.
+        let (rc, rw, rm) = p.heterogeneity();
+        assert_eq!((rc, rw), (1.0, 1.0));
+        assert_eq!(rm, 4.0);
+    }
+
+    #[test]
+    fn het_comm_ratios_match_paper() {
+        let p = het_comm();
+        let (rc, rw, rm) = p.heterogeneity();
+        assert!((rc - 10.0).abs() < 1e-12, "10:5:1 link ratios");
+        assert_eq!((rw, rm), (1.0, 1.0));
+    }
+
+    #[test]
+    fn het_comp_ratios_match_paper() {
+        let p = het_comp();
+        let (rc, rw, rm) = p.heterogeneity();
+        assert_eq!(rc, 1.0);
+        assert!((rw - 4.0).abs() < 1e-12, "S : S/2 : S/4");
+        assert_eq!(rm, 1.0);
+    }
+
+    #[test]
+    fn fully_het_covers_all_combinations() {
+        for ratio in [2.0, 4.0] {
+            let p = fully_het(ratio);
+            assert_eq!(p.len(), 8);
+            let (rc, rw, rm) = p.heterogeneity();
+            assert!((rc - ratio).abs() < 1e-12);
+            assert!((rw - ratio).abs() < 1e-12);
+            assert!((rm - ratio).abs() < 0.01, "memory ratio ~{ratio}, got {rm}");
+            // All eight (c, w, m) combinations must be distinct.
+            let mut seen = std::collections::BTreeSet::new();
+            for s in p.workers() {
+                seen.insert((s.c.to_bits(), s.w.to_bits(), s.m));
+            }
+            assert_eq!(seen.len(), 8);
+        }
+    }
+
+    #[test]
+    fn lyon_configurations() {
+        let aug = lyon(true);
+        let nov = lyon(false);
+        assert_eq!(aug.len(), 20);
+        assert_eq!(nov.len(), 20);
+        // Aug 2007: all 1 GB.
+        assert!(aug.workers().iter().all(|s| s.m == 20_000));
+        // Nov 2006: ten 256 MB + ten 1 GB.
+        let small = nov.workers().iter().filter(|s| s.m == 5_000).count();
+        assert_eq!(small, 10);
+        // CPU spread 2.4 → 2.8 GHz.
+        let (_, rw, _) = aug.heterogeneity();
+        assert!((rw - 2.8 / 2.4).abs() < 1e-9);
+    }
+}

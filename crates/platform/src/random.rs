@@ -1,0 +1,115 @@
+//! Random platform generation for the Figure 7 experiments.
+//!
+//! The paper builds ten random fully-heterogeneous platforms where "the
+//! ratio between minimum and maximum values of communication links,
+//! computation capacities, and memory size is up to four".
+
+use rand::distr::{Distribution, Uniform};
+use rand::Rng;
+
+use crate::platform::{Platform, WorkerSpec};
+use crate::presets::base_spec;
+
+/// Parameters of the random platform generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomPlatformConfig {
+    /// Number of workers.
+    pub p: usize,
+    /// Maximum heterogeneity ratio per characteristic (paper: 4).
+    pub max_ratio: f64,
+}
+
+impl Default for RandomPlatformConfig {
+    fn default() -> Self {
+        RandomPlatformConfig {
+            p: 8,
+            max_ratio: 4.0,
+        }
+    }
+}
+
+/// Draws a random platform: each worker's `c` and `w` are scaled from the
+/// base spec by an independent factor in `[1, max_ratio]`, and memory is
+/// scaled *down* by a factor in `[1, max_ratio]` (the base worker is the
+/// best machine on every axis).
+///
+/// # Panics
+/// Panics when `p == 0` or `max_ratio < 1`.
+pub fn random_platform<R: Rng + ?Sized>(
+    cfg: RandomPlatformConfig,
+    label: impl Into<String>,
+    rng: &mut R,
+) -> Platform {
+    assert!(cfg.p > 0, "need at least one worker");
+    assert!(cfg.max_ratio >= 1.0, "ratio must be >= 1");
+    let b = base_spec();
+    let factor = Uniform::new_inclusive(1.0f64, cfg.max_ratio).expect("valid range");
+    let workers = (0..cfg.p)
+        .map(|_| {
+            let c = b.c * factor.sample(rng);
+            let w = b.w * factor.sample(rng);
+            let m = ((b.m as f64) / factor.sample(rng)).floor() as usize;
+            WorkerSpec::new(c, w, m.max(3))
+        })
+        .collect();
+    Platform::new(label, workers)
+}
+
+/// The ten random platforms of Figure 7, drawn from a fixed seed so every
+/// run of the experiment harness sees the same instances.
+pub fn figure7_random_platforms(seed: u64) -> Vec<Platform> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..10)
+        .map(|i| {
+            random_platform(
+                RandomPlatformConfig::default(),
+                format!("random-{i}"),
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ratios_stay_within_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let p = random_platform(RandomPlatformConfig::default(), "r", &mut rng);
+            let (rc, rw, rm) = p.heterogeneity();
+            assert!(rc <= 4.0 + 1e-9);
+            assert!(rw <= 4.0 + 1e-9);
+            assert!(rm <= 4.0 + 0.01);
+            assert_eq!(p.len(), 8);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = figure7_random_platforms(42);
+        let b = figure7_random_platforms(42);
+        let c = figure7_random_platforms(43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn base_worker_upper_bounds_all_draws() {
+        let base = base_spec();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = random_platform(RandomPlatformConfig::default(), "r", &mut rng);
+        for s in p.workers() {
+            assert!(s.c >= base.c);
+            assert!(s.w >= base.w);
+            assert!(s.m <= base.m);
+        }
+    }
+}

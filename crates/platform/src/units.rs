@@ -1,0 +1,88 @@
+//! Conversions between real-world hardware figures and the paper's block
+//! units.
+//!
+//! In the paper's notation (Section 4), communication and computation
+//! costs take the form `c = q² c̃` and `w = q³ ã`, where `c̃` is the
+//! per-coefficient transfer time and `ã` the per-multiply-add time. These
+//! helpers derive `c`, `w` and `m` from link bandwidth, sustained GFLOP/s
+//! and RAM size, so the presets can mirror the Lyon cluster hardware.
+
+/// Bytes of one `q × q` block of `f64` coefficients.
+#[inline]
+pub fn block_bytes(q: usize) -> usize {
+    q * q * 8
+}
+
+/// Per-block transfer time `c` (seconds) on a link of `mbps` megabits per
+/// second.
+///
+/// # Panics
+/// Panics on a non-positive bandwidth.
+pub fn c_from_bandwidth_mbps(q: usize, mbps: f64) -> f64 {
+    assert!(mbps > 0.0, "bandwidth must be positive");
+    (block_bytes(q) as f64 * 8.0) / (mbps * 1e6)
+}
+
+/// Per-block-update compute time `w` (seconds) for a CPU sustaining
+/// `gflops` billion floating-point operations per second on the GEMM
+/// kernel. One block update costs `2 q³` flops.
+///
+/// # Panics
+/// Panics on a non-positive rate.
+pub fn w_from_gflops(q: usize, gflops: f64) -> f64 {
+    assert!(gflops > 0.0, "compute rate must be positive");
+    (2.0 * (q as f64).powi(3)) / (gflops * 1e9)
+}
+
+/// Number of block buffers `m` that fit in `megabytes` of RAM
+/// (1 MB = 10⁶ bytes, matching the paper's 256 MB / 512 MB / 1 GB tiers).
+pub fn blocks_from_megabytes(q: usize, megabytes: f64) -> usize {
+    ((megabytes * 1e6) / block_bytes(q) as f64).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_bytes_for_paper_q() {
+        assert_eq!(block_bytes(80), 51_200);
+        assert_eq!(block_bytes(100), 80_000);
+    }
+
+    #[test]
+    fn bandwidth_conversion_100mbps() {
+        // 51 200 bytes = 409 600 bits over 100 Mbps → 4.096 ms.
+        let c = c_from_bandwidth_mbps(80, 100.0);
+        assert!((c - 4.096e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_scales_inversely() {
+        let c10 = c_from_bandwidth_mbps(80, 10.0);
+        let c100 = c_from_bandwidth_mbps(80, 100.0);
+        assert!((c10 / c100 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gflops_conversion() {
+        // 2 * 80^3 = 1.024 MFlop; at 1 GFLOP/s → 1.024 ms.
+        let w = w_from_gflops(80, 1.0);
+        assert!((w - 1.024e-3).abs() < 1e-9);
+        // Twice the rate, half the time.
+        assert!((w_from_gflops(80, 2.0) - w / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_conversion_paper_tiers() {
+        assert_eq!(blocks_from_megabytes(80, 256.0), 5_000);
+        assert_eq!(blocks_from_megabytes(80, 512.0), 10_000);
+        assert_eq!(blocks_from_megabytes(80, 1024.0), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        c_from_bandwidth_mbps(80, 0.0);
+    }
+}

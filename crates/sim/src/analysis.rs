@@ -1,0 +1,298 @@
+//! Trace analytics: where did the time go?
+//!
+//! Turns a recorded trace into the quantities the paper reasons about
+//! informally — port utilization, per-worker busy/idle fractions, and
+//! the fraction of port time that overlapped some computation (the
+//! payoff of the double-buffered layout).
+
+use crate::trace::{TraceEntry, TraceKind};
+
+/// Per-worker time breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerBreakdown {
+    /// Seconds computing.
+    pub compute: f64,
+    /// Seconds with an inbound/outbound transfer on the wire.
+    pub transfer: f64,
+    /// First activity start.
+    pub first_active: f64,
+    /// Last activity end.
+    pub last_active: f64,
+}
+
+/// Whole-run analysis of a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceAnalysis {
+    /// End of the last interval.
+    pub horizon: f64,
+    /// Seconds the master's port was busy.
+    pub port_busy: f64,
+    /// Fraction of port-busy time during which at least one worker was
+    /// computing (communication/computation overlap).
+    pub overlap_fraction: f64,
+    /// Per-worker breakdowns.
+    pub workers: Vec<WorkerBreakdown>,
+}
+
+impl TraceAnalysis {
+    /// Port utilization over the horizon.
+    pub fn port_utilization(&self) -> f64 {
+        if self.horizon > 0.0 {
+            self.port_busy / self.horizon
+        } else {
+            0.0
+        }
+    }
+
+    /// Compute utilization of worker `w` over the horizon.
+    pub fn worker_utilization(&self, w: usize) -> f64 {
+        if self.horizon > 0.0 {
+            self.workers[w].compute / self.horizon
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Merges intervals and returns their total measure.
+fn measure(mut intervals: Vec<(f64, f64)>) -> f64 {
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut cur: Option<(f64, f64)> = None;
+    for (s, e) in intervals {
+        match cur {
+            None => cur = Some((s, e)),
+            Some((cs, ce)) => {
+                if s <= ce {
+                    cur = Some((cs, ce.max(e)));
+                } else {
+                    total += ce - cs;
+                    cur = Some((s, e));
+                }
+            }
+        }
+    }
+    if let Some((cs, ce)) = cur {
+        total += ce - cs;
+    }
+    total
+}
+
+/// Measure of the intersection of two interval sets.
+fn intersection_measure(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let mut total = 0.0;
+    for &(s1, e1) in a {
+        for &(s2, e2) in b {
+            let lo = s1.max(s2);
+            let hi = e1.min(e2);
+            if hi > lo {
+                total += hi - lo;
+            }
+        }
+    }
+    total
+}
+
+/// Analyzes a trace for `num_workers` workers.
+pub fn analyze(trace: &[TraceEntry], num_workers: usize) -> TraceAnalysis {
+    let horizon = trace.iter().map(|t| t.end).fold(0.0, f64::max);
+    let port: Vec<(f64, f64)> = trace
+        .iter()
+        .filter(|t| t.uses_port())
+        .map(|t| (t.start, t.end))
+        .collect();
+    let computes: Vec<(f64, f64)> = trace
+        .iter()
+        .filter(|t| matches!(t.kind, TraceKind::Compute { .. }))
+        .map(|t| (t.start, t.end))
+        .collect();
+    let port_busy = measure(port.clone());
+    // Port intervals are disjoint (one-port); compute intervals of one
+    // worker are disjoint too, but across workers they overlap — merge
+    // them before intersecting.
+    let merged_computes = merge(computes);
+    let overlap = intersection_measure(&port, &merged_computes);
+    let overlap_fraction = if port_busy > 0.0 { overlap / port_busy } else { 0.0 };
+
+    let workers = (0..num_workers)
+        .map(|w| {
+            let mine: Vec<&TraceEntry> = trace.iter().filter(|t| t.worker == w).collect();
+            WorkerBreakdown {
+                compute: mine
+                    .iter()
+                    .filter(|t| matches!(t.kind, TraceKind::Compute { .. }))
+                    .map(|t| t.end - t.start)
+                    .sum(),
+                transfer: mine
+                    .iter()
+                    .filter(|t| t.uses_port())
+                    .map(|t| t.end - t.start)
+                    .sum(),
+                first_active: mine.iter().map(|t| t.start).fold(f64::INFINITY, f64::min),
+                last_active: mine.iter().map(|t| t.end).fold(0.0, f64::max),
+            }
+        })
+        .collect();
+
+    TraceAnalysis {
+        horizon,
+        port_busy,
+        overlap_fraction,
+        workers,
+    }
+}
+
+/// Merges overlapping intervals into a disjoint set.
+fn merge(mut intervals: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+    for (s, e) in intervals {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MatKind;
+
+    fn entry(kind: TraceKind, worker: usize, start: f64, end: f64) -> TraceEntry {
+        TraceEntry {
+            kind,
+            worker,
+            start,
+            end,
+        }
+    }
+
+    fn send(worker: usize, start: f64, end: f64) -> TraceEntry {
+        entry(
+            TraceKind::SendToWorker {
+                kind: MatKind::A,
+                chunk: 0,
+                step: 0,
+                blocks: 1,
+            },
+            worker,
+            start,
+            end,
+        )
+    }
+
+    fn compute(worker: usize, start: f64, end: f64) -> TraceEntry {
+        entry(
+            TraceKind::Compute {
+                chunk: 0,
+                step: 0,
+                updates: 1,
+            },
+            worker,
+            start,
+            end,
+        )
+    }
+
+    #[test]
+    fn measure_merges_overlaps() {
+        assert_eq!(measure(vec![(0.0, 2.0), (1.0, 3.0), (5.0, 6.0)]), 4.0);
+        assert_eq!(measure(vec![]), 0.0);
+    }
+
+    #[test]
+    fn full_overlap_analysis() {
+        // Port busy 0-4 (two sends); worker 0 computes 2-6.
+        let trace = vec![send(0, 0.0, 2.0), send(0, 2.0, 4.0), compute(0, 2.0, 6.0)];
+        let a = analyze(&trace, 1);
+        assert_eq!(a.horizon, 6.0);
+        assert_eq!(a.port_busy, 4.0);
+        // Overlap: [2,4] of the 4 port seconds → 0.5.
+        assert!((a.overlap_fraction - 0.5).abs() < 1e-12);
+        assert!((a.port_utilization() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((a.worker_utilization(0) - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(a.workers[0].transfer, 4.0);
+        assert_eq!(a.workers[0].first_active, 0.0);
+        assert_eq!(a.workers[0].last_active, 6.0);
+    }
+
+    #[test]
+    fn multiworker_computes_are_merged_before_intersection() {
+        // Two workers computing in parallel must not double-count overlap.
+        let trace = vec![
+            send(0, 0.0, 2.0),
+            compute(0, 0.0, 2.0),
+            compute(1, 0.0, 2.0),
+        ];
+        let a = analyze(&trace, 2);
+        assert!((a.overlap_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let a = analyze(&[], 2);
+        assert_eq!(a.horizon, 0.0);
+        assert_eq!(a.port_utilization(), 0.0);
+        assert_eq!(a.overlap_fraction, 0.0);
+        assert_eq!(a.workers.len(), 2);
+    }
+
+    #[test]
+    fn end_to_end_on_a_real_schedule() {
+        use crate::engine::Simulator;
+        use crate::msg::{ChunkDescr, Fragment};
+        use crate::policy::{Action, MasterPolicy, SimCtx};
+        use stargemm_platform::{Platform, WorkerSpec};
+
+        struct Script(Vec<Action>, usize);
+        impl MasterPolicy for Script {
+            fn next_action(&mut self, _ctx: &SimCtx) -> Action {
+                let a = self.0.get(self.1).copied().unwrap_or(Action::Finished);
+                self.1 += 1;
+                a
+            }
+        }
+        let d = ChunkDescr {
+            id: 0,
+            c_blocks: 4,
+            steps: 2,
+            a_blocks_per_step: 2,
+            b_blocks_per_step: 2,
+            updates_per_step: 4,
+            tail: None,
+        };
+        let mut actions = vec![Action::Send {
+            worker: 0,
+            fragment: Fragment::c_load(&d),
+            new_chunk: Some(d),
+        }];
+        for s in 0..2 {
+            actions.push(Action::Send {
+                worker: 0,
+                fragment: Fragment::b_step(&d, s),
+                new_chunk: None,
+            });
+            actions.push(Action::Send {
+                worker: 0,
+                fragment: Fragment::a_step(&d, s),
+                new_chunk: None,
+            });
+        }
+        actions.push(Action::Retrieve { worker: 0, chunk: 0 });
+        let sim = Simulator::new(Platform::new(
+            "t",
+            vec![WorkerSpec::new(1.0, 1.0, 100)],
+        ))
+        .with_trace(true);
+        let (stats, trace) = sim.run_traced(&mut Script(actions, 0)).unwrap();
+        let a = analyze(&trace, 1);
+        assert!((a.horizon - stats.makespan).abs() < 1e-9);
+        assert!((a.port_busy - stats.port_busy).abs() < 1e-9);
+        assert!((a.workers[0].compute - stats.per_worker[0].busy_time).abs() < 1e-9);
+        // The double-buffered schedule overlaps some communication with
+        // computation.
+        assert!(a.overlap_fraction > 0.0);
+    }
+}

@@ -1,0 +1,968 @@
+//! The discrete-event engine.
+//!
+//! Time advances through a priority queue of three event kinds:
+//! `SendDone` (master→worker transfer finished), `RetrieveDone`
+//! (worker→master result transfer finished) and `StepDone` (a worker
+//! finished one compute step). The master is asked for its next
+//! [`Action`] whenever its port is free; because the port is unique
+//! (one-port model) at most one transfer is ever in flight.
+//!
+//! Worker semantics are *dataflow*: a compute step fires as soon as the
+//! chunk's C blocks and the step's declared A and B block counts are all
+//! resident; steps of a worker execute serially in firing order; a step's
+//! A/B buffers are freed when the step completes, the chunk's C buffers
+//! when the master retrieves the result. Memory capacity is enforced at
+//! send-issue time (in-flight blocks count as reserved).
+
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+use std::collections::BinaryHeap;
+
+use stargemm_platform::{Platform, WorkerId};
+
+use crate::error::SimError;
+use crate::msg::{ChunkDescr, ChunkId, Fragment, MatKind, StepId};
+use crate::policy::{Action, MasterPolicy, SimCtx, SimEvent};
+use crate::stats::{RunStats, WorkerStats};
+use crate::trace::{TraceEntry, TraceKind};
+
+/// Runtime state of one worker (crate-visible so [`SimCtx`] can expose
+/// read-only views).
+#[derive(Clone, Debug)]
+pub struct WorkerRt {
+    pub(crate) capacity: u64,
+    pub(crate) c: f64,
+    pub(crate) w: f64,
+    pub(crate) resident: u64,
+    pub(crate) reserved: u64,
+    pub(crate) compute_free_at: f64,
+    pub(crate) stats: WorkerStats,
+}
+
+impl WorkerRt {
+    pub(crate) fn from_spec(spec: &stargemm_platform::WorkerSpec) -> Self {
+        WorkerRt {
+            capacity: spec.m as u64,
+            c: spec.c,
+            w: spec.w,
+            resident: 0,
+            reserved: 0,
+            compute_free_at: 0.0,
+            stats: WorkerStats::default(),
+        }
+    }
+}
+
+/// Runtime state of one chunk.
+#[derive(Clone, Debug)]
+struct ChunkRt {
+    descr: ChunkDescr,
+    worker: WorkerId,
+    c_loaded: bool,
+    recv_a: Vec<u64>,
+    recv_b: Vec<u64>,
+    fired: Vec<bool>,
+    steps_done: StepId,
+    computed: bool,
+    retrieved: bool,
+    retrieve_pending: bool,
+}
+
+impl ChunkRt {
+    fn new(descr: ChunkDescr, worker: WorkerId) -> Self {
+        let n = descr.steps as usize;
+        ChunkRt {
+            descr,
+            worker,
+            c_loaded: false,
+            recv_a: vec![0; n],
+            recv_b: vec![0; n],
+            fired: vec![false; n],
+            steps_done: 0,
+            computed: false,
+            retrieved: false,
+            retrieve_pending: false,
+        }
+    }
+
+    fn step_ready(&self, step: StepId) -> bool {
+        let s = step as usize;
+        self.c_loaded
+            && !self.fired[s]
+            && self.recv_a[s] == self.descr.a_for(step)
+            && self.recv_b[s] == self.descr.b_for(step)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[allow(clippy::enum_variant_names)]
+enum EvKind {
+    SendDone { worker: WorkerId, fragment: Fragment },
+    RetrieveDone { worker: WorkerId, chunk: ChunkId },
+    StepDone { worker: WorkerId, chunk: ChunkId, step: StepId },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Ev {
+    time: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum MasterState {
+    /// Port free; ask the policy.
+    Idle,
+    /// A transfer is in flight.
+    Busy,
+    /// Blocked on a retrieval of a chunk still being computed.
+    BlockedRetrieve(ChunkId),
+    /// Policy returned [`Action::Wait`]; re-ask after the next event.
+    Waiting,
+    /// Policy returned [`Action::Finished`].
+    Done,
+}
+
+/// The simulator: owns the platform description and run options.
+pub struct Simulator {
+    platform: Platform,
+    record_trace: bool,
+    /// Defensive cap on processed events (a correct policy on the paper's
+    /// largest instance needs ~10⁶).
+    max_events: u64,
+}
+
+impl Simulator {
+    /// A simulator for `platform` with tracing disabled.
+    pub fn new(platform: Platform) -> Self {
+        Simulator {
+            platform,
+            record_trace: false,
+            max_events: 200_000_000,
+        }
+    }
+
+    /// Enables per-interval trace recording (needed for Gantt rendering).
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Overrides the defensive event cap.
+    pub fn with_max_events(mut self, cap: u64) -> Self {
+        self.max_events = cap;
+        self
+    }
+
+    /// The simulated platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Runs `policy` to completion and returns aggregate statistics.
+    pub fn run(&self, policy: &mut dyn MasterPolicy) -> Result<RunStats, SimError> {
+        self.run_traced(policy).map(|(stats, _)| stats)
+    }
+
+    /// Runs `policy` and also returns the recorded trace (empty unless
+    /// [`Self::with_trace`] was enabled).
+    pub fn run_traced(
+        &self,
+        policy: &mut dyn MasterPolicy,
+    ) -> Result<(RunStats, Vec<TraceEntry>), SimError> {
+        let mut st = EngineState::new(&self.platform, self.record_trace);
+        let mut master = MasterState::Idle;
+        let mut processed: u64 = 0;
+
+        loop {
+            // Ask the policy while the master is free to act.
+            while master == MasterState::Idle {
+                let action = {
+                    let ctx = SimCtx {
+                        now: st.now,
+                        workers: &st.workers,
+                    };
+                    policy.next_action(&ctx)
+                };
+                master = st.apply_action(action, policy)?;
+            }
+
+            if master == MasterState::Done && st.queue.is_empty() {
+                let stats = st.collect_stats(policy.name());
+                let trace = st.trace.take().unwrap_or_default();
+                return Ok((stats, trace));
+            }
+
+            let Some(Reverse(ev)) = st.queue.pop() else {
+                return Err(SimError::Deadlock {
+                    time: st.now,
+                    unretrieved_chunks: st.unretrieved(),
+                });
+            };
+            processed += 1;
+            if processed > self.max_events {
+                return Err(SimError::protocol("event cap exceeded"));
+            }
+            debug_assert!(ev.time >= st.now - 1e-12, "time went backwards");
+            st.now = ev.time.max(st.now);
+
+            let hooks = st.apply_event(ev.kind)?;
+
+            // Port-freeing and unblocking effects.
+            match ev.kind {
+                EvKind::SendDone { .. } | EvKind::RetrieveDone { .. } => {
+                    debug_assert_eq!(master, MasterState::Busy);
+                    master = MasterState::Idle;
+                }
+                EvKind::StepDone { chunk, worker, .. } => {
+                    if let MasterState::BlockedRetrieve(waiting) = master {
+                        if waiting == chunk && st.chunk(chunk)?.computed {
+                            st.start_retrieval(worker, chunk);
+                            master = MasterState::Busy;
+                        }
+                    }
+                }
+            }
+            if master == MasterState::Waiting {
+                master = MasterState::Idle;
+            }
+
+            // Fire hooks after the state (and master bookkeeping) settled.
+            for h in hooks {
+                let ctx = SimCtx {
+                    now: st.now,
+                    workers: &st.workers,
+                };
+                policy.on_event(&h, &ctx);
+            }
+        }
+    }
+}
+
+/// Whole-run mutable state.
+pub(crate) struct EngineState {
+    pub(crate) now: f64,
+    workers: Vec<WorkerRt>,
+    chunks: BTreeMap<ChunkId, ChunkRt>,
+    queue: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    port_busy: f64,
+    retrieved_count: u64,
+    last_retrieve_done: f64,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl EngineState {
+    fn new(platform: &Platform, record_trace: bool) -> Self {
+        let workers = platform
+            .workers()
+            .iter()
+            .map(|s| WorkerRt {
+                capacity: s.m as u64,
+                c: s.c,
+                w: s.w,
+                resident: 0,
+                reserved: 0,
+                compute_free_at: 0.0,
+                stats: WorkerStats::default(),
+            })
+            .collect();
+        EngineState {
+            now: 0.0,
+            workers,
+            chunks: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            port_busy: 0.0,
+            retrieved_count: 0,
+            last_retrieve_done: 0.0,
+            trace: record_trace.then(Vec::new),
+        }
+    }
+
+    fn chunk(&self, id: ChunkId) -> Result<&ChunkRt, SimError> {
+        self.chunks
+            .get(&id)
+            .ok_or_else(|| SimError::protocol(format!("unknown chunk {id}")))
+    }
+
+    fn unretrieved(&self) -> usize {
+        self.chunks.values().filter(|c| !c.retrieved).count()
+    }
+
+    fn push(&mut self, time: f64, kind: EvKind) {
+        let ev = Ev {
+            time,
+            seq: self.seq,
+            kind,
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(ev));
+    }
+
+    fn record(&mut self, entry: TraceEntry) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(entry);
+        }
+    }
+
+    /// Validates and enacts a policy action; returns the new master state.
+    fn apply_action(
+        &mut self,
+        action: Action,
+        _policy: &mut dyn MasterPolicy,
+    ) -> Result<MasterState, SimError> {
+        match action {
+            Action::Wait => Ok(MasterState::Waiting),
+            Action::Finished => {
+                let left = self.unretrieved();
+                if left > 0 {
+                    Err(SimError::PrematureFinish {
+                        unretrieved_chunks: left,
+                    })
+                } else {
+                    Ok(MasterState::Done)
+                }
+            }
+            Action::Send {
+                worker,
+                fragment,
+                new_chunk,
+            } => {
+                self.issue_send(worker, fragment, new_chunk)?;
+                Ok(MasterState::Busy)
+            }
+            Action::Retrieve { worker, chunk } => {
+                if worker >= self.workers.len() {
+                    return Err(SimError::UnknownWorker(worker));
+                }
+                let ch = self.chunk(chunk)?;
+                if ch.worker != worker {
+                    return Err(SimError::protocol(format!(
+                        "retrieve of chunk {chunk} from worker {worker}, \
+                         but it is assigned to worker {}",
+                        ch.worker
+                    )));
+                }
+                if ch.retrieved || ch.retrieve_pending {
+                    return Err(SimError::protocol(format!(
+                        "chunk {chunk} retrieved twice"
+                    )));
+                }
+                if ch.computed {
+                    self.start_retrieval(worker, chunk);
+                    Ok(MasterState::Busy)
+                } else {
+                    self.chunks
+                        .get_mut(&chunk)
+                        .expect("checked above")
+                        .retrieve_pending = true;
+                    Ok(MasterState::BlockedRetrieve(chunk))
+                }
+            }
+        }
+    }
+
+    fn issue_send(
+        &mut self,
+        worker: WorkerId,
+        fragment: Fragment,
+        new_chunk: Option<ChunkDescr>,
+    ) -> Result<(), SimError> {
+        if worker >= self.workers.len() {
+            return Err(SimError::UnknownWorker(worker));
+        }
+        if fragment.blocks == 0 {
+            return Err(SimError::protocol("empty fragment"));
+        }
+
+        match new_chunk {
+            Some(descr) => {
+                if self.chunks.contains_key(&descr.id) {
+                    return Err(SimError::protocol(format!(
+                        "duplicate chunk id {}",
+                        descr.id
+                    )));
+                }
+                if fragment.kind != MatKind::C
+                    || fragment.chunk != descr.id
+                    || fragment.blocks != descr.c_blocks
+                {
+                    return Err(SimError::protocol(
+                        "a chunk must be opened by its full C-load fragment",
+                    ));
+                }
+                if descr.steps == 0 || descr.updates_per_step == 0 || descr.c_blocks == 0 {
+                    return Err(SimError::protocol("degenerate chunk descriptor"));
+                }
+                self.chunks.insert(descr.id, ChunkRt::new(descr, worker));
+                self.workers[worker].stats.chunks_assigned += 1;
+            }
+            None => {
+                let ch = self.chunk(fragment.chunk)?;
+                if ch.worker != worker {
+                    return Err(SimError::protocol(format!(
+                        "fragment for chunk {} sent to worker {worker}, \
+                         but the chunk lives on worker {}",
+                        fragment.chunk, ch.worker
+                    )));
+                }
+                match fragment.kind {
+                    MatKind::C => {
+                        return Err(SimError::protocol(format!(
+                            "second C load for chunk {}",
+                            fragment.chunk
+                        )))
+                    }
+                    MatKind::A | MatKind::B => {
+                        if fragment.step >= ch.descr.steps {
+                            return Err(SimError::protocol(format!(
+                                "step {} out of range for chunk {}",
+                                fragment.step, fragment.chunk
+                            )));
+                        }
+                        let (got, per) = if fragment.kind == MatKind::A {
+                            (
+                                ch.recv_a[fragment.step as usize],
+                                ch.descr.a_for(fragment.step),
+                            )
+                        } else {
+                            (
+                                ch.recv_b[fragment.step as usize],
+                                ch.descr.b_for(fragment.step),
+                            )
+                        };
+                        if got + fragment.blocks > per {
+                            return Err(SimError::over_delivery(fragment.chunk, fragment.step));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Memory admission control (in-flight blocks already reserved).
+        let w = &mut self.workers[worker];
+        let attempted = w.resident + w.reserved + fragment.blocks;
+        if attempted > w.capacity {
+            return Err(SimError::MemoryViolation {
+                worker,
+                capacity: w.capacity,
+                attempted,
+                chunk: fragment.chunk,
+            });
+        }
+        w.reserved += fragment.blocks;
+
+        let dur = fragment.blocks as f64 * w.c;
+        let start = self.now;
+        let end = start + dur;
+        self.port_busy += dur;
+        self.record(TraceEntry {
+            kind: TraceKind::SendToWorker {
+                kind: fragment.kind,
+                chunk: fragment.chunk,
+                step: fragment.step,
+                blocks: fragment.blocks,
+            },
+            worker,
+            start,
+            end,
+        });
+        self.push(end, EvKind::SendDone { worker, fragment });
+        Ok(())
+    }
+
+    fn start_retrieval(&mut self, worker: WorkerId, chunk: ChunkId) {
+        let blocks = self.chunks[&chunk].descr.c_blocks;
+        let dur = blocks as f64 * self.workers[worker].c;
+        let start = self.now;
+        let end = start + dur;
+        self.port_busy += dur;
+        self.record(TraceEntry {
+            kind: TraceKind::RetrieveFromWorker { chunk, blocks },
+            worker,
+            start,
+            end,
+        });
+        self.push(end, EvKind::RetrieveDone { worker, chunk });
+    }
+
+    /// Applies an event; returns the hook notifications to dispatch.
+    fn apply_event(&mut self, kind: EvKind) -> Result<Vec<SimEvent>, SimError> {
+        let mut hooks = Vec::with_capacity(2);
+        match kind {
+            EvKind::SendDone { worker, fragment } => {
+                let w = &mut self.workers[worker];
+                w.reserved -= fragment.blocks;
+                w.resident += fragment.blocks;
+                w.stats.mem_high_water = w.stats.mem_high_water.max(w.resident);
+                w.stats.blocks_rx += fragment.blocks;
+
+                let ch = self
+                    .chunks
+                    .get_mut(&fragment.chunk)
+                    .expect("validated at issue");
+                let newly_ready = match fragment.kind {
+                    MatKind::C => {
+                        ch.c_loaded = true;
+                        // C arriving late can unlock steps whose A/B are
+                        // already resident (not the usual order, but legal).
+                        (0..ch.descr.steps).filter(|&s| ch.step_ready(s)).collect()
+                    }
+                    MatKind::A => {
+                        ch.recv_a[fragment.step as usize] += fragment.blocks;
+                        if ch.step_ready(fragment.step) {
+                            vec![fragment.step]
+                        } else {
+                            vec![]
+                        }
+                    }
+                    MatKind::B => {
+                        ch.recv_b[fragment.step as usize] += fragment.blocks;
+                        if ch.step_ready(fragment.step) {
+                            vec![fragment.step]
+                        } else {
+                            vec![]
+                        }
+                    }
+                };
+                for step in newly_ready {
+                    self.fire_step(worker, fragment.chunk, step);
+                }
+                hooks.push(SimEvent::SendDone { worker, fragment });
+            }
+            EvKind::StepDone {
+                worker,
+                chunk,
+                step,
+            } => {
+                let ch = self.chunks.get_mut(&chunk).expect("fired step");
+                ch.steps_done += 1;
+                let freed = ch.descr.a_for(step) + ch.descr.b_for(step);
+                let updates = ch.descr.updates_for(step);
+                let all_done = ch.steps_done == ch.descr.steps;
+                if all_done {
+                    ch.computed = true;
+                }
+                let w = &mut self.workers[worker];
+                w.resident -= freed;
+                w.stats.updates += updates;
+                hooks.push(SimEvent::StepDone {
+                    worker,
+                    chunk,
+                    step,
+                });
+                if all_done {
+                    hooks.push(SimEvent::ChunkComputed { worker, chunk });
+                }
+            }
+            EvKind::RetrieveDone { worker, chunk } => {
+                let ch = self.chunks.get_mut(&chunk).expect("retrieval started");
+                ch.retrieved = true;
+                let blocks = ch.descr.c_blocks;
+                let w = &mut self.workers[worker];
+                w.resident -= blocks;
+                w.stats.blocks_tx += blocks;
+                self.retrieved_count += 1;
+                self.last_retrieve_done = self.now;
+                hooks.push(SimEvent::RetrieveDone { worker, chunk });
+            }
+        }
+        Ok(hooks)
+    }
+
+    /// Schedules the execution of a ready step (FIFO per worker).
+    fn fire_step(&mut self, worker: WorkerId, chunk: ChunkId, step: StepId) {
+        let ch = self.chunks.get_mut(&chunk).expect("ready step");
+        ch.fired[step as usize] = true;
+        let updates = ch.descr.updates_for(step);
+        let w = &mut self.workers[worker];
+        let start = w.compute_free_at.max(self.now);
+        let dur = updates as f64 * w.w;
+        let end = start + dur;
+        w.compute_free_at = end;
+        w.stats.busy_time += dur;
+        self.record(TraceEntry {
+            kind: TraceKind::Compute {
+                chunk,
+                step,
+                updates,
+            },
+            worker,
+            start,
+            end,
+        });
+        self.push(
+            end,
+            EvKind::StepDone {
+                worker,
+                chunk,
+                step,
+            },
+        );
+    }
+
+    fn collect_stats(&mut self, policy: &str) -> RunStats {
+        RunStats {
+            makespan: self.last_retrieve_done,
+            port_busy: self.port_busy,
+            blocks_to_workers: self.workers.iter().map(|w| w.stats.blocks_rx).sum(),
+            blocks_to_master: self.workers.iter().map(|w| w.stats.blocks_tx).sum(),
+            total_updates: self.workers.iter().map(|w| w.stats.updates).sum(),
+            chunks: self.retrieved_count,
+            per_worker: self.workers.iter().map(|w| w.stats).collect(),
+            policy: policy.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stargemm_platform::WorkerSpec;
+
+    /// Replays a fixed list of actions in order, emitting `Wait` when the
+    /// head action is a retrieval of a chunk that is not yet computed
+    /// would be fine too — retrieval blocks — so no gating is needed.
+    /// After the script is exhausted it returns `Finished`.
+    struct Script {
+        actions: Vec<Action>,
+        next: usize,
+    }
+
+    impl Script {
+        fn new(actions: Vec<Action>) -> Self {
+            Script { actions, next: 0 }
+        }
+    }
+
+    impl MasterPolicy for Script {
+        fn next_action(&mut self, _ctx: &SimCtx) -> Action {
+            let a = self
+                .actions
+                .get(self.next)
+                .copied()
+                .unwrap_or(Action::Finished);
+            self.next += 1;
+            a
+        }
+
+        fn name(&self) -> &'static str {
+            "script"
+        }
+    }
+
+    fn demo_descr() -> ChunkDescr {
+        ChunkDescr {
+            id: 0,
+            c_blocks: 4,
+            steps: 2,
+            a_blocks_per_step: 2,
+            b_blocks_per_step: 2,
+            updates_per_step: 4,
+            tail: None,
+        }
+    }
+
+    fn full_script(descr: ChunkDescr, worker: WorkerId) -> Vec<Action> {
+        let mut v = vec![Action::Send {
+            worker,
+            fragment: Fragment::c_load(&descr),
+            new_chunk: Some(descr),
+        }];
+        for s in 0..descr.steps {
+            v.push(Action::Send {
+                worker,
+                fragment: Fragment::b_step(&descr, s),
+                new_chunk: None,
+            });
+            v.push(Action::Send {
+                worker,
+                fragment: Fragment::a_step(&descr, s),
+                new_chunk: None,
+            });
+        }
+        v.push(Action::Retrieve {
+            worker,
+            chunk: descr.id,
+        });
+        v
+    }
+
+    fn one_worker(c: f64, w: f64, m: usize) -> Platform {
+        Platform::new("tiny", vec![WorkerSpec::new(c, w, m)])
+    }
+
+    #[test]
+    fn one_chunk_timing_is_exact() {
+        // c = w = 1 per block. Transfers: C 0→4, B0 4→6, A0 6→8,
+        // B1 8→10, A1 10→12. Step0 runs 8→12, step1 12→16 (serialized).
+        // Retrieval blocks until 16 then runs 16→20.
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100));
+        let mut p = Script::new(full_script(demo_descr(), 0));
+        let stats = sim.run(&mut p).unwrap();
+        assert!((stats.makespan - 20.0).abs() < 1e-9, "{}", stats.makespan);
+        assert_eq!(stats.blocks_to_workers, 12);
+        assert_eq!(stats.blocks_to_master, 4);
+        assert_eq!(stats.total_updates, 8);
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.enrolled(), 1);
+        // Port: 12 in + 4 out = 16 busy seconds.
+        assert!((stats.port_busy - 16.0).abs() < 1e-9);
+        // Peak memory: C(4) + step0 A/B (4) + B1 (2) = 10 — step0's
+        // buffers are freed at t=12 just before A1 lands (same timestamp,
+        // earlier event sequence number).
+        assert_eq!(stats.per_worker[0].mem_high_water, 10);
+        assert!((stats.per_worker[0].busy_time - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_overlaps_communication() {
+        // Make compute slow: w = 10. Step0 ready at 8, runs 8→48.
+        // Meanwhile B1/A1 arrive at 10/12 (overlap). Step1 runs 48→88;
+        // retrieval 88→92.
+        let sim = Simulator::new(one_worker(1.0, 10.0, 100));
+        let mut p = Script::new(full_script(demo_descr(), 0));
+        let stats = sim.run(&mut p).unwrap();
+        assert!((stats.makespan - 92.0).abs() < 1e-9, "{}", stats.makespan);
+    }
+
+    #[test]
+    fn trace_records_all_intervals() {
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_trace(true);
+        let mut p = Script::new(full_script(demo_descr(), 0));
+        let (_, trace) = sim.run_traced(&mut p).unwrap();
+        // 5 sends + 2 computes + 1 retrieval.
+        assert_eq!(trace.len(), 8);
+        assert!(trace.iter().all(|t| t.end >= t.start));
+        // One-port check: transfer intervals must not overlap.
+        let mut transfers: Vec<(f64, f64)> = trace
+            .iter()
+            .filter(|t| !matches!(t.kind, TraceKind::Compute { .. }))
+            .map(|t| (t.start, t.end))
+            .collect();
+        transfers.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in transfers.windows(2) {
+            assert!(pair[0].1 <= pair[1].0 + 1e-12, "port overlap: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn memory_violation_is_detected() {
+        // Capacity 5: C load (4 blocks) + first B fragment (2) overflows.
+        let sim = Simulator::new(one_worker(1.0, 1.0, 5));
+        let mut p = Script::new(full_script(demo_descr(), 0));
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::MemoryViolation {
+                    worker: 0,
+                    capacity: 5,
+                    attempted: 6,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn deadlock_detected_when_operands_never_arrive() {
+        let descr = demo_descr();
+        // Send C only, then wait forever.
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100));
+        let mut p = Script::new(vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Wait,
+            Action::Wait,
+        ]);
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::Deadlock {
+                    unretrieved_chunks: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn blocked_retrieve_of_starved_chunk_is_deadlock() {
+        let descr = demo_descr();
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100));
+        let mut p = Script::new(vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Retrieve {
+                worker: 0,
+                chunk: 0,
+            },
+        ]);
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn premature_finish_is_rejected() {
+        let descr = demo_descr();
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100));
+        let mut p = Script::new(vec![Action::Send {
+            worker: 0,
+            fragment: Fragment::c_load(&descr),
+            new_chunk: Some(descr),
+        }]);
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(
+            matches!(err, SimError::PrematureFinish { unretrieved_chunks: 1 }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_chunk_id_is_protocol_error() {
+        let descr = demo_descr();
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100));
+        let open = Action::Send {
+            worker: 0,
+            fragment: Fragment::c_load(&descr),
+            new_chunk: Some(descr),
+        };
+        let mut p = Script::new(vec![open, open]);
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(matches!(err, SimError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn over_delivery_is_protocol_error() {
+        let descr = demo_descr();
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100));
+        let mut p = Script::new(vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::a_step(&descr, 0),
+                new_chunk: None,
+            },
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::a_step(&descr, 0),
+                new_chunk: None,
+            },
+        ]);
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(matches!(err, SimError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn fragment_to_wrong_worker_is_protocol_error() {
+        let descr = demo_descr();
+        let platform = Platform::new(
+            "two",
+            vec![WorkerSpec::new(1.0, 1.0, 100), WorkerSpec::new(1.0, 1.0, 100)],
+        );
+        let sim = Simulator::new(platform);
+        let mut p = Script::new(vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Send {
+                worker: 1,
+                fragment: Fragment::b_step(&descr, 0),
+                new_chunk: None,
+            },
+        ]);
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(matches!(err, SimError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn two_workers_compute_in_parallel() {
+        // Two identical workers, one chunk each. Communication serializes
+        // through the port but computation overlaps, so the makespan is
+        // far below 2× the single-worker time.
+        let platform = Platform::new(
+            "two",
+            vec![
+                WorkerSpec::new(0.1, 10.0, 100),
+                WorkerSpec::new(0.1, 10.0, 100),
+            ],
+        );
+        let sim = Simulator::new(platform);
+        let d0 = demo_descr();
+        let d1 = ChunkDescr { id: 1, ..d0 };
+        let mut script = Vec::new();
+        for (w, d) in [(0usize, d0), (1usize, d1)] {
+            script.push(Action::Send {
+                worker: w,
+                fragment: Fragment::c_load(&d),
+                new_chunk: Some(d),
+            });
+            for s in 0..d.steps {
+                script.push(Action::Send {
+                    worker: w,
+                    fragment: Fragment::b_step(&d, s),
+                    new_chunk: None,
+                });
+                script.push(Action::Send {
+                    worker: w,
+                    fragment: Fragment::a_step(&d, s),
+                    new_chunk: None,
+                });
+            }
+        }
+        script.push(Action::Retrieve { worker: 0, chunk: 0 });
+        script.push(Action::Retrieve { worker: 1, chunk: 1 });
+        let mut p = Script::new(script);
+        let stats = sim.run(&mut p).unwrap();
+        assert_eq!(stats.enrolled(), 2);
+        assert_eq!(stats.total_updates, 16);
+        // Sequential compute alone would be 2 chunks × 2 steps × 40 = 160;
+        // parallel overlap must be well under that.
+        assert!(stats.makespan < 130.0, "{}", stats.makespan);
+    }
+
+    #[test]
+    fn empty_script_finishes_immediately() {
+        let sim = Simulator::new(one_worker(1.0, 1.0, 10));
+        let mut p = Script::new(vec![]);
+        let stats = sim.run(&mut p).unwrap();
+        assert_eq!(stats.makespan, 0.0);
+        assert_eq!(stats.chunks, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Discrete-event simulator of the paper's one-port star platform.
+//!
+//! The paper models execution as follows (Section 2):
+//!
+//! * linear costs — a message of `X` blocks occupies the master's port for
+//!   `X · c_i` seconds; a compute step of `U` block updates occupies
+//!   worker `i` for `U · w_i` seconds;
+//! * **one-port model** — the master serializes *all* its communications
+//!   (sends and receives alike);
+//! * a worker cannot start computing before its operands have fully
+//!   arrived, cannot return a result before the computation finished, and
+//!   *can* overlap communication with computation of independent tasks;
+//! * worker `i` holds at most `m_i` blocks at any instant.
+//!
+//! This crate implements exactly that model. Scheduling algorithms are
+//! [`policy::MasterPolicy`] implementations (provided by `stargemm-core`);
+//! the engine asks the policy what to communicate whenever the port frees,
+//! executes the generic dataflow worker semantics, enforces the memory
+//! capacity **strictly** (an algorithm that overflows a worker's buffers
+//! fails the run — this is how the paper's Table 2 infeasibility argument
+//! is demonstrated), and reports [`stats::RunStats`].
+//!
+//! Granularity: one *fragment* (a batch of blocks bound to a `(chunk,
+//! step)` pair) per message and one compute *step* (all updates enabled by
+//! that step's fragments) per compute event. This matches the granularity
+//! of the paper's own cost analysis (`2μ c_i` communication then
+//! `μ² w_i` computation per step).
+
+pub mod analysis;
+pub mod engine;
+pub mod error;
+pub mod msg;
+pub mod policy;
+pub mod stats;
+pub mod trace;
+
+pub use engine::Simulator;
+pub use error::SimError;
+pub use msg::{ChunkDescr, ChunkId, Fragment, MatKind, StepCosts, StepId};
+pub use policy::{Action, CtxMirror, MasterPolicy, SimCtx, SimEvent};
+pub use stats::{RunStats, WorkerStats};

@@ -1,0 +1,150 @@
+//! Run statistics — everything Figures 4–9 of the paper are built from.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-worker counters accumulated during a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Blocks received from the master.
+    pub blocks_rx: u64,
+    /// Blocks sent back to the master (retrieved C chunks).
+    pub blocks_tx: u64,
+    /// Block updates performed.
+    pub updates: u64,
+    /// Seconds spent computing.
+    pub busy_time: f64,
+    /// Chunks assigned to this worker.
+    pub chunks_assigned: u64,
+    /// Peak simultaneous block-buffer occupancy observed.
+    pub mem_high_water: u64,
+}
+
+impl WorkerStats {
+    /// Whether the worker took part in the computation at all. The
+    /// paper's *relative work* metric multiplies makespan by the number
+    /// of enrolled processors.
+    pub fn enrolled(&self) -> bool {
+        self.blocks_rx > 0
+    }
+}
+
+/// Aggregate statistics of one (simulated or real) run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total execution time (paper: *makespan*), seconds.
+    pub makespan: f64,
+    /// Seconds the master's port spent transferring.
+    pub port_busy: f64,
+    /// Total blocks sent master → workers.
+    pub blocks_to_workers: u64,
+    /// Total blocks retrieved workers → master.
+    pub blocks_to_master: u64,
+    /// Total block updates performed across workers.
+    pub total_updates: u64,
+    /// Number of chunks processed.
+    pub chunks: u64,
+    /// Per-worker counters, indexed by `WorkerId`.
+    pub per_worker: Vec<WorkerStats>,
+    /// Name of the scheduling policy that produced the run.
+    pub policy: String,
+}
+
+impl RunStats {
+    /// Number of enrolled workers (those that received at least one
+    /// block).
+    pub fn enrolled(&self) -> usize {
+        self.per_worker.iter().filter(|w| w.enrolled()).count()
+    }
+
+    /// The paper's *work* metric: `makespan × enrolled processors`.
+    /// Relative work divides this by the best value across algorithms.
+    pub fn work(&self) -> f64 {
+        self.makespan * self.enrolled() as f64
+    }
+
+    /// Communication-to-computation ratio in block units: total blocks
+    /// moved (both directions) per block update performed.
+    pub fn ccr(&self) -> f64 {
+        if self.total_updates == 0 {
+            return f64::INFINITY;
+        }
+        (self.blocks_to_workers + self.blocks_to_master) as f64 / self.total_updates as f64
+    }
+
+    /// Fraction of the makespan the master's port was busy.
+    pub fn port_utilization(&self) -> f64 {
+        if self.makespan == 0.0 {
+            0.0
+        } else {
+            self.port_busy / self.makespan
+        }
+    }
+
+    /// Achieved throughput in block updates per second.
+    pub fn throughput(&self) -> f64 {
+        if self.makespan == 0.0 {
+            0.0
+        } else {
+            self.total_updates as f64 / self.makespan
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunStats {
+        RunStats {
+            makespan: 10.0,
+            port_busy: 4.0,
+            blocks_to_workers: 300,
+            blocks_to_master: 100,
+            total_updates: 2000,
+            chunks: 4,
+            per_worker: vec![
+                WorkerStats {
+                    blocks_rx: 200,
+                    updates: 1000,
+                    ..Default::default()
+                },
+                WorkerStats::default(),
+                WorkerStats {
+                    blocks_rx: 200,
+                    updates: 1000,
+                    ..Default::default()
+                },
+            ],
+            policy: "test".into(),
+        }
+    }
+
+    #[test]
+    fn enrolled_counts_active_workers_only() {
+        let s = sample();
+        assert_eq!(s.enrolled(), 2);
+        assert_eq!(s.work(), 20.0);
+    }
+
+    #[test]
+    fn ccr_counts_both_directions() {
+        let s = sample();
+        assert!((s.ccr() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_and_throughput() {
+        let s = sample();
+        assert!((s.port_utilization() - 0.4).abs() < 1e-12);
+        assert!((s.throughput() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_run_is_safe() {
+        let s = RunStats::default();
+        assert_eq!(s.enrolled(), 0);
+        assert_eq!(s.ccr(), f64::INFINITY);
+        assert_eq!(s.port_utilization(), 0.0);
+        assert_eq!(s.throughput(), 0.0);
+    }
+}

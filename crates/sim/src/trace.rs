@@ -1,0 +1,162 @@
+//! Execution traces and a small ASCII Gantt renderer.
+//!
+//! Traces make the schedule *visible*: `examples/trace_gantt.rs` uses the
+//! renderer to reproduce the flavour of the paper's Figure 3 (the four
+//! steps of the maximum re-use algorithm) from an actual simulated run.
+
+use crate::msg::{ChunkId, MatKind, StepId};
+use stargemm_platform::WorkerId;
+
+/// What an interval on the trace represents.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceKind {
+    /// Master→worker fragment transfer (occupies the master port).
+    SendToWorker {
+        kind: MatKind,
+        chunk: ChunkId,
+        step: StepId,
+        blocks: u64,
+    },
+    /// Worker→master result transfer (occupies the master port).
+    RetrieveFromWorker { chunk: ChunkId, blocks: u64 },
+    /// A compute step on the worker.
+    Compute {
+        chunk: ChunkId,
+        step: StepId,
+        updates: u64,
+    },
+}
+
+/// One interval of activity.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEntry {
+    pub kind: TraceKind,
+    pub worker: WorkerId,
+    pub start: f64,
+    pub end: f64,
+}
+
+impl TraceEntry {
+    /// Whether the interval occupies the master's port.
+    pub fn uses_port(&self) -> bool {
+        !matches!(self.kind, TraceKind::Compute { .. })
+    }
+}
+
+/// Renders a trace as an ASCII Gantt chart with one lane for the master
+/// port and two lanes (communication / computation) per worker.
+///
+/// `width` is the number of character columns for the time axis.
+pub fn render_gantt(trace: &[TraceEntry], num_workers: usize, width: usize) -> String {
+    assert!(width >= 10, "gantt width too small");
+    let horizon = trace.iter().map(|t| t.end).fold(0.0, f64::max);
+    if horizon <= 0.0 {
+        return String::from("(empty trace)\n");
+    }
+    let scale = |t: f64| ((t / horizon) * (width as f64 - 1.0)).round() as usize;
+
+    let mut lanes: Vec<(String, Vec<char>)> = Vec::new();
+    lanes.push(("port   ".into(), vec![' '; width]));
+    for w in 0..num_workers {
+        lanes.push((format!("w{w} comm"), vec![' '; width]));
+        lanes.push((format!("w{w} cpu "), vec![' '; width]));
+    }
+
+    for t in trace {
+        let (lane, ch) = match t.kind {
+            TraceKind::SendToWorker { kind, .. } => (
+                1 + 2 * t.worker,
+                match kind {
+                    MatKind::A => 'a',
+                    MatKind::B => 'b',
+                    MatKind::C => 'C',
+                },
+            ),
+            TraceKind::RetrieveFromWorker { .. } => (1 + 2 * t.worker, 'R'),
+            TraceKind::Compute { .. } => (2 + 2 * t.worker, '#'),
+        };
+        let (s, e) = (scale(t.start), scale(t.end).max(scale(t.start) + 1));
+        for cell in lanes[lane].1[s..e.min(width)].iter_mut() {
+            *cell = ch;
+        }
+        if t.uses_port() {
+            for cell in lanes[0].1[s..e.min(width)].iter_mut() {
+                *cell = '=';
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("t = 0 .. {horizon:.3}s\n"));
+    for (label, cells) in lanes {
+        out.push_str(&label);
+        out.push(' ');
+        out.push('|');
+        out.extend(cells);
+        out.push('|');
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Vec<TraceEntry> {
+        vec![
+            TraceEntry {
+                kind: TraceKind::SendToWorker {
+                    kind: MatKind::C,
+                    chunk: 0,
+                    step: 0,
+                    blocks: 4,
+                },
+                worker: 0,
+                start: 0.0,
+                end: 4.0,
+            },
+            TraceEntry {
+                kind: TraceKind::Compute {
+                    chunk: 0,
+                    step: 0,
+                    updates: 4,
+                },
+                worker: 0,
+                start: 4.0,
+                end: 8.0,
+            },
+            TraceEntry {
+                kind: TraceKind::RetrieveFromWorker { chunk: 0, blocks: 4 },
+                worker: 0,
+                start: 8.0,
+                end: 10.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn uses_port_distinguishes_compute() {
+        let t = sample_trace();
+        assert!(t[0].uses_port());
+        assert!(!t[1].uses_port());
+        assert!(t[2].uses_port());
+    }
+
+    #[test]
+    fn gantt_contains_all_lanes_and_symbols() {
+        let g = render_gantt(&sample_trace(), 1, 40);
+        assert!(g.contains("port"));
+        assert!(g.contains("w0 comm"));
+        assert!(g.contains("w0 cpu"));
+        assert!(g.contains('C'));
+        assert!(g.contains('#'));
+        assert!(g.contains('R'));
+        assert!(g.contains('='));
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert_eq!(render_gantt(&[], 2, 40), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,45 @@
+//! Explore the Section 3 communication bounds: how close does the
+//! maximum re-use algorithm get to `√(27/8m)` as memory grows?
+//!
+//! ```sh
+//! cargo run --release --example bound_explorer
+//! ```
+
+use stargemm::core::bounds::{
+    ccr_lower_bound, ito_lower_bound, maxreuse_ccr, maxreuse_ccr_asymptotic,
+    toledo_ccr_asymptotic,
+};
+
+fn main() {
+    println!("communication-to-computation ratios (block units), t = 1000");
+    println!(
+        "{:>8} {:>11} {:>11} {:>11} {:>11} {:>13} {:>13}",
+        "m", "bound", "ITO bound", "maxreuse", "Toledo", "maxreuse/bnd", "Toledo/maxr"
+    );
+    for exp in 6..=20 {
+        let m = 1usize << exp;
+        let bound = ccr_lower_bound(m);
+        let reuse = maxreuse_ccr(m, 1000);
+        let toledo = toledo_ccr_asymptotic(m);
+        println!(
+            "{:>8} {:>11.5} {:>11.5} {:>11.5} {:>11.5} {:>13.4} {:>13.4}",
+            m,
+            bound,
+            ito_lower_bound(m),
+            reuse,
+            toledo,
+            reuse / bound,
+            toledo / maxreuse_ccr_asymptotic(m),
+        );
+    }
+    println!(
+        "\nmaxreuse/bound should approach sqrt(32/27) = {:.4}; \
+         Toledo/maxreuse should approach sqrt(3) = {:.4}.",
+        (32.0f64 / 27.0).sqrt(),
+        3.0f64.sqrt()
+    );
+    println!(
+        "In scalar units divide by q: with q = 80 a ratio of 0.025 means \
+         one coefficient moved per 3200 floating-point operations."
+    );
+}

@@ -1,0 +1,55 @@
+//! Extension: LU factorization on the master-worker platform (the
+//! adaptation the paper's conclusion defers to its companion report).
+//!
+//! Shows both halves: (1) the in-core block LU kernel verified against
+//! reconstruction, and (2) the distributed schedule where every trailing
+//! update is farmed out with the paper's heterogeneous algorithm.
+//!
+//! ```sh
+//! cargo run --release --example lu_factorization
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stargemm::core::algorithms::Algorithm;
+use stargemm::core::lu::schedule_lu;
+use stargemm::linalg::lu::{lu_factor, lu_residual, random_diag_dominant};
+use stargemm::platform::{Platform, WorkerSpec};
+
+fn main() {
+    // (1) The kernel: factor a 6×6-block (48×48 scalar) matrix.
+    let mut rng = StdRng::seed_from_u64(7);
+    let a0 = random_diag_dominant(6, 8, &mut rng);
+    let mut f = a0.clone();
+    lu_factor(&mut f).expect("diagonally dominant ⇒ factorable");
+    let residual = lu_residual(&a0, &f);
+    println!("in-core block LU: ‖A − L·U‖_max = {residual:.2e} (48×48)");
+    assert!(residual < 1e-9);
+
+    // (2) The schedule: a 40×40-block LU on a heterogeneous platform.
+    let platform = Platform::new(
+        "lu-demo",
+        vec![
+            WorkerSpec::new(0.004, 0.0005, 2_000),
+            WorkerSpec::new(0.008, 0.0010, 1_000),
+            WorkerSpec::new(0.016, 0.0020, 500),
+        ],
+    );
+    println!("\ndistributed LU of a 40×40-block matrix (q = 80):");
+    println!(
+        "{:<8} {:>12} {:>14} {:>14}",
+        "policy", "total", "update frac", "peak enrolled"
+    );
+    for alg in [Algorithm::Het, Algorithm::Oddoml, Algorithm::Orroml, Algorithm::Bmm] {
+        let plan = schedule_lu(&platform, 40, 80, alg).expect("schedulable");
+        let peak = plan.iterations.iter().map(|i| i.enrolled).max().unwrap();
+        println!(
+            "{:<8} {:>11.1}s {:>14.2} {:>14}",
+            plan.algorithm,
+            plan.total,
+            plan.update_fraction(),
+            peak
+        );
+    }
+    println!("\nTrailing updates dominate; the paper's scheduling gains carry over to LU.");
+}

@@ -1,0 +1,74 @@
+//! Inside the heterogeneous algorithm: the eight resource-selection
+//! variants, who they enroll, and the steady-state upper bound.
+//!
+//! ```sh
+//! cargo run --release --example resource_selection
+//! ```
+
+use stargemm::core::select_het::{allocate, SelectionVariant};
+use stargemm::core::steady::bandwidth_centric;
+use stargemm::core::Job;
+use stargemm::platform::presets;
+use stargemm::sim::Simulator;
+
+fn main() {
+    let platform = presets::fully_het(4.0);
+    let job = Job::paper(80_000);
+
+    println!("platform: {} ({} workers)", platform.name, platform.len());
+    println!(
+        "{:<4} {:>10} {:>10} {:>8}",
+        "id", "c (ms/blk)", "w (ms/upd)", "m (blks)"
+    );
+    for (i, s) in platform.iter() {
+        println!(
+            "P{:<3} {:>10.3} {:>10.3} {:>8}",
+            i + 1,
+            s.c * 1e3,
+            s.w * 1e3,
+            s.m
+        );
+    }
+
+    let ss = bandwidth_centric(&platform, job.r);
+    println!(
+        "\nbandwidth-centric steady state: throughput {:.0} updates/s, enrolls {:?}",
+        ss.throughput,
+        ss.enrolled.iter().map(|w| w + 1).collect::<Vec<_>>()
+    );
+
+    println!("\nPhase-1 selection, all eight variants:");
+    println!(
+        "{:<14} {:>10} {:>24} {:>12}",
+        "variant", "makespan", "chunk-columns per worker", "enrolled"
+    );
+    for v in SelectionVariant::all() {
+        let alloc = allocate(&platform, &job, v);
+        let per_worker: Vec<String> = alloc
+            .queues
+            .iter()
+            .map(|q| {
+                let cols: usize = q
+                    .iter()
+                    .filter(|c| c.geom.i0 == 0)
+                    .map(|c| c.geom.w)
+                    .sum();
+                format!("{cols}")
+            })
+            .collect();
+        let mut policy = stargemm::core::select_het::het_policy(&platform, &job, v);
+        let makespan = Simulator::new(platform.clone())
+            .run(&mut policy)
+            .map(|s| s.makespan)
+            .unwrap_or(f64::NAN);
+        let enrolled = alloc.queues.iter().filter(|q| !q.is_empty()).count();
+        println!(
+            "{:<14} {:>9.1}s {:>24} {:>12}",
+            v.label(),
+            makespan,
+            per_worker.join("/"),
+            enrolled
+        );
+    }
+    println!("\nHet runs all eight in simulation and executes the winner.");
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) of the core invariants on random
+//! platforms and jobs.
+
+use proptest::prelude::*;
+use stargemm::core::algorithms::{run_algorithm, Algorithm};
+use stargemm::core::bounds::{ccr_lower_bound, maxreuse_ccr};
+use stargemm::core::layout::{mu_no_overlap, mu_overlapped, mu_single, toledo_g};
+use stargemm::core::maxreuse::simulate_max_reuse;
+use stargemm::core::select_het::{allocate, SelectionVariant};
+use stargemm::core::steady::{bandwidth_centric, lp_throughput, makespan_lower_bound};
+use stargemm::core::{geometry::validate_coverage, Job};
+use stargemm::platform::{Platform, WorkerSpec};
+
+fn arb_spec() -> impl Strategy<Value = WorkerSpec> {
+    (0.05f64..4.0, 0.05f64..4.0, 12usize..400)
+        .prop_map(|(c, w, m)| WorkerSpec::new(c, w, m))
+}
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(arb_spec(), 1..6).prop_map(|specs| Platform::new("prop", specs))
+}
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    (1usize..14, 1usize..12, 1usize..20).prop_map(|(r, t, s)| Job::new(r, t, s, 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn layouts_are_feasible_and_maximal(m in 0usize..100_000) {
+        let mu = mu_single(m);
+        prop_assert!(mu == 0 || 1 + mu + mu * mu <= m);
+        prop_assert!(1 + (mu + 1) + (mu + 1) * (mu + 1) > m);
+        let mo = mu_overlapped(m);
+        prop_assert!(mo * mo + 4 * mo <= m);
+        prop_assert!((mo + 1) * (mo + 1) + 4 * (mo + 1) > m);
+        let mn = mu_no_overlap(m);
+        prop_assert!(mn * mn + 2 * mn <= m);
+        let g = toledo_g(m);
+        prop_assert!(3 * g * g <= m);
+        // Ordering: the single-worker layout always fits at least as big
+        // a mu as the double-buffered one.
+        prop_assert!(mu >= mo || m < 3);
+    }
+
+    #[test]
+    fn maxreuse_ccr_always_respects_the_bound(m in 7usize..50_000, t in 1usize..2_000) {
+        prop_assert!(maxreuse_ccr(m, t) >= ccr_lower_bound(m));
+    }
+
+    #[test]
+    fn greedy_steady_state_equals_the_lp(platform in arb_platform(), r in 1usize..200) {
+        prop_assume!(platform.workers().iter().any(|s| mu_overlapped(s.m).min(r) > 0));
+        let greedy = bandwidth_centric(&platform, r).throughput;
+        let lp = lp_throughput(&platform, r);
+        prop_assert!((greedy - lp).abs() <= 1e-6 * lp.max(1.0),
+            "greedy {greedy} vs lp {lp}");
+    }
+
+    #[test]
+    fn every_het_variant_covers_c(platform in arb_platform(), job in arb_job(),
+                                  vi in 0usize..8) {
+        prop_assume!(platform.workers().iter().any(|s| mu_overlapped(s.m) > 0));
+        let v = SelectionVariant::all()[vi];
+        let alloc = allocate(&platform, &job, v);
+        let geoms: Vec<_> = alloc.queues.iter().flatten().map(|c| c.geom).collect();
+        prop_assert!(validate_coverage(&job, &geoms).is_ok());
+    }
+
+    #[test]
+    fn algorithms_complete_with_memory_discipline(
+        platform in arb_platform(),
+        job in arb_job(),
+        ai in 0usize..7,
+    ) {
+        let alg = Algorithm::all()[ai];
+        match run_algorithm(&platform, &job, alg) {
+            Err(_) => {
+                // Only acceptable when the layout truly does not fit on
+                // any worker.
+                let fits = platform.workers().iter().any(|s| match alg {
+                    Algorithm::Bmm => toledo_g(s.m) > 0,
+                    _ => mu_overlapped(s.m) > 0,
+                });
+                prop_assert!(!fits, "{} failed on a feasible platform", alg.name());
+            }
+            Ok(stats) => {
+                prop_assert_eq!(stats.total_updates, job.total_updates());
+                prop_assert_eq!(stats.blocks_to_master, job.c_blocks());
+                for (w, ws) in stats.per_worker.iter().enumerate() {
+                    prop_assert!(ws.mem_high_water <= platform.worker(w).m as u64);
+                }
+                // Makespan never beats the steady-state bound.
+                let bound = makespan_lower_bound(&platform, &job);
+                prop_assert!(stats.makespan >= bound * 0.999);
+                // Communication accounting is self-consistent: the master
+                // ships at least one C load + retrieval per block plus A/B
+                // fragments.
+                prop_assert!(stats.blocks_to_workers >= job.c_blocks());
+            }
+        }
+    }
+
+    #[test]
+    fn maxreuse_simulation_matches_analytic_ccr(
+        mexp in 3usize..9, tmul in 1usize..5,
+    ) {
+        // Memory sized so chunks divide evenly: m = mu^2 + 2 mu.
+        let mu = 1usize << (mexp - 2);
+        let m = mu * mu + 2 * mu;
+        let t = tmul * 10;
+        let job = Job::new(mu, t, 2 * mu, 4);
+        let stats = simulate_max_reuse(&job, WorkerSpec::new(1.0, 1.0, m)).unwrap();
+        let expect = 2.0 / t as f64 + 2.0 / mu as f64;
+        prop_assert!((stats.ccr() - expect).abs() < 1e-9,
+            "ccr {} vs {}", stats.ccr(), expect);
+    }
+
+    #[test]
+    fn relative_metrics_are_at_least_one(platform in arb_platform(), job in arb_job()) {
+        prop_assume!(platform.workers().iter().any(|s| mu_overlapped(s.m) > 0));
+        let mut makespans = Vec::new();
+        for alg in [Algorithm::Het, Algorithm::Oddoml, Algorithm::Orroml] {
+            if let Ok(s) = run_algorithm(&platform, &job, alg) {
+                makespans.push(s.makespan);
+            }
+        }
+        prop_assume!(!makespans.is_empty());
+        let best = makespans.iter().copied().fold(f64::INFINITY, f64::min);
+        for m in makespans {
+            prop_assert!(m / best >= 1.0 - 1e-12);
+        }
+    }
+}
