@@ -40,9 +40,21 @@ fn bench_selection(c: &mut Criterion) {
     let platform = presets::fully_het(4.0);
     let job = Job::paper(80_000);
     for v in [
-        SelectionVariant { local: false, lookahead: false, c_cost: false },
-        SelectionVariant { local: true, lookahead: false, c_cost: false },
-        SelectionVariant { local: false, lookahead: true, c_cost: true },
+        SelectionVariant {
+            local: false,
+            lookahead: false,
+            c_cost: false,
+        },
+        SelectionVariant {
+            local: true,
+            lookahead: false,
+            c_cost: false,
+        },
+        SelectionVariant {
+            local: false,
+            lookahead: true,
+            c_cost: true,
+        },
     ] {
         group.bench_with_input(BenchmarkId::new("allocate", v.label()), &v, |b, &v| {
             b.iter(|| black_box(allocate(&platform, &job, v)))
@@ -56,7 +68,9 @@ fn bench_selection(c: &mut Criterion) {
 
 fn bench_net_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("net_runtime");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     let job = Job::new(4, 6, 6, 32);
     let platform = Platform::new(
         "bench",

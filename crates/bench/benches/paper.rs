@@ -89,7 +89,11 @@ fn bench_fig8(c: &mut Criterion) {
 fn bench_fig9(c: &mut Criterion) {
     // The summary's marginal work beyond figs 4-8 is the steady-state
     // bound per platform.
-    let platforms = [presets::het_memory(), presets::het_comm(), presets::het_comp()];
+    let platforms = [
+        presets::het_memory(),
+        presets::het_comm(),
+        presets::het_comp(),
+    ];
     c.bench_function("exp_fig9_steady_bounds", |b| {
         b.iter(|| {
             for p in &platforms {
@@ -111,7 +115,9 @@ fn bench_lu_extension(c: &mut Criterion) {
 fn bench_ooc(c: &mut Criterion) {
     let job = Job::new(32, 32, 32, 80);
     c.bench_function("exp_ooc_maxreuse_single_worker", |b| {
-        b.iter(|| black_box(simulate_max_reuse(&job, WorkerSpec::new(0.002, 0.0005, 1_200)).unwrap()))
+        b.iter(|| {
+            black_box(simulate_max_reuse(&job, WorkerSpec::new(0.002, 0.0005, 1_200)).unwrap())
+        })
     });
 }
 

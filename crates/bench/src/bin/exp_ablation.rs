@@ -74,8 +74,13 @@ fn main() {
             (mu, mu)
         };
         let queues = rect_queues(&job, &platform, sides);
-        let mut policy =
-            StreamingMaster::new_static("ablate-window", job, queues, Serving::DemandDriven, window);
+        let mut policy = StreamingMaster::new_static(
+            "ablate-window",
+            job,
+            queues,
+            Serving::DemandDriven,
+            window,
+        );
         let (mk, ccr, ov) = simulate(&platform, &mut policy);
         out.push_str(&format!(
             "{:>7} {:>11.1}s {:>9.4} {:>14.3}\n",
@@ -88,7 +93,11 @@ fn main() {
         "{:>10} {:>12} {:>9}\n",
         "shape", "makespan", "CCR"
     ));
-    for (label, ah, aw) in [("square", 1usize, 1usize), ("flat 1:4", 1, 4), ("tall 4:1", 4, 1)] {
+    for (label, ah, aw) in [
+        ("square", 1usize, 1usize),
+        ("flat 1:4", 1, 4),
+        ("tall 4:1", 4, 1),
+    ] {
         let sides = |w: usize| {
             let (h, ww) = rect_sides(platform.worker(w).m, ah, aw);
             (h.min(job.r), ww)

@@ -8,8 +8,7 @@
 
 use stargemm_bench::write_results;
 use stargemm_core::bounds::{
-    ccr_lower_bound, ito_lower_bound, maxreuse_ccr, maxreuse_ccr_asymptotic,
-    toledo_ccr_asymptotic,
+    ccr_lower_bound, ito_lower_bound, maxreuse_ccr, maxreuse_ccr_asymptotic, toledo_ccr_asymptotic,
 };
 use stargemm_core::maxreuse::simulate_max_reuse;
 use stargemm_core::Job;

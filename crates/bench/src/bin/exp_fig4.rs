@@ -10,10 +10,7 @@ use stargemm_platform::presets;
 fn main() {
     let platform = presets::het_memory();
     let instances = size_sweep(&platform);
-    emit_figure(
-        "fig4",
-        "Figure 4. Heterogeneous memory.",
-        &instances,
-        |i| format!("s={} ({})", i.job.s, i.platform_name),
-    );
+    emit_figure("fig4", "Figure 4. Heterogeneous memory.", &instances, |i| {
+        format!("s={} ({})", i.job.s, i.platform_name)
+    });
 }

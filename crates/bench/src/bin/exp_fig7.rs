@@ -15,10 +15,7 @@ fn main() {
     let job = Job::paper(80_000);
     let mut platforms = vec![presets::fully_het(2.0), presets::fully_het(4.0)];
     platforms.extend(figure7_random_platforms(2008));
-    let instances: Vec<Instance> = platforms
-        .iter()
-        .map(|p| Instance::run(p, &job))
-        .collect();
+    let instances: Vec<Instance> = platforms.iter().map(|p| Instance::run(p, &job)).collect();
     emit_figure(
         "fig7",
         "Figure 7. Fully heterogeneous platforms.",
@@ -42,6 +39,10 @@ fn main() {
             .iter()
             .map(|i| i.relative_cost(alg))
             .fold(0.0, f64::max);
-        println!("worst-case relative cost of {:>7}: {:.3}", alg.name(), worst);
+        println!(
+            "worst-case relative cost of {:>7}: {:.3}",
+            alg.name(),
+            worst
+        );
     }
 }

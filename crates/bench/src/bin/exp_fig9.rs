@@ -96,9 +96,13 @@ fn main() {
         }
     };
     // Per-campaign pairing for figs 4-6 (platform constant per campaign).
-    for (idx, p) in [presets::het_memory(), presets::het_comm(), presets::het_comp()]
-        .into_iter()
-        .enumerate()
+    for (idx, p) in [
+        presets::het_memory(),
+        presets::het_comm(),
+        presets::het_comp(),
+    ]
+    .into_iter()
+    .enumerate()
     {
         for inst in &campaigns[idx].1 {
             eval(&p, inst);

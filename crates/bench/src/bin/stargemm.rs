@@ -165,7 +165,10 @@ fn main() -> ExitCode {
         }
         "bounds" => {
             let t: usize = opts.get("--t").and_then(|s| s.parse().ok()).unwrap_or(100);
-            println!("{:>8} {:>12} {:>12} {:>12}", "m", "bound", "maxreuse", "Toledo");
+            println!(
+                "{:>8} {:>12} {:>12} {:>12}",
+                "m", "bound", "maxreuse", "Toledo"
+            );
             for m in [100usize, 500, 1_000, 5_000, 20_000] {
                 println!(
                     "{:>8} {:>12.5} {:>12.5} {:>12.5}",

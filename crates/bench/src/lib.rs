@@ -103,7 +103,11 @@ impl Instance {
 
 /// Renders the classic two-panel figure (relative cost, relative work) as
 /// aligned text tables, one row per instance.
-pub fn render_figure(title: &str, instances: &[Instance], label: impl Fn(&Instance) -> String) -> String {
+pub fn render_figure(
+    title: &str,
+    instances: &[Instance],
+    label: impl Fn(&Instance) -> String,
+) -> String {
     let algs = Algorithm::all();
     let mut out = String::new();
     for (panel, metric) in [("(a) relative cost", 0), ("(b) relative work", 1)] {
@@ -186,7 +190,12 @@ pub fn size_sweep(platform: &Platform) -> Vec<Instance> {
 
 /// Standard output for a figure: render both panels, print, and persist
 /// table + CSV under `results/`.
-pub fn emit_figure(id: &str, title: &str, instances: &[Instance], label: impl Fn(&Instance) -> String) {
+pub fn emit_figure(
+    id: &str,
+    title: &str,
+    instances: &[Instance],
+    label: impl Fn(&Instance) -> String,
+) {
     let fig = render_figure(title, instances, label);
     print!("{fig}");
     if let Ok(p) = write_results(&format!("{id}.txt"), &fig) {

@@ -1,0 +1,303 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the harness API the workspace's benches are written against —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a deliberately
+//! simple measurement core: each benchmark runs a short warm-up, then a
+//! fixed number of timed samples, and reports the median per-iteration
+//! time on stdout. No statistics engine, no plots, no saved baselines;
+//! numbers are indicative, not criterion-grade. The API match means the
+//! real crate can be swapped in from a registry-connected environment
+//! without editing any bench.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement settings shared by a run.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_count: usize,
+    warmup_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 11,
+            warmup_iters: 3,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses CLI settings. This stand-in accepts (and ignores) the
+    /// filter argument `cargo bench` forwards.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Builder form: sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(3);
+        self
+    }
+
+    /// Benchmarks one function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_one(self, &id.into().label, &mut f);
+        println!("{report}");
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_override: None,
+        }
+    }
+
+    /// Compatibility no-op (the real crate collects results here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named benchmark family (`group/bench` labels in the report).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_override: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group only (as
+    /// with the real crate, the setting dies with the group).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_override = Some(n.max(3));
+        self
+    }
+
+    fn effective(&self) -> Criterion {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_override {
+            cfg.sample_count = n;
+        }
+        cfg
+    }
+
+    /// Compatibility no-op: this stand-in sizes samples by iteration
+    /// count, not wall-clock budget.
+    pub fn measurement_time(&mut self, _budget: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let report = run_one(&self.effective(), &label, &mut f);
+        println!("{report}");
+        self
+    }
+
+    /// Benchmarks one function parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let report = run_one(&self.effective(), &label, &mut |b| f(b, input));
+        println!("{report}");
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group (`function_name/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, label: &str, f: &mut F) -> String {
+    // Warm-up: also calibrates how many iterations fit a sample budget.
+    let mut b = Bencher {
+        iters: cfg.warmup_iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / cfg.warmup_iters.max(1) as f64;
+    // Aim for ~20ms per sample, clamped to keep total runtime bounded.
+    let iters = if per_iter > 0.0 {
+        ((0.02 / per_iter) as u64).clamp(1, 100_000)
+    } else {
+        100_000
+    };
+
+    let mut samples: Vec<f64> = (0..cfg.sample_count)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    format!(
+        "{label:<40} time: [{} {} {}]  ({iters} iters/sample)",
+        fmt_time(lo),
+        fmt_time(median),
+        fmt_time(hi)
+    )
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+///
+/// Both the positional form (`criterion_group!(benches, a, b)`) and the
+/// named-field form (`name = ..; config = ..; targets = ..`) are
+/// accepted, as with the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            sample_count: 3,
+            warmup_iters: 1,
+        };
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_to_later_benches() {
+        let mut c = Criterion {
+            sample_count: 7,
+            warmup_iters: 1,
+        };
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("noop", |b| b.iter(|| ()));
+            group.finish();
+        }
+        assert_eq!(c.sample_count, 7, "group override leaked");
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion {
+            sample_count: 3,
+            warmup_iters: 1,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+}

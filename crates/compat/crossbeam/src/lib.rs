@@ -1,0 +1,54 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! `stargemm-net` uses crossbeam only for its channels — `unbounded()`,
+//! `Sender::send`, `Receiver::{recv, recv_timeout, try_recv}` — in a
+//! many-producers / one-consumer topology. `std::sync::mpsc` provides
+//! that exact contract (std's channels *are* MPSC), so this crate simply
+//! re-exports them under crossbeam's module layout and names. Features
+//! the real crate adds beyond this (select!, cloneable receivers,
+//! bounded rendezvous semantics) are deliberately out of scope.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// A channel with unbounded capacity: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+    use std::time::Duration;
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let (tx, rx) = channel::unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..100 {
+                        tx.send((i, j)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rx.iter().count(), 400);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = channel::unbounded::<()>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline stand-in for [`proptest`](https://proptest-rs.github.io/).
+//!
+//! Implements the subset the workspace's property suites use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges, tuples of strategies, and [`prop::collection::vec`];
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]` and
+//!   multiple `#[test] fn name(arg in strategy, ..) { .. }` items);
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking** — a failing case reports its fully-formed inputs
+//!   (every strategy here is printable via `Debug`) but is not minimized.
+//! * **Deterministic runs** — each test function derives its RNG seed
+//!   from its own name, so failures reproduce exactly across runs and
+//!   machines. Set `PROPTEST_SEED=<u64>` to explore a different stream.
+//! * Rejections (`prop_assume!`) retry with fresh inputs, with the same
+//!   "too many global rejects" backstop as the real crate.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Items the suites import wholesale.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Defines property tests over sampled inputs.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in arb_thing()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$meta:meta])* fn $name:ident
+        ($($arg:ident in $strat:expr),+ $(,)?)
+        $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                while let Some(mut rng) = runner.next_case() {
+                    let ($($arg,)+) = $crate::strategy::Strategy::new_value(
+                        &($($strat,)+), &mut rng);
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg,)+);
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    runner.record(outcome, &inputs);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (resampled, does not count toward `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}

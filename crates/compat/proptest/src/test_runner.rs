@@ -1,0 +1,185 @@
+//! Case scheduling: configuration, per-case RNGs, rejection accounting.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of *accepted* cases each property must pass.
+    pub cases: u32,
+    /// Cap on total `prop_assume!` rejections before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a test-case closure bailed out early.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: resample, don't count the case.
+    Reject(String),
+    /// `prop_assert!`-family failure: the property is falsified.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A falsification with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (unmet assumption) with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-case random source handed to strategies.
+///
+/// Each case gets an independent stream derived from `(base seed, case
+/// index)`, so a reported case index plus the test name reproduces the
+/// inputs exactly.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Drives one property: hands out case RNGs, counts accepts/rejects,
+/// panics with full input context on falsification.
+pub struct TestRunner {
+    config: ProptestConfig,
+    base_seed: u64,
+    case_index: u64,
+    accepted: u32,
+    rejected: u32,
+    name: &'static str,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl TestRunner {
+    /// A runner for the property named `name`.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let env_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRunner {
+            config,
+            base_seed: fnv1a(name.as_bytes()) ^ env_seed,
+            case_index: 0,
+            accepted: 0,
+            rejected: 0,
+            name,
+        }
+    }
+
+    /// RNG for the next case, or `None` once enough cases passed.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.accepted >= self.config.cases {
+            return None;
+        }
+        let rng = StdRng::seed_from_u64(
+            self.base_seed ^ self.case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        self.case_index += 1;
+        Some(TestRng { inner: rng })
+    }
+
+    /// Accounts for one executed case.
+    ///
+    /// # Panics
+    /// On falsification (with the failing inputs) and when the global
+    /// rejection cap is exhausted.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>, inputs: &str) {
+        match outcome {
+            Ok(()) => self.accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                self.rejected += 1;
+                assert!(
+                    self.rejected < self.config.max_global_rejects,
+                    "property `{}`: too many prop_assume! rejections ({})",
+                    self.name,
+                    self.rejected
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property `{}` falsified at case #{} (seed {:#x}):\n  {}\n  inputs: {}",
+                self.name,
+                self.case_index - 1,
+                self.base_seed,
+                msg,
+                inputs
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_stops_after_enough_accepts() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(5), "t");
+        let mut executed = 0;
+        while let Some(_rng) = runner.next_case() {
+            executed += 1;
+            runner.record(Ok(()), "");
+        }
+        assert_eq!(executed, 5);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(3), "t");
+        let mut executed = 0;
+        while let Some(_rng) = runner.next_case() {
+            executed += 1;
+            if executed <= 2 {
+                runner.record(Err(TestCaseError::reject("assume")), "");
+            } else {
+                runner.record(Ok(()), "");
+            }
+        }
+        assert_eq!(executed, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic_with_context() {
+        let mut runner = TestRunner::new(ProptestConfig::default(), "t");
+        let _ = runner.next_case().unwrap();
+        runner.record(Err(TestCaseError::fail("nope")), "x = 1");
+    }
+}

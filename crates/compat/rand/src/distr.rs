@@ -1,0 +1,98 @@
+//! Distributions: [`Uniform`] over numeric ranges.
+
+use crate::{Rng, SampleRange};
+use std::fmt;
+
+/// Error constructing a distribution (empty or inverted range).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid uniform range")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types with values drawable from a distribution.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over `[lo, hi)` or `[lo, hi]`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform over the half-open `[lo, hi)`. Errors when `lo >= hi`.
+    pub fn new(lo: T, hi: T) -> Result<Self, Error> {
+        if lo < hi {
+            Ok(Uniform {
+                lo,
+                hi,
+                inclusive: false,
+            })
+        } else {
+            Err(Error)
+        }
+    }
+
+    /// Uniform over the closed `[lo, hi]`. Errors when `lo > hi`.
+    pub fn new_inclusive(lo: T, hi: T) -> Result<Self, Error> {
+        if lo <= hi {
+            Ok(Uniform {
+                lo,
+                hi,
+                inclusive: true,
+            })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl<T> Distribution<T> for Uniform<T>
+where
+    T: Copy + PartialOrd,
+    std::ops::Range<T>: SampleRange<T>,
+    std::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        if self.inclusive {
+            (self.lo..=self.hi).sample_single(rng)
+        } else {
+            (self.lo..self.hi).sample_single(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let open = Uniform::new(-1.0f64, 1.0).unwrap();
+        let closed = Uniform::new_inclusive(1.0f64, 3.0).unwrap();
+        for _ in 0..1000 {
+            let x = open.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+            let y = closed.sample(&mut rng);
+            assert!((1.0..=3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn invalid_ranges_error() {
+        assert!(Uniform::new(1.0f64, 1.0).is_err());
+        assert!(Uniform::new_inclusive(2.0f64, 1.0).is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The workspace annotates its value types with
+//! `#[derive(Serialize, Deserialize)]` so that stats and platform
+//! descriptions can be exported once a real serializer is wired up. The
+//! build environment has no registry access, so this crate provides the
+//! two trait names plus no-op derive macros (feature `derive`, matching
+//! the real crate's feature name). Swapping in the real serde is a
+//! one-line manifest change; no annotated type needs to be touched.
+
+/// Marker for types that declare themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declare themselves deserializable.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

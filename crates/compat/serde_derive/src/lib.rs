@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
+//! forward-looking annotation — nothing serializes through serde yet, and
+//! the build environment cannot fetch the real crate. These derives
+//! accept the same syntax and expand to nothing, so the annotations stay
+//! in place (and the real serde can be dropped in later without touching
+//! any annotated type).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -171,13 +171,9 @@ pub fn build_policy(
 }
 
 /// Builds and simulates `alg`, returning the run statistics.
-pub fn run_algorithm(
-    platform: &Platform,
-    job: &Job,
-    alg: Algorithm,
-) -> Result<RunStats, SimError> {
-    let mut policy = build_policy(platform, job, alg)
-        .map_err(|e| SimError::protocol(e.to_string()))?;
+pub fn run_algorithm(platform: &Platform, job: &Job, alg: Algorithm) -> Result<RunStats, SimError> {
+    let mut policy =
+        build_policy(platform, job, alg).map_err(|e| SimError::protocol(e.to_string()))?;
     Simulator::new(platform.clone()).run(&mut policy)
 }
 
@@ -207,12 +203,7 @@ mod tests {
         for alg in Algorithm::all() {
             let stats = run_algorithm(&het_platform(), &job(), alg)
                 .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
-            assert_eq!(
-                stats.total_updates,
-                job().total_updates(),
-                "{}",
-                alg.name()
-            );
+            assert_eq!(stats.total_updates, job().total_updates(), "{}", alg.name());
             assert_eq!(stats.blocks_to_master, job().c_blocks(), "{}", alg.name());
             assert!(stats.makespan > 0.0);
             assert_eq!(stats.policy, alg.name());
@@ -237,7 +228,12 @@ mod tests {
     fn het_is_never_the_worst() {
         let results: Vec<(Algorithm, f64)> = Algorithm::all()
             .into_iter()
-            .map(|a| (a, run_algorithm(&het_platform(), &job(), a).unwrap().makespan))
+            .map(|a| {
+                (
+                    a,
+                    run_algorithm(&het_platform(), &job(), a).unwrap().makespan,
+                )
+            })
             .collect();
         let het = results
             .iter()

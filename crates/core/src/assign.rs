@@ -65,11 +65,7 @@ pub fn round_robin_queues(
 /// that models the shared master link. Workers whose estimate never
 /// wins are effectively deselected — the paper notes OMMOML "performs
 /// some resource selection too".
-pub fn min_min_queues(
-    platform: &Platform,
-    job: &Job,
-    sides: &[usize],
-) -> Vec<Vec<PlannedChunk>> {
+pub fn min_min_queues(platform: &Platform, job: &Job, sides: &[usize]) -> Vec<Vec<PlannedChunk>> {
     let p = platform.len();
     assert_eq!(sides.len(), p);
     assert!(
@@ -145,7 +141,10 @@ mod tests {
     fn layout_sides_cap_at_r() {
         let p = Platform::new(
             "p",
-            vec![WorkerSpec::new(1.0, 1.0, 10_000), WorkerSpec::new(1.0, 1.0, 12)],
+            vec![
+                WorkerSpec::new(1.0, 1.0, 10_000),
+                WorkerSpec::new(1.0, 1.0, 12),
+            ],
         );
         let s = layout_sides(&p, &job());
         assert_eq!(s, vec![6, 2]); // 98 capped at r=6; μ(12)=2

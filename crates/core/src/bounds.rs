@@ -90,10 +90,7 @@ mod tests {
     fn maxreuse_never_beats_the_lower_bound() {
         for m in [21, 50, 100, 5_000, 20_000] {
             for t in [1, 10, 100, 10_000] {
-                assert!(
-                    maxreuse_ccr(m, t) >= ccr_lower_bound(m),
-                    "m={m} t={t}"
-                );
+                assert!(maxreuse_ccr(m, t) >= ccr_lower_bound(m), "m={m} t={t}");
             }
         }
     }

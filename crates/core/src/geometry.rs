@@ -159,10 +159,7 @@ pub fn validate_coverage(job: &Job, geoms: &[ChunkGeom]) -> Result<(), String> {
             for j in g.j0..g.j0 + g.w {
                 let idx = i * job.s + j;
                 if covered[idx] {
-                    return Err(format!(
-                        "C block ({i}, {j}) covered twice (chunk {})",
-                        g.id
-                    ));
+                    return Err(format!("C block ({i}, {j}) covered twice (chunk {})", g.id));
                 }
                 covered[idx] = true;
             }
@@ -232,10 +229,7 @@ mod tests {
         validate_coverage(&j, &geoms).unwrap();
         // Total updates over all chunks equals r·s·t.
         // (Re-derive descriptors to check.)
-        let total: u64 = geoms
-            .iter()
-            .map(|g| (g.h * g.w * j.t) as u64)
-            .sum();
+        let total: u64 = geoms.iter().map(|g| (g.h * g.w * j.t) as u64).sum();
         assert_eq!(total, j.total_updates());
     }
 

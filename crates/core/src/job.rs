@@ -23,7 +23,10 @@ impl Job {
     /// # Panics
     /// Panics on a zero dimension.
     pub fn new(r: usize, t: usize, s: usize, q: usize) -> Self {
-        assert!(r > 0 && t > 0 && s > 0 && q > 0, "job dims must be positive");
+        assert!(
+            r > 0 && t > 0 && s > 0 && q > 0,
+            "job dims must be positive"
+        );
         Job { r, t, s, q }
     }
 

@@ -52,10 +52,7 @@ pub fn mu_with_window(m: usize, window: usize) -> usize {
 pub fn rect_sides(m: usize, aspect_h: usize, aspect_w: usize) -> (usize, usize) {
     assert!(aspect_h > 0 && aspect_w > 0, "aspect must be positive");
     let long = aspect_h.max(aspect_w);
-    let x = largest(
-        |x| aspect_h * x * aspect_w * x + 4 * long * x,
-        m,
-    );
+    let x = largest(|x| aspect_h * x * aspect_w * x + 4 * long * x, m);
     (aspect_h * x, aspect_w * x)
 }
 

@@ -132,10 +132,7 @@ mod tests {
     fn platform() -> Platform {
         Platform::new(
             "lu",
-            vec![
-                WorkerSpec::new(0.2, 0.1, 80),
-                WorkerSpec::new(0.4, 0.2, 40),
-            ],
+            vec![WorkerSpec::new(0.2, 0.1, 80), WorkerSpec::new(0.4, 0.2, 40)],
         )
     }
 
@@ -163,8 +160,12 @@ mod tests {
 
     #[test]
     fn cost_grows_superlinearly_in_n() {
-        let t4 = schedule_lu(&platform(), 4, 4, Algorithm::Oddoml).unwrap().total;
-        let t8 = schedule_lu(&platform(), 8, 4, Algorithm::Oddoml).unwrap().total;
+        let t4 = schedule_lu(&platform(), 4, 4, Algorithm::Oddoml)
+            .unwrap()
+            .total;
+        let t8 = schedule_lu(&platform(), 8, 4, Algorithm::Oddoml)
+            .unwrap()
+            .total;
         assert!(t8 > 4.0 * t4, "t4={t4} t8={t8}");
     }
 

@@ -84,15 +84,7 @@ struct SelState {
 }
 
 impl SelState {
-    fn project(
-        &self,
-        w: usize,
-        mu: usize,
-        c: f64,
-        wt: f64,
-        t: usize,
-        c_cost: bool,
-    ) -> Projection {
+    fn project(&self, w: usize, mu: usize, c: f64, wt: f64, t: usize, c_cost: bool) -> Projection {
         let mu_f = mu as f64;
         let t_f = t as f64;
         let mut d_comm = 2.0 * mu_f * t_f * c;
@@ -149,7 +141,13 @@ pub fn allocate(platform: &Platform, job: &Job, variant: SelectionVariant) -> He
     );
     let usable: Vec<usize> = (0..p).filter(|&w| sides[w] > 0).collect();
     let cps: Vec<usize> = (0..p)
-        .map(|w| if sides[w] > 0 { job.r.div_ceil(sides[w]) } else { usize::MAX })
+        .map(|w| {
+            if sides[w] > 0 {
+                job.r.div_ceil(sides[w])
+            } else {
+                usize::MAX
+            }
+        })
         .collect();
 
     let mut st = SelState {
@@ -181,11 +179,9 @@ pub fn allocate(platform: &Platform, job: &Job, variant: SelectionVariant) -> He
             let mut best_pair = f64::NEG_INFINITY;
             for &w2 in &usable {
                 let spec2 = platform.worker(w2);
-                let proj2 =
-                    tent.project(w2, sides[w2], spec2.c, spec2.w, job.t, variant.c_cost);
+                let proj2 = tent.project(w2, sides[w2], spec2.c, spec2.w, job.t, variant.c_cost);
                 let pair = if variant.local {
-                    (proj.work + proj2.work)
-                        / (proj2.link_after - st.link).max(f64::MIN_POSITIVE)
+                    (proj.work + proj2.work) / (proj2.link_after - st.link).max(f64::MIN_POSITIVE)
                 } else {
                     (st.total_work + proj.work + proj2.work)
                         / proj2.link_after.max(f64::MIN_POSITIVE)
@@ -198,7 +194,9 @@ pub fn allocate(platform: &Platform, job: &Job, variant: SelectionVariant) -> He
         let mut best: Option<(f64, usize, Projection)> = None;
         for &w in &usable {
             let (r, proj) = score(&st, w);
-            if best.as_ref().is_none_or(|(br, bw, _)| r > *br + 1e-15 || (r > *br - 1e-15 && w < *bw))
+            if best
+                .as_ref()
+                .is_none_or(|(br, bw, _)| r > *br + 1e-15 || (r > *br - 1e-15 && w < *bw))
             {
                 // Strictly better, or tied with a smaller index.
                 if best.as_ref().is_none_or(|(br, _, _)| r > *br - 1e-15) {
@@ -211,9 +209,7 @@ pub fn allocate(platform: &Platform, job: &Job, variant: SelectionVariant) -> He
         sel_count[w] += 1;
         selections.push(w);
         if sel_count[w].is_multiple_of(cps[w]) {
-            if let Some(strip) =
-                carve_strip(job, w, sides[w], 1, &mut next_col, &mut next_id)
-            {
+            if let Some(strip) = carve_strip(job, w, sides[w], 1, &mut next_col, &mut next_id) {
                 queues[w].extend(strip);
             }
         }
@@ -223,11 +219,7 @@ pub fn allocate(platform: &Platform, job: &Job, variant: SelectionVariant) -> He
 }
 
 /// Builds the phase-2 executable policy for one variant.
-pub fn het_policy(
-    platform: &Platform,
-    job: &Job,
-    variant: SelectionVariant,
-) -> StreamingMaster {
+pub fn het_policy(platform: &Platform, job: &Job, variant: SelectionVariant) -> StreamingMaster {
     let alloc = allocate(platform, job, variant);
     StreamingMaster::new_static("Het", *job, alloc.queues, Serving::DemandDriven, 2)
 }
@@ -238,7 +230,11 @@ pub fn het_policy(
 pub fn het_best(
     platform: &Platform,
     job: &Job,
-) -> (StreamingMaster, SelectionVariant, Vec<(SelectionVariant, f64)>) {
+) -> (
+    StreamingMaster,
+    SelectionVariant,
+    Vec<(SelectionVariant, f64)>,
+) {
     let mut scores = Vec::with_capacity(8);
     let mut best: Option<(f64, SelectionVariant)> = None;
     for v in SelectionVariant::all() {
@@ -295,12 +291,7 @@ mod tests {
     fn every_variant_covers_c() {
         for v in SelectionVariant::all() {
             let alloc = allocate(&het_platform(), &job(), v);
-            let geoms: Vec<_> = alloc
-                .queues
-                .iter()
-                .flatten()
-                .map(|c| c.geom)
-                .collect();
+            let geoms: Vec<_> = alloc.queues.iter().flatten().map(|c| c.geom).collect();
             validate_coverage(&job(), &geoms).unwrap();
             assert!(!alloc.selections.is_empty());
         }

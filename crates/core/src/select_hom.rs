@@ -158,7 +158,14 @@ mod tests {
         let tier = |m| WorkerSpec::new(1.0, 0.5, m);
         Platform::new(
             "mini-het-mem",
-            vec![tier(50), tier(50), tier(200), tier(200), tier(800), tier(800)],
+            vec![
+                tier(50),
+                tier(50),
+                tier(200),
+                tier(200),
+                tier(800),
+                tier(800),
+            ],
         )
     }
 
@@ -243,6 +250,9 @@ mod tests {
         let geoms: Vec<_> = policy.geoms().copied().collect();
         validate_coverage(&job, &geoms).unwrap();
         // Only the enrolled workers took part.
-        assert_eq!(stats.enrolled(), choice.enrolled.len().min(stats.enrolled()));
+        assert_eq!(
+            stats.enrolled(),
+            choice.enrolled.len().min(stats.enrolled())
+        );
     }
 }

@@ -165,7 +165,10 @@ pub fn table2_platform(x: f64) -> Platform {
     // m = 12 gives μ_overlapped = 2 for both workers.
     Platform::new(
         format!("table2-x{x}"),
-        vec![WorkerSpec::new(1.0, 2.0, 12), WorkerSpec::new(x, 2.0 * x, 12)],
+        vec![
+            WorkerSpec::new(1.0, 2.0, 12),
+            WorkerSpec::new(x, 2.0 * x, 12),
+        ],
     )
 }
 

@@ -440,10 +440,7 @@ impl MasterPolicy for StreamingMaster {
             }
             SimEvent::RetrieveDone { worker, chunk } => {
                 let lane = &mut self.lanes[worker];
-                debug_assert_eq!(
-                    lane.active.as_ref().map(|a| a.pc.descr.id),
-                    Some(chunk)
-                );
+                debug_assert_eq!(lane.active.as_ref().map(|a| a.pc.descr.id), Some(chunk));
                 lane.active = None;
             }
             SimEvent::SendDone { .. } => {}
@@ -550,7 +547,10 @@ mod tests {
         let mut p2 =
             StreamingMaster::new_static("bmm-1", job, vec![vec![chunk]], Serving::DemandDriven, 1);
         let err = Simulator::new(platform(1, 11)).run(&mut p2).unwrap_err();
-        assert!(matches!(err, stargemm_sim::SimError::MemoryViolation { .. }));
+        assert!(matches!(
+            err,
+            stargemm_sim::SimError::MemoryViolation { .. }
+        ));
     }
 
     #[test]
@@ -587,27 +587,31 @@ mod tests {
         // Worker 0 is 10× faster in both compute and links; the dynamic
         // pool should give it most strips.
         let job = Job::new(4, 6, 32, 2);
-        let specs = vec![WorkerSpec::new(0.1, 0.1, 100), WorkerSpec::new(1.0, 1.0, 100)];
+        let specs = vec![
+            WorkerSpec::new(0.1, 0.1, 100),
+            WorkerSpec::new(1.0, 1.0, 100),
+        ];
         let pool = DynamicPool::new(job, vec![4, 4], vec![1, 1]);
         let mut p = StreamingMaster::new_dynamic("dd", job, pool, Serving::DemandDriven, 2);
-        let stats = Simulator::new(Platform::new("het", specs)).run(&mut p).unwrap();
+        let stats = Simulator::new(Platform::new("het", specs))
+            .run(&mut p)
+            .unwrap();
         assert!(
             stats.per_worker[0].updates > 2 * stats.per_worker[1].updates,
             "fast worker should dominate: {:?}",
-            stats.per_worker.iter().map(|w| w.updates).collect::<Vec<_>>()
+            stats
+                .per_worker
+                .iter()
+                .map(|w| w.updates)
+                .collect::<Vec<_>>()
         );
     }
 
     #[test]
     fn empty_queues_finish_immediately() {
         let job = tiny_job();
-        let mut p = StreamingMaster::new_static(
-            "empty",
-            job,
-            vec![vec![], vec![]],
-            Serving::RoundRobin,
-            2,
-        );
+        let mut p =
+            StreamingMaster::new_static("empty", job, vec![vec![], vec![]], Serving::RoundRobin, 2);
         let stats = run(&mut p, platform(2, 100));
         assert_eq!(stats.makespan, 0.0);
     }

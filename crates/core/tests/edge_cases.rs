@@ -11,7 +11,10 @@ use stargemm_sim::Simulator;
 fn duo() -> Platform {
     Platform::new(
         "duo",
-        vec![WorkerSpec::new(0.5, 0.25, 60), WorkerSpec::new(1.0, 0.5, 24)],
+        vec![
+            WorkerSpec::new(0.5, 0.25, 60),
+            WorkerSpec::new(1.0, 0.5, 24),
+        ],
     )
 }
 
@@ -74,10 +77,18 @@ fn mixed_fit_platform_skips_undersized_workers() {
     // Worker 1 cannot hold the optimized layout; everyone else carries it.
     let p = Platform::new(
         "mixed",
-        vec![WorkerSpec::new(0.5, 0.25, 60), WorkerSpec::new(0.5, 0.25, 4)],
+        vec![
+            WorkerSpec::new(0.5, 0.25, 60),
+            WorkerSpec::new(0.5, 0.25, 4),
+        ],
     );
     let job = Job::new(6, 5, 8, 4);
-    for alg in [Algorithm::Oddoml, Algorithm::Orroml, Algorithm::Het, Algorithm::Ommoml] {
+    for alg in [
+        Algorithm::Oddoml,
+        Algorithm::Orroml,
+        Algorithm::Het,
+        Algorithm::Ommoml,
+    ] {
         let stats = run_algorithm(&p, &job, alg).unwrap();
         assert_eq!(stats.total_updates, job.total_updates(), "{}", alg.name());
         assert!(

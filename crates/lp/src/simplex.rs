@@ -87,7 +87,7 @@ impl LpProblem {
     pub fn solve(&self) -> Result<LpSolution, LpError> {
         let (n, m) = self.validate()?;
         let cols = n + m + 1; // structural + slack + rhs
-        // Tableau rows 0..m: constraints; row m: objective (negated).
+                              // Tableau rows 0..m: constraints; row m: objective (negated).
         let mut t = vec![vec![0.0f64; cols]; m + 1];
         for i in 0..m {
             t[i][..n].copy_from_slice(&self.constraints[i]);
@@ -180,11 +180,7 @@ mod tests {
         // Optimum at (2, 6) with value 36.
         let lp = LpProblem {
             objective: vec![3.0, 5.0],
-            constraints: vec![
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            constraints: vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             rhs: vec![4.0, 12.0, 18.0],
         };
         let sol = lp.solve().unwrap();
@@ -221,17 +217,104 @@ mod tests {
         // Degenerate: several zero RHS rows. Bland's rule must not cycle.
         let lp = LpProblem {
             objective: vec![1.0, 1.0],
-            constraints: vec![
-                vec![1.0, -1.0],
-                vec![-1.0, 1.0],
-                vec![1.0, 1.0],
-            ],
+            constraints: vec![vec![1.0, -1.0], vec![-1.0, 1.0], vec![1.0, 1.0]],
             rhs: vec![0.0, 0.0, 2.0],
         };
         let sol = lp.solve().unwrap();
         assert_close(sol.objective, 2.0);
         assert_close(sol.x[0], 1.0);
         assert_close(sol.x[1], 1.0);
+    }
+
+    #[test]
+    fn zero_constraint_row_is_vacuous() {
+        // A 0·x ≤ b row can never bind (and must never be pivoted on).
+        let lp = LpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]],
+            rhs: vec![3.0, 1.0, 2.0],
+        };
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.x[0], 1.0);
+        assert_close(sol.x[1], 2.0);
+    }
+
+    #[test]
+    fn zero_row_with_zero_rhs_is_doubly_degenerate() {
+        // 0·x ≤ 0 is satisfied with equality by every point; the basis
+        // stays degenerate for the whole run and Bland's rule must still
+        // terminate at the true optimum.
+        let lp = LpProblem {
+            objective: vec![2.0, 1.0],
+            constraints: vec![vec![0.0, 0.0], vec![0.0, 0.0], vec![1.0, 1.0]],
+            rhs: vec![0.0, 0.0, 4.0],
+        };
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 8.0);
+        assert_close(sol.x[0], 4.0);
+    }
+
+    #[test]
+    fn no_constraints_is_unbounded() {
+        // An empty constraint set leaves max x unbounded — the solver
+        // must say so rather than return garbage.
+        let lp = LpProblem {
+            objective: vec![1.0],
+            constraints: vec![],
+            rhs: vec![],
+        };
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective_is_trivially_optimal_at_the_origin() {
+        let lp = LpProblem {
+            objective: vec![0.0, 0.0],
+            constraints: vec![vec![1.0, 1.0]],
+            rhs: vec![5.0],
+        };
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+        assert!(sol.x.iter().all(|&x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn negative_objective_coefficients_stay_at_zero() {
+        // max -x - y: the origin (all slack) is already optimal; no pivot
+        // may be taken on a column with non-negative reduced cost.
+        let lp = LpProblem {
+            objective: vec![-1.0, -2.0],
+            constraints: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+            rhs: vec![3.0, 3.0],
+        };
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+        assert_close(sol.x[0], 0.0);
+        assert_close(sol.x[1], 0.0);
+    }
+
+    #[test]
+    fn empty_objective_is_malformed() {
+        let lp = LpProblem {
+            objective: vec![],
+            constraints: vec![],
+            rhs: vec![],
+        };
+        assert!(matches!(lp.solve(), Err(LpError::Malformed(_))));
+    }
+
+    #[test]
+    fn infeasible_encoding_is_rejected_as_malformed() {
+        // In the `Ax ≤ b, x ≥ 0, b ≥ 0` normal form the origin is always
+        // feasible, so true infeasibility can only be smuggled in through
+        // a negative RHS — which must be rejected up front, not solved.
+        let lp = LpProblem {
+            objective: vec![1.0, 1.0],
+            constraints: vec![vec![1.0, 1.0], vec![-1.0, -1.0]],
+            rhs: vec![4.0, -5.0], // x + y ≤ 4 and x + y ≥ 5: empty region
+        };
+        assert!(matches!(lp.solve(), Err(LpError::Malformed(_))));
     }
 
     #[test]
@@ -259,11 +342,7 @@ mod tests {
         // max x + y s.t. x <= 1, y <= 1, x + y <= 10 (slack).
         let lp = LpProblem {
             objective: vec![1.0, 1.0],
-            constraints: vec![
-                vec![1.0, 0.0],
-                vec![0.0, 1.0],
-                vec![1.0, 1.0],
-            ],
+            constraints: vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
             rhs: vec![1.0, 1.0, 10.0],
         };
         let sol = lp.solve().unwrap();
@@ -321,9 +400,10 @@ mod tests {
                 if cand[0] < -1e-9 || cand[1] < -1e-9 {
                     continue;
                 }
-                let feasible = constraints.iter().zip(&rhs).all(|(row, &b)| {
-                    row[0] * cand[0] + row[1] * cand[1] <= b + 1e-7
-                });
+                let feasible = constraints
+                    .iter()
+                    .zip(&rhs)
+                    .all(|(row, &b)| row[0] * cand[0] + row[1] * cand[1] <= b + 1e-7);
                 if feasible {
                     best = best.max(objective[0] * cand[0] + objective[1] * cand[1]);
                 }

@@ -99,7 +99,11 @@ impl WorkerLink {
 pub fn build_star(
     cs: &[f64],
     time_scale: f64,
-) -> (Vec<MasterLink>, Vec<WorkerLink>, Receiver<(usize, ToMaster)>) {
+) -> (
+    Vec<MasterLink>,
+    Vec<WorkerLink>,
+    Receiver<(usize, ToMaster)>,
+) {
     let port = Port::new();
     let (evt_tx, evt_rx) = unbounded();
     let mut masters = Vec::with_capacity(cs.len());
@@ -129,7 +133,9 @@ mod tests {
     #[test]
     fn star_routes_messages_per_worker() {
         let (masters, workers, evt) = build_star(&[1e-9, 1e-9], 1.0);
-        masters[0].send_control(ToWorker::Retrieve { chunk: 5 }).unwrap();
+        masters[0]
+            .send_control(ToWorker::Retrieve { chunk: 5 })
+            .unwrap();
         masters[1].send_control(ToWorker::Shutdown).unwrap();
         assert_eq!(workers[0].recv(), ToWorker::Retrieve { chunk: 5 });
         assert_eq!(workers[1].recv(), ToWorker::Shutdown);

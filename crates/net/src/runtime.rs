@@ -48,7 +48,11 @@ impl Default for NetOptions {
 #[derive(Debug)]
 pub enum NetError {
     /// A send would overflow the worker's block buffers.
-    MemoryViolation { worker: usize, attempted: u64, capacity: u64 },
+    MemoryViolation {
+        worker: usize,
+        attempted: u64,
+        capacity: u64,
+    },
     /// The policy referenced a chunk with no known geometry.
     UnknownChunk(ChunkId),
     /// The policy finished with chunks unretrieved, or similar misuse.
@@ -248,6 +252,7 @@ impl NetRuntime {
                     }
                     if let Some(d) = new_chunk {
                         descrs.insert(d.id, (worker, d));
+                        mirror.on_chunk_assigned(worker);
                     }
                     let msg = self.materialize(policy, &fragment, new_chunk, a, b, c)?;
                     // Round-trip through the wire format: the payload that
@@ -275,11 +280,7 @@ impl NetRuntime {
                         let (wid, msg) = events
                             .recv_timeout(self.opts.idle_timeout)
                             .map_err(|_| NetError::Timeout)?;
-                        if let ToMaster::Result {
-                            chunk: got,
-                            blocks,
-                        } = msg
-                        {
+                        if let ToMaster::Result { chunk: got, blocks } = msg {
                             if wid != worker || got != chunk {
                                 return Err(NetError::Protocol(format!(
                                     "result for chunk {got} from worker {wid}, \
@@ -366,9 +367,8 @@ impl NetRuntime {
             .ok_or(NetError::UnknownChunk(fragment.chunk))?;
         Ok(match fragment.kind {
             MatKind::C => {
-                let descr = new_chunk.ok_or_else(|| {
-                    NetError::Protocol("C load without chunk descriptor".into())
-                })?;
+                let descr = new_chunk
+                    .ok_or_else(|| NetError::Protocol("C load without chunk descriptor".into()))?;
                 ToWorker::LoadC {
                     descr,
                     h: geom.h as u32,

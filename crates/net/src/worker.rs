@@ -94,7 +94,11 @@ pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
         let msg = link.recv();
         processed += 1;
         if fault_after.is_some_and(|n| processed > n) {
-            panic!("injected fault on worker {} after {n} messages", link.id, n = processed - 1);
+            panic!(
+                "injected fault on worker {} after {n} messages",
+                link.id,
+                n = processed - 1
+            );
         }
         match msg {
             ToWorker::LoadC {
@@ -213,26 +217,34 @@ mod tests {
         let wl = workers.remove(0);
         let handle = std::thread::spawn(move || worker_main(wl));
 
-        masters[0].send_data(ToWorker::LoadC {
-            descr,
-            h: h as u32,
-            w: w as u32,
-            blocks: c0.clone(),
-        }).unwrap();
+        masters[0]
+            .send_data(ToWorker::LoadC {
+                descr,
+                h: h as u32,
+                w: w as u32,
+                blocks: c0.clone(),
+            })
+            .unwrap();
         // Send steps out of order to exercise commutativity.
         for &k in &[1u32, 0, 2] {
-            masters[0].send_data(ToWorker::FragB {
-                chunk: 0,
-                step: k,
-                blocks: b_frags[k as usize].clone(),
-            }).unwrap();
-            masters[0].send_data(ToWorker::FragA {
-                chunk: 0,
-                step: k,
-                blocks: a_frags[k as usize].clone(),
-            }).unwrap();
+            masters[0]
+                .send_data(ToWorker::FragB {
+                    chunk: 0,
+                    step: k,
+                    blocks: b_frags[k as usize].clone(),
+                })
+                .unwrap();
+            masters[0]
+                .send_data(ToWorker::FragA {
+                    chunk: 0,
+                    step: k,
+                    blocks: a_frags[k as usize].clone(),
+                })
+                .unwrap();
         }
-        masters[0].send_control(ToWorker::Retrieve { chunk: 0 }).unwrap();
+        masters[0]
+            .send_control(ToWorker::Retrieve { chunk: 0 })
+            .unwrap();
 
         let mut result = None;
         let mut step_dones = 0;
@@ -291,24 +303,32 @@ mod tests {
         let wl = workers.remove(0);
         let handle = std::thread::spawn(move || worker_main(wl));
 
-        masters[0].send_data(ToWorker::LoadC {
-            descr,
-            h: 1,
-            w: 1,
-            blocks: blocks(1, q, &mut rng),
-        }).unwrap();
+        masters[0]
+            .send_data(ToWorker::LoadC {
+                descr,
+                h: 1,
+                w: 1,
+                blocks: blocks(1, q, &mut rng),
+            })
+            .unwrap();
         // Retrieve first, then the operands.
-        masters[0].send_control(ToWorker::Retrieve { chunk: 3 }).unwrap();
-        masters[0].send_data(ToWorker::FragB {
-            chunk: 3,
-            step: 0,
-            blocks: blocks(1, q, &mut rng),
-        }).unwrap();
-        masters[0].send_data(ToWorker::FragA {
-            chunk: 3,
-            step: 0,
-            blocks: blocks(1, q, &mut rng),
-        }).unwrap();
+        masters[0]
+            .send_control(ToWorker::Retrieve { chunk: 3 })
+            .unwrap();
+        masters[0]
+            .send_data(ToWorker::FragB {
+                chunk: 3,
+                step: 0,
+                blocks: blocks(1, q, &mut rng),
+            })
+            .unwrap();
+        masters[0]
+            .send_data(ToWorker::FragA {
+                chunk: 3,
+                step: 0,
+                blocks: blocks(1, q, &mut rng),
+            })
+            .unwrap();
 
         // Expect StepDone, ChunkComputed, then the deferred Result.
         let kinds: Vec<u8> = (0..3)

@@ -60,7 +60,10 @@ pub fn parse_platform(name: &str, text: &str, q: usize) -> Result<Platform, Pars
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
         if toks.len() != 3 {
-            return Err(fail(line_no, format!("expected 3 fields, got {}", toks.len())));
+            return Err(fail(
+                line_no,
+                format!("expected 3 fields, got {}", toks.len()),
+            ));
         }
         let c = match parse_suffixed(toks[0], "Mbps") {
             Some(Ok(mbps)) if mbps > 0.0 => c_from_bandwidth_mbps(q, mbps),

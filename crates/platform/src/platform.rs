@@ -146,11 +146,7 @@ impl Platform {
             }
             max / min
         };
-        (
-            fold(|s| s.c),
-            fold(|s| s.w),
-            fold(|s| s.m as f64),
-        )
+        (fold(|s| s.c), fold(|s| s.w), fold(|s| s.m as f64))
     }
 }
 

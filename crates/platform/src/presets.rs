@@ -148,7 +148,10 @@ mod tests {
         let p = het_memory();
         assert_eq!(p.len(), 8);
         let ms: Vec<usize> = p.workers().iter().map(|s| s.m).collect();
-        assert_eq!(ms, vec![5000, 5000, 10000, 10000, 10000, 10000, 20000, 20000]);
+        assert_eq!(
+            ms,
+            vec![5000, 5000, 10000, 10000, 10000, 10000, 20000, 20000]
+        );
         // Only memory is heterogeneous.
         let (rc, rw, rm) = p.heterogeneity();
         assert_eq!((rc, rw), (1.0, 1.0));

@@ -1,0 +1,93 @@
+//! Round-trip tests: every preset platform, rendered to the text format
+//! `parse` accepts, parses back to an identical platform.
+//!
+//! Rust's `{}` formatting for `f64` is shortest-round-trip, so rendering
+//! raw block units and re-parsing must reproduce each `WorkerSpec`
+//! bit-for-bit — any drift means either the renderer below or
+//! `parse_platform` changed semantics.
+
+use stargemm_platform::parse::parse_platform;
+use stargemm_platform::units::{blocks_from_megabytes, c_from_bandwidth_mbps, w_from_gflops};
+use stargemm_platform::{presets, Platform};
+
+/// Renders a platform in the raw-block-units flavor of the text format.
+fn render(platform: &Platform) -> String {
+    let mut text = format!("# {}\n", platform.name);
+    for spec in platform.workers() {
+        text.push_str(&format!("{} {} {}\n", spec.c, spec.w, spec.m));
+    }
+    text
+}
+
+fn all_presets() -> Vec<Platform> {
+    vec![
+        presets::homogeneous(4),
+        presets::homogeneous(8),
+        presets::het_memory(),
+        presets::het_comm(),
+        presets::het_comp(),
+        presets::fully_het(2.0),
+        presets::fully_het(4.0),
+        presets::lyon(true),
+        presets::lyon(false),
+    ]
+}
+
+#[test]
+fn every_preset_round_trips_through_the_text_format() {
+    for preset in all_presets() {
+        let parsed = parse_platform(&preset.name, &render(&preset), presets::PAPER_Q)
+            .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+        assert_eq!(parsed.len(), preset.len(), "{}", preset.name);
+        assert_eq!(parsed.name, preset.name);
+        for (i, (a, b)) in preset.workers().iter().zip(parsed.workers()).enumerate() {
+            assert_eq!(a.c.to_bits(), b.c.to_bits(), "{} worker {i} c", preset.name);
+            assert_eq!(a.w.to_bits(), b.w.to_bits(), "{} worker {i} w", preset.name);
+            assert_eq!(a.m, b.m, "{} worker {i} m", preset.name);
+        }
+    }
+}
+
+#[test]
+fn random_platforms_round_trip_too() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stargemm_platform::random::{random_platform, RandomPlatformConfig};
+
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in 0..50 {
+        let preset = random_platform(
+            RandomPlatformConfig {
+                p: 1 + i % 8,
+                max_ratio: 4.0,
+            },
+            format!("rt{i}"),
+            &mut rng,
+        );
+        let parsed = parse_platform(&preset.name, &render(&preset), presets::PAPER_Q).unwrap();
+        assert_eq!(parsed, preset);
+    }
+}
+
+#[test]
+fn physical_units_agree_with_the_units_module() {
+    // The suffixed flavor must produce exactly what the units module
+    // computes — the same conversions presets are built from.
+    let q = presets::PAPER_Q;
+    let parsed = parse_platform("u", "100Mbps 2.0gflops 1024MB\n", q).unwrap();
+    let spec = parsed.worker(0);
+    assert_eq!(spec.c.to_bits(), c_from_bandwidth_mbps(q, 100.0).to_bits());
+    assert_eq!(spec.w.to_bits(), w_from_gflops(q, 2.0).to_bits());
+    assert_eq!(spec.m, blocks_from_megabytes(q, 1024.0));
+    // And therefore a suffixed line reproduces the base preset worker.
+    let base = presets::base_spec();
+    assert_eq!(spec, &base);
+}
+
+#[test]
+fn rendered_comments_and_blank_lines_survive() {
+    let preset = presets::het_comm();
+    let text = format!("\n# header\n\n{}\n# trailer\n", render(&preset));
+    let parsed = parse_platform(&preset.name, &text, presets::PAPER_Q).unwrap();
+    assert_eq!(parsed, preset);
+}

@@ -112,7 +112,11 @@ pub fn analyze(trace: &[TraceEntry], num_workers: usize) -> TraceAnalysis {
     // them before intersecting.
     let merged_computes = merge(computes);
     let overlap = intersection_measure(&port, &merged_computes);
-    let overlap_fraction = if port_busy > 0.0 { overlap / port_busy } else { 0.0 };
+    let overlap_fraction = if port_busy > 0.0 {
+        overlap / port_busy
+    } else {
+        0.0
+    };
 
     let workers = (0..num_workers)
         .map(|w| {
@@ -280,12 +284,12 @@ mod tests {
                 new_chunk: None,
             });
         }
-        actions.push(Action::Retrieve { worker: 0, chunk: 0 });
-        let sim = Simulator::new(Platform::new(
-            "t",
-            vec![WorkerSpec::new(1.0, 1.0, 100)],
-        ))
-        .with_trace(true);
+        actions.push(Action::Retrieve {
+            worker: 0,
+            chunk: 0,
+        });
+        let sim = Simulator::new(Platform::new("t", vec![WorkerSpec::new(1.0, 1.0, 100)]))
+            .with_trace(true);
         let (stats, trace) = sim.run_traced(&mut Script(actions, 0)).unwrap();
         let a = analyze(&trace, 1);
         assert!((a.horizon - stats.makespan).abs() < 1e-9);

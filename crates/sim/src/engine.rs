@@ -97,9 +97,19 @@ impl ChunkRt {
 #[derive(Clone, Copy, Debug, PartialEq)]
 #[allow(clippy::enum_variant_names)]
 enum EvKind {
-    SendDone { worker: WorkerId, fragment: Fragment },
-    RetrieveDone { worker: WorkerId, chunk: ChunkId },
-    StepDone { worker: WorkerId, chunk: ChunkId, step: StepId },
+    SendDone {
+        worker: WorkerId,
+        fragment: Fragment,
+    },
+    RetrieveDone {
+        worker: WorkerId,
+        chunk: ChunkId,
+    },
+    StepDone {
+        worker: WorkerId,
+        chunk: ChunkId,
+        step: StepId,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -364,9 +374,7 @@ impl EngineState {
                     )));
                 }
                 if ch.retrieved || ch.retrieve_pending {
-                    return Err(SimError::protocol(format!(
-                        "chunk {chunk} retrieved twice"
-                    )));
+                    return Err(SimError::protocol(format!("chunk {chunk} retrieved twice")));
                 }
                 if ch.computed {
                     self.start_retrieval(worker, chunk);
@@ -843,7 +851,12 @@ mod tests {
         }]);
         let err = sim.run(&mut p).unwrap_err();
         assert!(
-            matches!(err, SimError::PrematureFinish { unretrieved_chunks: 1 }),
+            matches!(
+                err,
+                SimError::PrematureFinish {
+                    unretrieved_chunks: 1
+                }
+            ),
             "{err}"
         );
     }
@@ -892,7 +905,10 @@ mod tests {
         let descr = demo_descr();
         let platform = Platform::new(
             "two",
-            vec![WorkerSpec::new(1.0, 1.0, 100), WorkerSpec::new(1.0, 1.0, 100)],
+            vec![
+                WorkerSpec::new(1.0, 1.0, 100),
+                WorkerSpec::new(1.0, 1.0, 100),
+            ],
         );
         let sim = Simulator::new(platform);
         let mut p = Script::new(vec![
@@ -946,8 +962,14 @@ mod tests {
                 });
             }
         }
-        script.push(Action::Retrieve { worker: 0, chunk: 0 });
-        script.push(Action::Retrieve { worker: 1, chunk: 1 });
+        script.push(Action::Retrieve {
+            worker: 0,
+            chunk: 0,
+        });
+        script.push(Action::Retrieve {
+            worker: 1,
+            chunk: 1,
+        });
         let mut p = Script::new(script);
         let stats = sim.run(&mut p).unwrap();
         assert_eq!(stats.enrolled(), 2);

@@ -45,9 +45,7 @@ impl SimError {
 
     /// Protocol violation: step over-delivery.
     pub fn over_delivery(chunk: ChunkId, step: StepId) -> Self {
-        SimError::Protocol(format!(
-            "fragment over-delivers chunk {chunk} step {step}"
-        ))
+        SimError::Protocol(format!("fragment over-delivers chunk {chunk} step {step}"))
     }
 }
 

@@ -39,7 +39,10 @@ pub enum Action {
 pub enum SimEvent {
     /// A master→worker fragment transfer finished; blocks are now
     /// resident on the worker.
-    SendDone { worker: WorkerId, fragment: Fragment },
+    SendDone {
+        worker: WorkerId,
+        fragment: Fragment,
+    },
     /// A worker→master chunk retrieval finished; the chunk's C buffers
     /// are now free.
     RetrieveDone { worker: WorkerId, chunk: ChunkId },
@@ -134,6 +137,12 @@ impl CtxMirror {
         self.now = now;
     }
 
+    /// Records a chunk newly assigned to worker `w` (its `LoadC` is about
+    /// to ship). Keeps `chunks_assigned` comparable with the engine's.
+    pub fn on_chunk_assigned(&mut self, w: WorkerId) {
+        self.workers[w].stats.chunks_assigned += 1;
+    }
+
     /// Records a completed master→worker transfer of `blocks`.
     pub fn on_delivered(&mut self, w: WorkerId, blocks: u64) {
         let st = &mut self.workers[w];
@@ -210,6 +219,7 @@ mod tests {
             assert_eq!(ctx.free_buffers(0), 50);
             assert!(!ctx.enrolled(0));
         }
+        mirror.on_chunk_assigned(0);
         mirror.on_delivered(0, 10); // C chunk
         mirror.on_delivered(0, 4); // step fragments
         assert_eq!(mirror.occupancy(0), 14);
@@ -228,6 +238,7 @@ mod tests {
         assert_eq!(stats[0].blocks_rx, 14);
         assert_eq!(stats[0].blocks_tx, 10);
         assert_eq!(stats[0].mem_high_water, 14);
+        assert_eq!(stats[0].chunks_assigned, 1);
         assert_eq!(stats[1], crate::stats::WorkerStats::default());
     }
 

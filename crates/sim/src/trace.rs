@@ -127,7 +127,10 @@ mod tests {
                 end: 8.0,
             },
             TraceEntry {
-                kind: TraceKind::RetrieveFromWorker { chunk: 0, blocks: 4 },
+                kind: TraceKind::RetrieveFromWorker {
+                    chunk: 0,
+                    blocks: 4,
+                },
                 worker: 0,
                 start: 8.0,
                 end: 10.0,

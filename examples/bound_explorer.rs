@@ -6,8 +6,7 @@
 //! ```
 
 use stargemm::core::bounds::{
-    ccr_lower_bound, ito_lower_bound, maxreuse_ccr, maxreuse_ccr_asymptotic,
-    toledo_ccr_asymptotic,
+    ccr_lower_bound, ito_lower_bound, maxreuse_ccr, maxreuse_ccr_asymptotic, toledo_ccr_asymptotic,
 };
 
 fn main() {

@@ -40,7 +40,12 @@ fn main() {
         "{:<8} {:>12} {:>14} {:>14}",
         "policy", "total", "update frac", "peak enrolled"
     );
-    for alg in [Algorithm::Het, Algorithm::Oddoml, Algorithm::Orroml, Algorithm::Bmm] {
+    for alg in [
+        Algorithm::Het,
+        Algorithm::Oddoml,
+        Algorithm::Orroml,
+        Algorithm::Bmm,
+    ] {
         let plan = schedule_lu(&platform, 40, 80, alg).expect("schedulable");
         let peak = plan.iterations.iter().map(|i| i.enrolled).max().unwrap();
         println!(

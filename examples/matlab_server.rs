@@ -67,7 +67,11 @@ fn main() {
         t1.elapsed().as_secs_f64(),
         report.max_abs_diff,
         report.tolerance,
-        if report.passed() { "VERIFIED" } else { "MISMATCH" }
+        if report.passed() {
+            "VERIFIED"
+        } else {
+            "MISMATCH"
+        }
     );
     assert!(report.passed());
 }

@@ -48,11 +48,7 @@ fn main() {
             .queues
             .iter()
             .map(|q| {
-                let cols: usize = q
-                    .iter()
-                    .filter(|c| c.geom.i0 == 0)
-                    .map(|c| c.geom.w)
-                    .sum();
+                let cols: usize = q.iter().filter(|c| c.geom.i0 == 0).map(|c| c.geom.w).sum();
                 format!("{cols}")
             })
             .collect();

@@ -35,10 +35,7 @@ fn main() {
     let job = Job::new(4, 8, 8, 80);
     let platform = Platform::new(
         "duo",
-        vec![
-            WorkerSpec::new(0.5, 0.5, 40),
-            WorkerSpec::new(2.0, 1.0, 24),
-        ],
+        vec![WorkerSpec::new(0.5, 0.5, 40), WorkerSpec::new(2.0, 1.0, 24)],
     );
     let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
     let sim = Simulator::new(platform).with_trace(true);

@@ -84,8 +84,7 @@ fn coverage_is_exact_for_every_algorithm() {
         let mut policy = build_policy(&platform, &job, alg).unwrap();
         Simulator::new(platform.clone()).run(&mut policy).unwrap();
         let geoms: Vec<_> = policy.geoms().copied().collect();
-        validate_coverage(&job, &geoms)
-            .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+        validate_coverage(&job, &geoms).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
     }
 }
 
@@ -93,7 +92,12 @@ fn coverage_is_exact_for_every_algorithm() {
 fn one_port_never_overlaps_transfers() {
     let job = Job::new(8, 6, 12, 4);
     for platform in mini_platforms() {
-        for alg in [Algorithm::Het, Algorithm::Oddoml, Algorithm::Bmm, Algorithm::Orroml] {
+        for alg in [
+            Algorithm::Het,
+            Algorithm::Oddoml,
+            Algorithm::Bmm,
+            Algorithm::Orroml,
+        ] {
             let mut policy = build_policy(&platform, &job, alg).unwrap();
             let sim = Simulator::new(platform.clone()).with_trace(true);
             let (_, trace) = sim.run_traced(&mut policy).unwrap();
@@ -143,9 +147,7 @@ fn workers_compute_serially_but_overlap_the_port() {
     let overlap_exists = trace.iter().any(|c| {
         matches!(c.kind, TraceKind::Compute { .. })
             && trace.iter().any(|t| {
-                !matches!(t.kind, TraceKind::Compute { .. })
-                    && t.start < c.end
-                    && c.start < t.end
+                !matches!(t.kind, TraceKind::Compute { .. }) && t.start < c.end && c.start < t.end
             })
     });
     assert!(overlap_exists, "no comm/compute overlap found at all");
@@ -179,8 +181,10 @@ fn simulator_and_runtime_agree_on_communication_volume() {
         let net_stats = rt.run(&mut net_policy, &a, &b, &mut c).unwrap();
 
         assert_eq!(
-            sim_stats.total_updates, net_stats.total_updates,
-            "{}", alg.name()
+            sim_stats.total_updates,
+            net_stats.total_updates,
+            "{}",
+            alg.name()
         );
         assert_eq!(sim_stats.blocks_to_master, net_stats.blocks_to_master);
         if alg == Algorithm::Het {

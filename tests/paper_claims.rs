@@ -1,0 +1,246 @@
+//! Property-based checks of the paper's headline claims.
+//!
+//! Two kinds of statement are verified on random instances:
+//!
+//! 1. **No schedule beats the steady state** (a theorem): every
+//!    algorithm's achieved makespan is at least the bandwidth-centric LP
+//!    lower bound of Section 5 / Table 1 (`core::steady`) and at least
+//!    the trivial compute-/port-volume bounds derived here from first
+//!    principles. This holds on *arbitrary* random platforms.
+//! 2. **`Het` never loses to `Bmm`** (the paper's experimental headline,
+//!    demonstrated by the `src/lib.rs` doctest and Section 6): this is an
+//!    empirical claim about the paper's platform regime, not a theorem —
+//!    on adversarial platforms `Het`'s resource selection can misfire.
+//!    It is encoded the way the paper supports it: over the Figure-7
+//!    random-platform generator, `Het` (a) never loses by more than a
+//!    small bounded regret on any single instance, and (b) wins by a
+//!    wide margin in the aggregate (geometric-mean makespan ratio).
+//!    Deterministic strict domination is additionally pinned on the
+//!    paper's preset platforms for the paper-shaped (non-cubic) jobs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stargemm::core::algorithms::{run_algorithm, Algorithm};
+use stargemm::core::steady::makespan_lower_bound;
+use stargemm::core::Job;
+use stargemm::platform::random::{random_platform, RandomPlatformConfig};
+use stargemm::platform::{presets, Platform, WorkerSpec};
+
+/// Memory-shrunk copy of a platform (as in `tests/integration.rs`), so
+/// small jobs still exercise multi-chunk schedules.
+fn shrink_memory(p: &Platform) -> Platform {
+    Platform::new(
+        format!("{}-mini", p.name),
+        p.workers()
+            .iter()
+            .map(|s| WorkerSpec::new(s.c, s.w, (s.m / 400).max(12)))
+            .collect(),
+    )
+}
+
+/// A paper-regime platform: the Figure-7 generator (heterogeneity ratio
+/// up to 4 around the base worker) with test-sized memory.
+fn arb_paper_platform() -> impl Strategy<Value = Platform> {
+    (2usize..9, 1.0f64..4.0, 0u64..1 << 48).prop_map(|(p, max_ratio, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        shrink_memory(&random_platform(
+            RandomPlatformConfig { p, max_ratio },
+            "paper-regime",
+            &mut rng,
+        ))
+    })
+}
+
+/// Arbitrary (adversarial) platforms for the theorem-grade properties.
+fn arb_any_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(
+        (0.05f64..3.0, 0.05f64..3.0, 12usize..300).prop_map(|(c, w, m)| WorkerSpec::new(c, w, m)),
+        1..5,
+    )
+    .prop_map(|specs| Platform::new("claims", specs))
+}
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    (1usize..10, 1usize..10, 1usize..16).prop_map(|(r, t, s)| Job::new(r, t, s, 4))
+}
+
+fn arb_paper_job() -> impl Strategy<Value = Job> {
+    (4usize..14, 4usize..14, 4usize..14).prop_map(|(r, t, s)| Job::new(r, t, s, 4))
+}
+
+/// Total updates cannot finish faster than all workers computing flat
+/// out, nor than the port shipping one C load + retrieval per C block
+/// over the fastest link (one-port model).
+fn volume_lower_bound(platform: &Platform, job: &Job) -> f64 {
+    let updates = job.total_updates() as f64;
+    let min_w = platform
+        .workers()
+        .iter()
+        .map(|s| s.w)
+        .fold(f64::INFINITY, f64::min);
+    let inv_w_sum: f64 = platform.workers().iter().map(|s| 1.0 / s.w).sum();
+    let min_c = platform
+        .workers()
+        .iter()
+        .map(|s| s.c)
+        .fold(f64::INFINITY, f64::min);
+    let compute = (updates / inv_w_sum).max(min_w);
+    let port = 2.0 * job.c_blocks() as f64 * min_c;
+    compute.max(port)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn no_algorithm_beats_the_steady_state_bound(
+        platform in arb_any_platform(),
+        job in arb_job(),
+        ai in 0usize..7,
+    ) {
+        let alg = Algorithm::all()[ai];
+        if let Ok(stats) = run_algorithm(&platform, &job, alg) {
+            let steady = makespan_lower_bound(&platform, &job);
+            prop_assert!(
+                stats.makespan >= steady * 0.999,
+                "{}: makespan {} < steady-state bound {steady}",
+                alg.name(), stats.makespan
+            );
+            let volume = volume_lower_bound(&platform, &job);
+            prop_assert!(
+                stats.makespan >= volume * 0.999,
+                "{}: makespan {} < volume bound {volume}",
+                alg.name(), stats.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn het_regret_against_bmm_is_bounded_in_the_paper_regime(
+        platform in arb_paper_platform(),
+        job in arb_paper_job(),
+    ) {
+        // Observed worst case over thousands of Figure-7 instances is
+        // ≈1.09; anything above 1.25 means Het's selection regressed.
+        let het = run_algorithm(&platform, &job, Algorithm::Het);
+        let bmm = run_algorithm(&platform, &job, Algorithm::Bmm);
+        let (Ok(het), Ok(bmm)) = (het, bmm) else { return Ok(()); };
+        prop_assert!(
+            het.makespan <= bmm.makespan * 1.25,
+            "Het {} loses badly to Bmm {} on {:?}",
+            het.makespan, bmm.makespan, platform
+        );
+    }
+
+    #[test]
+    fn het_regret_against_homogeneous_reductions_is_bounded(
+        platform in arb_paper_platform(),
+        job in arb_paper_job(),
+    ) {
+        // Section 5's motivation: discarding heterogeneity (Hom / HomI)
+        // should not beat Het by more than scheduling noise (observed
+        // worst ≈1.20).
+        let Ok(het) = run_algorithm(&platform, &job, Algorithm::Het) else {
+            return Ok(());
+        };
+        for alg in [Algorithm::Hom, Algorithm::HomImproved] {
+            if let Ok(hom) = run_algorithm(&platform, &job, alg) {
+                prop_assert!(
+                    het.makespan <= hom.makespan * 1.35,
+                    "Het {} loses badly to {} {}",
+                    het.makespan, alg.name(), hom.makespan
+                );
+            }
+        }
+    }
+}
+
+/// The aggregate form of the headline: over a fixed-seed sample of the
+/// Figure-7 regime, `Het` beats `Bmm` by a wide margin in geometric mean
+/// (the paper reports ≈35%; assert a conservative 25%) and beats the
+/// homogeneous reductions on average.
+#[test]
+fn het_wins_in_aggregate_over_the_paper_regime() {
+    let mut rng = StdRng::seed_from_u64(20260728);
+    let mut log_ratio_bmm = 0.0f64;
+    let mut n_bmm = 0u32;
+    let mut log_ratio_hom = 0.0f64;
+    let mut n_hom = 0u32;
+    for i in 0..300 {
+        let cfg = RandomPlatformConfig {
+            p: rng.random_range(2..9usize),
+            max_ratio: rng.random_range(1.0..4.0f64),
+        };
+        let platform = shrink_memory(&random_platform(cfg, format!("agg{i}"), &mut rng));
+        let job = Job::new(
+            rng.random_range(4..14usize),
+            rng.random_range(4..14usize),
+            rng.random_range(4..14usize),
+            4,
+        );
+        let Ok(het) = run_algorithm(&platform, &job, Algorithm::Het) else {
+            continue;
+        };
+        if let Ok(bmm) = run_algorithm(&platform, &job, Algorithm::Bmm) {
+            log_ratio_bmm += (het.makespan / bmm.makespan).ln();
+            n_bmm += 1;
+        }
+        for alg in [Algorithm::Hom, Algorithm::HomImproved] {
+            if let Ok(hom) = run_algorithm(&platform, &job, alg) {
+                log_ratio_hom += (het.makespan / hom.makespan).ln();
+                n_hom += 1;
+            }
+        }
+    }
+    assert!(n_bmm >= 200, "too few comparable instances: {n_bmm}");
+    let gmean_bmm = (log_ratio_bmm / n_bmm as f64).exp();
+    assert!(
+        gmean_bmm < 0.75,
+        "Het's aggregate win over Bmm collapsed: gmean ratio {gmean_bmm}"
+    );
+    let gmean_hom = (log_ratio_hom / n_hom as f64).exp();
+    assert!(
+        gmean_hom < 0.97,
+        "Het's aggregate win over Hom/HomI collapsed: gmean ratio {gmean_hom}"
+    );
+}
+
+/// Deterministic strict domination on the paper's preset platforms for
+/// paper-shaped (non-cubic) jobs — the doctest's claim, pinned across
+/// every Section 6 platform.
+#[test]
+fn het_dominates_bmm_on_every_paper_preset() {
+    let platforms = [
+        presets::homogeneous(8),
+        presets::het_memory(),
+        presets::het_comm(),
+        presets::het_comp(),
+        presets::fully_het(2.0),
+        presets::fully_het(4.0),
+        presets::lyon(true),
+        presets::lyon(false),
+    ];
+    let jobs = [
+        Job::new(12, 10, 20, 4),
+        Job::new(6, 12, 9, 4),
+        Job::new(16, 4, 10, 4),
+    ];
+    for preset in &platforms {
+        let platform = shrink_memory(preset);
+        for job in &jobs {
+            let het = run_algorithm(&platform, job, Algorithm::Het)
+                .unwrap_or_else(|e| panic!("Het failed on {}: {e}", platform.name));
+            let bmm = run_algorithm(&platform, job, Algorithm::Bmm)
+                .unwrap_or_else(|e| panic!("Bmm failed on {}: {e}", platform.name));
+            assert!(
+                het.makespan <= bmm.makespan * (1.0 + 1e-9),
+                "{} {:?}: Het {} > Bmm {}",
+                platform.name,
+                job,
+                het.makespan,
+                bmm.makespan
+            );
+        }
+    }
+}

@@ -12,8 +12,7 @@ use stargemm::core::{geometry::validate_coverage, Job};
 use stargemm::platform::{Platform, WorkerSpec};
 
 fn arb_spec() -> impl Strategy<Value = WorkerSpec> {
-    (0.05f64..4.0, 0.05f64..4.0, 12usize..400)
-        .prop_map(|(c, w, m)| WorkerSpec::new(c, w, m))
+    (0.05f64..4.0, 0.05f64..4.0, 12usize..400).prop_map(|(c, w, m)| WorkerSpec::new(c, w, m))
 }
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
