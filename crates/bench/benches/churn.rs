@@ -1,0 +1,108 @@
+//! Event-loop throughput of the discrete-event engine under heavy
+//! churn: dense cost traces force the trace-integration path on every
+//! transfer/compute duration, and crash/join cycles exercise the
+//! lifecycle machinery. Guards the hot path the dynamic subsystem added
+//! against regressions; the static run pins the baseline it must not
+//! disturb.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use stargemm_core::algorithms::{build_policy, Algorithm};
+use stargemm_core::Job;
+use stargemm_dyn::model::{DynProfile, Trace, WorkerDyn};
+use stargemm_dyn::AdaptiveMaster;
+use stargemm_platform::{Platform, WorkerSpec};
+use stargemm_sim::Simulator;
+
+fn platform() -> Platform {
+    Platform::new(
+        "churn-bench",
+        vec![
+            WorkerSpec::new(0.02, 0.01, 80),
+            WorkerSpec::new(0.03, 0.015, 60),
+            WorkerSpec::new(0.04, 0.02, 60),
+            WorkerSpec::new(0.05, 0.03, 40),
+        ],
+    )
+}
+
+fn job() -> Job {
+    Job::new(12, 8, 18, 2)
+}
+
+/// A dense piecewise trace: `segments` alternating values, one every
+/// `step` model seconds.
+fn dense_trace(segments: usize, step: f64, lo: f64, hi: f64) -> Trace {
+    let points = (0..segments)
+        .map(|i| (i as f64 * step, if i % 2 == 0 { lo } else { hi }))
+        .collect();
+    Trace::new(points)
+}
+
+/// Heavy churn: 1000-segment jitter traces on every worker plus
+/// repeated crash/join cycles on two of them.
+fn churny_profile(p: usize) -> DynProfile {
+    let workers = (0..p)
+        .map(|w| {
+            let downtime: Vec<(f64, f64)> = if w == 1 || w == 3 {
+                (0..8)
+                    .map(|k| (30.0 + 60.0 * k as f64 + w as f64, 45.0 + 60.0 * k as f64))
+                    .collect()
+            } else {
+                vec![]
+            };
+            WorkerDyn::new(
+                dense_trace(1000, 0.5, 1.0, 1.5 + 0.1 * w as f64),
+                dense_trace(1000, 0.7, 1.0, 1.3),
+                downtime,
+            )
+        })
+        .collect();
+    DynProfile::new(workers)
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn");
+    let (platform, job) = (platform(), job());
+
+    group.bench_function("static_baseline", |b| {
+        b.iter(|| {
+            let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
+            black_box(Simulator::new(platform.clone()).run(&mut policy).unwrap())
+        })
+    });
+
+    group.bench_function("constant_profile_overhead", |b| {
+        b.iter(|| {
+            let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
+            black_box(
+                Simulator::new(platform.clone())
+                    .with_profile(DynProfile::constant(platform.len()))
+                    .run(&mut policy)
+                    .unwrap(),
+            )
+        })
+    });
+
+    let profile = churny_profile(platform.len());
+    group.bench_function("adaptive_het_heavy_churn", |b| {
+        b.iter(|| {
+            let mut policy = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
+            black_box(
+                Simulator::new(platform.clone())
+                    .with_profile(profile.clone())
+                    .run(&mut policy)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_churn
+}
+criterion_main!(benches);

@@ -6,12 +6,13 @@
 //! makespan on all but two platforms and is never far off, while every
 //! other algorithm is at least once badly beaten.
 
-use stargemm_bench::{emit_figure, geomean, Instance};
+use stargemm_bench::{emit_figure, geomean, instances_to_json, json_flag, write_json, Instance};
 use stargemm_core::algorithms::Algorithm;
 use stargemm_core::Job;
 use stargemm_platform::{presets, random::figure7_random_platforms};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let job = Job::paper(80_000);
     let mut platforms = vec![presets::fully_het(2.0), presets::fully_het(4.0)];
     platforms.extend(figure7_random_platforms(2008));
@@ -22,6 +23,9 @@ fn main() {
         &instances,
         |i| i.platform_name.clone(),
     );
+    if let Some(path) = json_flag(&args) {
+        write_json(&path, &instances_to_json("fig7", &instances));
+    }
 
     // Paper-style summary claims.
     let het_costs: Vec<f64> = instances

@@ -10,7 +10,7 @@
 //! ```
 //!
 //! Platforms: homogeneous, het-memory, het-comm, het-comp, fully-het-2,
-//! fully-het-4, lyon-aug2007, lyon-nov2006, random-<seed>.
+//! fully-het-4, lyon-aug2007, lyon-nov2006, `random-<seed>`.
 
 use std::process::ExitCode;
 

@@ -169,6 +169,102 @@ pub fn to_csv(instances: &[Instance]) -> String {
     out
 }
 
+/// Minimal JSON string escaping (the only values we emit are ASCII
+/// identifiers, but be correct anyway).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float as a JSON value (`null` for NaN/∞, which JSON cannot carry).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Machine-readable form of a set of instances, so future PRs can track
+/// a perf/quality trajectory across runs (`BENCH_*.json`).
+pub fn instances_to_json(experiment: &str, instances: &[Instance]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"instances\": [\n",
+        json_escape(experiment)
+    ));
+    for (ii, inst) in instances.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"platform\": \"{}\", \"job\": {{\"r\": {}, \"t\": {}, \"s\": {}, \"q\": {}}}, \"results\": [\n",
+            json_escape(&inst.platform_name),
+            inst.job.r,
+            inst.job.t,
+            inst.job.s,
+            inst.job.q
+        ));
+        for (ri, r) in inst.results.iter().enumerate() {
+            let (mk, en, wk) = match &r.stats {
+                Some(s) => (json_f64(s.makespan), s.enrolled(), json_f64(s.work())),
+                None => ("null".into(), 0, "null".into()),
+            };
+            out.push_str(&format!(
+                "      {{\"algorithm\": \"{}\", \"makespan\": {}, \"enrolled\": {}, \"work\": {}, \"relative_cost\": {}, \"relative_work\": {}, \"error\": {}}}{}\n",
+                r.algorithm.name(),
+                mk,
+                en,
+                wk,
+                json_f64(inst.relative_cost(r.algorithm)),
+                json_f64(inst.relative_work(r.algorithm)),
+                r.error
+                    .as_ref()
+                    .map_or("null".into(), |e| format!("\"{}\"", json_escape(e))),
+                if ri + 1 < inst.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if ii + 1 < instances.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `--json <path>` flag from a raw argument list; returns the
+/// path when present.
+pub fn json_flag(args: &[String]) -> Option<std::path::PathBuf> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+/// Writes a `--json` result file, creating parent directories on demand
+/// (shared by every binary accepting the flag).
+///
+/// # Panics
+/// Panics when the file cannot be written — a results path the user
+/// asked for must not fail silently after a long sweep.
+pub fn write_json(path: &std::path::Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        }
+    }
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("(json written to {})", path.display());
+}
+
 /// Writes experiment output under `results/` (created on demand) and
 /// echoes the path.
 pub fn write_results(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
@@ -275,5 +371,44 @@ mod tests {
     fn geomean_basics() {
         assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
         assert!(geomean(std::iter::empty()).is_nan());
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let (p, j) = tiny();
+        let inst = Instance::run(&p, &j);
+        let json = instances_to_json("figX", std::slice::from_ref(&inst));
+        assert!(json.contains("\"experiment\": \"figX\""));
+        assert!(json.contains("\"algorithm\": \"Het\""));
+        // Balanced braces/brackets, no trailing commas before closers.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n    ]"));
+        assert!(!json.contains(",\n  ]"));
+        // One result object per algorithm.
+        assert_eq!(json.matches("\"algorithm\"").count(), 7);
+    }
+
+    #[test]
+    fn json_escaping_and_null_handling() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn json_flag_parsing() {
+        let args: Vec<String> = ["exp", "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(json_flag(&args), Some(std::path::PathBuf::from("out.json")));
+        assert_eq!(json_flag(&["exp".to_string()]), None);
+        assert_eq!(json_flag(&["--json".to_string()]), None);
     }
 }

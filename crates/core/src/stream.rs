@@ -245,6 +245,56 @@ impl StreamingMaster {
         self.geoms.values()
     }
 
+    // ------------------------------------------------------------------
+    // Queue surgery — the hooks `stargemm-dyn` uses to rebalance unsent
+    // work and to recover chunks orphaned by worker crashes. The bare
+    // master never calls these itself.
+    // ------------------------------------------------------------------
+
+    /// The chunks queued (not yet opened) on lane `w`, in order.
+    pub fn queued_chunks(&self, w: usize) -> impl Iterator<Item = &PlannedChunk> {
+        self.lanes[w].queue.iter()
+    }
+
+    /// The chunk lane `w` is currently streaming, if any.
+    pub fn active_chunk_on(&self, w: usize) -> Option<&PlannedChunk> {
+        self.lanes[w].active.as_ref().map(|a| &a.pc)
+    }
+
+    /// Removes and returns every queued (not yet opened) chunk of lane
+    /// `w`. Geometries stay registered — ids are never reused.
+    pub fn drain_lane(&mut self, w: usize) -> Vec<PlannedChunk> {
+        self.lanes[w].queue.drain(..).collect()
+    }
+
+    /// Drops lane `w`'s active chunk without completing it (the engine
+    /// reported it lost in a crash). Returns the abandoned chunk.
+    pub fn clear_active(&mut self, w: usize) -> Option<PlannedChunk> {
+        self.lanes[w].active.take().map(|a| a.pc)
+    }
+
+    /// Appends a chunk to its worker's queue, registering its geometry.
+    /// Re-enqueueing a previously drained chunk (identical geometry) is
+    /// allowed; reusing an id for a *different* geometry is not.
+    ///
+    /// # Panics
+    /// Panics when the chunk's worker is unknown or its id was already
+    /// planned with a different geometry.
+    pub fn enqueue_chunk(&mut self, pc: PlannedChunk) {
+        let w = pc.geom.worker;
+        assert!(w < self.lanes.len(), "chunk for unknown worker {w}");
+        if let Some(prev) = self.geoms.insert(pc.geom.id, pc.geom) {
+            assert_eq!(prev, pc.geom, "chunk id {} planned twice", pc.geom.id);
+        }
+        self.lanes[w].queue.push_back(pc);
+    }
+
+    /// The largest chunk id planned so far (fresh replacement ids must
+    /// stay above it).
+    pub fn max_planned_id(&self) -> Option<ChunkId> {
+        self.geoms.keys().copied().max()
+    }
+
     /// Workers with at least one planned chunk so far.
     pub fn enrolled_workers(&self) -> Vec<usize> {
         let mut v: Vec<usize> = self.geoms.values().map(|g| g.worker).collect();
@@ -444,6 +494,13 @@ impl MasterPolicy for StreamingMaster {
                 lane.active = None;
             }
             SimEvent::SendDone { .. } => {}
+            // Dynamic-platform lifecycle: the bare streaming master is
+            // crash-oblivious; `stargemm-dyn`'s adaptive wrapper reacts
+            // to these and repairs the lanes through the queue-surgery
+            // API below.
+            SimEvent::WorkerDown { .. }
+            | SimEvent::WorkerUp { .. }
+            | SimEvent::ChunkLost { .. } => {}
         }
     }
 
@@ -614,6 +671,49 @@ mod tests {
             StreamingMaster::new_static("empty", job, vec![vec![], vec![]], Serving::RoundRobin, 2);
         let stats = run(&mut p, platform(2, 100));
         assert_eq!(stats.makespan, 0.0);
+    }
+
+    #[test]
+    fn queue_surgery_moves_chunks_between_lanes() {
+        let job = tiny_job();
+        let queues = static_rr_queues(&job, 2, 2);
+        let mut p = StreamingMaster::new_static("surgery", job, queues, Serving::DemandDriven, 2);
+
+        // Move every chunk queued on lane 1 to lane 0, re-planned with a
+        // fresh id, as the crash-recovery wrapper would.
+        let moved = p.drain_lane(1);
+        assert!(!moved.is_empty());
+        assert!(p.queued_chunks(1).next().is_none());
+        let base_id = p.max_planned_id().unwrap() + 1;
+        for (off, pc) in moved.into_iter().enumerate() {
+            let g = pc.geom;
+            let id = base_id + off as u32;
+            let repl = plan_chunk(&job, id, 0, g.i0, g.j0, g.h, g.w, g.k_depth);
+            p.enqueue_chunk(repl);
+        }
+        assert!(p.active_chunk_on(0).is_none());
+
+        let stats = run(&mut p, platform(2, 100));
+        assert_eq!(stats.total_updates, job.total_updates());
+        // Worker 1 ends up with nothing.
+        assert!(!stats.per_worker[1].enrolled());
+        assert_eq!(p.enrolled_workers(), vec![0, 1]); // geometries persist
+    }
+
+    #[test]
+    fn drained_chunks_can_be_requeued_verbatim() {
+        let job = tiny_job();
+        let queues = static_rr_queues(&job, 2, 2);
+        let mut p = StreamingMaster::new_static("requeue", job, queues, Serving::RoundRobin, 2);
+        for w in 0..2 {
+            for pc in p.drain_lane(w) {
+                p.enqueue_chunk(pc); // same ids, same lanes
+            }
+        }
+        let stats = run(&mut p, platform(2, 100));
+        assert_eq!(stats.total_updates, job.total_updates());
+        let geoms: Vec<_> = p.geoms().copied().collect();
+        validate_coverage(&job, &geoms).unwrap();
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! A trace-aware makespan lower bound for dynamic platforms.
+//!
+//! The static steady-state bound of `core::steady` assumes constant
+//! costs and immortal workers. Its dynamic generalization combines two
+//! first-principles constraints that *no* schedule — adaptive or not —
+//! can beat:
+//!
+//! * **Compute capacity.** Worker `i` performs updates at rate
+//!   `1 / (w_i · w_scale_i(t))` while up and `0` while down, so any
+//!   makespan `T` satisfies
+//!   `Σ_i ∫₀ᵀ up_i(t) / (w_i · w_scale_i(t)) dt ≥ r·s·t`.
+//!   The bound is the smallest `T` closing that inequality, computed
+//!   exactly segment by segment.
+//! * **Port volume.** Every C block crosses the one-port at least twice
+//!   (load + retrieval), and every update needs its chunk's operand
+//!   blocks: a resident region of `h × w` C blocks (`h·w + 2 ≤ m_i`)
+//!   moves at least `(h+w)/(h·w) ≥ 2/√(m_i − 2)` blocks per update. Both
+//!   are charged at the cheapest per-block cost the trace ever offers.
+//!
+//! Crashes only *destroy* work, so the bound — which charges each unit
+//! once — remains valid however much is lost and redone.
+
+use stargemm_core::Job;
+use stargemm_platform::dynamic::DynProfile;
+use stargemm_platform::Platform;
+
+/// Cheapest per-block port cost worker `w` ever offers.
+fn min_block_cost(platform: &Platform, profile: &DynProfile, w: usize) -> f64 {
+    let min_scale = profile
+        .worker(w)
+        .c_scale
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    platform.worker(w).c * min_scale
+}
+
+/// Smallest `T` such that the workers' aggregate up-time compute
+/// capacity over `[0, T]` reaches `updates`. Returns `∞` when the
+/// platform can never finish (everybody eventually dead).
+fn compute_capacity_bound(platform: &Platform, profile: &DynProfile, updates: f64) -> f64 {
+    // Breakpoints where any worker's rate changes.
+    let mut cuts: Vec<f64> = vec![0.0];
+    for d in profile.workers() {
+        cuts.extend(d.w_scale.points().iter().map(|&(t, _)| t));
+        for &(a, b) in &d.downtime {
+            cuts.push(a);
+            if b.is_finite() {
+                cuts.push(b);
+            }
+        }
+    }
+    cuts.retain(|t| t.is_finite());
+    cuts.sort_by(f64::total_cmp);
+    cuts.dedup();
+
+    let rate_at = |t: f64| -> f64 {
+        (0..platform.len())
+            .filter(|&w| profile.is_up(w, t))
+            .map(|w| 1.0 / (platform.worker(w).w * profile.w_scale(w, t)))
+            .sum()
+    };
+
+    let mut done = 0.0f64;
+    for (i, &t0) in cuts.iter().enumerate() {
+        let t1 = cuts.get(i + 1).copied().unwrap_or(f64::INFINITY);
+        let rate = rate_at(t0);
+        let need = updates - done;
+        if rate > 0.0 && need <= rate * (t1 - t0) {
+            return t0 + need / rate;
+        }
+        done += rate * (t1 - t0);
+        if t1.is_infinite() {
+            break;
+        }
+    }
+    f64::INFINITY
+}
+
+/// Trace-aware makespan lower bound for `job` on the dynamic platform
+/// `(platform, profile)`.
+///
+/// # Panics
+/// Panics when the profile does not describe every worker.
+pub fn dyn_makespan_lower_bound(platform: &Platform, profile: &DynProfile, job: &Job) -> f64 {
+    assert_eq!(platform.len(), profile.len());
+    let updates = job.total_updates() as f64;
+
+    let compute = compute_capacity_bound(platform, profile, updates);
+
+    // Port: C loads + retrievals over the globally cheapest link, plus
+    // the per-update operand traffic at each worker's best possible
+    // chunk shape, again taking the global best.
+    let cheapest_block = (0..platform.len())
+        .map(|w| min_block_cost(platform, profile, w))
+        .fold(f64::INFINITY, f64::min);
+    let c_traffic = 2.0 * job.c_blocks() as f64 * cheapest_block;
+    let per_update_port = (0..platform.len())
+        .map(|w| {
+            let m = platform.worker(w).m as f64;
+            // (h+w)/(h·w) ≥ 2/√(h·w) and h·w ≤ min(m − 2, r·s).
+            let hw_cap = (m - 2.0).max(1.0).min((job.r * job.s) as f64);
+            2.0 / hw_cap.sqrt() * min_block_cost(platform, profile, w)
+        })
+        .fold(f64::INFINITY, f64::min);
+    let port = c_traffic + updates * per_update_port;
+
+    compute.max(port)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stargemm_platform::dynamic::{Trace, WorkerDyn};
+    use stargemm_platform::WorkerSpec;
+
+    fn platform() -> Platform {
+        Platform::new(
+            "b",
+            vec![WorkerSpec::new(0.1, 1.0, 27), WorkerSpec::new(0.1, 2.0, 27)],
+        )
+    }
+
+    #[test]
+    fn static_compute_bound_is_the_harmonic_rate() {
+        // Rates 1 + 0.5 = 1.5 updates/s; 300 updates → at least 200 s
+        // with negligible communication.
+        let p = Platform::new(
+            "fast-links",
+            vec![
+                WorkerSpec::new(1e-9, 1.0, 1_000_000),
+                WorkerSpec::new(1e-9, 2.0, 1_000_000),
+            ],
+        );
+        let job = Job::new(10, 3, 10, 2);
+        let bound = dyn_makespan_lower_bound(&p, &DynProfile::constant(2), &job);
+        assert!((bound - 200.0).abs() < 1e-6, "{bound}");
+    }
+
+    #[test]
+    fn downtime_pushes_the_compute_bound_out() {
+        let p = Platform::new("one", vec![WorkerSpec::new(1e-9, 1.0, 1_000_000)]);
+        let job = Job::new(5, 4, 5, 2); // 100 updates → 100 s flat out
+        let flat = dyn_makespan_lower_bound(&p, &DynProfile::constant(1), &job);
+        assert!((flat - 100.0).abs() < 1e-6);
+        // Down on [10, 60): 50 s lost.
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(10.0, 60.0)],
+        )]);
+        let delayed = dyn_makespan_lower_bound(&p, &profile, &job);
+        assert!((delayed - 150.0).abs() < 1e-6, "{delayed}");
+    }
+
+    #[test]
+    fn degradation_scales_the_compute_bound() {
+        let p = Platform::new("one", vec![WorkerSpec::new(1e-9, 1.0, 1_000_000)]);
+        let job = Job::new(5, 4, 5, 2); // 100 updates
+                                        // CPU ×2 slower from t = 50: 50 updates by then, the remaining
+                                        // 50 take 100 s → bound 150.
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::default(),
+            Trace::new(vec![(0.0, 1.0), (50.0, 2.0)]),
+            vec![],
+        )]);
+        let bound = dyn_makespan_lower_bound(&p, &profile, &job);
+        assert!((bound - 150.0).abs() < 1e-6, "{bound}");
+    }
+
+    #[test]
+    fn permanent_death_of_everyone_is_unbounded() {
+        let profile = DynProfile::new(vec![
+            WorkerDyn::new(
+                Trace::default(),
+                Trace::default(),
+                vec![(5.0, f64::INFINITY)],
+            ),
+            WorkerDyn::new(
+                Trace::default(),
+                Trace::default(),
+                vec![(1.0, f64::INFINITY)],
+            ),
+        ]);
+        let job = Job::new(50, 50, 50, 2);
+        let bound = dyn_makespan_lower_bound(&platform(), &profile, &job);
+        assert!(bound.is_infinite());
+    }
+
+    #[test]
+    fn port_term_kicks_in_when_links_dominate() {
+        // Slow links, instant CPUs: the bound must be at least the
+        // C-load/retrieve volume over the cheapest link.
+        let p = Platform::new(
+            "slow-links",
+            vec![
+                WorkerSpec::new(0.5, 1e-9, 102),
+                WorkerSpec::new(1.0, 1e-9, 102),
+            ],
+        );
+        let job = Job::new(6, 4, 6, 2);
+        let bound = dyn_makespan_lower_bound(&p, &DynProfile::constant(2), &job);
+        assert!(bound >= 2.0 * 36.0 * 0.5, "{bound}");
+    }
+}

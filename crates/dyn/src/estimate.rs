@@ -1,0 +1,260 @@
+//! Online estimation of the per-worker costs `(ĉ_i, ŵ_i)`.
+//!
+//! The adaptive master cannot read the platform's dynamic profile — in
+//! production nobody hands the scheduler a trace of the future. It can
+//! only *observe*: a transfer of `X` blocks that held the port for `d`
+//! seconds witnesses `ĉ = d / X`; a compute step of `U` updates that ran
+//! for `d` seconds witnesses `ŵ = d / U`. Observations feed an
+//! exponentially weighted moving average per worker, and a *baseline*
+//! snapshot taken once the estimate has warmed up turns the stream into
+//! a drift detector: when the smoothed estimate strays from the baseline
+//! by more than a configured ratio, the platform has genuinely changed
+//! and the schedule should be revisited.
+//!
+//! Observations shorter than a floor duration are discarded — below the
+//! clock's resolution a ratio of two tiny numbers measures scheduling
+//! noise, not hardware.
+
+/// One exponentially weighted moving average with drift tracking.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Ewma {
+    value: f64,
+    /// Accepted observations so far.
+    count: u32,
+    /// Snapshot of `value` taken when the estimate warmed up (and again
+    /// after every rebalance); drift is measured against it.
+    baseline: Option<f64>,
+}
+
+impl Ewma {
+    /// Smoothed estimate, if any observation was accepted.
+    pub fn value(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.value)
+    }
+
+    /// Number of accepted observations.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether the estimate has at least `min_obs` observations.
+    pub fn warmed_up(&self, min_obs: u32) -> bool {
+        self.count >= min_obs
+    }
+
+    /// Feeds one observation with smoothing weight `alpha`.
+    pub fn observe(&mut self, obs: f64, alpha: f64) {
+        debug_assert!(obs.is_finite() && obs > 0.0);
+        self.value = if self.count == 0 {
+            obs
+        } else {
+            alpha * obs + (1.0 - alpha) * self.value
+        };
+        self.count += 1;
+    }
+
+    /// Anchors the drift baseline. The estimator anchors at the
+    /// *nominal* (planned) cost when the estimate warms up, so drift
+    /// measures "reality vs what the current schedule assumed".
+    pub fn set_baseline(&mut self, v: f64) {
+        self.baseline = Some(v);
+    }
+
+    /// Relative deviation of the estimate from its baseline
+    /// (`|value/baseline − 1|`), 0 before warm-up.
+    pub fn drift(&self) -> f64 {
+        match self.baseline {
+            Some(b) if b > 0.0 => (self.value / b - 1.0).abs(),
+            _ => 0.0,
+        }
+    }
+
+    /// Re-anchors the baseline at the current estimate (after the
+    /// schedule has been adapted to it).
+    pub fn rebase(&mut self) {
+        if self.count > 0 {
+            self.baseline = Some(self.value);
+        }
+    }
+}
+
+/// Per-worker cost estimators plus the calibration fallback for workers
+/// that have not been observed yet.
+#[derive(Clone, Debug)]
+pub struct CostEstimator {
+    /// Nominal (assumed) per-block and per-update costs.
+    nominal_c: Vec<f64>,
+    nominal_w: Vec<f64>,
+    /// Observed estimates.
+    pub est_c: Vec<Ewma>,
+    pub est_w: Vec<Ewma>,
+    alpha: f64,
+    min_obs: u32,
+    /// Observations shorter than this (in the engine's own clock) are
+    /// noise and get discarded.
+    min_sample: f64,
+}
+
+impl CostEstimator {
+    /// An estimator seeded with the nominal costs.
+    pub fn new(
+        nominal_c: Vec<f64>,
+        nominal_w: Vec<f64>,
+        alpha: f64,
+        min_obs: u32,
+        min_sample: f64,
+    ) -> Self {
+        assert_eq!(nominal_c.len(), nominal_w.len());
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0);
+        let p = nominal_c.len();
+        CostEstimator {
+            nominal_c,
+            nominal_w,
+            est_c: vec![Ewma::default(); p],
+            est_w: vec![Ewma::default(); p],
+            alpha,
+            min_obs,
+            min_sample,
+        }
+    }
+
+    /// Witnesses a transfer of `blocks` blocks over `duration` seconds.
+    /// Returns `true` when the observation was accepted.
+    pub fn observe_transfer(&mut self, w: usize, blocks: u64, duration: f64) -> bool {
+        if blocks == 0 || !(duration.is_finite()) || duration < self.min_sample {
+            return false;
+        }
+        self.est_c[w].observe(duration / blocks as f64, self.alpha);
+        if self.est_c[w].count() == self.min_obs.max(1) {
+            self.est_c[w].set_baseline(self.nominal_c[w]);
+        }
+        true
+    }
+
+    /// Witnesses a compute interval of `updates` updates over `duration`
+    /// seconds. Returns `true` when the observation was accepted.
+    pub fn observe_compute(&mut self, w: usize, updates: u64, duration: f64) -> bool {
+        if updates == 0 || !(duration.is_finite()) || duration < self.min_sample {
+            return false;
+        }
+        self.est_w[w].observe(duration / updates as f64, self.alpha);
+        if self.est_w[w].count() == self.min_obs.max(1) {
+            self.est_w[w].set_baseline(self.nominal_w[w]);
+        }
+        true
+    }
+
+    /// Largest baseline drift across warmed-up estimates.
+    pub fn max_drift(&self) -> f64 {
+        self.est_c
+            .iter()
+            .chain(&self.est_w)
+            .filter(|e| e.warmed_up(self.min_obs))
+            .map(Ewma::drift)
+            .fold(0.0, f64::max)
+    }
+
+    /// Re-anchors every baseline (after a rebalance consumed the drift).
+    pub fn rebase(&mut self) {
+        for e in self.est_c.iter_mut().chain(self.est_w.iter_mut()) {
+            e.rebase();
+        }
+    }
+
+    /// Effective per-block cost for planning: the observed estimate once
+    /// warmed up, else the nominal cost scaled by the geometric mean of
+    /// observed/nominal ratios (so an engine whose clock runs in
+    /// different units still ranks workers correctly).
+    pub fn effective_c(&self, w: usize) -> f64 {
+        self.effective(w, &self.est_c, &self.nominal_c)
+    }
+
+    /// Effective per-update cost for planning (see [`Self::effective_c`]).
+    pub fn effective_w(&self, w: usize) -> f64 {
+        self.effective(w, &self.est_w, &self.nominal_w)
+    }
+
+    fn effective(&self, w: usize, ests: &[Ewma], nominals: &[f64]) -> f64 {
+        if let Some(v) = ests[w].value().filter(|_| ests[w].warmed_up(self.min_obs)) {
+            return v;
+        }
+        let (mut log_sum, mut n) = (0.0, 0u32);
+        for (e, &nom) in ests.iter().zip(nominals) {
+            if let Some(v) = e.value().filter(|_| e.warmed_up(self.min_obs)) {
+                log_sum += (v / nom).ln();
+                n += 1;
+            }
+        }
+        let calib = if n == 0 {
+            1.0
+        } else {
+            (log_sum / n as f64).exp()
+        };
+        nominals[w] * calib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_and_tracks_drift() {
+        let mut e = Ewma::default();
+        for _ in 0..10 {
+            e.observe(2.0, 0.3);
+        }
+        e.set_baseline(2.0);
+        assert!((e.value().unwrap() - 2.0).abs() < 1e-12);
+        assert!(e.drift() < 1e-12);
+        // The platform shifts ×3: drift grows past any reasonable bar.
+        for _ in 0..20 {
+            e.observe(6.0, 0.3);
+        }
+        assert!(e.drift() > 1.0, "{}", e.drift());
+        e.rebase();
+        assert!(e.drift() < 1e-12);
+    }
+
+    #[test]
+    fn short_samples_are_rejected() {
+        let mut est = CostEstimator::new(vec![1.0], vec![1.0], 0.3, 2, 1e-3);
+        assert!(!est.observe_transfer(0, 4, 1e-6));
+        assert!(!est.observe_compute(0, 4, 0.0));
+        assert_eq!(est.est_c[0].count(), 0);
+        assert!(est.observe_transfer(0, 4, 0.8));
+        assert_eq!(est.est_c[0].count(), 1);
+    }
+
+    #[test]
+    fn effective_costs_fall_back_to_calibrated_nominal() {
+        // Two workers, nominal c = [1, 2]. Only worker 0 observed, at
+        // ×10 the nominal: the unobserved worker is scaled by the same
+        // factor, preserving the ranking.
+        let mut est = CostEstimator::new(vec![1.0, 2.0], vec![1.0, 1.0], 0.5, 1, 0.0);
+        est.observe_transfer(0, 1, 10.0);
+        assert!((est.effective_c(0) - 10.0).abs() < 1e-12);
+        assert!((est.effective_c(1) - 20.0).abs() < 1e-9);
+        // No compute observations at all → plain nominal.
+        assert!((est.effective_w(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_drift_needs_warm_estimates() {
+        let mut est = CostEstimator::new(vec![1.0], vec![1.0], 1.0, 3, 0.0);
+        est.observe_transfer(0, 1, 9.0);
+        est.observe_transfer(0, 1, 9.0);
+        assert_eq!(est.max_drift(), 0.0); // not warmed up yet
+                                          // Warm-up anchors the baseline at the *nominal* cost (1.0): the
+                                          // platform is ×9 off what the plan assumed → drift immediately.
+        est.observe_transfer(0, 1, 9.0);
+        assert!(est.max_drift() > 1.0);
+        est.rebase(); // schedule adapted to ĉ = 9
+        assert!(est.max_drift() < 0.01);
+        // Matching-the-plan observations keep drift flat.
+        let mut calm = CostEstimator::new(vec![1.0], vec![1.0], 1.0, 2, 0.0);
+        calm.observe_transfer(0, 1, 1.0);
+        calm.observe_transfer(0, 1, 1.0);
+        assert!(calm.max_drift() < 1e-12);
+    }
+}

@@ -1,0 +1,196 @@
+//! Stochastic dynamic-scenario generators: bandwidth jitter, speed
+//! degradation, and worker churn around a static base platform.
+//!
+//! Every generator is seeded and deterministic, mirroring the Figure-7
+//! random-platform generator of `stargemm-platform`: an experiment run
+//! twice sees the same scenario.
+
+use rand::distr::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stargemm_platform::dynamic::{DynPlatform, DynProfile, Trace, WorkerDyn};
+use stargemm_platform::Platform;
+
+/// Knobs of the random scenario generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioConfig {
+    /// Maximum bandwidth-jitter multiplier; each link's `c_scale` trace
+    /// is piecewise constant with per-segment values in `[1, c_jitter]`.
+    /// 1.0 disables jitter.
+    pub c_jitter: f64,
+    /// Maximum compute-degradation multiplier, sampled the same way.
+    /// 1.0 disables it.
+    pub w_jitter: f64,
+    /// Mean segment length (model seconds) of the jitter traces.
+    pub segment_len: f64,
+    /// Horizon (model seconds) covered by the jitter traces; beyond it
+    /// the last segment's value persists.
+    pub horizon: f64,
+    /// Probability that a worker crashes once during the horizon.
+    pub crash_prob: f64,
+    /// Probability that a crashed worker rejoins later.
+    pub rejoin_prob: f64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            c_jitter: 2.0,
+            w_jitter: 1.5,
+            segment_len: 50.0,
+            horizon: 500.0,
+            crash_prob: 0.25,
+            rejoin_prob: 0.5,
+        }
+    }
+}
+
+fn jitter_trace<R: Rng + ?Sized>(max: f64, cfg: &ScenarioConfig, rng: &mut R) -> Trace {
+    if max <= 1.0 {
+        return Trace::default();
+    }
+    let value = Uniform::new_inclusive(1.0f64, max).expect("valid range");
+    let gap =
+        Uniform::new_inclusive(cfg.segment_len * 0.5, cfg.segment_len * 1.5).expect("valid range");
+    let mut points = vec![(0.0, value.sample(rng))];
+    let mut t = 0.0;
+    loop {
+        t += gap.sample(rng);
+        if t >= cfg.horizon {
+            break;
+        }
+        points.push((t, value.sample(rng)));
+    }
+    Trace::new(points)
+}
+
+/// Draws a random dynamic scenario over `base`. Worker 0 is always kept
+/// crash-free so the job stays completable.
+pub fn random_scenario(base: &Platform, cfg: ScenarioConfig, seed: u64) -> DynPlatform {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let unit = Uniform::new(0.0f64, 1.0).expect("valid range");
+    let when = Uniform::new_inclusive(cfg.horizon * 0.1, cfg.horizon * 0.6).expect("valid range");
+    let outage = Uniform::new_inclusive(cfg.horizon * 0.1, cfg.horizon * 0.3).expect("valid range");
+    let workers = (0..base.len())
+        .map(|w| {
+            let c_scale = jitter_trace(cfg.c_jitter, &cfg, &mut rng);
+            let w_scale = jitter_trace(cfg.w_jitter, &cfg, &mut rng);
+            let mut downtime = Vec::new();
+            if w != 0 && unit.sample(&mut rng) < cfg.crash_prob {
+                let from = when.sample(&mut rng);
+                let until = if unit.sample(&mut rng) < cfg.rejoin_prob {
+                    from + outage.sample(&mut rng)
+                } else {
+                    f64::INFINITY
+                };
+                downtime.push((from, until));
+            }
+            WorkerDyn::new(c_scale, w_scale, downtime)
+        })
+        .collect();
+    DynPlatform::new(base.clone(), DynProfile::new(workers))
+}
+
+/// A deterministic churn-only scenario: `schedule` lists
+/// `(worker, crash_at, rejoin_at)` triples (`rejoin_at = ∞` for a
+/// permanent crash); costs stay nominal.
+///
+/// # Panics
+/// Panics on an unknown worker or an inverted interval.
+pub fn churn_scenario(base: &Platform, schedule: &[(usize, f64, f64)]) -> DynPlatform {
+    let mut workers: Vec<WorkerDyn> = vec![WorkerDyn::stable(); base.len()];
+    for &(w, from, until) in schedule {
+        assert!(w < base.len(), "unknown worker {w}");
+        workers[w] = WorkerDyn::new(workers[w].c_scale.clone(), workers[w].w_scale.clone(), {
+            let mut d = workers[w].downtime.clone();
+            d.push((from, until));
+            d
+        });
+    }
+    DynPlatform::new(base.clone(), DynProfile::new(workers))
+}
+
+/// A deterministic jitter-only scenario: worker `w`'s link cost is
+/// multiplied by `factor` from `t = at` on (no churn). Useful for
+/// pinning adaptive-vs-static comparisons.
+pub fn degradation_scenario(base: &Platform, w: usize, factor: f64, at: f64) -> DynPlatform {
+    assert!(w < base.len(), "unknown worker {w}");
+    let mut workers: Vec<WorkerDyn> = vec![WorkerDyn::stable(); base.len()];
+    workers[w].c_scale = Trace::new(vec![(0.0, 1.0), (at, factor)]);
+    DynPlatform::new(base.clone(), DynProfile::new(workers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stargemm_platform::WorkerSpec;
+
+    fn base() -> Platform {
+        Platform::homogeneous("b", 4, WorkerSpec::new(1.0, 1.0, 40))
+    }
+
+    #[test]
+    fn random_scenarios_are_deterministic_per_seed() {
+        let a = random_scenario(&base(), ScenarioConfig::default(), 7);
+        let b = random_scenario(&base(), ScenarioConfig::default(), 7);
+        let c = random_scenario(&base(), ScenarioConfig::default(), 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn worker_zero_never_crashes() {
+        for seed in 0..50 {
+            let cfg = ScenarioConfig {
+                crash_prob: 1.0,
+                ..Default::default()
+            };
+            let dp = random_scenario(&base(), cfg, seed);
+            assert!(dp.profile.worker(0).downtime.is_empty());
+            // With crash_prob 1 every other worker has downtime.
+            for w in 1..dp.base.len() {
+                assert_eq!(dp.profile.worker(w).downtime.len(), 1, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_scales_stay_in_range() {
+        let cfg = ScenarioConfig {
+            c_jitter: 3.0,
+            w_jitter: 2.0,
+            ..Default::default()
+        };
+        let dp = random_scenario(&base(), cfg, 3);
+        for d in dp.profile.workers() {
+            for &(_, v) in d.c_scale.points() {
+                assert!((1.0..=3.0).contains(&v));
+            }
+            for &(_, v) in d.w_scale.points() {
+                assert!((1.0..=2.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn unit_jitter_is_the_static_limit() {
+        let cfg = ScenarioConfig {
+            c_jitter: 1.0,
+            w_jitter: 1.0,
+            crash_prob: 0.0,
+            ..Default::default()
+        };
+        assert!(random_scenario(&base(), cfg, 1).profile.is_static());
+    }
+
+    #[test]
+    fn deterministic_builders() {
+        let dp = churn_scenario(&base(), &[(1, 10.0, 20.0), (2, 5.0, f64::INFINITY)]);
+        assert!(!dp.profile.is_up(1, 15.0));
+        assert!(dp.profile.is_up(1, 25.0));
+        assert!(!dp.profile.is_up(2, 1e9));
+        let dg = degradation_scenario(&base(), 3, 4.0, 7.0);
+        assert_eq!(dg.profile.c_scale(3, 6.9), 1.0);
+        assert_eq!(dg.profile.c_scale(3, 7.0), 4.0);
+    }
+}

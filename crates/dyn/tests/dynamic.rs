@@ -1,0 +1,200 @@
+//! Dynamic-platform integration and property tests.
+//!
+//! * The **acceptance scenario**: on a crash-and-jitter platform where a
+//!   top-ranked worker dies mid-run, `AdaptiveHet` completes (full C
+//!   coverage) and strictly beats the static `Het` plan (which itself
+//!   must still terminate via crash reassignment).
+//! * **Property**: no dynamic run — whatever the scenario — ever beats
+//!   the trace-aware steady-state lower bound.
+//! * **Static limit**: on constant-trace profiles `AdaptiveHet` is
+//!   schedule-identical to static `Het` (the cross-engine version lives
+//!   in the workspace `tests/cross_validation.rs`).
+
+use proptest::prelude::*;
+use stargemm_core::algorithms::{build_policy, Algorithm};
+use stargemm_core::geometry::validate_coverage;
+use stargemm_core::Job;
+use stargemm_dyn::model::{DynPlatform, DynProfile, Trace, WorkerDyn};
+use stargemm_dyn::{
+    churn_scenario, dyn_makespan_lower_bound, random_scenario, AdaptiveMaster, ScenarioConfig,
+};
+use stargemm_platform::{Platform, WorkerSpec};
+use stargemm_sim::Simulator;
+
+fn het_platform() -> Platform {
+    Platform::new(
+        "dyn-accept",
+        vec![
+            WorkerSpec::new(0.20, 0.10, 60), // top-ranked; will crash
+            WorkerSpec::new(0.25, 0.12, 60), // link degrades ×10
+            WorkerSpec::new(0.30, 0.15, 60), // stable
+            WorkerSpec::new(0.50, 0.30, 60), // stable, slower
+        ],
+    )
+}
+
+/// The acceptance scenario: worker 1's link degrades ×10 at t = 10 and
+/// the top-ranked worker 0 dies for good at t = 40.
+fn crash_and_jitter() -> DynProfile {
+    DynProfile::new(vec![
+        WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(40.0, f64::INFINITY)],
+        ),
+        WorkerDyn::new(
+            Trace::new(vec![(0.0, 1.0), (10.0, 10.0)]),
+            Trace::default(),
+            vec![],
+        ),
+        WorkerDyn::stable(),
+        WorkerDyn::stable(),
+    ])
+}
+
+#[test]
+fn adaptive_het_beats_static_het_on_the_crash_and_jitter_scenario() {
+    let platform = het_platform();
+    let job = Job::new(10, 8, 16, 2);
+    let profile = crash_and_jitter();
+
+    let mut adaptive = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
+    let adaptive_stats = Simulator::new(platform.clone())
+        .with_profile(profile.clone())
+        .run(&mut adaptive)
+        .unwrap();
+
+    let mut guard = AdaptiveMaster::guarded_het(&platform, &job).unwrap();
+    let guard_stats = Simulator::new(platform.clone())
+        .with_profile(profile.clone())
+        .run(&mut guard)
+        .unwrap();
+
+    // Both complete the whole product despite losing worker 0 mid-run.
+    validate_coverage(&job, &adaptive.retrieved_geoms()).unwrap();
+    validate_coverage(&job, &guard.retrieved_geoms()).unwrap();
+    assert!(adaptive.stats().crashes == 1 && guard.stats().crashes == 1);
+    assert!(guard.stats().reassigned_chunks > 0);
+
+    // The adaptive master observed the degradation and re-balanced; the
+    // static plan kept feeding the 10×-slower link.
+    assert!(adaptive.stats().rebalances > 0);
+    assert!(
+        adaptive_stats.makespan < guard_stats.makespan,
+        "AdaptiveHet {} vs static Het {}",
+        adaptive_stats.makespan,
+        guard_stats.makespan
+    );
+
+    // And neither beats the trace-aware lower bound.
+    let bound = dyn_makespan_lower_bound(&platform, &profile, &job);
+    assert!(adaptive_stats.makespan >= bound - 1e-9);
+    assert!(guard_stats.makespan >= bound - 1e-9);
+}
+
+#[test]
+fn permanent_churn_still_completes_with_exact_coverage() {
+    let platform = het_platform();
+    let job = Job::new(8, 6, 12, 2);
+    // Two workers die, one of them comes back much later.
+    let dp = churn_scenario(
+        &platform.clone(),
+        &[(0, 25.0, f64::INFINITY), (2, 15.0, 90.0)],
+    );
+    let mut adaptive = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
+    let stats = Simulator::new_dyn(dp).run(&mut adaptive).unwrap();
+    validate_coverage(&job, &adaptive.retrieved_geoms()).unwrap();
+    assert_eq!(adaptive.stats().crashes, 2);
+    assert_eq!(adaptive.stats().joins, 1);
+    assert!(stats.total_updates >= job.total_updates());
+}
+
+fn arb_dyn_instance() -> impl Strategy<Value = (Platform, DynPlatform, Job, u64)> {
+    (
+        prop::collection::vec(
+            (0.1f64..1.0, 0.05f64..0.5, 20usize..120)
+                .prop_map(|(c, w, m)| WorkerSpec::new(c, w, m)),
+            2..5,
+        ),
+        (1.0f64..3.0, 1.0f64..2.0, 0.0f64..0.6),
+        (4usize..10, 3usize..8, 4usize..12),
+        0u64..1 << 32,
+    )
+        .prop_map(|(specs, (cj, wj, crash), (r, t, s), seed)| {
+            let platform = Platform::new("prop-dyn", specs);
+            let cfg = ScenarioConfig {
+                c_jitter: cj,
+                w_jitter: wj,
+                crash_prob: crash,
+                rejoin_prob: 0.5,
+                segment_len: 20.0,
+                horizon: 400.0,
+            };
+            let dp = random_scenario(&platform, cfg, seed);
+            (platform, dp, Job::new(r, t, s, 2), seed)
+        })
+}
+
+proptest::proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No dynamic run ever beats the trace-aware steady-state lower
+    /// bound — the dynamic analogue of `tests/paper_claims.rs`.
+    #[test]
+    fn no_dynamic_run_beats_the_trace_aware_lower_bound(
+        inst in arb_dyn_instance(),
+    ) {
+        let (platform, dp, job, seed) = inst;
+        let bound = dyn_makespan_lower_bound(&platform, &dp.profile, &job);
+        let Ok(mut adaptive) = AdaptiveMaster::adaptive_het(&platform, &job) else {
+            // No worker fits the layout on this draw; nothing to check.
+            return Ok(());
+        };
+        match Simulator::new_dyn(dp).run(&mut adaptive) {
+            Ok(stats) => {
+                prop_assert!(
+                    stats.makespan >= bound - 1e-9,
+                    "seed {seed}: makespan {} beats bound {bound}",
+                    stats.makespan
+                );
+                validate_coverage(&job, &adaptive.retrieved_geoms())
+                    .map_err(proptest::TestCaseError::fail)?;
+            }
+            Err(e) => {
+                // A platform whose survivors cannot hold the layout may
+                // legitimately strand work — but it must fail loudly,
+                // not hang or mis-compute.
+                prop_assert!(
+                    matches!(e, stargemm_sim::SimError::Deadlock { .. }),
+                    "seed {seed}: unexpected failure {e}"
+                );
+            }
+        }
+    }
+
+    /// Constant traces are the static limit: `AdaptiveHet` realizes the
+    /// exact same per-worker schedule as static `Het`.
+    #[test]
+    fn adaptive_het_equals_het_in_the_static_limit(
+        specs in prop::collection::vec(
+            (0.1f64..1.0, 0.05f64..0.5, 20usize..120)
+                .prop_map(|(c, w, m)| WorkerSpec::new(c, w, m)),
+            2..5,
+        ),
+        dims in (4usize..10, 3usize..8, 4usize..12),
+    ) {
+        let platform = Platform::new("prop-static", specs);
+        let job = Job::new(dims.0, dims.1, dims.2, 2);
+        let Ok(mut het) = build_policy(&platform, &job, Algorithm::Het) else {
+            return Ok(());
+        };
+        let base = Simulator::new(platform.clone()).run(&mut het).unwrap();
+        let mut adaptive = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
+        let dynamic = Simulator::new(platform.clone())
+            .with_profile(DynProfile::constant(platform.len()))
+            .run(&mut adaptive)
+            .unwrap();
+        prop_assert_eq!(base.makespan, dynamic.makespan);
+        prop_assert_eq!(&base.per_worker, &dynamic.per_worker);
+    }
+}

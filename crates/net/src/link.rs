@@ -6,12 +6,19 @@
 //! one-port model: current hardware serializes concurrent sends anyway
 //! (Bhat et al.; Saif & Parashar), so the master transfers to one worker
 //! at a time. Control messages (a few bytes) bypass the throttle.
+//!
+//! On a dynamic platform ([`stargemm_platform::dynamic::DynProfile`])
+//! the wire time is not `blocks × c_i` but its integral over the link's
+//! piecewise-constant cost trace: each link re-reads the shared profile
+//! at transfer time, so the threaded runtime executes exactly the
+//! scenario the discrete-event simulator models.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use stargemm_platform::dynamic::DynProfile;
 
 use crate::wire::{ToMaster, ToWorker};
 
@@ -29,11 +36,27 @@ impl Port {
 
     /// Occupies the port for `seconds` of simulated wire time.
     pub fn transfer(&self, seconds: f64) {
+        self.transfer_metered(|| seconds);
+    }
+
+    /// Occupies the port for a duration computed *after* the port was
+    /// acquired — needed by trace-driven links, whose wire time depends
+    /// on the instant the transfer actually starts.
+    pub fn transfer_metered(&self, seconds: impl FnOnce() -> f64) {
         let _guard = self.inner.lock();
+        let seconds = seconds();
         if seconds > 0.0 {
             std::thread::sleep(Duration::from_secs_f64(seconds));
         }
     }
+}
+
+/// Shared dynamic throttle state of one star (profile + run epoch).
+#[derive(Clone)]
+pub(crate) struct LinkDynamics {
+    pub(crate) profile: Arc<DynProfile>,
+    /// Wall-clock origin of the run; model time = elapsed / time_scale.
+    pub(crate) epoch: Instant,
 }
 
 /// Master-side endpoint of one worker's link.
@@ -42,8 +65,11 @@ pub struct MasterLink {
     pub c: f64,
     /// Wall-clock scale applied to transfer times (tests shrink it).
     pub time_scale: f64,
+    /// Worker this link reaches (indexes the dynamic profile).
+    pub id: usize,
     port: Port,
     to_worker: Sender<ToWorker>,
+    dynamics: Option<LinkDynamics>,
 }
 
 /// The worker's end of the link has gone away (its thread died).
@@ -51,11 +77,24 @@ pub struct MasterLink {
 pub struct LinkDown;
 
 impl MasterLink {
+    /// Wire seconds (already wall-clock scaled) for `blocks` data blocks
+    /// starting now.
+    fn wire_seconds(&self, blocks: u64) -> f64 {
+        let base = blocks as f64 * self.c;
+        match &self.dynamics {
+            None => base * self.time_scale,
+            Some(d) => {
+                let now = d.epoch.elapsed().as_secs_f64() / self.time_scale;
+                (d.profile.transfer_end(self.id, now, base) - now) * self.time_scale
+            }
+        }
+    }
+
     /// Sends a data message, holding the port for its transfer time.
     /// Fails when the worker thread is gone.
     pub fn send_data(&self, msg: ToWorker) -> Result<(), LinkDown> {
         let blocks = msg.data_blocks();
-        self.port.transfer(blocks as f64 * self.c * self.time_scale);
+        self.port.transfer_metered(|| self.wire_seconds(blocks));
         self.to_worker.send(msg).map_err(|_| LinkDown)
     }
 
@@ -68,7 +107,7 @@ impl MasterLink {
     /// Charges the port for a worker→master result transfer of `blocks`
     /// (the payload itself arrives on the shared event channel).
     pub fn charge_inbound(&self, blocks: u64) {
-        self.port.transfer(blocks as f64 * self.c * self.time_scale);
+        self.port.transfer_metered(|| self.wire_seconds(blocks));
     }
 }
 
@@ -104,6 +143,21 @@ pub fn build_star(
     Vec<WorkerLink>,
     Receiver<(usize, ToMaster)>,
 ) {
+    build_star_dyn(cs, time_scale, None)
+}
+
+/// [`build_star`] with an optional dynamic throttle: links integrate
+/// their wire times over `profile`'s cost traces, with model time
+/// anchored at `epoch`.
+pub(crate) fn build_star_dyn(
+    cs: &[f64],
+    time_scale: f64,
+    dynamics: Option<LinkDynamics>,
+) -> (
+    Vec<MasterLink>,
+    Vec<WorkerLink>,
+    Receiver<(usize, ToMaster)>,
+) {
     let port = Port::new();
     let (evt_tx, evt_rx) = unbounded();
     let mut masters = Vec::with_capacity(cs.len());
@@ -113,8 +167,10 @@ pub fn build_star(
         masters.push(MasterLink {
             c,
             time_scale,
+            id,
             port: port.clone(),
             to_worker: tx,
+            dynamics: dynamics.clone(),
         });
         workers.push(WorkerLink {
             id,
@@ -171,5 +227,31 @@ mod tests {
         masters[0].send_control(ToWorker::Shutdown).unwrap();
         assert!(start.elapsed().as_secs_f64() < 0.05);
         assert_eq!(workers[0].recv(), ToWorker::Shutdown);
+    }
+
+    #[test]
+    fn dynamic_links_stretch_wire_time_with_the_trace() {
+        use stargemm_platform::dynamic::{Trace, WorkerDyn};
+        // Cost trace ×4 from t = 0: a 30 ms nominal transfer takes
+        // ~120 ms of wall time.
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::new(vec![(0.0, 4.0)]),
+            Trace::default(),
+            vec![],
+        )]);
+        let dynamics = LinkDynamics {
+            profile: Arc::new(profile),
+            epoch: Instant::now(),
+        };
+        let (masters, _workers, _evt) = build_star_dyn(&[0.01], 1.0, Some(dynamics));
+        let start = Instant::now();
+        masters[0]
+            .send_data(ToWorker::Retrieve { chunk: 0 })
+            .unwrap(); // 0 data blocks: instant
+        assert!(start.elapsed().as_secs_f64() < 0.05);
+        let start = Instant::now();
+        masters[0].charge_inbound(3); // 3 × 0.01 × 4 = 0.12 s
+        let took = start.elapsed().as_secs_f64();
+        assert!(took >= 0.115, "trace not applied: {took}");
     }
 }

@@ -7,22 +7,24 @@
 //! GEMM kernel on worker threads. Any `stargemm-core` policy runs
 //! unchanged.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use stargemm_core::stream::GeometryAccess;
 use stargemm_linalg::BlockMatrix;
+use stargemm_platform::dynamic::{DynProfile, LifecycleEvent};
 use stargemm_platform::Platform;
 use stargemm_sim::{
     Action, ChunkDescr, ChunkId, CtxMirror, Fragment, MasterPolicy, MatKind, RunStats, SimEvent,
 };
 
-use crate::link::{build_star, MasterLink};
+use crate::link::{build_star_dyn, LinkDynamics, MasterLink};
 use crate::wire::{ToMaster, ToWorker};
 
 /// Runtime tuning knobs.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct NetOptions {
     /// Multiplier on link transfer times (tests shrink it; 1.0 = honour
     /// the platform's `c_i` in real seconds).
@@ -32,6 +34,11 @@ pub struct NetOptions {
     /// Fault injection: `(worker, n)` makes that worker panic after
     /// processing `n` messages. Testing-only.
     pub inject_fault: Option<(usize, usize)>,
+    /// Dynamic scenario shared with the links and workers: cost traces
+    /// throttle the wire, scheduled crashes wipe workers mid-run.
+    /// Lifecycle times are in *model* seconds (wall = model ×
+    /// `time_scale`). `None` = the static platform of the paper.
+    pub profile: Option<DynProfile>,
 }
 
 impl Default for NetOptions {
@@ -40,7 +47,92 @@ impl Default for NetOptions {
             time_scale: 1.0,
             idle_timeout: Duration::from_secs(30),
             inject_fault: None,
+            profile: None,
         }
+    }
+}
+
+/// Master-side dynamic-scenario bookkeeping.
+struct DynState {
+    /// Lifecycle boundaries not yet applied, in time order (model s).
+    pending: VecDeque<LifecycleEvent>,
+    /// Chunks destroyed by crashes.
+    lost: HashSet<ChunkId>,
+    /// Per-worker down flags, mirroring what the workers were told.
+    down: Vec<bool>,
+}
+
+impl DynState {
+    fn new(profile: Option<&DynProfile>, p: usize) -> Self {
+        DynState {
+            pending: profile
+                .map(|pr| pr.lifecycle_events().into())
+                .unwrap_or_default(),
+            lost: HashSet::new(),
+            down: (0..p)
+                .map(|w| profile.is_some_and(|pr| !pr.is_up(w, 0.0)))
+                .collect(),
+        }
+    }
+
+    fn due(&self, model_now: f64) -> bool {
+        self.pending.front().is_some_and(|e| e.time <= model_now)
+    }
+
+    /// Applies every lifecycle boundary that `model_now` has passed:
+    /// tells the worker, fixes the mirror, and notifies the policy
+    /// (`WorkerDown` + one `ChunkLost` per destroyed chunk, or
+    /// `WorkerUp`).
+    #[allow(clippy::too_many_arguments)]
+    fn pump<P: MasterPolicy>(
+        &mut self,
+        model_now: f64,
+        wall_now: f64,
+        masters: &[MasterLink],
+        descrs: &HashMap<ChunkId, (usize, ChunkDescr)>,
+        retrieved: &HashSet<ChunkId>,
+        mirror: &mut CtxMirror,
+        policy: &mut P,
+    ) -> Result<(), NetError> {
+        while self.due(model_now) {
+            let ev = self.pending.pop_front().expect("checked by due()");
+            let link_down = |_| NetError::WorkerFailure(format!("worker {} link down", ev.worker));
+            mirror.set_now(wall_now);
+            if ev.up {
+                masters[ev.worker]
+                    .send_control(ToWorker::Recover)
+                    .map_err(link_down)?;
+                self.down[ev.worker] = false;
+                mirror.on_rejoin(ev.worker);
+                policy.on_event(&SimEvent::WorkerUp { worker: ev.worker }, &mirror.ctx());
+            } else {
+                masters[ev.worker]
+                    .send_control(ToWorker::Fail)
+                    .map_err(link_down)?;
+                self.down[ev.worker] = true;
+                mirror.on_crash(ev.worker);
+                policy.on_event(&SimEvent::WorkerDown { worker: ev.worker }, &mirror.ctx());
+                let mut doomed: Vec<ChunkId> = descrs
+                    .iter()
+                    .filter(|(id, (w, _))| {
+                        *w == ev.worker && !retrieved.contains(*id) && !self.lost.contains(*id)
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                doomed.sort_unstable();
+                for chunk in doomed {
+                    self.lost.insert(chunk);
+                    policy.on_event(
+                        &SimEvent::ChunkLost {
+                            worker: ev.worker,
+                            chunk,
+                        },
+                        &mirror.ctx(),
+                    );
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -88,8 +180,11 @@ impl fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 /// Applies one worker control event to the mirror and the policy.
+/// Events referencing chunks lost to a crash are dropped silently (the
+/// worker emitted them before it learned of its own death).
 fn apply_worker_event<P: MasterPolicy>(
     descrs: &HashMap<ChunkId, (usize, ChunkDescr)>,
+    lost: &HashSet<ChunkId>,
     msg: &ToMaster,
     wid: usize,
     mirror: &mut CtxMirror,
@@ -99,6 +194,9 @@ fn apply_worker_event<P: MasterPolicy>(
     mirror.set_now(now);
     match msg {
         ToMaster::StepDone { chunk, step } => {
+            if lost.contains(chunk) {
+                return Ok(());
+            }
             let (_, d) = descrs.get(chunk).ok_or(NetError::UnknownChunk(*chunk))?;
             mirror.on_step(wid, d.a_for(*step) + d.b_for(*step), d.updates_for(*step));
             let ev = SimEvent::StepDone {
@@ -109,6 +207,9 @@ fn apply_worker_event<P: MasterPolicy>(
             policy.on_event(&ev, &mirror.ctx());
         }
         ToMaster::ChunkComputed { chunk } => {
+            if lost.contains(chunk) {
+                return Ok(());
+            }
             let ev = SimEvent::ChunkComputed {
                 worker: wid,
                 chunk: *chunk,
@@ -116,6 +217,9 @@ fn apply_worker_event<P: MasterPolicy>(
             policy.on_event(&ev, &mirror.ctx());
         }
         ToMaster::Result { chunk, .. } => {
+            if lost.contains(chunk) {
+                return Ok(());
+            }
             return Err(NetError::Protocol(format!(
                 "unsolicited result for chunk {chunk}"
             )));
@@ -173,8 +277,23 @@ impl NetRuntime {
             )));
         }
 
+        if let Some(p) = &self.opts.profile {
+            if p.len() != self.platform.len() {
+                return Err(NetError::DimensionMismatch(format!(
+                    "profile describes {} workers, platform has {}",
+                    p.len(),
+                    self.platform.len()
+                )));
+            }
+        }
+
         let cs: Vec<f64> = self.platform.workers().iter().map(|s| s.c).collect();
-        let (masters, worker_links, events) = build_star(&cs, self.opts.time_scale);
+        let epoch = Instant::now();
+        let dynamics = self.opts.profile.as_ref().map(|p| LinkDynamics {
+            profile: Arc::new(p.clone()),
+            epoch,
+        });
+        let (masters, worker_links, events) = build_star_dyn(&cs, self.opts.time_scale, dynamics);
         let handles: Vec<_> = worker_links
             .into_iter()
             .map(|wl| {
@@ -189,7 +308,7 @@ impl NetRuntime {
             })
             .collect();
 
-        let result = self.drive(policy, a, b, c, &masters, &events);
+        let result = self.drive(policy, a, b, c, &masters, &events, epoch);
 
         // Tear down regardless of outcome.
         for m in &masters {
@@ -222,14 +341,35 @@ impl NetRuntime {
         c: &mut BlockMatrix,
         masters: &[MasterLink],
         events: &crossbeam::channel::Receiver<(usize, ToMaster)>,
+        start: Instant,
     ) -> Result<RunStats, NetError> {
-        let start = Instant::now();
         let mut mirror = CtxMirror::new(&self.platform);
+        if let Some(p) = &self.opts.profile {
+            for w in 0..self.platform.len() {
+                if !p.is_up(w, 0.0) {
+                    mirror.on_crash(w);
+                }
+            }
+        }
         let mut descrs: HashMap<ChunkId, (usize, ChunkDescr)> = HashMap::new();
+        let mut retrieved: HashSet<ChunkId> = HashSet::new();
+        let mut dyn_state = DynState::new(self.opts.profile.as_ref(), self.platform.len());
         let mut port_busy = 0.0f64;
         let mut chunks_retrieved = 0u64;
+        // Model time (the clock lifecycle schedules are written in).
+        let model_now = |start: &Instant| start.elapsed().as_secs_f64() / self.opts.time_scale;
 
         loop {
+            let wall = start.elapsed().as_secs_f64();
+            dyn_state.pump(
+                model_now(&start),
+                wall,
+                masters,
+                &descrs,
+                &retrieved,
+                &mut mirror,
+                policy,
+            )?;
             mirror.set_now(start.elapsed().as_secs_f64());
             let action = policy.next_action(&mirror.ctx());
             match action {
@@ -240,6 +380,17 @@ impl NetRuntime {
                 } => {
                     if worker >= masters.len() {
                         return Err(NetError::Protocol(format!("unknown worker {worker}")));
+                    }
+                    if dyn_state.down[worker] {
+                        return Err(NetError::Protocol(format!(
+                            "send to downed worker {worker}"
+                        )));
+                    }
+                    if dyn_state.lost.contains(&fragment.chunk) {
+                        return Err(NetError::Protocol(format!(
+                            "fragment for chunk {}, lost in a worker crash",
+                            fragment.chunk
+                        )));
                     }
                     let cap = self.platform.worker(worker).m as u64;
                     let attempted = mirror.occupancy(worker) + fragment.blocks;
@@ -270,17 +421,33 @@ impl NetRuntime {
                     policy.on_event(&ev, &mirror.ctx());
                 }
                 Action::Retrieve { worker, chunk } => {
+                    if dyn_state.down[worker] {
+                        return Err(NetError::Protocol(format!(
+                            "retrieve from downed worker {worker}"
+                        )));
+                    }
+                    if dyn_state.lost.contains(&chunk) {
+                        return Err(NetError::Protocol(format!(
+                            "retrieve of chunk {chunk}, lost in a worker crash"
+                        )));
+                    }
                     masters[worker]
                         .send_control(ToWorker::Retrieve { chunk })
                         .map_err(|_| {
                             NetError::WorkerFailure(format!("worker {worker} link down"))
                         })?;
                     // Blocking receive: drain events until our result.
+                    // (Lifecycle boundaries falling due meanwhile are
+                    // applied after the retrieval completes — the
+                    // blocking receive models the master's busy port.)
                     loop {
                         let (wid, msg) = events
                             .recv_timeout(self.opts.idle_timeout)
                             .map_err(|_| NetError::Timeout)?;
                         if let ToMaster::Result { chunk: got, blocks } = msg {
+                            if dyn_state.lost.contains(&got) {
+                                continue; // stale result of a dead chunk
+                            }
                             if wid != worker || got != chunk {
                                 return Err(NetError::Protocol(format!(
                                     "result for chunk {got} from worker {wid}, \
@@ -299,12 +466,14 @@ impl NetRuntime {
                             mirror.set_now(start.elapsed().as_secs_f64());
                             mirror.on_retrieved(worker, (geom.h * geom.w) as u64);
                             chunks_retrieved += 1;
+                            retrieved.insert(chunk);
                             let ev = SimEvent::RetrieveDone { worker, chunk };
                             policy.on_event(&ev, &mirror.ctx());
                             break;
                         }
                         apply_worker_event(
                             &descrs,
+                            &dyn_state.lost,
                             &msg,
                             wid,
                             &mut mirror,
@@ -314,27 +483,67 @@ impl NetRuntime {
                     }
                 }
                 Action::Wait => {
-                    let (wid, msg) = events
-                        .recv_timeout(self.opts.idle_timeout)
-                        .map_err(|_| NetError::Timeout)?;
-                    apply_worker_event(
-                        &descrs,
-                        &msg,
-                        wid,
-                        &mut mirror,
-                        policy,
-                        start.elapsed().as_secs_f64(),
-                    )?;
+                    // Wait for the next worker event, but wake up for
+                    // lifecycle boundaries (crash/join) falling due —
+                    // they may be the very thing the policy is blocked
+                    // on. The idle budget only counts time with neither.
+                    let idle_start = Instant::now();
+                    loop {
+                        if dyn_state.due(model_now(&start)) {
+                            break; // pumped at the top of the outer loop
+                        }
+                        let Some(mut budget) = self
+                            .opts
+                            .idle_timeout
+                            .checked_sub(idle_start.elapsed())
+                            .filter(|d| !d.is_zero())
+                        else {
+                            return Err(NetError::Timeout);
+                        };
+                        if let Some(next) = dyn_state.pending.front() {
+                            let wall_until = (next.time - model_now(&start)).max(0.0)
+                                * self.opts.time_scale
+                                + 1e-3;
+                            budget = budget.min(Duration::from_secs_f64(wall_until));
+                        }
+                        use crossbeam::channel::RecvTimeoutError;
+                        match events.recv_timeout(budget) {
+                            Ok((wid, msg)) => {
+                                apply_worker_event(
+                                    &descrs,
+                                    &dyn_state.lost,
+                                    &msg,
+                                    wid,
+                                    &mut mirror,
+                                    policy,
+                                    start.elapsed().as_secs_f64(),
+                                )?;
+                                break;
+                            }
+                            // Re-check lifecycle/budget and keep waiting.
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            // Every worker thread is gone: no event can
+                            // ever arrive — fail now instead of spinning
+                            // out the idle budget.
+                            Err(RecvTimeoutError::Disconnected) => {
+                                return Err(NetError::WorkerFailure(
+                                    "all worker threads gone while waiting".into(),
+                                ));
+                            }
+                        }
+                    }
                 }
                 Action::Finished => break,
             }
         }
 
-        if chunks_retrieved != descrs.len() as u64 {
+        let live_chunks = descrs
+            .keys()
+            .filter(|id| !dyn_state.lost.contains(id))
+            .count() as u64;
+        if chunks_retrieved != live_chunks {
             return Err(NetError::Protocol(format!(
-                "finished with {} of {} chunks retrieved",
-                chunks_retrieved,
-                descrs.len()
+                "finished with {chunks_retrieved} of {live_chunks} live chunks retrieved"
             )));
         }
 
@@ -424,7 +633,7 @@ mod tests {
         NetOptions {
             time_scale: 1e-7, // effectively instant links for tests
             idle_timeout: Duration::from_secs(20),
-            inject_fault: None,
+            ..Default::default()
         }
     }
 
@@ -499,6 +708,41 @@ mod tests {
     }
 
     #[test]
+    fn dyn_profile_throttles_the_links() {
+        use stargemm_platform::dynamic::{DynProfile, Trace, WorkerDyn};
+        let job = Job::new(2, 2, 2, 4);
+        let platform = Platform::new("dyn-slow", vec![WorkerSpec::new(2e-3, 1e-6, 60)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+        let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+
+        let run = |profile: Option<DynProfile>| {
+            let mut c = BlockMatrix::zeros(job.r, job.s, job.q);
+            let mut policy = build_policy(&platform, &job, Algorithm::Oddoml).unwrap();
+            let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
+                time_scale: 1.0,
+                idle_timeout: Duration::from_secs(20),
+                profile,
+                ..Default::default()
+            });
+            rt.run(&mut policy, &a, &b, &mut c).unwrap().makespan
+        };
+
+        let flat = run(None);
+        // Link cost ×4 from the start: the comm-bound run must take
+        // clearly longer than the static one.
+        let jittered = run(Some(DynProfile::new(vec![WorkerDyn::new(
+            Trace::new(vec![(0.0, 4.0)]),
+            Trace::default(),
+            vec![],
+        )])));
+        assert!(
+            jittered > flat * 2.0,
+            "trace throttle not applied: {flat} vs {jittered}"
+        );
+    }
+
+    #[test]
     fn dimension_mismatch_is_rejected() {
         let job = Job::new(4, 4, 4, 4);
         let platform = small_platform();
@@ -525,7 +769,7 @@ mod tests {
         let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
             time_scale: 1.0,
             idle_timeout: Duration::from_secs(20),
-            inject_fault: None,
+            ..Default::default()
         });
         let stats = rt.run(&mut policy, &a, &b, &mut c).unwrap();
         // Total traffic: C in+out (2·4 blocks) + A/B (2 steps × 2 chunks ×

@@ -35,6 +35,11 @@ pub enum ToWorker {
     },
     /// Request the computed chunk back.
     Retrieve { chunk: ChunkId },
+    /// Simulated crash (dynamic platforms): drop every resident chunk
+    /// and ignore data until [`ToWorker::Recover`].
+    Fail,
+    /// Rejoin after a simulated crash, with empty memory.
+    Recover,
     /// End of run.
     Shutdown,
 }
@@ -55,6 +60,8 @@ const TAG_FRAG_A: u8 = 2;
 const TAG_FRAG_B: u8 = 3;
 const TAG_RETRIEVE: u8 = 4;
 const TAG_SHUTDOWN: u8 = 5;
+const TAG_FAIL: u8 = 9;
+const TAG_RECOVER: u8 = 10;
 const TAG_STEP_DONE: u8 = 6;
 const TAG_CHUNK_COMPUTED: u8 = 7;
 const TAG_RESULT: u8 = 8;
@@ -168,6 +175,8 @@ impl ToWorker {
                 buf.put_u8(TAG_RETRIEVE);
                 buf.put_u32_le(*chunk);
             }
+            ToWorker::Fail => buf.put_u8(TAG_FAIL),
+            ToWorker::Recover => buf.put_u8(TAG_RECOVER),
             ToWorker::Shutdown => buf.put_u8(TAG_SHUTDOWN),
         }
         buf.freeze()
@@ -204,6 +213,8 @@ impl ToWorker {
             TAG_RETRIEVE => ToWorker::Retrieve {
                 chunk: buf.get_u32_le(),
             },
+            TAG_FAIL => ToWorker::Fail,
+            TAG_RECOVER => ToWorker::Recover,
             TAG_SHUTDOWN => ToWorker::Shutdown,
             tag => panic!("unknown ToWorker tag {tag}"),
         }
@@ -333,7 +344,12 @@ mod tests {
 
     #[test]
     fn control_messages_roundtrip_and_are_payload_free() {
-        for msg in [ToWorker::Retrieve { chunk: 9 }, ToWorker::Shutdown] {
+        for msg in [
+            ToWorker::Retrieve { chunk: 9 },
+            ToWorker::Fail,
+            ToWorker::Recover,
+            ToWorker::Shutdown,
+        ] {
             assert_eq!(ToWorker::decode(msg.encode()), msg);
             assert_eq!(msg.data_blocks(), 0);
         }

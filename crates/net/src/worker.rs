@@ -90,6 +90,9 @@ pub fn worker_main(link: WorkerLink) {
 pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
     let mut chunks: HashMap<ChunkId, WorkerChunk> = HashMap::new();
     let mut processed = 0usize;
+    // Dynamic platforms: a `Fail` control message simulates a crash —
+    // all chunks are dropped and data is ignored until `Recover`.
+    let mut down = false;
     loop {
         let msg = link.recv();
         processed += 1;
@@ -101,6 +104,18 @@ pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
             );
         }
         match msg {
+            ToWorker::Fail => {
+                chunks.clear();
+                down = true;
+                continue;
+            }
+            ToWorker::Recover => {
+                down = false;
+                continue;
+            }
+            ToWorker::Shutdown => break,
+            // While down, every other message falls on dead hardware.
+            _ if down => continue,
             ToWorker::LoadC {
                 descr,
                 h,
@@ -153,7 +168,6 @@ pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
                 // the master is blocked on its port meanwhile (one-port
                 // blocking receive).
             }
-            ToWorker::Shutdown => break,
         }
         // A completed chunk with a pending retrieval replies immediately.
         let due: Vec<ChunkId> = chunks

@@ -16,10 +16,16 @@
 //! [`random`] generates the randomized fully-heterogeneous platforms of
 //! Figure 7.
 
+//! [`dynamic`] extends the model to *time-varying* platforms:
+//! piecewise-constant cost traces and worker crash/join schedules shared
+//! by both execution engines.
+
+pub mod dynamic;
 pub mod parse;
 pub mod platform;
 pub mod presets;
 pub mod random;
 pub mod units;
 
+pub use dynamic::{DynPlatform, DynProfile, LifecycleEvent, Trace, WorkerDyn};
 pub use platform::{Platform, WorkerId, WorkerSpec};

@@ -36,7 +36,7 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-fn fail(line: usize, message: impl Into<String>) -> ParseError {
+pub(crate) fn fail(line: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line,
         message: message.into(),
@@ -46,6 +46,49 @@ fn fail(line: usize, message: impl Into<String>) -> ParseError {
 fn parse_suffixed(tok: &str, suffix: &str) -> Option<Result<f64, ()>> {
     tok.strip_suffix(suffix)
         .map(|num| num.parse::<f64>().map_err(|_| ()))
+}
+
+/// Parses the three whitespace-split fields of one worker line (shared
+/// with the dynamic-platform flavour in [`crate::dynamic`]).
+pub(crate) fn parse_worker_fields(
+    toks: &[&str],
+    line_no: usize,
+    q: usize,
+) -> Result<WorkerSpec, ParseError> {
+    if toks.len() != 3 {
+        return Err(fail(
+            line_no,
+            format!("expected 3 fields, got {}", toks.len()),
+        ));
+    }
+    let c = match parse_suffixed(toks[0], "Mbps") {
+        Some(Ok(mbps)) if mbps > 0.0 => c_from_bandwidth_mbps(q, mbps),
+        Some(_) => return Err(fail(line_no, "bad bandwidth")),
+        None => toks[0]
+            .parse::<f64>()
+            .map_err(|_| fail(line_no, "bad c field"))?,
+    };
+    let w = match parse_suffixed(toks[1], "gflops") {
+        Some(Ok(g)) if g > 0.0 => w_from_gflops(q, g),
+        Some(_) => return Err(fail(line_no, "bad compute rate")),
+        None => toks[1]
+            .parse::<f64>()
+            .map_err(|_| fail(line_no, "bad w field"))?,
+    };
+    let m = match parse_suffixed(toks[2], "MB") {
+        Some(Ok(mb)) if mb > 0.0 => blocks_from_megabytes(q, mb),
+        Some(_) => return Err(fail(line_no, "bad memory size")),
+        None => toks[2]
+            .parse::<usize>()
+            .map_err(|_| fail(line_no, "bad m field"))?,
+    };
+    if !(c.is_finite() && c > 0.0 && w.is_finite() && w > 0.0) {
+        return Err(fail(line_no, "costs must be positive"));
+    }
+    if m < 3 {
+        return Err(fail(line_no, "memory below 3 block buffers"));
+    }
+    Ok(WorkerSpec::new(c, w, m))
 }
 
 /// Parses a platform description; `q` is the block side used for unit
@@ -59,40 +102,7 @@ pub fn parse_platform(name: &str, text: &str, q: usize) -> Result<Platform, Pars
             continue;
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
-        if toks.len() != 3 {
-            return Err(fail(
-                line_no,
-                format!("expected 3 fields, got {}", toks.len()),
-            ));
-        }
-        let c = match parse_suffixed(toks[0], "Mbps") {
-            Some(Ok(mbps)) if mbps > 0.0 => c_from_bandwidth_mbps(q, mbps),
-            Some(_) => return Err(fail(line_no, "bad bandwidth")),
-            None => toks[0]
-                .parse::<f64>()
-                .map_err(|_| fail(line_no, "bad c field"))?,
-        };
-        let w = match parse_suffixed(toks[1], "gflops") {
-            Some(Ok(g)) if g > 0.0 => w_from_gflops(q, g),
-            Some(_) => return Err(fail(line_no, "bad compute rate")),
-            None => toks[1]
-                .parse::<f64>()
-                .map_err(|_| fail(line_no, "bad w field"))?,
-        };
-        let m = match parse_suffixed(toks[2], "MB") {
-            Some(Ok(mb)) if mb > 0.0 => blocks_from_megabytes(q, mb),
-            Some(_) => return Err(fail(line_no, "bad memory size")),
-            None => toks[2]
-                .parse::<usize>()
-                .map_err(|_| fail(line_no, "bad m field"))?,
-        };
-        if !(c.is_finite() && c > 0.0 && w.is_finite() && w > 0.0) {
-            return Err(fail(line_no, "costs must be positive"));
-        }
-        if m < 3 {
-            return Err(fail(line_no, "memory below 3 block buffers"));
-        }
-        workers.push(WorkerSpec::new(c, w, m));
+        workers.push(parse_worker_fields(&toks, line_no, q)?);
     }
     if workers.is_empty() {
         return Err(fail(0, "no workers defined"));

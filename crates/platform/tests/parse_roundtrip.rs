@@ -91,3 +91,99 @@ fn rendered_comments_and_blank_lines_survive() {
     let parsed = parse_platform(&preset.name, &text, presets::PAPER_Q).unwrap();
     assert_eq!(parsed, preset);
 }
+
+// ---------------------------------------------------------------------
+// Dynamic-trace annotations (`@` directives).
+// ---------------------------------------------------------------------
+
+use stargemm_platform::dynamic::{
+    parse_dyn_platform, render_dyn_platform, DynPlatform, DynProfile, Trace, WorkerDyn,
+};
+
+/// Exercises awkward float values: shortest-round-trip rendering must
+/// reproduce them bit-for-bit through the `@` directive grammar.
+fn awkward_profile(p: usize) -> DynProfile {
+    let mut workers = Vec::with_capacity(p);
+    for w in 0..p {
+        let c_scale = if w % 2 == 0 {
+            Trace::new(vec![
+                (0.0, 1.0 + 1.0 / 3.0),
+                (0.1 + w as f64, std::f64::consts::PI),
+                (7.25 + w as f64, 1e-3),
+            ])
+        } else {
+            Trace::default()
+        };
+        let w_scale = if w % 3 == 0 {
+            Trace::new(vec![(0.0, 0.123_456_789_012_345_67), (2.5, 1.0)])
+        } else {
+            Trace::default()
+        };
+        let downtime = match w % 3 {
+            0 => vec![],
+            1 => vec![(0.0, 4.75), (100.0 / 3.0, f64::INFINITY)],
+            _ => vec![(1e-3, 2.5), (3.0, 4.0)],
+        };
+        workers.push(WorkerDyn::new(c_scale, w_scale, downtime));
+    }
+    DynProfile::new(workers)
+}
+
+#[test]
+fn every_preset_round_trips_with_dynamic_annotations() {
+    for preset in all_presets() {
+        let dp = DynPlatform::new(preset.clone(), awkward_profile(preset.len()));
+        let text = render_dyn_platform(&dp);
+        let parsed = parse_dyn_platform(&preset.name, &text, presets::PAPER_Q)
+            .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+        assert_eq!(parsed.base.len(), dp.base.len(), "{}", preset.name);
+        for (i, (a, b)) in dp
+            .base
+            .workers()
+            .iter()
+            .zip(parsed.base.workers())
+            .enumerate()
+        {
+            assert_eq!(a.c.to_bits(), b.c.to_bits(), "{} worker {i} c", preset.name);
+            assert_eq!(a.w.to_bits(), b.w.to_bits(), "{} worker {i} w", preset.name);
+            assert_eq!(a.m, b.m, "{} worker {i} m", preset.name);
+        }
+        for (i, (a, b)) in dp
+            .profile
+            .workers()
+            .iter()
+            .zip(parsed.profile.workers())
+            .enumerate()
+        {
+            for (pa, pb) in a.c_scale.points().iter().zip(b.c_scale.points()) {
+                assert_eq!(pa.0.to_bits(), pb.0.to_bits(), "{i} cscale t");
+                assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "{i} cscale v");
+            }
+            for (pa, pb) in a.w_scale.points().iter().zip(b.w_scale.points()) {
+                assert_eq!(pa.0.to_bits(), pb.0.to_bits(), "{i} wscale t");
+                assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "{i} wscale v");
+            }
+            assert_eq!(a.downtime.len(), b.downtime.len(), "worker {i} downtime");
+            for (da, db) in a.downtime.iter().zip(&b.downtime) {
+                assert_eq!(da.0.to_bits(), db.0.to_bits(), "{i} down from");
+                assert_eq!(da.1.to_bits(), db.1.to_bits(), "{i} down until");
+            }
+        }
+        // And the whole value as one equality (PartialEq covers names).
+        assert_eq!(parsed, dp, "{}", preset.name);
+    }
+}
+
+#[test]
+fn static_render_is_a_valid_dynamic_text_and_vice_versa() {
+    // A plain static rendering parses as the static limit...
+    let preset = presets::fully_het(4.0);
+    let dp = parse_dyn_platform(&preset.name, &render(&preset), presets::PAPER_Q).unwrap();
+    assert!(dp.profile.is_static());
+    assert_eq!(dp.base, preset);
+    // ...and a dynamic rendering of the static limit contains no
+    // directives, so the *static* parser accepts it unchanged.
+    let text = render_dyn_platform(&DynPlatform::constant(preset.clone()));
+    let parsed = parse_platform(&preset.name, &text, presets::PAPER_Q).unwrap();
+    assert_eq!(parsed, preset);
+}

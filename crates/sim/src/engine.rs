@@ -18,6 +18,7 @@ use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::collections::BinaryHeap;
 
+use stargemm_platform::dynamic::{DynPlatform, DynProfile};
 use stargemm_platform::{Platform, WorkerId};
 
 use crate::error::SimError;
@@ -36,6 +37,7 @@ pub struct WorkerRt {
     pub(crate) resident: u64,
     pub(crate) reserved: u64,
     pub(crate) compute_free_at: f64,
+    pub(crate) up: bool,
     pub(crate) stats: WorkerStats,
 }
 
@@ -48,6 +50,7 @@ impl WorkerRt {
             resident: 0,
             reserved: 0,
             compute_free_at: 0.0,
+            up: true,
             stats: WorkerStats::default(),
         }
     }
@@ -66,6 +69,9 @@ struct ChunkRt {
     computed: bool,
     retrieved: bool,
     retrieve_pending: bool,
+    /// Destroyed by a worker crash: the engine ignores its remaining
+    /// events and does not require its retrieval.
+    lost: bool,
 }
 
 impl ChunkRt {
@@ -82,6 +88,7 @@ impl ChunkRt {
             computed: false,
             retrieved: false,
             retrieve_pending: false,
+            lost: false,
         }
     }
 
@@ -110,6 +117,21 @@ enum EvKind {
         chunk: ChunkId,
         step: StepId,
     },
+    /// A scheduled worker crash (`up = false`) or (re)join (`up = true`)
+    /// from the dynamic profile.
+    Lifecycle {
+        worker: WorkerId,
+        up: bool,
+    },
+}
+
+impl EvKind {
+    /// Lifecycle events are scenario background noise: they keep firing
+    /// after the policy declared completion and never justify keeping
+    /// the run alive.
+    fn is_work(&self) -> bool {
+        !matches!(self, EvKind::Lifecycle { .. })
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -155,6 +177,7 @@ enum MasterState {
 /// The simulator: owns the platform description and run options.
 pub struct Simulator {
     platform: Platform,
+    profile: Option<DynProfile>,
     record_trace: bool,
     /// Defensive cap on processed events (a correct policy on the paper's
     /// largest instance needs ~10⁶).
@@ -166,9 +189,32 @@ impl Simulator {
     pub fn new(platform: Platform) -> Self {
         Simulator {
             platform,
+            profile: None,
             record_trace: false,
             max_events: 200_000_000,
         }
+    }
+
+    /// A simulator for a time-varying platform: transfer and compute
+    /// durations are integrated over the profile's cost traces, and
+    /// scheduled crashes abort the resident chunks (reported to the
+    /// policy as [`SimEvent::ChunkLost`]).
+    pub fn new_dyn(platform: DynPlatform) -> Self {
+        Simulator::new(platform.base).with_profile(platform.profile)
+    }
+
+    /// Attaches a dynamic profile to the current platform.
+    ///
+    /// # Panics
+    /// Panics when the profile does not describe every worker.
+    pub fn with_profile(mut self, profile: DynProfile) -> Self {
+        assert_eq!(
+            profile.len(),
+            self.platform.len(),
+            "profile must describe every worker"
+        );
+        self.profile = Some(profile);
+        self
     }
 
     /// Enables per-interval trace recording (needed for Gantt rendering).
@@ -199,7 +245,7 @@ impl Simulator {
         &self,
         policy: &mut dyn MasterPolicy,
     ) -> Result<(RunStats, Vec<TraceEntry>), SimError> {
-        let mut st = EngineState::new(&self.platform, self.record_trace);
+        let mut st = EngineState::new(&self.platform, self.record_trace, self.profile.clone());
         let mut master = MasterState::Idle;
         let mut processed: u64 = 0;
 
@@ -216,7 +262,7 @@ impl Simulator {
                 master = st.apply_action(action, policy)?;
             }
 
-            if master == MasterState::Done && st.queue.is_empty() {
+            if master == MasterState::Done && st.work_events == 0 {
                 let stats = st.collect_stats(policy.name());
                 let trace = st.trace.take().unwrap_or_default();
                 return Ok((stats, trace));
@@ -228,6 +274,9 @@ impl Simulator {
                     unretrieved_chunks: st.unretrieved(),
                 });
             };
+            if ev.kind.is_work() {
+                st.work_events -= 1;
+            }
             processed += 1;
             if processed > self.max_events {
                 return Err(SimError::protocol("event cap exceeded"));
@@ -248,6 +297,16 @@ impl Simulator {
                         if waiting == chunk && st.chunk(chunk)?.computed {
                             st.start_retrieval(worker, chunk);
                             master = MasterState::Busy;
+                        }
+                    }
+                }
+                EvKind::Lifecycle { .. } => {
+                    // A crash destroys the chunk a blocked retrieval was
+                    // waiting for: release the master instead of leaving
+                    // it waiting forever.
+                    if let MasterState::BlockedRetrieve(waiting) = master {
+                        if st.chunk(waiting)?.lost {
+                            master = MasterState::Idle;
                         }
                     }
                 }
@@ -279,24 +338,29 @@ pub(crate) struct EngineState {
     retrieved_count: u64,
     last_retrieve_done: f64,
     trace: Option<Vec<TraceEntry>>,
+    profile: Option<DynProfile>,
+    /// Queued events that are not lifecycle noise (run-liveness check).
+    work_events: u64,
 }
 
 impl EngineState {
-    fn new(platform: &Platform, record_trace: bool) -> Self {
+    fn new(platform: &Platform, record_trace: bool, profile: Option<DynProfile>) -> Self {
         let workers = platform
             .workers()
             .iter()
-            .map(|s| WorkerRt {
+            .enumerate()
+            .map(|(w, s)| WorkerRt {
                 capacity: s.m as u64,
                 c: s.c,
                 w: s.w,
                 resident: 0,
                 reserved: 0,
                 compute_free_at: 0.0,
+                up: profile.as_ref().is_none_or(|p| p.is_up(w, 0.0)),
                 stats: WorkerStats::default(),
             })
             .collect();
-        EngineState {
+        let mut st = EngineState {
             now: 0.0,
             workers,
             chunks: BTreeMap::new(),
@@ -306,7 +370,21 @@ impl EngineState {
             retrieved_count: 0,
             last_retrieve_done: 0.0,
             trace: record_trace.then(Vec::new),
+            profile,
+            work_events: 0,
+        };
+        if let Some(p) = st.profile.clone() {
+            for ev in p.lifecycle_events() {
+                st.push(
+                    ev.time,
+                    EvKind::Lifecycle {
+                        worker: ev.worker,
+                        up: ev.up,
+                    },
+                );
+            }
         }
+        st
     }
 
     fn chunk(&self, id: ChunkId) -> Result<&ChunkRt, SimError> {
@@ -316,7 +394,10 @@ impl EngineState {
     }
 
     fn unretrieved(&self) -> usize {
-        self.chunks.values().filter(|c| !c.retrieved).count()
+        self.chunks
+            .values()
+            .filter(|c| !c.retrieved && !c.lost)
+            .count()
     }
 
     fn push(&mut self, time: f64, kind: EvKind) {
@@ -326,6 +407,9 @@ impl EngineState {
             kind,
         };
         self.seq += 1;
+        if kind.is_work() {
+            self.work_events += 1;
+        }
         self.queue.push(Reverse(ev));
     }
 
@@ -375,6 +459,11 @@ impl EngineState {
                 }
                 if ch.retrieved || ch.retrieve_pending {
                     return Err(SimError::protocol(format!("chunk {chunk} retrieved twice")));
+                }
+                if ch.lost {
+                    return Err(SimError::protocol(format!(
+                        "retrieve of chunk {chunk}, lost in a worker crash"
+                    )));
                 }
                 if ch.computed {
                     self.start_retrieval(worker, chunk);
@@ -427,6 +516,12 @@ impl EngineState {
             }
             None => {
                 let ch = self.chunk(fragment.chunk)?;
+                if ch.lost {
+                    return Err(SimError::protocol(format!(
+                        "fragment for chunk {}, lost in a worker crash",
+                        fragment.chunk
+                    )));
+                }
                 if ch.worker != worker {
                     return Err(SimError::protocol(format!(
                         "fragment for chunk {} sent to worker {worker}, \
@@ -480,10 +575,13 @@ impl EngineState {
         }
         w.reserved += fragment.blocks;
 
-        let dur = fragment.blocks as f64 * w.c;
+        let base = fragment.blocks as f64 * w.c;
         let start = self.now;
-        let end = start + dur;
-        self.port_busy += dur;
+        let end = match &self.profile {
+            None => start + base,
+            Some(p) => p.transfer_end(worker, start, base),
+        };
+        self.port_busy += end - start;
         self.record(TraceEntry {
             kind: TraceKind::SendToWorker {
                 kind: fragment.kind,
@@ -501,10 +599,13 @@ impl EngineState {
 
     fn start_retrieval(&mut self, worker: WorkerId, chunk: ChunkId) {
         let blocks = self.chunks[&chunk].descr.c_blocks;
-        let dur = blocks as f64 * self.workers[worker].c;
+        let base = blocks as f64 * self.workers[worker].c;
         let start = self.now;
-        let end = start + dur;
-        self.port_busy += dur;
+        let end = match &self.profile {
+            None => start + base,
+            Some(p) => p.transfer_end(worker, start, base),
+        };
+        self.port_busy += end - start;
         self.record(TraceEntry {
             kind: TraceKind::RetrieveFromWorker { chunk, blocks },
             worker,
@@ -521,6 +622,27 @@ impl EngineState {
             EvKind::SendDone { worker, fragment } => {
                 let w = &mut self.workers[worker];
                 w.reserved -= fragment.blocks;
+                // Blocks landing on a downed worker — or belonging to a
+                // chunk a crash destroyed — are dropped on the floor:
+                // the port time was spent, the data is gone.
+                let dropped = !w.up || self.chunks.get(&fragment.chunk).is_some_and(|ch| ch.lost);
+                if dropped {
+                    let ch = self
+                        .chunks
+                        .get_mut(&fragment.chunk)
+                        .expect("validated at issue");
+                    if !ch.lost {
+                        // A C load addressed to an already-down worker
+                        // opens the chunk dead on arrival.
+                        ch.lost = true;
+                        hooks.push(SimEvent::ChunkLost {
+                            worker,
+                            chunk: fragment.chunk,
+                        });
+                    }
+                    hooks.push(SimEvent::SendDone { worker, fragment });
+                    return Ok(hooks);
+                }
                 w.resident += fragment.blocks;
                 w.stats.mem_high_water = w.stats.mem_high_water.max(w.resident);
                 w.stats.blocks_rx += fragment.blocks;
@@ -564,6 +686,11 @@ impl EngineState {
                 step,
             } => {
                 let ch = self.chunks.get_mut(&chunk).expect("fired step");
+                if ch.lost {
+                    // Computation of a crashed chunk: result discarded,
+                    // memory already wiped at crash time.
+                    return Ok(hooks);
+                }
                 ch.steps_done += 1;
                 let freed = ch.descr.a_for(step) + ch.descr.b_for(step);
                 let updates = ch.descr.updates_for(step);
@@ -585,6 +712,11 @@ impl EngineState {
             }
             EvKind::RetrieveDone { worker, chunk } => {
                 let ch = self.chunks.get_mut(&chunk).expect("retrieval started");
+                if ch.lost {
+                    // The source crashed mid-retrieval: the partial
+                    // transfer is discarded (ChunkLost already reported).
+                    return Ok(hooks);
+                }
                 ch.retrieved = true;
                 let blocks = ch.descr.c_blocks;
                 let w = &mut self.workers[worker];
@@ -593,6 +725,28 @@ impl EngineState {
                 self.retrieved_count += 1;
                 self.last_retrieve_done = self.now;
                 hooks.push(SimEvent::RetrieveDone { worker, chunk });
+            }
+            EvKind::Lifecycle { worker, up } => {
+                let w = &mut self.workers[worker];
+                if up {
+                    w.up = true;
+                    w.compute_free_at = self.now;
+                    hooks.push(SimEvent::WorkerUp { worker });
+                } else {
+                    // Crash: memory wiped, every unretrieved chunk on the
+                    // worker destroyed. In-flight sends keep their
+                    // reservation until their SendDone drops them.
+                    w.up = false;
+                    w.resident = 0;
+                    w.compute_free_at = self.now;
+                    hooks.push(SimEvent::WorkerDown { worker });
+                    for (&id, ch) in self.chunks.iter_mut() {
+                        if ch.worker == worker && !ch.retrieved && !ch.lost {
+                            ch.lost = true;
+                            hooks.push(SimEvent::ChunkLost { worker, chunk: id });
+                        }
+                    }
+                }
             }
         }
         Ok(hooks)
@@ -603,12 +757,15 @@ impl EngineState {
         let ch = self.chunks.get_mut(&chunk).expect("ready step");
         ch.fired[step as usize] = true;
         let updates = ch.descr.updates_for(step);
+        let base = updates as f64 * self.workers[worker].w;
+        let start = self.workers[worker].compute_free_at.max(self.now);
+        let end = match &self.profile {
+            None => start + base,
+            Some(p) => p.compute_end(worker, start, base),
+        };
         let w = &mut self.workers[worker];
-        let start = w.compute_free_at.max(self.now);
-        let dur = updates as f64 * w.w;
-        let end = start + dur;
         w.compute_free_at = end;
-        w.stats.busy_time += dur;
+        w.stats.busy_time += end - start;
         self.record(TraceEntry {
             kind: TraceKind::Compute {
                 chunk,
@@ -986,5 +1143,258 @@ mod tests {
         let stats = sim.run(&mut p).unwrap();
         assert_eq!(stats.makespan, 0.0);
         assert_eq!(stats.chunks, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic-platform semantics.
+    // ------------------------------------------------------------------
+
+    use stargemm_platform::dynamic::{DynProfile, Trace, WorkerDyn};
+
+    /// A [`Script`] that also records every hook event.
+    struct Recorder {
+        inner: Script,
+        events: Vec<SimEvent>,
+    }
+
+    impl Recorder {
+        fn new(actions: Vec<Action>) -> Self {
+            Recorder {
+                inner: Script::new(actions),
+                events: Vec::new(),
+            }
+        }
+    }
+
+    impl MasterPolicy for Recorder {
+        fn next_action(&mut self, ctx: &SimCtx) -> Action {
+            self.inner.next_action(ctx)
+        }
+
+        fn on_event(&mut self, ev: &SimEvent, _ctx: &SimCtx) {
+            self.events.push(*ev);
+        }
+
+        fn name(&self) -> &'static str {
+            "recorder"
+        }
+    }
+
+    #[test]
+    fn constant_profile_reproduces_the_static_schedule() {
+        let stats_static = Simulator::new(one_worker(1.0, 1.0, 100))
+            .run(&mut Script::new(full_script(demo_descr(), 0)))
+            .unwrap();
+        let stats_dyn = Simulator::new(one_worker(1.0, 1.0, 100))
+            .with_profile(DynProfile::constant(1))
+            .run(&mut Script::new(full_script(demo_descr(), 0)))
+            .unwrap();
+        assert_eq!(stats_static, stats_dyn);
+    }
+
+    #[test]
+    fn trace_scaled_transfer_times_are_integrated_exactly() {
+        // Link cost doubles at t = 2: the 4-block C load (4 nominal
+        // seconds from t = 0) runs 2 s at ×1 then 2 nominal seconds at
+        // ×2 → finishes at 6, not 4.
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::new(vec![(0.0, 1.0), (2.0, 2.0)]),
+            Trace::default(),
+            vec![],
+        )]);
+        let descr = demo_descr();
+        let sim = Simulator::new(one_worker(1.0, 1e-9, 100))
+            .with_profile(profile)
+            .with_trace(true);
+        let mut p = Script::new(full_script(descr, 0));
+        let (_, trace) = sim.run_traced(&mut p).unwrap();
+        let first = trace
+            .iter()
+            .find(|t| matches!(t.kind, TraceKind::SendToWorker { .. }))
+            .unwrap();
+        assert!((first.end - 6.0).abs() < 1e-9, "{}", first.end);
+    }
+
+    #[test]
+    fn compute_times_follow_the_w_scale_trace() {
+        // One 1-step chunk of 4 updates; w = 1 but the CPU degrades ×3
+        // from t = 100 on. Operands arrive well before 100 (c = 1e-3),
+        // compute starts ~0 and finishes ~4 ≪ 100 — then re-run with the
+        // degradation from t = 0: compute takes 12 s.
+        let descr = ChunkDescr {
+            id: 0,
+            c_blocks: 1,
+            steps: 1,
+            a_blocks_per_step: 1,
+            b_blocks_per_step: 1,
+            updates_per_step: 4,
+            tail: None,
+        };
+        let mk = |deg_from: f64| {
+            DynProfile::new(vec![WorkerDyn::new(
+                Trace::default(),
+                Trace::new(vec![(0.0, 1.0), (deg_from, 3.0)]),
+                vec![],
+            )])
+        };
+        let run = |profile| {
+            Simulator::new(one_worker(1e-3, 1.0, 100))
+                .with_profile(profile)
+                .run(&mut Script::new(full_script(descr, 0)))
+                .unwrap()
+        };
+        let fast = run(mk(100.0));
+        let slow = run(mk(1e-6));
+        assert!((slow.makespan - fast.makespan - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crash_loses_resident_chunks_and_releases_memory() {
+        // Worker crashes at t = 5, mid C-load of a second... simpler:
+        // after the full single-chunk program started computing. The
+        // chunk is lost, the policy is told, and Finished succeeds with
+        // nothing retrieved.
+        let descr = demo_descr();
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(5.0, f64::INFINITY)],
+        )]);
+        // C load [0,4] lands, B0 is in flight [4,6] when the crash hits
+        // at t = 5: the chunk is lost, the B0 blocks are dropped, and a
+        // crash-aware policy stops feeding the chunk and finishes.
+        let actions = vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::b_step(&descr, 0),
+                new_chunk: None,
+            },
+        ];
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_profile(profile);
+        let mut p = Recorder::new(actions);
+        let stats = sim.run(&mut p).unwrap();
+        assert_eq!(stats.chunks, 0);
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::WorkerDown { worker: 0 })));
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::ChunkLost { chunk: 0, .. })));
+        // No update of the lost chunk survives into the statistics once
+        // the crash happened; blocks sent before the crash stay counted.
+        assert!(stats.blocks_to_workers > 0);
+        assert_eq!(stats.blocks_to_master, 0);
+    }
+
+    #[test]
+    fn blocked_retrieval_is_released_by_the_crash() {
+        // Retrieve is issued before the operands ever arrive, so the
+        // master blocks; the crash at t = 5 destroys the chunk and must
+        // unblock the master instead of deadlocking it.
+        let descr = demo_descr();
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(5.0, f64::INFINITY)],
+        )]);
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_profile(profile);
+        let mut p = Recorder::new(vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Retrieve {
+                worker: 0,
+                chunk: 0,
+            },
+        ]);
+        let stats = sim.run(&mut p).unwrap();
+        assert_eq!(stats.chunks, 0);
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::ChunkLost { chunk: 0, .. })));
+    }
+
+    #[test]
+    fn sends_to_a_downed_worker_are_dropped_on_arrival() {
+        // Worker is down from t = 0 for ever: the C load opens the chunk
+        // dead on arrival; memory stays empty.
+        let descr = demo_descr();
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(0.0, f64::INFINITY)],
+        )]);
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_profile(profile);
+        let mut p = Recorder::new(vec![Action::Send {
+            worker: 0,
+            fragment: Fragment::c_load(&descr),
+            new_chunk: Some(descr),
+        }]);
+        let stats = sim.run(&mut p).unwrap();
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::ChunkLost { chunk: 0, .. })));
+        assert_eq!(stats.per_worker[0].mem_high_water, 0);
+    }
+
+    #[test]
+    fn rejoined_worker_accepts_new_work() {
+        // Down on [0, 3): a chunk opened at t = 3+ completes normally.
+        let descr = demo_descr();
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(0.0, 3.0)],
+        )]);
+        // Wait out the downtime (each Wait consumes one event — the
+        // rejoin), then run the full program.
+        let mut actions = vec![Action::Wait];
+        actions.extend(full_script(descr, 0));
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_profile(profile);
+        let mut p = Recorder::new(actions);
+        let stats = sim.run(&mut p).unwrap();
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.total_updates, descr.total_updates());
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::WorkerUp { worker: 0 })));
+        // Everything shifted 3 s late: makespan 20 → 23.
+        assert!((stats.makespan - 23.0).abs() < 1e-9, "{}", stats.makespan);
+    }
+
+    #[test]
+    fn retrieval_of_a_lost_chunk_is_a_protocol_error() {
+        let descr = demo_descr();
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(0.0, f64::INFINITY)],
+        )]);
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_profile(profile);
+        let mut p = Script::new(vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Retrieve {
+                worker: 0,
+                chunk: 0,
+            },
+        ]);
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(matches!(err, SimError::Protocol(_)), "{err}");
     }
 }

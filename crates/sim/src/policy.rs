@@ -55,6 +55,16 @@ pub enum SimEvent {
     },
     /// All steps of a chunk are done; its result can be retrieved.
     ChunkComputed { worker: WorkerId, chunk: ChunkId },
+    /// A worker crashed (dynamic platforms): its resident blocks are
+    /// gone and every unretrieved chunk assigned to it has been lost
+    /// (one [`SimEvent::ChunkLost`] follows per chunk).
+    WorkerDown { worker: WorkerId },
+    /// A worker (re)joined the platform with empty memory.
+    WorkerUp { worker: WorkerId },
+    /// A chunk's data was destroyed by a worker crash; the engine will
+    /// never deliver further events for it and does not require its
+    /// retrieval. Recovering the lost C region is the policy's job.
+    ChunkLost { worker: WorkerId, chunk: ChunkId },
 }
 
 /// Read-only view of the engine state offered to policies.
@@ -96,6 +106,12 @@ impl SimCtx<'_> {
     /// compute work (`max(now, end of last scheduled step)`).
     pub fn compute_free_at(&self, w: WorkerId) -> f64 {
         self.workers[w].compute_free_at.max(self.now)
+    }
+
+    /// Whether worker `w` is currently up (always `true` on static
+    /// platforms).
+    pub fn is_up(&self, w: WorkerId) -> bool {
+        self.workers[w].up
     }
 
     /// Whether worker `w` has been sent anything yet (i.e. is enrolled).
@@ -156,6 +172,18 @@ impl CtxMirror {
         let st = &mut self.workers[w];
         st.resident = st.resident.saturating_sub(freed);
         st.stats.updates += updates;
+    }
+
+    /// Records a worker crash: its memory is wiped and it goes down.
+    pub fn on_crash(&mut self, w: WorkerId) {
+        let st = &mut self.workers[w];
+        st.resident = 0;
+        st.up = false;
+    }
+
+    /// Records a worker (re)joining with empty memory.
+    pub fn on_rejoin(&mut self, w: WorkerId) {
+        self.workers[w].up = true;
     }
 
     /// Records a retrieved chunk of `blocks` C blocks.

@@ -9,7 +9,9 @@
 //! * [`lp`] — a small simplex solver for the steady-state bound (Table 1),
 //! * [`sim`] — a discrete-event simulator of the one-port star network,
 //! * [`core`] — the paper's scheduling algorithms and baselines,
-//! * [`net`] — a hand-rolled threaded messaging runtime (MPI substitute).
+//! * [`net`] — a hand-rolled threaded messaging runtime (MPI substitute),
+//! * [`dynamic`] — time-varying platforms (cost traces, worker churn)
+//!   and the adaptive online scheduler built on top of them.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! reproduction of every table and figure.
@@ -37,6 +39,7 @@
 //! ```
 
 pub use stargemm_core as core;
+pub use stargemm_dyn as dynamic;
 pub use stargemm_linalg as linalg;
 pub use stargemm_lp as lp;
 pub use stargemm_net as net;

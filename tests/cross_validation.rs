@@ -14,6 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use stargemm::core::algorithms::{build_policy, Algorithm};
 use stargemm::core::Job;
+use stargemm::dynamic::model::DynProfile;
+use stargemm::dynamic::AdaptiveMaster;
 use stargemm::linalg::verify::{tolerance_for, verify_product};
 use stargemm::linalg::BlockMatrix;
 use stargemm::net::{NetOptions, NetRuntime};
@@ -135,6 +137,111 @@ fn makespans_agree_in_the_communication_dominated_limit() {
         net.makespan,
         sim.makespan
     );
+}
+
+/// The dynamic subsystem's static-limit regression: on a constant-trace
+/// dynamic platform, `AdaptiveHet` must realize the *identical*
+/// per-worker schedule as static `Het` — in both engines. Constant
+/// traces mean nothing ever drifts, so the adaptive wrapper must be
+/// pure delegation.
+#[test]
+fn adaptive_het_static_limit_matches_het_in_both_engines() {
+    let (platform, job) = (fixed_platform(), fixed_job());
+    let profile = DynProfile::constant(platform.len());
+
+    // Simulated engine: bit-identical run statistics (makespan included —
+    // constant-trace integration must not perturb a single duration).
+    let het_sim = run_sim(&platform, &job, Algorithm::Het);
+    let mut adaptive = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
+    let ad_sim = Simulator::new(platform.clone())
+        .with_profile(profile.clone())
+        .run(&mut adaptive)
+        .unwrap();
+    assert_eq!(het_sim.makespan, ad_sim.makespan);
+    assert_eq!(het_sim.per_worker, ad_sim.per_worker);
+    assert_eq!(het_sim.chunks, ad_sim.chunks);
+    assert_eq!(het_sim.blocks_to_workers, ad_sim.blocks_to_workers);
+
+    // Threaded engine: same schedule shape as the net Het run, and the
+    // numerically exact product. (At this time scale every observation
+    // is below the estimator's noise floor, so adaptation stays off —
+    // by design, not by luck.)
+    let het_net = run_net(&platform, &job, Algorithm::Het, 1e-6);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+    let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+    let c0 = BlockMatrix::zeros(job.r, job.s, job.q);
+    let mut c = c0.clone();
+    let mut adaptive = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
+    let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
+        time_scale: 1e-6,
+        idle_timeout: Duration::from_secs(20),
+        profile: Some(profile),
+        ..Default::default()
+    });
+    let ad_net = rt.run(&mut adaptive, &a, &b, &mut c).unwrap();
+    assert_eq!(het_net.chunks, ad_net.chunks);
+    assert_eq!(het_net.blocks_to_workers, ad_net.blocks_to_workers);
+    assert_eq!(het_net.blocks_to_master, ad_net.blocks_to_master);
+    for (w, (h, d)) in het_net
+        .per_worker
+        .iter()
+        .zip(&ad_net.per_worker)
+        .enumerate()
+    {
+        assert_eq!(h.chunks_assigned, d.chunks_assigned, "worker {w} chunks");
+        assert_eq!(h.updates, d.updates, "worker {w} updates");
+        assert_eq!(h.blocks_rx, d.blocks_rx, "worker {w} blocks in");
+        assert_eq!(h.blocks_tx, d.blocks_tx, "worker {w} blocks out");
+    }
+    let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+    assert!(report.passed(), "{report:?}");
+}
+
+/// Worker churn in the threaded runtime: a worker crashes mid-run, its
+/// chunks are re-planned, and the distributed product is still exact —
+/// real data was lost and really recomputed.
+#[test]
+fn adaptive_net_run_survives_a_crash_with_an_exact_product() {
+    let job = Job::new(6, 5, 9, 4);
+    // Slow enough links that the crash at model-time 0.2 s lands
+    // mid-run (time_scale 1: model time = wall time).
+    let platform = Platform::new(
+        "net-crash",
+        vec![
+            WorkerSpec::new(1e-3, 1e-6, 40),
+            WorkerSpec::new(1e-3, 1e-6, 40),
+            WorkerSpec::new(2e-3, 2e-6, 24),
+        ],
+    );
+    let profile = DynProfile::new(vec![
+        stargemm::platform::WorkerDyn::new(
+            stargemm::platform::Trace::default(),
+            stargemm::platform::Trace::default(),
+            vec![(0.2, f64::INFINITY)],
+        ),
+        stargemm::platform::WorkerDyn::stable(),
+        stargemm::platform::WorkerDyn::stable(),
+    ]);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+    let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+    let c0 = BlockMatrix::random(job.r, job.s, job.q, &mut rng);
+    let mut c = c0.clone();
+    let mut adaptive = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
+    let rt = NetRuntime::new(platform).with_options(NetOptions {
+        time_scale: 1.0,
+        idle_timeout: Duration::from_secs(20),
+        profile: Some(profile),
+        ..Default::default()
+    });
+    let stats = rt.run(&mut adaptive, &a, &b, &mut c).unwrap();
+    assert_eq!(adaptive.stats().crashes, 1, "crash must have landed");
+    assert!(adaptive.stats().reassigned_chunks > 0);
+    let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+    assert!(report.passed(), "{report:?}");
+    // The lost worker's partial work was redone elsewhere.
+    assert!(stats.total_updates >= job.total_updates());
 }
 
 #[test]
