@@ -12,7 +12,8 @@
 //!    vs demand-driven, on the same chunk assignment.
 //! 4. **C-cost accounting in Het's selection** — measured per variant.
 
-use stargemm_bench::write_results;
+use serde::Serialize;
+use stargemm_bench::{parallel_map, write_json, write_results, Cli};
 use stargemm_core::geometry::{carve_strip_rect, PlannedChunk};
 use stargemm_core::layout::{mu_with_window, rect_sides};
 use stargemm_core::select_het::{het_policy, SelectionVariant};
@@ -59,8 +60,9 @@ fn simulate(platform: &Platform, policy: &mut StreamingMaster) -> (f64, f64, f64
 }
 
 fn main() {
+    let cli = Cli::parse();
     let platform = presets::het_memory();
-    let job = Job::paper(80_000);
+    let job = Job::paper(if cli.smoke { 16_000 } else { 80_000 });
     let mut out = String::new();
 
     out.push_str("Ablation 1: lookahead window (ODDOML-style RR assignment)\n");
@@ -126,9 +128,12 @@ fn main() {
 
     out.push_str("\nAblation 4: the eight Het selection variants (fully-het ratio 4)\n");
     let p4 = presets::fully_het(4.0);
-    for v in SelectionVariant::all() {
-        let mut policy = het_policy(&p4, &job, v);
-        let stats = Simulator::new(p4.clone()).run(&mut policy).unwrap();
+    let variants = SelectionVariant::all();
+    let variant_stats = parallel_map(cli.threads, &variants, |_, v| {
+        let mut policy = het_policy(&p4, &job, *v);
+        Simulator::new(p4.clone()).run(&mut policy).unwrap()
+    });
+    for (v, stats) in variants.iter().zip(&variant_stats) {
         out.push_str(&format!(
             "  {:<12} makespan {:>8.1}s, enrolled {}\n",
             v.label(),
@@ -140,5 +145,13 @@ fn main() {
     print!("{out}");
     if let Ok(p) = write_results("exp_ablation.txt", &out) {
         eprintln!("(written to {})", p.display());
+    }
+    if let Some(path) = &cli.json {
+        let json = serde::json::Value::object([
+            ("experiment", "ablation".to_value()),
+            ("report", out.to_value()),
+        ])
+        .render_pretty();
+        write_json(path, &json);
     }
 }

@@ -8,13 +8,20 @@
 //! the raw pool policy is crash-oblivious). Every makespan is checked
 //! against the trace-aware steady-state lower bound.
 //!
+//! Every (scenario, policy) cell is an independent simulation, so the
+//! whole sweep fans out over the thread pool (`--threads`, default all
+//! cores); results — table, `results/dynamic.txt`, and the `--json`
+//! artifact — are identical whatever the fan-out width.
+//!
 //! ```sh
 //! cargo run --release -p stargemm-bench --bin exp_dynamic            # full sweep
 //! cargo run --release -p stargemm-bench --bin exp_dynamic -- --smoke # CI-sized
-//! cargo run ... -- --json results/bench_dynamic.json                 # machine-readable
+//! cargo run ... -- --smoke --threads 2 --json results/bench_dynamic.json
 //! ```
 
-use stargemm_bench::{json_escape, json_f64, json_flag, write_json, write_results};
+use serde::json::Value;
+use serde::Serialize;
+use stargemm_bench::{write_json, write_results, Cli, SweepSpec};
 use stargemm_core::algorithms::{build_policy, Algorithm};
 use stargemm_core::Job;
 use stargemm_dyn::model::{DynPlatform, DynProfile};
@@ -25,6 +32,24 @@ use stargemm_dyn::{
 use stargemm_platform::{Platform, WorkerSpec};
 use stargemm_sim::Simulator;
 
+/// Which policy a sweep cell runs.
+#[derive(Clone, Copy, Debug)]
+enum PolicyKind {
+    Adaptive,
+    Guarded,
+    Static(Algorithm),
+}
+
+/// One cell of the sweep grid: a scenario/policy pair (plus the
+/// scenario's lower bound, computed once per scenario).
+struct Cell {
+    scenario: &'static str,
+    dp: DynPlatform,
+    job: Job,
+    bound: f64,
+    kind: PolicyKind,
+}
+
 /// One (scenario, policy) measurement.
 struct Row {
     scenario: &'static str,
@@ -32,6 +57,22 @@ struct Row {
     makespan: Option<f64>,
     bound: f64,
     adaptive: Option<AdaptiveStats>,
+}
+
+impl Serialize for Row {
+    fn to_value(&self) -> Value {
+        let stat = |get: fn(&AdaptiveStats) -> u64| self.adaptive.as_ref().map(get).to_value();
+        Value::object([
+            ("scenario", self.scenario.to_value()),
+            ("policy", self.policy.to_value()),
+            ("makespan", self.makespan.to_value()),
+            ("lower_bound", self.bound.to_value()),
+            ("reassigned_chunks", stat(|s| s.reassigned_chunks)),
+            ("rebalances", stat(|s| s.rebalances)),
+            ("crashes", stat(|s| s.crashes)),
+            ("joins", stat(|s| s.joins)),
+        ])
+    }
 }
 
 fn platform() -> Platform {
@@ -107,50 +148,63 @@ fn scenarios(base: &Platform, smoke: bool) -> Vec<(&'static str, DynPlatform, bo
     v
 }
 
-fn run_adaptive(
-    scenario: &'static str,
-    dp: &DynPlatform,
-    job: &Job,
-    bound: f64,
-    adapt: bool,
-) -> Row {
-    let mut policy = if adapt {
-        AdaptiveMaster::adaptive_het(&dp.base, job).expect("layout fits")
-    } else {
-        AdaptiveMaster::guarded_het(&dp.base, job).expect("layout fits")
-    };
-    let makespan = Simulator::new_dyn(dp.clone())
-        .run(&mut policy)
-        .map(|s| s.makespan)
-        .ok();
-    Row {
-        scenario,
-        policy: if adapt { "AdaptiveHet" } else { "HetGuard" }.into(),
-        makespan,
-        bound,
-        adaptive: Some(policy.stats()),
+/// The sweep grid: every scenario × applicable policy, in report order.
+fn grid(base: &Platform, job: Job, smoke: bool) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (name, dp, churny) in scenarios(base, smoke) {
+        let bound = dyn_makespan_lower_bound(&dp.base, &dp.profile, &job);
+        let mut kinds = vec![PolicyKind::Adaptive, PolicyKind::Guarded];
+        if !churny {
+            // Raw static policies execute fine under pure jitter — the
+            // engine stretches their durations; they just never react.
+            kinds.push(PolicyKind::Static(Algorithm::Bmm));
+        }
+        cells.extend(kinds.into_iter().map(|kind| Cell {
+            scenario: name,
+            dp: dp.clone(),
+            job,
+            bound,
+            kind,
+        }));
     }
+    cells
 }
 
-fn run_static_alg(
-    scenario: &'static str,
-    dp: &DynPlatform,
-    job: &Job,
-    bound: f64,
-    alg: Algorithm,
-) -> Row {
-    let makespan = build_policy(&dp.base, job, alg).ok().and_then(|mut p| {
-        Simulator::new_dyn(dp.clone())
-            .run(&mut p)
-            .map(|s| s.makespan)
-            .ok()
-    });
+/// Runs one sweep cell (executed on a pool worker).
+fn run_cell(cell: &Cell) -> Row {
+    let (policy_name, makespan, adaptive) = match cell.kind {
+        PolicyKind::Adaptive | PolicyKind::Guarded => {
+            let adapt = matches!(cell.kind, PolicyKind::Adaptive);
+            let mut policy = if adapt {
+                AdaptiveMaster::adaptive_het(&cell.dp.base, &cell.job).expect("layout fits")
+            } else {
+                AdaptiveMaster::guarded_het(&cell.dp.base, &cell.job).expect("layout fits")
+            };
+            let makespan = Simulator::new_dyn(cell.dp.clone())
+                .run(&mut policy)
+                .map(|s| s.makespan)
+                .ok();
+            let name = if adapt { "AdaptiveHet" } else { "HetGuard" };
+            (name.to_string(), makespan, Some(policy.stats()))
+        }
+        PolicyKind::Static(alg) => {
+            let makespan = build_policy(&cell.dp.base, &cell.job, alg)
+                .ok()
+                .and_then(|mut p| {
+                    Simulator::new_dyn(cell.dp.clone())
+                        .run(&mut p)
+                        .map(|s| s.makespan)
+                        .ok()
+                });
+            (alg.name().to_string(), makespan, None)
+        }
+    };
     Row {
-        scenario,
-        policy: alg.name().into(),
+        scenario: cell.scenario,
+        policy: policy_name,
         makespan,
-        bound,
-        adaptive: None,
+        bound: cell.bound,
+        adaptive,
     }
 }
 
@@ -178,59 +232,22 @@ fn render(rows: &[Row]) -> String {
     out
 }
 
-fn to_json(rows: &[Row]) -> String {
-    let mut out = String::from("{\n  \"experiment\": \"dynamic\",\n  \"rows\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let (reasgn, rebal, crashes, joins) = match r.adaptive {
-            Some(s) => (
-                s.reassigned_chunks.to_string(),
-                s.rebalances.to_string(),
-                s.crashes.to_string(),
-                s.joins.to_string(),
-            ),
-            None => ("null".into(), "null".into(), "null".into(), "null".into()),
-        };
-        out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"makespan\": {}, \"lower_bound\": {}, \"reassigned_chunks\": {}, \"rebalances\": {}, \"crashes\": {}, \"joins\": {}}}{}\n",
-            json_escape(r.scenario),
-            json_escape(&r.policy),
-            r.makespan.map_or("null".into(), json_f64),
-            json_f64(r.bound),
-            reasgn,
-            rebal,
-            crashes,
-            joins,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let cli = Cli::parse();
     let base = platform();
-    let job = if smoke {
+    let job = if cli.smoke {
         Job::new(8, 6, 12, 2)
     } else {
         Job::new(16, 10, 24, 2)
     };
 
-    let mut rows = Vec::new();
-    for (name, dp, churny) in scenarios(&base, smoke) {
-        let bound = dyn_makespan_lower_bound(&dp.base, &dp.profile, &job);
-        rows.push(run_adaptive(name, &dp, &job, bound, true));
-        rows.push(run_adaptive(name, &dp, &job, bound, false));
-        if !churny {
-            // Raw static policies execute fine under pure jitter — the
-            // engine stretches their durations; they just never react.
-            rows.push(run_static_alg(name, &dp, &job, bound, Algorithm::Bmm));
-        }
-    }
+    let cells = grid(&base, job, cli.smoke);
+    let outcome = SweepSpec::new("dynamic", cli.threads).run(&cells, run_cell);
+    eprintln!("{}", outcome.summary());
+    let rows = &outcome.rows;
 
     // Sanity: nothing may beat its trace-aware lower bound.
-    for r in &rows {
+    for r in rows {
         if let Some(m) = r.makespan {
             assert!(
                 m >= r.bound - 1e-9,
@@ -242,12 +259,12 @@ fn main() {
         }
     }
 
-    let table = render(&rows);
+    let table = render(rows);
     print!("{table}");
     if let Ok(p) = write_results("dynamic.txt", &table) {
         eprintln!("(written to {})", p.display());
     }
-    if let Some(path) = json_flag(&args) {
-        write_json(&path, &to_json(&rows));
+    if let Some(path) = &cli.json {
+        write_json(path, &outcome.to_json());
     }
 }

@@ -2,18 +2,18 @@
 //!
 //! Five matrix sizes (B = 8000 x {64k..128k}) on the paper's
 //! `het_comm` platform; prints relative cost (a) and relative work (b)
-//! for the seven competitors.
+//! for the seven competitors. Uniform flags: `--smoke` (two sizes),
+//! `--json <path>`, `--threads <n>` (parallel over the size grid).
 
-use stargemm_bench::{emit_figure, size_sweep};
+use stargemm_bench::{emit_size_figure, Cli};
 use stargemm_platform::presets;
 
 fn main() {
-    let platform = presets::het_comm();
-    let instances = size_sweep(&platform);
-    emit_figure(
+    let cli = Cli::parse();
+    emit_size_figure(
         "fig5",
         "Figure 5. Heterogeneous communication links.",
-        &instances,
-        |i| format!("s={} ({})", i.job.s, i.platform_name),
+        &presets::het_comm(),
+        &cli,
     );
 }

@@ -5,26 +5,27 @@
 //! and B 8000×80000. The paper's headline: Het achieves the best
 //! makespan on all but two platforms and is never far off, while every
 //! other algorithm is at least once badly beaten.
+//!
+//! Uniform flags: `--smoke` (four platforms, smaller B), `--json
+//! <path>`, `--threads <n>` — the platform grid fans out over the sweep
+//! runner, one independent simulation batch per platform.
 
-use stargemm_bench::{emit_figure, geomean, instances_to_json, json_flag, write_json, Instance};
+use stargemm_bench::{
+    emit_figure, fig7_grid, geomean, instances_to_json, write_json, Cli, Instance,
+};
 use stargemm_core::algorithms::Algorithm;
-use stargemm_core::Job;
-use stargemm_platform::{presets, random::figure7_random_platforms};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let job = Job::paper(80_000);
-    let mut platforms = vec![presets::fully_het(2.0), presets::fully_het(4.0)];
-    platforms.extend(figure7_random_platforms(2008));
-    let instances: Vec<Instance> = platforms.iter().map(|p| Instance::run(p, &job)).collect();
+    let cli = Cli::parse();
+    let instances = Instance::run_grid(&fig7_grid(&cli), cli.threads);
     emit_figure(
         "fig7",
         "Figure 7. Fully heterogeneous platforms.",
         &instances,
         |i| i.platform_name.clone(),
     );
-    if let Some(path) = json_flag(&args) {
-        write_json(&path, &instances_to_json("fig7", &instances));
+    if let Some(path) = &cli.json {
+        write_json(path, &instances_to_json("fig7", &instances));
     }
 
     // Paper-style summary claims.

@@ -3,17 +3,14 @@
 //! Twenty workers (five per machine group), B = 8000 × 320000, in the
 //! August-2007 configuration (all 1 GB, nearly homogeneous) and the
 //! November-2006 one (ten nodes still at 256 MB — memory-heterogeneous).
+//! Uniform flags: `--smoke` (smaller B), `--json <path>`, `--threads
+//! <n>` (the two configurations run concurrently).
 
-use stargemm_bench::{emit_figure, Instance};
-use stargemm_core::Job;
-use stargemm_platform::presets;
+use stargemm_bench::{emit_figure, fig8_grid, instances_to_json, write_json, Cli, Instance};
 
 fn main() {
-    let job = Job::paper(320_000);
-    let instances = vec![
-        Instance::run(&presets::lyon(true), &job),
-        Instance::run(&presets::lyon(false), &job),
-    ];
+    let cli = Cli::parse();
+    let instances = Instance::run_grid(&fig8_grid(&cli), cli.threads);
     emit_figure(
         "fig8",
         "Figure 8. Real platform (Lyon cluster).",
@@ -32,5 +29,8 @@ fn main() {
                 );
             }
         }
+    }
+    if let Some(path) = &cli.json {
+        write_json(path, &instances_to_json("fig8", &instances));
     }
 }

@@ -5,35 +5,38 @@
 //! `Het`, the best dynamic heuristic with the optimized layout
 //! (`ODDOML`) and Toledo's `BMM` — the paper's headline comparison —
 //! plus the steady-state upper-bound ratio (paper: mean 2.29×, worst
-//! 3.42×).
+//! 3.42×). Uniform flags: `--smoke` (two sizes / four platforms /
+//! smaller Lyon job), `--json <path>` (every instance of every
+//! campaign), `--threads <n>` (each campaign fans out over the pool).
 
-use stargemm_bench::{geomean, size_sweep, to_csv, write_results, Instance};
+use stargemm_bench::{
+    fig7_grid, fig8_grid, geomean, instances_to_json, size_grid, to_csv, write_json, write_results,
+    Cli, Instance,
+};
 use stargemm_core::algorithms::Algorithm;
 use stargemm_core::steady::bandwidth_centric;
-use stargemm_core::Job;
-use stargemm_platform::{presets, random::figure7_random_platforms, Platform};
+use stargemm_platform::{presets, Platform};
 
 fn main() {
+    let cli = Cli::parse();
+    // The campaigns reuse the exact grids of the standalone binaries
+    // (same smoke sizing, sliced before anything is simulated).
+    let sized = |p: &Platform| Instance::run_grid(&size_grid(p, &cli), cli.threads);
     let mut campaigns: Vec<(String, Vec<Instance>)> = Vec::new();
-    campaigns.push(("fig4-memory".into(), size_sweep(&presets::het_memory())));
-    campaigns.push(("fig5-comm".into(), size_sweep(&presets::het_comm())));
-    campaigns.push(("fig6-comp".into(), size_sweep(&presets::het_comp())));
+    campaigns.push(("fig4-memory".into(), sized(&presets::het_memory())));
+    campaigns.push(("fig5-comm".into(), sized(&presets::het_comm())));
+    campaigns.push(("fig6-comp".into(), sized(&presets::het_comp())));
 
-    let job7 = Job::paper(80_000);
-    let mut p7: Vec<Platform> = vec![presets::fully_het(2.0), presets::fully_het(4.0)];
-    p7.extend(figure7_random_platforms(2008));
+    let grid7 = fig7_grid(&cli);
+    let p7: Vec<Platform> = grid7.iter().map(|(p, _)| p.clone()).collect();
     campaigns.push((
         "fig7-fullhet".into(),
-        p7.iter().map(|p| Instance::run(p, &job7)).collect(),
+        Instance::run_grid(&grid7, cli.threads),
     ));
 
-    let job8 = Job::paper(320_000);
     campaigns.push((
         "fig8-lyon".into(),
-        vec![
-            Instance::run(&presets::lyon(true), &job8),
-            Instance::run(&presets::lyon(false), &job8),
-        ],
+        Instance::run_grid(&fig8_grid(&cli), cli.threads),
     ));
 
     let spotlight = [Algorithm::Het, Algorithm::Oddoml, Algorithm::Bmm];
@@ -130,5 +133,8 @@ fn main() {
     }
     if let Ok(p) = write_results("fig9_all.csv", &to_csv(&all)) {
         eprintln!("(written to {})", p.display());
+    }
+    if let Some(path) = &cli.json {
+        write_json(path, &instances_to_json("fig9", &all));
     }
 }

@@ -8,17 +8,47 @@
 //! scheme) across RAM sizes and disk speeds, simulated on the same
 //! engine as everything else.
 
-use stargemm_bench::write_results;
+use serde::json::Value;
+use serde::Serialize;
+use stargemm_bench::{write_json, write_results, Cli, SweepSpec};
 use stargemm_core::algorithms::{run_algorithm, Algorithm};
 use stargemm_core::bounds::{maxreuse_ccr_asymptotic, toledo_ccr_asymptotic};
 use stargemm_core::maxreuse::simulate_max_reuse;
 use stargemm_core::Job;
 use stargemm_platform::{Platform, WorkerSpec};
 
+struct Row {
+    m: usize,
+    disk_mbs: f64,
+    maxreuse: f64,
+    toledo: f64,
+    ccr_mr: f64,
+    ccr_tol: f64,
+}
+
+impl Serialize for Row {
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("ram_blocks", self.m.to_value()),
+            ("disk_mbs", self.disk_mbs.to_value()),
+            ("maxreuse_makespan", self.maxreuse.to_value()),
+            ("toledo_makespan", self.toledo.to_value()),
+            ("gain", (self.toledo / self.maxreuse).to_value()),
+            ("ccr_maxreuse", self.ccr_mr.to_value()),
+            ("ccr_toledo", self.ccr_tol.to_value()),
+        ])
+    }
+}
+
 fn main() {
+    let cli = Cli::parse();
     let q = 80;
     let w = 5.12e-4; // 2 GFLOP/s kernel
-    let job = Job::new(64, 64, 64, q); // 5120³ scalars out of core
+    let job = if cli.smoke {
+        Job::new(16, 16, 16, q)
+    } else {
+        Job::new(64, 64, 64, q) // 5120³ scalars out of core
+    };
     let mut out = String::new();
     out.push_str("Out-of-core product: maximum re-use layout vs Toledo thirds\n");
     out.push_str("(single machine; disk = the master of the star)\n\n");
@@ -26,24 +56,37 @@ fn main() {
         "{:>10} {:>12} {:>12} {:>12} {:>9} {:>11} {:>11}\n",
         "RAM (blk)", "disk MB/s", "maxreuse(s)", "Toledo(s)", "gain", "CCR mr", "CCR tol"
     ));
-    for m in [300usize, 1_200, 4_800] {
-        for disk_mbs in [50.0f64, 200.0, 800.0] {
-            let c = (q * q * 8) as f64 / (disk_mbs * 1e6);
-            let spec = WorkerSpec::new(c, w, m);
-            let mr = simulate_max_reuse(&job, spec).expect("fits");
-            let platform = Platform::new("ooc", vec![spec]);
-            let tol = run_algorithm(&platform, &job, Algorithm::Bmm).expect("fits");
-            out.push_str(&format!(
-                "{:>10} {:>12.0} {:>12.1} {:>12.1} {:>9.3} {:>11.4} {:>11.4}\n",
-                m,
-                disk_mbs,
-                mr.makespan,
-                tol.makespan,
-                tol.makespan / mr.makespan,
-                mr.ccr(),
-                tol.ccr(),
-            ));
+    let grid: Vec<(usize, f64)> = [300usize, 1_200, 4_800]
+        .into_iter()
+        .flat_map(|m| [50.0f64, 200.0, 800.0].into_iter().map(move |d| (m, d)))
+        .collect();
+    let outcome = SweepSpec::new("ooc", cli.threads).run(&grid, |&(m, disk_mbs)| {
+        let c = (q * q * 8) as f64 / (disk_mbs * 1e6);
+        let spec = WorkerSpec::new(c, w, m);
+        let mr = simulate_max_reuse(&job, spec).expect("fits");
+        let platform = Platform::new("ooc", vec![spec]);
+        let tol = run_algorithm(&platform, &job, Algorithm::Bmm).expect("fits");
+        Row {
+            m,
+            disk_mbs,
+            maxreuse: mr.makespan,
+            toledo: tol.makespan,
+            ccr_mr: mr.ccr(),
+            ccr_tol: tol.ccr(),
         }
+    });
+    eprintln!("{}", outcome.summary());
+    for r in &outcome.rows {
+        out.push_str(&format!(
+            "{:>10} {:>12.0} {:>12.1} {:>12.1} {:>9.3} {:>11.4} {:>11.4}\n",
+            r.m,
+            r.disk_mbs,
+            r.maxreuse,
+            r.toledo,
+            r.toledo / r.maxreuse,
+            r.ccr_mr,
+            r.ccr_tol,
+        ));
     }
     out.push_str(&format!(
         "\nasymptotic CCR ratio (Toledo/maxreuse) at m=4800: {:.3} (≈ √3)\n",
@@ -57,5 +100,8 @@ fn main() {
     print!("{out}");
     if let Ok(p) = write_results("exp_ooc.txt", &out) {
         eprintln!("(written to {})", p.display());
+    }
+    if let Some(path) = &cli.json {
+        write_json(path, &outcome.to_json());
     }
 }

@@ -9,7 +9,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use stargemm_bench::write_results;
+use serde::json::Value;
+use serde::Serialize;
+use stargemm_bench::{write_json, write_results, Cli};
 use stargemm_core::algorithms::{build_policy, Algorithm};
 use stargemm_core::Job;
 use stargemm_linalg::verify::{tolerance_for, verify_product};
@@ -20,7 +22,11 @@ use stargemm_platform::{Platform, WorkerSpec};
 use stargemm_sim::Simulator;
 
 fn main() {
-    let q = 48;
+    // Real threads and calibration: `--threads` is accepted for
+    // uniformity but the validation runs serially on purpose — parallel
+    // co-runners would distort the wall-clock measurements.
+    let cli = Cli::parse();
+    let q = if cli.smoke { 24 } else { 48 };
     let w = measure_block_update_seconds(q, 10);
     let gflops = measure_gflops(q, 10);
     let mut out = String::new();
@@ -36,7 +42,11 @@ fn main() {
         WorkerSpec::new(8.0 * w, w, 24),
     ];
     let platform = Platform::new("validation", specs);
-    let job = Job::new(8, 12, 12, q);
+    let job = if cli.smoke {
+        Job::new(4, 6, 6, q)
+    } else {
+        Job::new(8, 12, 12, q)
+    };
 
     let mut rng = StdRng::seed_from_u64(2008);
     let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
@@ -47,6 +57,7 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>8} {:>8}\n",
         "policy", "sim (s)", "net (s)", "ratio", "verify"
     ));
+    let mut rows: Vec<Value> = Vec::new();
     for alg in [Algorithm::Het, Algorithm::Oddoml, Algorithm::Bmm] {
         let mut sim_policy = build_policy(&platform, &job, alg).unwrap();
         let sim_stats = Simulator::new(platform.clone())
@@ -69,6 +80,12 @@ fn main() {
             net_stats.makespan / sim_stats.makespan,
             if report.passed() { "ok" } else { "FAIL" },
         ));
+        rows.push(Value::object([
+            ("policy", alg.name().to_value()),
+            ("sim_makespan", sim_stats.makespan.to_value()),
+            ("net_makespan", net_stats.makespan.to_value()),
+            ("verified", report.passed().to_value()),
+        ]));
         assert!(report.passed(), "numerical verification failed");
     }
     out.push_str(
@@ -78,5 +95,13 @@ fn main() {
     print!("{out}");
     if let Ok(p) = write_results("exp_runtime.txt", &out) {
         eprintln!("(written to {})", p.display());
+    }
+    if let Some(path) = &cli.json {
+        let json = Value::object([
+            ("experiment", "runtime".to_value()),
+            ("rows", Value::Array(rows)),
+        ])
+        .render_pretty();
+        write_json(path, &json);
     }
 }

@@ -1,0 +1,114 @@
+//! Uniform command-line handling for the `exp_*` experiment binaries.
+//!
+//! Every experiment accepts the same three flags instead of growing its
+//! own ad-hoc parser:
+//!
+//! * `--smoke` — shrink the instance to CI size (binaries without a
+//!   smaller instance simply ignore it);
+//! * `--json <path>` — also write machine-readable results to `path`;
+//! * `--threads <n>` — worker threads for the sweep runner
+//!   (default: all available cores; `--threads 1` forces a serial run).
+//!
+//! ```sh
+//! cargo run --release -p stargemm-bench --bin exp_dynamic -- --smoke --threads 2
+//! ```
+
+use std::path::PathBuf;
+
+/// Parsed common flags.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cli {
+    /// Run the CI-sized instance.
+    pub smoke: bool,
+    /// Where to write machine-readable results, when requested.
+    pub json: Option<PathBuf>,
+    /// Worker threads for sweep fan-out (≥ 1).
+    pub threads: usize,
+}
+
+impl Cli {
+    /// Parses the process arguments; prints the error and exits with
+    /// status 2 on a malformed or unknown flag.
+    pub fn parse() -> Cli {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Cli::from_args(&args) {
+            Ok(cli) => cli,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: [--smoke] [--json <path>] [--threads <n>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses a raw argument list (no program name).
+    pub fn from_args(args: &[String]) -> Result<Cli, String> {
+        let mut cli = Cli {
+            smoke: false,
+            json: None,
+            threads: default_threads(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--smoke" => cli.smoke = true,
+                "--json" => {
+                    let path = it.next().ok_or("--json needs a path argument")?;
+                    cli.json = Some(PathBuf::from(path));
+                }
+                "--threads" => {
+                    let n = it.next().ok_or("--threads needs a count argument")?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("--threads needs a number, got {n:?}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    cli.threads = n;
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(cli)
+    }
+}
+
+/// The default sweep width: every available core.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_full_size_serial_free() {
+        let cli = Cli::from_args(&[]).unwrap();
+        assert!(!cli.smoke);
+        assert_eq!(cli.json, None);
+        assert!(cli.threads >= 1);
+    }
+
+    #[test]
+    fn all_flags_parse_in_any_order() {
+        let cli =
+            Cli::from_args(&strs(&["--threads", "3", "--smoke", "--json", "o.json"])).unwrap();
+        assert!(cli.smoke);
+        assert_eq!(cli.json, Some(PathBuf::from("o.json")));
+        assert_eq!(cli.threads, 3);
+    }
+
+    #[test]
+    fn malformed_flags_are_rejected() {
+        assert!(Cli::from_args(&strs(&["--json"])).is_err());
+        assert!(Cli::from_args(&strs(&["--threads"])).is_err());
+        assert!(Cli::from_args(&strs(&["--threads", "zero"])).is_err());
+        assert!(Cli::from_args(&strs(&["--threads", "0"])).is_err());
+        assert!(Cli::from_args(&strs(&["--frobnicate"])).is_err());
+    }
+}

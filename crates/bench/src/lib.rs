@@ -2,14 +2,29 @@
 //! figure of the paper (see `EXPERIMENTS.md` for the index).
 //!
 //! Each `src/bin/exp_*.rs` binary reproduces one artifact; this library
-//! holds the common machinery — running the seven competitors on a
-//! platform/job grid, computing the paper's *relative cost* and
-//! *relative work* metrics, and rendering aligned text tables and CSV.
+//! holds the common machinery —
+//!
+//! * running the seven competitors on a platform/job grid and computing
+//!   the paper's *relative cost* and *relative work* metrics,
+//! * the [`sweep`] runner that fans a scenario grid out over a thread
+//!   pool with grid-order (hence thread-count-independent) results,
+//! * the [`cli`] flags (`--smoke`/`--json`/`--threads`) shared by every
+//!   experiment binary,
+//! * serde-backed JSON export (one serializer for all `--json` output)
+//!   plus aligned text tables and CSV.
 
+pub mod cli;
+pub mod sweep;
+
+use serde::json::Value;
+use serde::Serialize;
 use stargemm_core::algorithms::{run_algorithm, Algorithm};
 use stargemm_core::Job;
 use stargemm_platform::Platform;
 use stargemm_sim::RunStats;
+
+pub use cli::Cli;
+pub use sweep::{parallel_map, SweepOutcome, SweepSpec};
 
 /// Result of one algorithm on one instance.
 #[derive(Clone, Debug)]
@@ -65,6 +80,12 @@ impl Instance {
         }
     }
 
+    /// Runs a `(platform, job)` grid on `threads` workers — the standard
+    /// figure protocol, parallel. Results come back in grid order.
+    pub fn run_grid(grid: &[(Platform, Job)], threads: usize) -> Vec<Instance> {
+        parallel_map(threads, grid, |_, (p, j)| Instance::run(p, j))
+    }
+
     /// Best (smallest) makespan across algorithms.
     pub fn best_makespan(&self) -> f64 {
         self.results
@@ -98,6 +119,55 @@ impl Instance {
             .iter()
             .find(|r| r.algorithm == alg)
             .expect("all algorithms present")
+    }
+}
+
+impl Serialize for AlgResult {
+    fn to_value(&self) -> Value {
+        let (makespan, enrolled, work) = match &self.stats {
+            Some(s) => (Some(s.makespan), s.enrolled(), Some(s.work())),
+            None => (None, 0, None),
+        };
+        Value::object([
+            ("algorithm", self.algorithm.name().to_value()),
+            ("makespan", makespan.to_value()),
+            ("enrolled", enrolled.to_value()),
+            ("work", work.to_value()),
+            ("error", self.error.to_value()),
+        ])
+    }
+}
+
+impl Serialize for Instance {
+    fn to_value(&self) -> Value {
+        let results: Vec<Value> = self
+            .results
+            .iter()
+            .map(|r| {
+                // Relative metrics need the whole instance, so they are
+                // attached here rather than in `AlgResult::to_value`.
+                let Value::Object(mut fields) = r.to_value() else {
+                    unreachable!("AlgResult serializes to an object")
+                };
+                let error = fields.pop().expect("AlgResult has fields");
+                assert_eq!(error.0, "error", "AlgResult field order changed");
+                fields.push((
+                    "relative_cost".into(),
+                    self.relative_cost(r.algorithm).to_value(),
+                ));
+                fields.push((
+                    "relative_work".into(),
+                    self.relative_work(r.algorithm).to_value(),
+                ));
+                fields.push(error);
+                Value::Object(fields)
+            })
+            .collect();
+        Value::object([
+            ("platform", self.platform_name.to_value()),
+            ("job", self.job.to_value()),
+            ("results", Value::Array(results)),
+        ])
     }
 }
 
@@ -169,82 +239,15 @@ pub fn to_csv(instances: &[Instance]) -> String {
     out
 }
 
-/// Minimal JSON string escaping (the only values we emit are ASCII
-/// identifiers, but be correct anyway).
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// A float as a JSON value (`null` for NaN/∞, which JSON cannot carry).
-pub fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".into()
-    }
-}
-
 /// Machine-readable form of a set of instances, so future PRs can track
-/// a perf/quality trajectory across runs (`BENCH_*.json`).
+/// a perf/quality trajectory across runs (`BENCH_*.json`). Serialized
+/// through the workspace serde ([`serde::json`]).
 pub fn instances_to_json(experiment: &str, instances: &[Instance]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{{\n  \"experiment\": \"{}\",\n  \"instances\": [\n",
-        json_escape(experiment)
-    ));
-    for (ii, inst) in instances.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"platform\": \"{}\", \"job\": {{\"r\": {}, \"t\": {}, \"s\": {}, \"q\": {}}}, \"results\": [\n",
-            json_escape(&inst.platform_name),
-            inst.job.r,
-            inst.job.t,
-            inst.job.s,
-            inst.job.q
-        ));
-        for (ri, r) in inst.results.iter().enumerate() {
-            let (mk, en, wk) = match &r.stats {
-                Some(s) => (json_f64(s.makespan), s.enrolled(), json_f64(s.work())),
-                None => ("null".into(), 0, "null".into()),
-            };
-            out.push_str(&format!(
-                "      {{\"algorithm\": \"{}\", \"makespan\": {}, \"enrolled\": {}, \"work\": {}, \"relative_cost\": {}, \"relative_work\": {}, \"error\": {}}}{}\n",
-                r.algorithm.name(),
-                mk,
-                en,
-                wk,
-                json_f64(inst.relative_cost(r.algorithm)),
-                json_f64(inst.relative_work(r.algorithm)),
-                r.error
-                    .as_ref()
-                    .map_or("null".into(), |e| format!("\"{}\"", json_escape(e))),
-                if ri + 1 < inst.results.len() { "," } else { "" }
-            ));
-        }
-        out.push_str(&format!(
-            "    ]}}{}\n",
-            if ii + 1 < instances.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-/// Parses a `--json <path>` flag from a raw argument list; returns the
-/// path when present.
-pub fn json_flag(args: &[String]) -> Option<std::path::PathBuf> {
-    args.iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from)
+    Value::object([
+        ("experiment", experiment.to_value()),
+        ("instances", instances.to_value()),
+    ])
+    .render_pretty()
 }
 
 /// Writes a `--json` result file, creating parent directories on demand
@@ -276,12 +279,62 @@ pub fn write_results(name: &str, contents: &str) -> std::io::Result<std::path::P
 }
 
 /// Runs the Figures 4–6 protocol: the five increasing matrix sizes on
-/// one platform.
-pub fn size_sweep(platform: &Platform) -> Vec<Instance> {
-    Job::paper_sweep()
+/// one platform, fanned out over `threads` workers.
+pub fn size_sweep(platform: &Platform, threads: usize) -> Vec<Instance> {
+    let grid: Vec<(Platform, Job)> = Job::paper_sweep()
         .iter()
-        .map(|job| Instance::run(platform, job))
-        .collect()
+        .map(|job| (platform.clone(), *job))
+        .collect();
+    Instance::run_grid(&grid, threads)
+}
+
+/// The Figures 4–6 grid under the uniform flags: the paper's five
+/// matrix sizes on one platform (`--smoke` keeps the two smallest —
+/// sliced *before* anything is simulated).
+pub fn size_grid(platform: &Platform, cli: &Cli) -> Vec<(Platform, Job)> {
+    let jobs = Job::paper_sweep();
+    let jobs = if cli.smoke { &jobs[..2] } else { &jobs[..] };
+    jobs.iter().map(|j| (platform.clone(), *j)).collect()
+}
+
+/// The Figure-7 grid under the uniform flags: the fixed ratio-2/ratio-4
+/// platforms plus the seeded random draws (`--smoke`: two draws and a
+/// smaller B). Shared by `exp_fig7` and the `exp_fig9` recap so the two
+/// can never desynchronize.
+pub fn fig7_grid(cli: &Cli) -> Vec<(Platform, Job)> {
+    let job = Job::paper(if cli.smoke { 16_000 } else { 80_000 });
+    let mut platforms = vec![
+        stargemm_platform::presets::fully_het(2.0),
+        stargemm_platform::presets::fully_het(4.0),
+    ];
+    let random = stargemm_platform::random::figure7_random_platforms(2008);
+    let keep = if cli.smoke { 2 } else { random.len() };
+    platforms.extend(random.into_iter().take(keep));
+    platforms.into_iter().map(|p| (p, job)).collect()
+}
+
+/// The Figure-8 grid under the uniform flags: the two Lyon
+/// configurations (`--smoke`: smaller B). Shared by `exp_fig8` and the
+/// `exp_fig9` recap.
+pub fn fig8_grid(cli: &Cli) -> Vec<(Platform, Job)> {
+    let job = Job::paper(if cli.smoke { 64_000 } else { 320_000 });
+    vec![
+        (stargemm_platform::presets::lyon(true), job),
+        (stargemm_platform::presets::lyon(false), job),
+    ]
+}
+
+/// The whole Figures 4–6 protocol behind the uniform CLI: run the size
+/// sweep (`--smoke` keeps the two smallest sizes, `--threads` fans the
+/// grid out), emit the two-panel figure, and honour `--json`.
+pub fn emit_size_figure(id: &str, title: &str, platform: &Platform, cli: &Cli) {
+    let instances = Instance::run_grid(&size_grid(platform, cli), cli.threads);
+    emit_figure(id, title, &instances, |i| {
+        format!("s={} ({})", i.job.s, i.platform_name)
+    });
+    if let Some(path) = &cli.json {
+        write_json(path, &instances_to_json(id, &instances));
+    }
 }
 
 /// Standard output for a figure: render both panels, print, and persist
@@ -347,6 +400,21 @@ mod tests {
     }
 
     #[test]
+    fn run_grid_matches_serial_runs() {
+        let (p, j) = tiny();
+        let grid = vec![(p.clone(), j), (p.clone(), Job::new(4, 4, 4, 2))];
+        let par = Instance::run_grid(&grid, 4);
+        for ((gp, gj), inst) in grid.iter().zip(&par) {
+            let serial = Instance::run(gp, gj);
+            assert_eq!(inst.platform_name, serial.platform_name);
+            assert_eq!(inst.job, serial.job);
+            for (a, b) in inst.results.iter().zip(&serial.results) {
+                assert_eq!(a.stats, b.stats);
+            }
+        }
+    }
+
+    #[test]
     fn csv_has_a_row_per_algorithm() {
         let (p, j) = tiny();
         let inst = Instance::run(&p, &j);
@@ -380,6 +448,8 @@ mod tests {
         let json = instances_to_json("figX", std::slice::from_ref(&inst));
         assert!(json.contains("\"experiment\": \"figX\""));
         assert!(json.contains("\"algorithm\": \"Het\""));
+        assert!(json.contains("\"relative_cost\""));
+        assert!(json.contains("\"r\": 6"));
         // Balanced braces/brackets, no trailing commas before closers.
         assert_eq!(
             json.matches('{').count(),
@@ -394,21 +464,19 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping_and_null_handling() {
-        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
-        assert_eq!(json_f64(f64::NAN), "null");
-        assert_eq!(json_f64(f64::INFINITY), "null");
-        assert_eq!(json_f64(1.5), "1.5");
-    }
-
-    #[test]
-    fn json_flag_parsing() {
-        let args: Vec<String> = ["exp", "--json", "out.json"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(json_flag(&args), Some(std::path::PathBuf::from("out.json")));
-        assert_eq!(json_flag(&["exp".to_string()]), None);
-        assert_eq!(json_flag(&["--json".to_string()]), None);
+    fn failed_runs_serialize_with_error_and_null_makespan() {
+        let (_, j) = tiny();
+        let inst = Instance {
+            platform_name: "broken".into(),
+            job: j,
+            results: vec![AlgResult {
+                algorithm: Algorithm::Het,
+                stats: None,
+                error: Some("no feasible layout".into()),
+            }],
+        };
+        let json = instances_to_json("f", &[inst]);
+        assert!(json.contains("\"makespan\": null"));
+        assert!(json.contains("\"error\": \"no feasible layout\""));
     }
 }

@@ -1,0 +1,202 @@
+//! The parallel scenario-sweep runner.
+//!
+//! Paper figures are *grids* — platforms × jobs × algorithms, or
+//! scenarios × policies — and every cell is an independent simulation:
+//! `Simulator` and `DynPlatform` are `Send + Clone`, so a whole sweep is
+//! embarrassingly parallel. [`SweepSpec::run`] fans a scenario grid out
+//! over a small thread pool and reassembles the results **in grid
+//! order**, so the output (tables, CSV, aggregated JSON) is byte-for-byte
+//! identical whatever `--threads` says — parallelism changes wall-clock
+//! time, never results. `tests/determinism.rs` holds the property test.
+//!
+//! ```no_run
+//! use stargemm_bench::sweep::SweepSpec;
+//!
+//! let squares = SweepSpec::new("squares", 4).run(&[1u64, 2, 3], |&n| n * n);
+//! assert_eq!(squares.rows, vec![1, 4, 9]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::json::Value;
+use serde::Serialize;
+
+/// Describes one sweep: a label for reports and the fan-out width.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Experiment label carried into the aggregated JSON.
+    pub name: String,
+    /// Worker threads (1 = serial on the calling thread).
+    pub threads: usize,
+}
+
+impl SweepSpec {
+    /// A sweep named `name` running on `threads` workers.
+    pub fn new(name: impl Into<String>, threads: usize) -> Self {
+        SweepSpec {
+            name: name.into(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// Runs `f` over every scenario of the grid on the pool and returns
+    /// the per-scenario results in grid order.
+    pub fn run<S, R, F>(&self, grid: &[S], f: F) -> SweepOutcome<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&S) -> R + Sync,
+    {
+        let start = std::time::Instant::now();
+        let rows = parallel_map(self.threads, grid, |_, s| f(s));
+        SweepOutcome {
+            name: self.name.clone(),
+            threads: self.threads.min(grid.len().max(1)),
+            wall_secs: start.elapsed().as_secs_f64(),
+            rows,
+        }
+    }
+}
+
+/// The results of one sweep, in grid order.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome<R> {
+    /// The sweep's label.
+    pub name: String,
+    /// Threads actually used (capped at the grid size).
+    pub threads: usize,
+    /// Wall-clock seconds the fan-out took (reporting only — not part
+    /// of the aggregated JSON, which must not depend on `--threads`).
+    pub wall_secs: f64,
+    /// One result per scenario, in grid order.
+    pub rows: Vec<R>,
+}
+
+impl<R: Serialize> SweepOutcome<R> {
+    /// Aggregated JSON: `{"experiment": name, "rows": [...]}`.
+    ///
+    /// Deliberately excludes `threads` and `wall_secs` so the artifact
+    /// is identical across fan-out widths.
+    pub fn to_json(&self) -> String {
+        Value::object([
+            ("experiment", Value::String(self.name.clone())),
+            ("rows", self.rows.to_value()),
+        ])
+        .render_pretty()
+    }
+}
+
+impl<R> SweepOutcome<R> {
+    /// One-line human summary for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "sweep {:?}: {} scenario(s) on {} thread(s) in {:.2}s",
+            self.name,
+            self.rows.len(),
+            self.threads,
+            self.wall_secs
+        )
+    }
+}
+
+/// Applies `f` to every item on a pool of `threads` workers and returns
+/// the results in item order (`f` also receives the item index).
+///
+/// Work is distributed by an atomic cursor, so threads pick up the next
+/// unstarted item as they finish — uneven per-item costs balance out.
+/// With `threads <= 1` (or one item) everything runs on the calling
+/// thread with no pool at all.
+///
+/// # Panics
+/// Propagates a panic from any worker thread.
+pub fn parallel_map<S, R, F>(threads: usize, items: &[S], f: F) -> Vec<R>
+where
+    S: Sync,
+    R: Send,
+    F: Fn(usize, &S) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, s)| f(i, s)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), items.len());
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_grid_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let out = parallel_map(threads, &items, |i, &n| {
+                assert_eq!(i as u64, n);
+                n * n
+            });
+            let expect: Vec<u64> = items.iter().map(|n| n * n).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn aggregated_json_is_thread_count_independent() {
+        let items = [1.5f64, 2.5, f64::NAN];
+        let json: Vec<String> = [1usize, 3]
+            .iter()
+            .map(|&t| {
+                SweepSpec::new("demo", t)
+                    .run(&items, |&x| x * 2.0)
+                    .to_json()
+            })
+            .collect();
+        assert_eq!(json[0], json[1]);
+        assert!(json[0].contains("\"experiment\": \"demo\""));
+        assert!(json[0].contains("null"), "NaN renders as null: {}", json[0]);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let out = SweepSpec::new("empty", 8).run(&[] as &[u32], |&x| x);
+        assert!(out.rows.is_empty());
+        assert_eq!(out.to_json().matches('[').count(), 1);
+    }
+
+    #[test]
+    fn thread_cap_never_exceeds_grid() {
+        let out = SweepSpec::new("cap", 64).run(&[1, 2], |&x: &i32| x);
+        assert!(out.threads <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panics_propagate() {
+        parallel_map(2, &[1, 2, 3, 4], |_, &n: &i32| {
+            assert!(n < 3, "boom");
+            n
+        });
+    }
+}

@@ -1,0 +1,185 @@
+//! A minimal JSON document model and renderer (the stand-in's
+//! counterpart of `serde_json`).
+//!
+//! Rendering rules, chosen to match what the workspace's hand-rolled
+//! exporters produced before serialization was centralized here:
+//!
+//! * floats render with Rust's shortest-round-trip `{}` formatting
+//!   (`1.5`, `1` for `1.0`);
+//! * non-finite floats render as `null` — JSON cannot carry them;
+//! * object keys keep insertion order (deterministic output);
+//! * [`to_string_pretty`] indents with two spaces.
+
+use crate::Serialize;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float (`null` when non-finite).
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing
+    /// newline.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Value::Object(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes `value` compactly.
+pub fn to_string(value: &impl Serialize) -> String {
+    value.to_value().render()
+}
+
+/// Serializes `value` with two-space indentation (human-readable result
+/// files).
+pub fn to_string_pretty(value: &impl Serialize) -> String {
+    value.to_value().render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::object([
+            ("a", Value::UInt(1)),
+            ("b", Value::Array(vec![Value::Null, Value::Bool(false)])),
+            ("c", Value::String("x\"y".into())),
+        ]);
+        assert_eq!(v.render(), r#"{"a":1,"b":[null,false],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents_and_terminates() {
+        let v = Value::object([("a", Value::Array(vec![Value::UInt(1), Value::UInt(2)]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"a\": [\n    1,\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn floats_follow_shortest_round_trip_and_null_nonfinite() {
+        assert_eq!(Value::Float(1.5).render(), "1.5");
+        assert_eq!(Value::Float(1.0).render(), "1");
+        assert_eq!(Value::Float(f64::NAN).render(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        assert_eq!(Value::String("a\nb".into()).render(), "\"a\\u000ab\"");
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        assert_eq!(Value::Array(vec![]).render_pretty(), "[]\n");
+        assert_eq!(Value::Object(vec![]).render(), "{}");
+    }
+}

@@ -1,18 +1,167 @@
 //! Offline stand-in for [`serde`](https://serde.rs).
 //!
-//! The workspace annotates its value types with
-//! `#[derive(Serialize, Deserialize)]` so that stats and platform
-//! descriptions can be exported once a real serializer is wired up. The
-//! build environment has no registry access, so this crate provides the
-//! two trait names plus no-op derive macros (feature `derive`, matching
-//! the real crate's feature name). Swapping in the real serde is a
-//! one-line manifest change; no annotated type needs to be touched.
+//! The build environment has no registry access, so this crate provides
+//! a *working but deliberately small* serialization core instead of the
+//! real one: [`Serialize`] converts a value into the JSON data model of
+//! [`json::Value`], and the `derive` feature (matching the real crate's
+//! feature name) generates that conversion for plain structs and
+//! unit-variant enums. The workspace's `--json` experiment output and
+//! sweep records all flow through this one serializer.
+//!
+//! Deviations from the real serde, by design:
+//!
+//! * the trait is value-model based (`fn to_value(&self) -> Value`), not
+//!   visitor based — simpler, and sufficient for JSON export;
+//! * [`Deserialize`] remains a marker (nothing in the workspace parses
+//!   back yet);
+//! * non-finite floats serialize as `null` (JSON cannot carry them),
+//!   matching what the hand-rolled exporters did before.
+//!
+//! Swapping in the real serde from a registry-connected environment
+//! means re-deriving with the real macros and replacing
+//! `json::to_string` call sites with `serde_json` — annotated types need
+//! no changes.
 
-/// Marker for types that declare themselves serializable.
-pub trait Serialize {}
+pub mod json;
+
+/// Types that can convert themselves into the JSON data model.
+pub trait Serialize {
+    /// The value as a [`json::Value`] tree.
+    fn to_value(&self) -> json::Value;
+}
 
 /// Marker for types that declare themselves deserializable.
 pub trait Deserialize<'de> {}
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> json::Value {
+        json::Value::Float(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> json::Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> json::Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> json::Value {
+        json::Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_the_json_model() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-2i64).to_value(), Value::Int(-2));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(Some(1u8).to_value(), Value::UInt(1));
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1u8, 2.0f64), (3u8, 4.0f64)].to_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![
+                Value::Array(vec![Value::UInt(1), Value::Float(2.0)]),
+                Value::Array(vec![Value::UInt(3), Value::Float(4.0)]),
+            ])
+        );
+    }
+}

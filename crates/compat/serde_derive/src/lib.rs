@@ -1,20 +1,243 @@
-//! No-op derive macros backing the offline `serde` stand-in.
+//! Derive macros backing the offline `serde` stand-in.
 //!
-//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as
-//! forward-looking annotation — nothing serializes through serde yet, and
-//! the build environment cannot fetch the real crate. These derives
-//! accept the same syntax and expand to nothing, so the annotations stay
-//! in place (and the real serde can be dropped in later without touching
-//! any annotated type).
+//! `#[derive(Serialize)]` generates a real `serde::Serialize` impl for
+//! the value-model trait of the stand-in: named-field structs become
+//! JSON objects (fields in declaration order) and unit-variant enums
+//! become their variant name as a string — matching the real serde's
+//! external representation for those shapes. Anything fancier (tuple
+//! structs, data-carrying variants, generics) is rejected with a
+//! compile error; the workspace doesn't use those shapes.
+//!
+//! `#[derive(Deserialize)]` still expands to the marker impl only —
+//! nothing in the workspace parses serialized data back yet.
+//!
+//! The parser below walks the raw token stream directly (no `syn` in an
+//! offline environment); it understands attributes/doc comments,
+//! visibility modifiers, and nested generic types in field positions
+//! (commas inside `<…>` or groups do not split fields).
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::Struct { name, fields }) => {
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                         ::serde::json::Value::Object(::std::vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated struct impl parses")
+        }
+        Ok(Item::Enum { name, variants }) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::json::Value::String(\
+                             ::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::json::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated enum impl parses")
+        }
+        Err(msg) => compile_error(&msg),
+    }
 }
 
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(Item::Struct { name, .. }) | Ok(Item::Enum { name, .. }) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+                .parse()
+                .expect("generated marker impl parses")
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::std::compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the serde stand-in derive does not support generic type `{name}`"
+        ));
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "the serde stand-in derive does not support tuple struct `{name}`"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "the serde stand-in derive does not support unit struct `{name}`"
+                ))
+            }
+            Some(_) => i += 1, // e.g. `where` clauses — none in practice
+            None => return Err(format!("no body found for `{name}`")),
+        }
+    };
+
+    if kind == "struct" {
+        Ok(Item::Struct {
+            fields: parse_named_fields(body)?,
+            name,
+        })
+    } else {
+        Ok(Item::Enum {
+            variants: parse_unit_variants(body, &name)?,
+            name,
+        })
+    }
+}
+
+/// Advances past leading `#[…]` attributes (incl. doc comments) and a
+/// `pub` / `pub(…)` visibility.
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[…]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ name: Ty, … }` body, in declaration order.
+/// Commas nested in generic arguments (`Vec<(f64, f64)>`,
+/// `HashMap<K, V>`) do not terminate a field: groups hide their commas
+/// and `<`/`>` depth is tracked explicitly.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected a field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        // Skip the type: up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected a variant name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "the serde stand-in derive supports unit enum variants only; \
+                     `{enum_name}::{name}` carries data"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the comma.
+                while let Some(tok) = tokens.get(i) {
+                    i += 1;
+                    if matches!(tok, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
 }

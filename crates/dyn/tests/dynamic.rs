@@ -198,3 +198,61 @@ proptest::proptest! {
         prop_assert_eq!(&base.per_worker, &dynamic.per_worker);
     }
 }
+
+/// Crash handling is kernel-cancellation based since the kernel/model
+/// split: once a chunk is reported lost, its already-fired compute
+/// steps are cancelled inside the event queue, so the policy never
+/// sees a `StepDone` for a lost chunk — not even one that was in
+/// flight at crash time.
+#[test]
+fn no_step_done_ever_arrives_for_a_lost_chunk() {
+    use stargemm_sim::{Action, ChunkId, MasterPolicy, SimCtx, SimEvent};
+
+    struct EventLog {
+        inner: AdaptiveMaster,
+        lost: std::collections::HashSet<ChunkId>,
+        step_done_after_loss: Vec<ChunkId>,
+    }
+
+    impl MasterPolicy for EventLog {
+        fn next_action(&mut self, ctx: &SimCtx) -> Action {
+            self.inner.next_action(ctx)
+        }
+
+        fn on_event(&mut self, ev: &SimEvent, ctx: &SimCtx) {
+            match *ev {
+                SimEvent::ChunkLost { chunk, .. } => {
+                    self.lost.insert(chunk);
+                }
+                SimEvent::StepDone { chunk, .. } if self.lost.contains(&chunk) => {
+                    self.step_done_after_loss.push(chunk);
+                }
+                _ => {}
+            }
+            self.inner.on_event(ev, ctx);
+        }
+
+        fn name(&self) -> &'static str {
+            "event-log"
+        }
+    }
+
+    let platform = het_platform();
+    let job = Job::new(10, 8, 16, 2);
+    let mut policy = EventLog {
+        inner: AdaptiveMaster::adaptive_het(&platform, &job).unwrap(),
+        lost: std::collections::HashSet::new(),
+        step_done_after_loss: Vec::new(),
+    };
+    Simulator::new(platform)
+        .with_profile(crash_and_jitter())
+        .run(&mut policy)
+        .unwrap();
+    assert!(!policy.lost.is_empty(), "the crash must destroy chunks");
+    assert!(
+        policy.step_done_after_loss.is_empty(),
+        "StepDone delivered for lost chunks {:?}",
+        policy.step_done_after_loss
+    );
+    validate_coverage(&job, &policy.inner.retrieved_geoms()).unwrap();
+}

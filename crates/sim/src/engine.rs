@@ -1,180 +1,34 @@
-//! The discrete-event engine.
+//! The simulation driver: [`Simulator`] configuration and the master
+//! state machine.
 //!
-//! Time advances through a priority queue of three event kinds:
-//! `SendDone` (master→worker transfer finished), `RetrieveDone`
-//! (worker→master result transfer finished) and `StepDone` (a worker
-//! finished one compute step). The master is asked for its next
-//! [`Action`] whenever its port is free; because the port is unique
-//! (one-port model) at most one transfer is ever in flight.
+//! Since the kernel/model split, this module is a thin layer: the
+//! generic discrete-event machinery (time-ordered queue, stable
+//! tie-breaking, cancellation, event caps) lives in [`crate::kernel`],
+//! and all star-GEMM semantics (one-port transfers, dataflow workers,
+//! memory admission control, crash handling) in [`crate::model`]. What
+//! remains here is the *protocol* between the master policy and the
+//! platform: the master is asked for its next
+//! [`Action`](crate::policy::Action) whenever its port is free; because
+//! the port is unique (one-port model) at most one transfer is ever in
+//! flight.
 //!
-//! Worker semantics are *dataflow*: a compute step fires as soon as the
-//! chunk's C blocks and the step's declared A and B block counts are all
-//! resident; steps of a worker execute serially in firing order; a step's
-//! A/B buffers are freed when the step completes, the chunk's C buffers
-//! when the master retrieves the result. Memory capacity is enforced at
-//! send-issue time (in-flight blocks count as reserved).
-
-use std::cmp::Reverse;
-use std::collections::BTreeMap;
-use std::collections::BinaryHeap;
+//! [`Simulator`] is `Send + Clone`, so whole scenario sweeps can be
+//! fanned out across threads (see `stargemm-bench`'s sweep runner); each
+//! run builds its own [`model::StarModel`](crate::model) and two runs of
+//! the same scenario are bit-identical regardless of what executes next
+//! to them.
 
 use stargemm_platform::dynamic::{DynPlatform, DynProfile};
-use stargemm_platform::{Platform, WorkerId};
+use stargemm_platform::Platform;
 
 use crate::error::SimError;
-use crate::msg::{ChunkDescr, ChunkId, Fragment, MatKind, StepId};
-use crate::policy::{Action, MasterPolicy, SimCtx, SimEvent};
-use crate::stats::{RunStats, WorkerStats};
-use crate::trace::{TraceEntry, TraceKind};
-
-/// Runtime state of one worker (crate-visible so [`SimCtx`] can expose
-/// read-only views).
-#[derive(Clone, Debug)]
-pub struct WorkerRt {
-    pub(crate) capacity: u64,
-    pub(crate) c: f64,
-    pub(crate) w: f64,
-    pub(crate) resident: u64,
-    pub(crate) reserved: u64,
-    pub(crate) compute_free_at: f64,
-    pub(crate) up: bool,
-    pub(crate) stats: WorkerStats,
-}
-
-impl WorkerRt {
-    pub(crate) fn from_spec(spec: &stargemm_platform::WorkerSpec) -> Self {
-        WorkerRt {
-            capacity: spec.m as u64,
-            c: spec.c,
-            w: spec.w,
-            resident: 0,
-            reserved: 0,
-            compute_free_at: 0.0,
-            up: true,
-            stats: WorkerStats::default(),
-        }
-    }
-}
-
-/// Runtime state of one chunk.
-#[derive(Clone, Debug)]
-struct ChunkRt {
-    descr: ChunkDescr,
-    worker: WorkerId,
-    c_loaded: bool,
-    recv_a: Vec<u64>,
-    recv_b: Vec<u64>,
-    fired: Vec<bool>,
-    steps_done: StepId,
-    computed: bool,
-    retrieved: bool,
-    retrieve_pending: bool,
-    /// Destroyed by a worker crash: the engine ignores its remaining
-    /// events and does not require its retrieval.
-    lost: bool,
-}
-
-impl ChunkRt {
-    fn new(descr: ChunkDescr, worker: WorkerId) -> Self {
-        let n = descr.steps as usize;
-        ChunkRt {
-            descr,
-            worker,
-            c_loaded: false,
-            recv_a: vec![0; n],
-            recv_b: vec![0; n],
-            fired: vec![false; n],
-            steps_done: 0,
-            computed: false,
-            retrieved: false,
-            retrieve_pending: false,
-            lost: false,
-        }
-    }
-
-    fn step_ready(&self, step: StepId) -> bool {
-        let s = step as usize;
-        self.c_loaded
-            && !self.fired[s]
-            && self.recv_a[s] == self.descr.a_for(step)
-            && self.recv_b[s] == self.descr.b_for(step)
-    }
-}
-
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[allow(clippy::enum_variant_names)]
-enum EvKind {
-    SendDone {
-        worker: WorkerId,
-        fragment: Fragment,
-    },
-    RetrieveDone {
-        worker: WorkerId,
-        chunk: ChunkId,
-    },
-    StepDone {
-        worker: WorkerId,
-        chunk: ChunkId,
-        step: StepId,
-    },
-    /// A scheduled worker crash (`up = false`) or (re)join (`up = true`)
-    /// from the dynamic profile.
-    Lifecycle {
-        worker: WorkerId,
-        up: bool,
-    },
-}
-
-impl EvKind {
-    /// Lifecycle events are scenario background noise: they keep firing
-    /// after the policy declared completion and never justify keeping
-    /// the run alive.
-    fn is_work(&self) -> bool {
-        !matches!(self, EvKind::Lifecycle { .. })
-    }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Ev {
-    time: f64,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
-    }
-}
-
-#[derive(Clone, Copy, Debug, PartialEq)]
-enum MasterState {
-    /// Port free; ask the policy.
-    Idle,
-    /// A transfer is in flight.
-    Busy,
-    /// Blocked on a retrieval of a chunk still being computed.
-    BlockedRetrieve(ChunkId),
-    /// Policy returned [`Action::Wait`]; re-ask after the next event.
-    Waiting,
-    /// Policy returned [`Action::Finished`].
-    Done,
-}
+use crate::model::{EvKind, MasterState, StarModel};
+use crate::policy::{MasterPolicy, SimCtx};
+use crate::stats::RunStats;
+use crate::trace::TraceEntry;
 
 /// The simulator: owns the platform description and run options.
+#[derive(Clone, Debug)]
 pub struct Simulator {
     platform: Platform,
     profile: Option<DynProfile>,
@@ -183,6 +37,14 @@ pub struct Simulator {
     /// largest instance needs ~10⁶).
     max_events: u64,
 }
+
+// A `Simulator` is a scenario description, not a running instance: sweep
+// runners clone it freely and run copies on worker threads.
+const _: () = {
+    const fn assert_sweepable<T: Send + Sync + Clone>() {}
+    assert_sweepable::<Simulator>();
+    assert_sweepable::<DynPlatform>();
+};
 
 impl Simulator {
     /// A simulator for `platform` with tracing disabled.
@@ -198,7 +60,7 @@ impl Simulator {
     /// A simulator for a time-varying platform: transfer and compute
     /// durations are integrated over the profile's cost traces, and
     /// scheduled crashes abort the resident chunks (reported to the
-    /// policy as [`SimEvent::ChunkLost`]).
+    /// policy as [`crate::policy::SimEvent::ChunkLost`]).
     pub fn new_dyn(platform: DynPlatform) -> Self {
         Simulator::new(platform.base).with_profile(platform.profile)
     }
@@ -245,9 +107,13 @@ impl Simulator {
         &self,
         policy: &mut dyn MasterPolicy,
     ) -> Result<(RunStats, Vec<TraceEntry>), SimError> {
-        let mut st = EngineState::new(&self.platform, self.record_trace, self.profile.clone());
+        let mut st = StarModel::new(
+            &self.platform,
+            self.record_trace,
+            self.profile.clone(),
+            self.max_events,
+        );
         let mut master = MasterState::Idle;
-        let mut processed: u64 = 0;
 
         loop {
             // Ask the policy while the master is free to act.
@@ -262,39 +128,31 @@ impl Simulator {
                 master = st.apply_action(action, policy)?;
             }
 
-            if master == MasterState::Done && st.work_events == 0 {
+            if master == MasterState::Done && !st.has_work_events() {
                 let stats = st.collect_stats(policy.name());
                 let trace = st.trace.take().unwrap_or_default();
                 return Ok((stats, trace));
             }
 
-            let Some(Reverse(ev)) = st.queue.pop() else {
+            let Some(ev) = st.next_event()? else {
                 return Err(SimError::Deadlock {
                     time: st.now,
                     unretrieved_chunks: st.unretrieved(),
                 });
             };
-            if ev.kind.is_work() {
-                st.work_events -= 1;
-            }
-            processed += 1;
-            if processed > self.max_events {
-                return Err(SimError::protocol("event cap exceeded"));
-            }
-            debug_assert!(ev.time >= st.now - 1e-12, "time went backwards");
-            st.now = ev.time.max(st.now);
+            let kind = ev.payload;
 
-            let hooks = st.apply_event(ev.kind)?;
+            let hooks = st.apply_event(kind)?;
 
             // Port-freeing and unblocking effects.
-            match ev.kind {
+            match kind {
                 EvKind::SendDone { .. } | EvKind::RetrieveDone { .. } => {
                     debug_assert_eq!(master, MasterState::Busy);
                     master = MasterState::Idle;
                 }
                 EvKind::StepDone { chunk, worker, .. } => {
                     if let MasterState::BlockedRetrieve(waiting) = master {
-                        if waiting == chunk && st.chunk(chunk)?.computed {
+                        if waiting == chunk && st.chunk_is_computed(chunk)? {
                             st.start_retrieval(worker, chunk);
                             master = MasterState::Busy;
                         }
@@ -305,7 +163,7 @@ impl Simulator {
                     // waiting for: release the master instead of leaving
                     // it waiting forever.
                     if let MasterState::BlockedRetrieve(waiting) = master {
-                        if st.chunk(waiting)?.lost {
+                        if st.chunk_is_lost(waiting)? {
                             master = MasterState::Idle;
                         }
                     }
@@ -327,483 +185,12 @@ impl Simulator {
     }
 }
 
-/// Whole-run mutable state.
-pub(crate) struct EngineState {
-    pub(crate) now: f64,
-    workers: Vec<WorkerRt>,
-    chunks: BTreeMap<ChunkId, ChunkRt>,
-    queue: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
-    port_busy: f64,
-    retrieved_count: u64,
-    last_retrieve_done: f64,
-    trace: Option<Vec<TraceEntry>>,
-    profile: Option<DynProfile>,
-    /// Queued events that are not lifecycle noise (run-liveness check).
-    work_events: u64,
-}
-
-impl EngineState {
-    fn new(platform: &Platform, record_trace: bool, profile: Option<DynProfile>) -> Self {
-        let workers = platform
-            .workers()
-            .iter()
-            .enumerate()
-            .map(|(w, s)| WorkerRt {
-                capacity: s.m as u64,
-                c: s.c,
-                w: s.w,
-                resident: 0,
-                reserved: 0,
-                compute_free_at: 0.0,
-                up: profile.as_ref().is_none_or(|p| p.is_up(w, 0.0)),
-                stats: WorkerStats::default(),
-            })
-            .collect();
-        let mut st = EngineState {
-            now: 0.0,
-            workers,
-            chunks: BTreeMap::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
-            port_busy: 0.0,
-            retrieved_count: 0,
-            last_retrieve_done: 0.0,
-            trace: record_trace.then(Vec::new),
-            profile,
-            work_events: 0,
-        };
-        if let Some(p) = st.profile.clone() {
-            for ev in p.lifecycle_events() {
-                st.push(
-                    ev.time,
-                    EvKind::Lifecycle {
-                        worker: ev.worker,
-                        up: ev.up,
-                    },
-                );
-            }
-        }
-        st
-    }
-
-    fn chunk(&self, id: ChunkId) -> Result<&ChunkRt, SimError> {
-        self.chunks
-            .get(&id)
-            .ok_or_else(|| SimError::protocol(format!("unknown chunk {id}")))
-    }
-
-    fn unretrieved(&self) -> usize {
-        self.chunks
-            .values()
-            .filter(|c| !c.retrieved && !c.lost)
-            .count()
-    }
-
-    fn push(&mut self, time: f64, kind: EvKind) {
-        let ev = Ev {
-            time,
-            seq: self.seq,
-            kind,
-        };
-        self.seq += 1;
-        if kind.is_work() {
-            self.work_events += 1;
-        }
-        self.queue.push(Reverse(ev));
-    }
-
-    fn record(&mut self, entry: TraceEntry) {
-        if let Some(t) = self.trace.as_mut() {
-            t.push(entry);
-        }
-    }
-
-    /// Validates and enacts a policy action; returns the new master state.
-    fn apply_action(
-        &mut self,
-        action: Action,
-        _policy: &mut dyn MasterPolicy,
-    ) -> Result<MasterState, SimError> {
-        match action {
-            Action::Wait => Ok(MasterState::Waiting),
-            Action::Finished => {
-                let left = self.unretrieved();
-                if left > 0 {
-                    Err(SimError::PrematureFinish {
-                        unretrieved_chunks: left,
-                    })
-                } else {
-                    Ok(MasterState::Done)
-                }
-            }
-            Action::Send {
-                worker,
-                fragment,
-                new_chunk,
-            } => {
-                self.issue_send(worker, fragment, new_chunk)?;
-                Ok(MasterState::Busy)
-            }
-            Action::Retrieve { worker, chunk } => {
-                if worker >= self.workers.len() {
-                    return Err(SimError::UnknownWorker(worker));
-                }
-                let ch = self.chunk(chunk)?;
-                if ch.worker != worker {
-                    return Err(SimError::protocol(format!(
-                        "retrieve of chunk {chunk} from worker {worker}, \
-                         but it is assigned to worker {}",
-                        ch.worker
-                    )));
-                }
-                if ch.retrieved || ch.retrieve_pending {
-                    return Err(SimError::protocol(format!("chunk {chunk} retrieved twice")));
-                }
-                if ch.lost {
-                    return Err(SimError::protocol(format!(
-                        "retrieve of chunk {chunk}, lost in a worker crash"
-                    )));
-                }
-                if ch.computed {
-                    self.start_retrieval(worker, chunk);
-                    Ok(MasterState::Busy)
-                } else {
-                    self.chunks
-                        .get_mut(&chunk)
-                        .expect("checked above")
-                        .retrieve_pending = true;
-                    Ok(MasterState::BlockedRetrieve(chunk))
-                }
-            }
-        }
-    }
-
-    fn issue_send(
-        &mut self,
-        worker: WorkerId,
-        fragment: Fragment,
-        new_chunk: Option<ChunkDescr>,
-    ) -> Result<(), SimError> {
-        if worker >= self.workers.len() {
-            return Err(SimError::UnknownWorker(worker));
-        }
-        if fragment.blocks == 0 {
-            return Err(SimError::protocol("empty fragment"));
-        }
-
-        match new_chunk {
-            Some(descr) => {
-                if self.chunks.contains_key(&descr.id) {
-                    return Err(SimError::protocol(format!(
-                        "duplicate chunk id {}",
-                        descr.id
-                    )));
-                }
-                if fragment.kind != MatKind::C
-                    || fragment.chunk != descr.id
-                    || fragment.blocks != descr.c_blocks
-                {
-                    return Err(SimError::protocol(
-                        "a chunk must be opened by its full C-load fragment",
-                    ));
-                }
-                if descr.steps == 0 || descr.updates_per_step == 0 || descr.c_blocks == 0 {
-                    return Err(SimError::protocol("degenerate chunk descriptor"));
-                }
-                self.chunks.insert(descr.id, ChunkRt::new(descr, worker));
-                self.workers[worker].stats.chunks_assigned += 1;
-            }
-            None => {
-                let ch = self.chunk(fragment.chunk)?;
-                if ch.lost {
-                    return Err(SimError::protocol(format!(
-                        "fragment for chunk {}, lost in a worker crash",
-                        fragment.chunk
-                    )));
-                }
-                if ch.worker != worker {
-                    return Err(SimError::protocol(format!(
-                        "fragment for chunk {} sent to worker {worker}, \
-                         but the chunk lives on worker {}",
-                        fragment.chunk, ch.worker
-                    )));
-                }
-                match fragment.kind {
-                    MatKind::C => {
-                        return Err(SimError::protocol(format!(
-                            "second C load for chunk {}",
-                            fragment.chunk
-                        )))
-                    }
-                    MatKind::A | MatKind::B => {
-                        if fragment.step >= ch.descr.steps {
-                            return Err(SimError::protocol(format!(
-                                "step {} out of range for chunk {}",
-                                fragment.step, fragment.chunk
-                            )));
-                        }
-                        let (got, per) = if fragment.kind == MatKind::A {
-                            (
-                                ch.recv_a[fragment.step as usize],
-                                ch.descr.a_for(fragment.step),
-                            )
-                        } else {
-                            (
-                                ch.recv_b[fragment.step as usize],
-                                ch.descr.b_for(fragment.step),
-                            )
-                        };
-                        if got + fragment.blocks > per {
-                            return Err(SimError::over_delivery(fragment.chunk, fragment.step));
-                        }
-                    }
-                }
-            }
-        }
-
-        // Memory admission control (in-flight blocks already reserved).
-        let w = &mut self.workers[worker];
-        let attempted = w.resident + w.reserved + fragment.blocks;
-        if attempted > w.capacity {
-            return Err(SimError::MemoryViolation {
-                worker,
-                capacity: w.capacity,
-                attempted,
-                chunk: fragment.chunk,
-            });
-        }
-        w.reserved += fragment.blocks;
-
-        let base = fragment.blocks as f64 * w.c;
-        let start = self.now;
-        let end = match &self.profile {
-            None => start + base,
-            Some(p) => p.transfer_end(worker, start, base),
-        };
-        self.port_busy += end - start;
-        self.record(TraceEntry {
-            kind: TraceKind::SendToWorker {
-                kind: fragment.kind,
-                chunk: fragment.chunk,
-                step: fragment.step,
-                blocks: fragment.blocks,
-            },
-            worker,
-            start,
-            end,
-        });
-        self.push(end, EvKind::SendDone { worker, fragment });
-        Ok(())
-    }
-
-    fn start_retrieval(&mut self, worker: WorkerId, chunk: ChunkId) {
-        let blocks = self.chunks[&chunk].descr.c_blocks;
-        let base = blocks as f64 * self.workers[worker].c;
-        let start = self.now;
-        let end = match &self.profile {
-            None => start + base,
-            Some(p) => p.transfer_end(worker, start, base),
-        };
-        self.port_busy += end - start;
-        self.record(TraceEntry {
-            kind: TraceKind::RetrieveFromWorker { chunk, blocks },
-            worker,
-            start,
-            end,
-        });
-        self.push(end, EvKind::RetrieveDone { worker, chunk });
-    }
-
-    /// Applies an event; returns the hook notifications to dispatch.
-    fn apply_event(&mut self, kind: EvKind) -> Result<Vec<SimEvent>, SimError> {
-        let mut hooks = Vec::with_capacity(2);
-        match kind {
-            EvKind::SendDone { worker, fragment } => {
-                let w = &mut self.workers[worker];
-                w.reserved -= fragment.blocks;
-                // Blocks landing on a downed worker — or belonging to a
-                // chunk a crash destroyed — are dropped on the floor:
-                // the port time was spent, the data is gone.
-                let dropped = !w.up || self.chunks.get(&fragment.chunk).is_some_and(|ch| ch.lost);
-                if dropped {
-                    let ch = self
-                        .chunks
-                        .get_mut(&fragment.chunk)
-                        .expect("validated at issue");
-                    if !ch.lost {
-                        // A C load addressed to an already-down worker
-                        // opens the chunk dead on arrival.
-                        ch.lost = true;
-                        hooks.push(SimEvent::ChunkLost {
-                            worker,
-                            chunk: fragment.chunk,
-                        });
-                    }
-                    hooks.push(SimEvent::SendDone { worker, fragment });
-                    return Ok(hooks);
-                }
-                w.resident += fragment.blocks;
-                w.stats.mem_high_water = w.stats.mem_high_water.max(w.resident);
-                w.stats.blocks_rx += fragment.blocks;
-
-                let ch = self
-                    .chunks
-                    .get_mut(&fragment.chunk)
-                    .expect("validated at issue");
-                let newly_ready = match fragment.kind {
-                    MatKind::C => {
-                        ch.c_loaded = true;
-                        // C arriving late can unlock steps whose A/B are
-                        // already resident (not the usual order, but legal).
-                        (0..ch.descr.steps).filter(|&s| ch.step_ready(s)).collect()
-                    }
-                    MatKind::A => {
-                        ch.recv_a[fragment.step as usize] += fragment.blocks;
-                        if ch.step_ready(fragment.step) {
-                            vec![fragment.step]
-                        } else {
-                            vec![]
-                        }
-                    }
-                    MatKind::B => {
-                        ch.recv_b[fragment.step as usize] += fragment.blocks;
-                        if ch.step_ready(fragment.step) {
-                            vec![fragment.step]
-                        } else {
-                            vec![]
-                        }
-                    }
-                };
-                for step in newly_ready {
-                    self.fire_step(worker, fragment.chunk, step);
-                }
-                hooks.push(SimEvent::SendDone { worker, fragment });
-            }
-            EvKind::StepDone {
-                worker,
-                chunk,
-                step,
-            } => {
-                let ch = self.chunks.get_mut(&chunk).expect("fired step");
-                if ch.lost {
-                    // Computation of a crashed chunk: result discarded,
-                    // memory already wiped at crash time.
-                    return Ok(hooks);
-                }
-                ch.steps_done += 1;
-                let freed = ch.descr.a_for(step) + ch.descr.b_for(step);
-                let updates = ch.descr.updates_for(step);
-                let all_done = ch.steps_done == ch.descr.steps;
-                if all_done {
-                    ch.computed = true;
-                }
-                let w = &mut self.workers[worker];
-                w.resident -= freed;
-                w.stats.updates += updates;
-                hooks.push(SimEvent::StepDone {
-                    worker,
-                    chunk,
-                    step,
-                });
-                if all_done {
-                    hooks.push(SimEvent::ChunkComputed { worker, chunk });
-                }
-            }
-            EvKind::RetrieveDone { worker, chunk } => {
-                let ch = self.chunks.get_mut(&chunk).expect("retrieval started");
-                if ch.lost {
-                    // The source crashed mid-retrieval: the partial
-                    // transfer is discarded (ChunkLost already reported).
-                    return Ok(hooks);
-                }
-                ch.retrieved = true;
-                let blocks = ch.descr.c_blocks;
-                let w = &mut self.workers[worker];
-                w.resident -= blocks;
-                w.stats.blocks_tx += blocks;
-                self.retrieved_count += 1;
-                self.last_retrieve_done = self.now;
-                hooks.push(SimEvent::RetrieveDone { worker, chunk });
-            }
-            EvKind::Lifecycle { worker, up } => {
-                let w = &mut self.workers[worker];
-                if up {
-                    w.up = true;
-                    w.compute_free_at = self.now;
-                    hooks.push(SimEvent::WorkerUp { worker });
-                } else {
-                    // Crash: memory wiped, every unretrieved chunk on the
-                    // worker destroyed. In-flight sends keep their
-                    // reservation until their SendDone drops them.
-                    w.up = false;
-                    w.resident = 0;
-                    w.compute_free_at = self.now;
-                    hooks.push(SimEvent::WorkerDown { worker });
-                    for (&id, ch) in self.chunks.iter_mut() {
-                        if ch.worker == worker && !ch.retrieved && !ch.lost {
-                            ch.lost = true;
-                            hooks.push(SimEvent::ChunkLost { worker, chunk: id });
-                        }
-                    }
-                }
-            }
-        }
-        Ok(hooks)
-    }
-
-    /// Schedules the execution of a ready step (FIFO per worker).
-    fn fire_step(&mut self, worker: WorkerId, chunk: ChunkId, step: StepId) {
-        let ch = self.chunks.get_mut(&chunk).expect("ready step");
-        ch.fired[step as usize] = true;
-        let updates = ch.descr.updates_for(step);
-        let base = updates as f64 * self.workers[worker].w;
-        let start = self.workers[worker].compute_free_at.max(self.now);
-        let end = match &self.profile {
-            None => start + base,
-            Some(p) => p.compute_end(worker, start, base),
-        };
-        let w = &mut self.workers[worker];
-        w.compute_free_at = end;
-        w.stats.busy_time += end - start;
-        self.record(TraceEntry {
-            kind: TraceKind::Compute {
-                chunk,
-                step,
-                updates,
-            },
-            worker,
-            start,
-            end,
-        });
-        self.push(
-            end,
-            EvKind::StepDone {
-                worker,
-                chunk,
-                step,
-            },
-        );
-    }
-
-    fn collect_stats(&mut self, policy: &str) -> RunStats {
-        RunStats {
-            makespan: self.last_retrieve_done,
-            port_busy: self.port_busy,
-            blocks_to_workers: self.workers.iter().map(|w| w.stats.blocks_rx).sum(),
-            blocks_to_master: self.workers.iter().map(|w| w.stats.blocks_tx).sum(),
-            total_updates: self.workers.iter().map(|w| w.stats.updates).sum(),
-            chunks: self.retrieved_count,
-            per_worker: self.workers.iter().map(|w| w.stats).collect(),
-            policy: policy.to_string(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stargemm_platform::WorkerSpec;
+    use crate::msg::{ChunkDescr, Fragment};
+    use crate::policy::{Action, SimEvent};
+    use stargemm_platform::{WorkerId, WorkerSpec};
 
     /// Replays a fixed list of actions in order, emitting `Wait` when the
     /// head action is a retrieval of a chunk that is not yet computed
@@ -913,6 +300,7 @@ mod tests {
 
     #[test]
     fn trace_records_all_intervals() {
+        use crate::trace::TraceKind;
         let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_trace(true);
         let mut p = Script::new(full_script(demo_descr(), 0));
         let (_, trace) = sim.run_traced(&mut p).unwrap();
@@ -1145,6 +533,32 @@ mod tests {
         assert_eq!(stats.chunks, 0);
     }
 
+    #[test]
+    fn event_cap_is_reported_as_such() {
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_max_events(2);
+        let mut p = Script::new(full_script(demo_descr(), 0));
+        let err = sim.run(&mut p).unwrap_err();
+        assert!(
+            matches!(err, SimError::EventCapExceeded { cap: 2 }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("event cap"), "{err}");
+    }
+
+    #[test]
+    fn simulator_clones_run_identically() {
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_trace(true);
+        let twin = sim.clone();
+        let (s1, t1) = sim
+            .run_traced(&mut Script::new(full_script(demo_descr(), 0)))
+            .unwrap();
+        let (s2, t2) = twin
+            .run_traced(&mut Script::new(full_script(demo_descr(), 0)))
+            .unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+    }
+
     // ------------------------------------------------------------------
     // Dynamic-platform semantics.
     // ------------------------------------------------------------------
@@ -1194,6 +608,7 @@ mod tests {
 
     #[test]
     fn trace_scaled_transfer_times_are_integrated_exactly() {
+        use crate::trace::TraceKind;
         // Link cost doubles at t = 2: the 4-block C load (4 nominal
         // seconds from t = 0) runs 2 s at ×1 then 2 nominal seconds at
         // ×2 → finishes at 6, not 4.
@@ -1291,6 +706,43 @@ mod tests {
         // the crash happened; blocks sent before the crash stay counted.
         assert!(stats.blocks_to_workers > 0);
         assert_eq!(stats.blocks_to_master, 0);
+    }
+
+    #[test]
+    fn crash_cancels_in_flight_compute_steps() {
+        // Fast transfers, slow compute: step0 fires around t ≈ 0.012 and
+        // would finish at t ≈ 40; the crash at t = 5 cancels it in the
+        // kernel, so no StepDone hook ever reaches the policy and no
+        // updates are credited.
+        let descr = ChunkDescr {
+            id: 0,
+            c_blocks: 1,
+            steps: 1,
+            a_blocks_per_step: 1,
+            b_blocks_per_step: 1,
+            updates_per_step: 4,
+            tail: None,
+        };
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(5.0, f64::INFINITY)],
+        )]);
+        let sim = Simulator::new(one_worker(1e-3, 10.0, 100)).with_profile(profile);
+        let mut p = Recorder::new(full_script(descr, 0));
+        // The blocked retrieval is released by the crash and the run
+        // finishes with nothing retrieved.
+        let stats = sim.run(&mut p).unwrap();
+        assert_eq!(stats.chunks, 0);
+        assert_eq!(stats.total_updates, 0);
+        assert!(!p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::StepDone { .. })));
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::ChunkLost { chunk: 0, .. })));
     }
 
     #[test]

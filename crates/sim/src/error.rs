@@ -35,6 +35,9 @@ pub enum SimError {
     Protocol(String),
     /// A worker was referenced that does not exist on the platform.
     UnknownWorker(WorkerId),
+    /// The defensive kernel event cap was crossed
+    /// ([`crate::engine::Simulator::with_max_events`]).
+    EventCapExceeded { cap: u64 },
 }
 
 impl SimError {
@@ -76,6 +79,9 @@ impl fmt::Display for SimError {
             ),
             SimError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             SimError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            SimError::EventCapExceeded { cap } => {
+                write!(f, "event cap exceeded ({cap} events delivered)")
+            }
         }
     }
 }

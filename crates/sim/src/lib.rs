@@ -12,7 +12,11 @@
 //!   *can* overlap communication with computation of independent tasks;
 //! * worker `i` holds at most `m_i` blocks at any instant.
 //!
-//! This crate implements exactly that model. Scheduling algorithms are
+//! The implementation is layered: [`kernel`] is a generic,
+//! model-agnostic discrete-event core (deterministically ordered,
+//! cancellable event queue), [`model`] expresses the star-GEMM platform
+//! above as kernel components, and [`engine::Simulator`] drives the
+//! master-policy protocol on top. Scheduling algorithms are
 //! [`policy::MasterPolicy`] implementations (provided by `stargemm-core`);
 //! the engine asks the policy what to communicate whenever the port frees,
 //! executes the generic dataflow worker semantics, enforces the memory
@@ -29,6 +33,8 @@
 pub mod analysis;
 pub mod engine;
 pub mod error;
+pub mod kernel;
+pub mod model;
 pub mod msg;
 pub mod policy;
 pub mod stats;
@@ -36,6 +42,8 @@ pub mod trace;
 
 pub use engine::Simulator;
 pub use error::SimError;
+pub use kernel::{ComponentId, EventId, EventQueue, KernelError};
+pub use model::WorkerRt;
 pub use msg::{ChunkDescr, ChunkId, Fragment, MatKind, StepCosts, StepId};
 pub use policy::{Action, CtxMirror, MasterPolicy, SimCtx, SimEvent};
 pub use stats::{RunStats, WorkerStats};

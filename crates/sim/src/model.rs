@@ -1,0 +1,706 @@
+//! The star-GEMM model on top of the generic kernel.
+//!
+//! This module re-expresses the paper's one-port master-worker platform
+//! as components of [`crate::kernel`]: component 0 is the master's port
+//! (transfer completions are addressed to it — they free the port),
+//! component `w + 1` is worker `w` (compute-step completions and
+//! lifecycle transitions). The model owns all star-GEMM state — worker
+//! runtimes, chunk dataflow, memory admission control, statistics and
+//! trace recording — while event ordering, cancellation and the event
+//! cap are the kernel's job.
+//!
+//! Worker semantics are *dataflow*: a compute step fires as soon as the
+//! chunk's C blocks and the step's declared A and B block counts are all
+//! resident; steps of a worker execute serially in firing order; a step's
+//! A/B buffers are freed when the step completes, the chunk's C buffers
+//! when the master retrieves the result. Memory capacity is enforced at
+//! send-issue time (in-flight blocks count as reserved).
+//!
+//! Dynamic platforms route crashes through kernel cancellation: when a
+//! worker goes down, the pending `StepDone` events of its chunks are
+//! [cancelled](crate::kernel::EventQueue::cancel) instead of being
+//! tombstoned and skipped at delivery. In-flight transfers still deliver
+//! (the port time was spent either way); their blocks are dropped on
+//! arrival.
+
+use std::collections::BTreeMap;
+
+use stargemm_platform::dynamic::DynProfile;
+use stargemm_platform::{Platform, WorkerId};
+
+use crate::error::SimError;
+use crate::kernel::{ComponentId, Event, EventId, EventQueue, KernelError};
+use crate::msg::{ChunkDescr, ChunkId, Fragment, MatKind, StepId};
+use crate::policy::{Action, MasterPolicy, SimEvent};
+use crate::stats::{RunStats, WorkerStats};
+use crate::trace::{TraceEntry, TraceKind};
+
+/// Component id of the master's port.
+pub(crate) const MASTER_PORT: ComponentId = 0;
+
+/// Component id of worker `w`.
+pub(crate) fn worker_component(w: WorkerId) -> ComponentId {
+    w + 1
+}
+
+/// Runtime state of one worker (crate-visible so [`crate::policy::SimCtx`]
+/// can expose read-only views).
+#[derive(Clone, Debug)]
+pub struct WorkerRt {
+    pub(crate) capacity: u64,
+    pub(crate) c: f64,
+    pub(crate) w: f64,
+    pub(crate) resident: u64,
+    pub(crate) reserved: u64,
+    pub(crate) compute_free_at: f64,
+    pub(crate) up: bool,
+    pub(crate) stats: WorkerStats,
+}
+
+impl WorkerRt {
+    pub(crate) fn from_spec(spec: &stargemm_platform::WorkerSpec) -> Self {
+        WorkerRt {
+            capacity: spec.m as u64,
+            c: spec.c,
+            w: spec.w,
+            resident: 0,
+            reserved: 0,
+            compute_free_at: 0.0,
+            up: true,
+            stats: WorkerStats::default(),
+        }
+    }
+}
+
+/// Runtime state of one chunk.
+#[derive(Clone, Debug)]
+struct ChunkRt {
+    descr: ChunkDescr,
+    worker: WorkerId,
+    c_loaded: bool,
+    recv_a: Vec<u64>,
+    recv_b: Vec<u64>,
+    fired: Vec<bool>,
+    /// Kernel handles of fired-but-unfinished steps, so a worker crash
+    /// can cancel them instead of letting dead events deliver.
+    pending_steps: Vec<(StepId, EventId)>,
+    steps_done: StepId,
+    computed: bool,
+    retrieved: bool,
+    retrieve_pending: bool,
+    /// Destroyed by a worker crash: the engine does not require its
+    /// retrieval.
+    lost: bool,
+}
+
+impl ChunkRt {
+    fn new(descr: ChunkDescr, worker: WorkerId) -> Self {
+        let n = descr.steps as usize;
+        ChunkRt {
+            descr,
+            worker,
+            c_loaded: false,
+            recv_a: vec![0; n],
+            recv_b: vec![0; n],
+            fired: vec![false; n],
+            pending_steps: Vec::new(),
+            steps_done: 0,
+            computed: false,
+            retrieved: false,
+            retrieve_pending: false,
+            lost: false,
+        }
+    }
+
+    fn step_ready(&self, step: StepId) -> bool {
+        let s = step as usize;
+        self.c_loaded
+            && !self.fired[s]
+            && self.recv_a[s] == self.descr.a_for(step)
+            && self.recv_b[s] == self.descr.b_for(step)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[allow(clippy::enum_variant_names)]
+pub(crate) enum EvKind {
+    SendDone {
+        worker: WorkerId,
+        fragment: Fragment,
+    },
+    RetrieveDone {
+        worker: WorkerId,
+        chunk: ChunkId,
+    },
+    StepDone {
+        worker: WorkerId,
+        chunk: ChunkId,
+        step: StepId,
+    },
+    /// A scheduled worker crash (`up = false`) or (re)join (`up = true`)
+    /// from the dynamic profile.
+    Lifecycle {
+        worker: WorkerId,
+        up: bool,
+    },
+}
+
+impl EvKind {
+    /// Lifecycle events are scenario background noise: they keep firing
+    /// after the policy declared completion and never justify keeping
+    /// the run alive.
+    fn is_work(&self) -> bool {
+        !matches!(self, EvKind::Lifecycle { .. })
+    }
+
+    /// The component this event is addressed to: transfer completions go
+    /// to the master port, compute and lifecycle to their worker.
+    fn component(&self) -> ComponentId {
+        match *self {
+            EvKind::SendDone { .. } | EvKind::RetrieveDone { .. } => MASTER_PORT,
+            EvKind::StepDone { worker, .. } | EvKind::Lifecycle { worker, .. } => {
+                worker_component(worker)
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) enum MasterState {
+    /// Port free; ask the policy.
+    Idle,
+    /// A transfer is in flight.
+    Busy,
+    /// Blocked on a retrieval of a chunk still being computed.
+    BlockedRetrieve(ChunkId),
+    /// Policy returned [`Action::Wait`]; re-ask after the next event.
+    Waiting,
+    /// Policy returned [`Action::Finished`].
+    Done,
+}
+
+/// Whole-run mutable state of the star-GEMM model.
+pub(crate) struct StarModel {
+    pub(crate) now: f64,
+    pub(crate) workers: Vec<WorkerRt>,
+    chunks: BTreeMap<ChunkId, ChunkRt>,
+    queue: EventQueue<EvKind>,
+    port_busy: f64,
+    retrieved_count: u64,
+    last_retrieve_done: f64,
+    pub(crate) trace: Option<Vec<TraceEntry>>,
+    profile: Option<DynProfile>,
+    /// Queued events that are not lifecycle noise (run-liveness check).
+    work_events: u64,
+}
+
+impl StarModel {
+    pub(crate) fn new(
+        platform: &Platform,
+        record_trace: bool,
+        profile: Option<DynProfile>,
+        max_events: u64,
+    ) -> Self {
+        let workers = platform
+            .workers()
+            .iter()
+            .enumerate()
+            .map(|(w, s)| WorkerRt {
+                capacity: s.m as u64,
+                c: s.c,
+                w: s.w,
+                resident: 0,
+                reserved: 0,
+                compute_free_at: 0.0,
+                up: profile.as_ref().is_none_or(|p| p.is_up(w, 0.0)),
+                stats: WorkerStats::default(),
+            })
+            .collect();
+        let mut st = StarModel {
+            now: 0.0,
+            workers,
+            chunks: BTreeMap::new(),
+            queue: EventQueue::new().with_max_events(max_events),
+            port_busy: 0.0,
+            retrieved_count: 0,
+            last_retrieve_done: 0.0,
+            trace: record_trace.then(Vec::new),
+            profile,
+            work_events: 0,
+        };
+        if let Some(p) = st.profile.clone() {
+            for ev in p.lifecycle_events() {
+                st.push(
+                    ev.time,
+                    EvKind::Lifecycle {
+                        worker: ev.worker,
+                        up: ev.up,
+                    },
+                );
+            }
+        }
+        st
+    }
+
+    /// Whether any work-bearing event (transfer or compute completion)
+    /// is still pending.
+    pub(crate) fn has_work_events(&self) -> bool {
+        self.work_events > 0
+    }
+
+    fn chunk(&self, id: ChunkId) -> Result<&ChunkRt, SimError> {
+        self.chunks
+            .get(&id)
+            .ok_or_else(|| SimError::protocol(format!("unknown chunk {id}")))
+    }
+
+    pub(crate) fn chunk_is_computed(&self, id: ChunkId) -> Result<bool, SimError> {
+        self.chunk(id).map(|c| c.computed)
+    }
+
+    pub(crate) fn chunk_is_lost(&self, id: ChunkId) -> Result<bool, SimError> {
+        self.chunk(id).map(|c| c.lost)
+    }
+
+    pub(crate) fn unretrieved(&self) -> usize {
+        self.chunks
+            .values()
+            .filter(|c| !c.retrieved && !c.lost)
+            .count()
+    }
+
+    /// Delivers the next event, advancing the model clock; `None` means
+    /// the queue is drained (deadlock detection is the caller's job).
+    pub(crate) fn next_event(&mut self) -> Result<Option<Event<EvKind>>, SimError> {
+        let ev = self.queue.pop().map_err(SimError::from)?;
+        if let Some(ev) = &ev {
+            if ev.payload.is_work() {
+                self.work_events -= 1;
+            }
+            self.now = ev.time;
+        }
+        Ok(ev)
+    }
+
+    fn push(&mut self, time: f64, kind: EvKind) -> EventId {
+        if kind.is_work() {
+            self.work_events += 1;
+        }
+        self.queue.schedule(time, kind.component(), kind)
+    }
+
+    /// Cancels a pending work event through the kernel.
+    fn cancel_work(&mut self, id: EventId) {
+        if let Some(kind) = self.queue.cancel(id) {
+            debug_assert!(kind.is_work());
+            self.work_events -= 1;
+        }
+    }
+
+    fn record(&mut self, entry: TraceEntry) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push(entry);
+        }
+    }
+
+    /// Validates and enacts a policy action; returns the new master state.
+    pub(crate) fn apply_action(
+        &mut self,
+        action: Action,
+        _policy: &mut dyn MasterPolicy,
+    ) -> Result<MasterState, SimError> {
+        match action {
+            Action::Wait => Ok(MasterState::Waiting),
+            Action::Finished => {
+                let left = self.unretrieved();
+                if left > 0 {
+                    Err(SimError::PrematureFinish {
+                        unretrieved_chunks: left,
+                    })
+                } else {
+                    Ok(MasterState::Done)
+                }
+            }
+            Action::Send {
+                worker,
+                fragment,
+                new_chunk,
+            } => {
+                self.issue_send(worker, fragment, new_chunk)?;
+                Ok(MasterState::Busy)
+            }
+            Action::Retrieve { worker, chunk } => {
+                if worker >= self.workers.len() {
+                    return Err(SimError::UnknownWorker(worker));
+                }
+                let ch = self.chunk(chunk)?;
+                if ch.worker != worker {
+                    return Err(SimError::protocol(format!(
+                        "retrieve of chunk {chunk} from worker {worker}, \
+                         but it is assigned to worker {}",
+                        ch.worker
+                    )));
+                }
+                if ch.retrieved || ch.retrieve_pending {
+                    return Err(SimError::protocol(format!("chunk {chunk} retrieved twice")));
+                }
+                if ch.lost {
+                    return Err(SimError::protocol(format!(
+                        "retrieve of chunk {chunk}, lost in a worker crash"
+                    )));
+                }
+                if ch.computed {
+                    self.start_retrieval(worker, chunk);
+                    Ok(MasterState::Busy)
+                } else {
+                    self.chunks
+                        .get_mut(&chunk)
+                        .expect("checked above")
+                        .retrieve_pending = true;
+                    Ok(MasterState::BlockedRetrieve(chunk))
+                }
+            }
+        }
+    }
+
+    fn issue_send(
+        &mut self,
+        worker: WorkerId,
+        fragment: Fragment,
+        new_chunk: Option<ChunkDescr>,
+    ) -> Result<(), SimError> {
+        if worker >= self.workers.len() {
+            return Err(SimError::UnknownWorker(worker));
+        }
+        if fragment.blocks == 0 {
+            return Err(SimError::protocol("empty fragment"));
+        }
+
+        match new_chunk {
+            Some(descr) => {
+                if self.chunks.contains_key(&descr.id) {
+                    return Err(SimError::protocol(format!(
+                        "duplicate chunk id {}",
+                        descr.id
+                    )));
+                }
+                if fragment.kind != MatKind::C
+                    || fragment.chunk != descr.id
+                    || fragment.blocks != descr.c_blocks
+                {
+                    return Err(SimError::protocol(
+                        "a chunk must be opened by its full C-load fragment",
+                    ));
+                }
+                if descr.steps == 0 || descr.updates_per_step == 0 || descr.c_blocks == 0 {
+                    return Err(SimError::protocol("degenerate chunk descriptor"));
+                }
+                self.chunks.insert(descr.id, ChunkRt::new(descr, worker));
+                self.workers[worker].stats.chunks_assigned += 1;
+            }
+            None => {
+                let ch = self.chunk(fragment.chunk)?;
+                if ch.lost {
+                    return Err(SimError::protocol(format!(
+                        "fragment for chunk {}, lost in a worker crash",
+                        fragment.chunk
+                    )));
+                }
+                if ch.worker != worker {
+                    return Err(SimError::protocol(format!(
+                        "fragment for chunk {} sent to worker {worker}, \
+                         but the chunk lives on worker {}",
+                        fragment.chunk, ch.worker
+                    )));
+                }
+                match fragment.kind {
+                    MatKind::C => {
+                        return Err(SimError::protocol(format!(
+                            "second C load for chunk {}",
+                            fragment.chunk
+                        )))
+                    }
+                    MatKind::A | MatKind::B => {
+                        if fragment.step >= ch.descr.steps {
+                            return Err(SimError::protocol(format!(
+                                "step {} out of range for chunk {}",
+                                fragment.step, fragment.chunk
+                            )));
+                        }
+                        let (got, per) = if fragment.kind == MatKind::A {
+                            (
+                                ch.recv_a[fragment.step as usize],
+                                ch.descr.a_for(fragment.step),
+                            )
+                        } else {
+                            (
+                                ch.recv_b[fragment.step as usize],
+                                ch.descr.b_for(fragment.step),
+                            )
+                        };
+                        if got + fragment.blocks > per {
+                            return Err(SimError::over_delivery(fragment.chunk, fragment.step));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Memory admission control (in-flight blocks already reserved).
+        let w = &mut self.workers[worker];
+        let attempted = w.resident + w.reserved + fragment.blocks;
+        if attempted > w.capacity {
+            return Err(SimError::MemoryViolation {
+                worker,
+                capacity: w.capacity,
+                attempted,
+                chunk: fragment.chunk,
+            });
+        }
+        w.reserved += fragment.blocks;
+
+        let base = fragment.blocks as f64 * w.c;
+        let start = self.now;
+        let end = match &self.profile {
+            None => start + base,
+            Some(p) => p.transfer_end(worker, start, base),
+        };
+        self.port_busy += end - start;
+        self.record(TraceEntry {
+            kind: TraceKind::SendToWorker {
+                kind: fragment.kind,
+                chunk: fragment.chunk,
+                step: fragment.step,
+                blocks: fragment.blocks,
+            },
+            worker,
+            start,
+            end,
+        });
+        self.push(end, EvKind::SendDone { worker, fragment });
+        Ok(())
+    }
+
+    pub(crate) fn start_retrieval(&mut self, worker: WorkerId, chunk: ChunkId) {
+        let blocks = self.chunks[&chunk].descr.c_blocks;
+        let base = blocks as f64 * self.workers[worker].c;
+        let start = self.now;
+        let end = match &self.profile {
+            None => start + base,
+            Some(p) => p.transfer_end(worker, start, base),
+        };
+        self.port_busy += end - start;
+        self.record(TraceEntry {
+            kind: TraceKind::RetrieveFromWorker { chunk, blocks },
+            worker,
+            start,
+            end,
+        });
+        self.push(end, EvKind::RetrieveDone { worker, chunk });
+    }
+
+    /// Applies an event; returns the hook notifications to dispatch.
+    pub(crate) fn apply_event(&mut self, kind: EvKind) -> Result<Vec<SimEvent>, SimError> {
+        let mut hooks = Vec::with_capacity(2);
+        match kind {
+            EvKind::SendDone { worker, fragment } => {
+                let w = &mut self.workers[worker];
+                w.reserved -= fragment.blocks;
+                // Blocks landing on a downed worker — or belonging to a
+                // chunk a crash destroyed — are dropped on the floor:
+                // the port time was spent, the data is gone.
+                let dropped = !w.up || self.chunks.get(&fragment.chunk).is_some_and(|ch| ch.lost);
+                if dropped {
+                    let ch = self
+                        .chunks
+                        .get_mut(&fragment.chunk)
+                        .expect("validated at issue");
+                    if !ch.lost {
+                        // A C load addressed to an already-down worker
+                        // opens the chunk dead on arrival.
+                        ch.lost = true;
+                        hooks.push(SimEvent::ChunkLost {
+                            worker,
+                            chunk: fragment.chunk,
+                        });
+                    }
+                    hooks.push(SimEvent::SendDone { worker, fragment });
+                    return Ok(hooks);
+                }
+                w.resident += fragment.blocks;
+                w.stats.mem_high_water = w.stats.mem_high_water.max(w.resident);
+                w.stats.blocks_rx += fragment.blocks;
+
+                let ch = self
+                    .chunks
+                    .get_mut(&fragment.chunk)
+                    .expect("validated at issue");
+                let newly_ready = match fragment.kind {
+                    MatKind::C => {
+                        ch.c_loaded = true;
+                        // C arriving late can unlock steps whose A/B are
+                        // already resident (not the usual order, but legal).
+                        (0..ch.descr.steps).filter(|&s| ch.step_ready(s)).collect()
+                    }
+                    MatKind::A => {
+                        ch.recv_a[fragment.step as usize] += fragment.blocks;
+                        if ch.step_ready(fragment.step) {
+                            vec![fragment.step]
+                        } else {
+                            vec![]
+                        }
+                    }
+                    MatKind::B => {
+                        ch.recv_b[fragment.step as usize] += fragment.blocks;
+                        if ch.step_ready(fragment.step) {
+                            vec![fragment.step]
+                        } else {
+                            vec![]
+                        }
+                    }
+                };
+                for step in newly_ready {
+                    self.fire_step(worker, fragment.chunk, step);
+                }
+                hooks.push(SimEvent::SendDone { worker, fragment });
+            }
+            EvKind::StepDone {
+                worker,
+                chunk,
+                step,
+            } => {
+                let ch = self.chunks.get_mut(&chunk).expect("fired step");
+                // Crashes cancel the pending steps of their chunks, so a
+                // delivered StepDone always belongs to a live chunk.
+                debug_assert!(!ch.lost, "StepDone for a lost chunk was not cancelled");
+                if ch.lost {
+                    return Ok(hooks);
+                }
+                ch.pending_steps.retain(|&(s, _)| s != step);
+                ch.steps_done += 1;
+                let freed = ch.descr.a_for(step) + ch.descr.b_for(step);
+                let updates = ch.descr.updates_for(step);
+                let all_done = ch.steps_done == ch.descr.steps;
+                if all_done {
+                    ch.computed = true;
+                }
+                let w = &mut self.workers[worker];
+                w.resident -= freed;
+                w.stats.updates += updates;
+                hooks.push(SimEvent::StepDone {
+                    worker,
+                    chunk,
+                    step,
+                });
+                if all_done {
+                    hooks.push(SimEvent::ChunkComputed { worker, chunk });
+                }
+            }
+            EvKind::RetrieveDone { worker, chunk } => {
+                let ch = self.chunks.get_mut(&chunk).expect("retrieval started");
+                if ch.lost {
+                    // The source crashed mid-retrieval: the partial
+                    // transfer is discarded (ChunkLost already reported).
+                    return Ok(hooks);
+                }
+                ch.retrieved = true;
+                let blocks = ch.descr.c_blocks;
+                let w = &mut self.workers[worker];
+                w.resident -= blocks;
+                w.stats.blocks_tx += blocks;
+                self.retrieved_count += 1;
+                self.last_retrieve_done = self.now;
+                hooks.push(SimEvent::RetrieveDone { worker, chunk });
+            }
+            EvKind::Lifecycle { worker, up } => {
+                let w = &mut self.workers[worker];
+                if up {
+                    w.up = true;
+                    w.compute_free_at = self.now;
+                    hooks.push(SimEvent::WorkerUp { worker });
+                } else {
+                    // Crash: memory wiped, every unretrieved chunk on the
+                    // worker destroyed and its in-flight compute steps
+                    // cancelled in the kernel. In-flight sends keep their
+                    // reservation until their SendDone drops them.
+                    w.up = false;
+                    w.resident = 0;
+                    w.compute_free_at = self.now;
+                    hooks.push(SimEvent::WorkerDown { worker });
+                    let mut cancels = Vec::new();
+                    for (&id, ch) in self.chunks.iter_mut() {
+                        if ch.worker == worker && !ch.retrieved && !ch.lost {
+                            ch.lost = true;
+                            cancels.extend(ch.pending_steps.drain(..).map(|(_, ev)| ev));
+                            hooks.push(SimEvent::ChunkLost { worker, chunk: id });
+                        }
+                    }
+                    for ev in cancels {
+                        self.cancel_work(ev);
+                    }
+                }
+            }
+        }
+        Ok(hooks)
+    }
+
+    /// Schedules the execution of a ready step (FIFO per worker).
+    fn fire_step(&mut self, worker: WorkerId, chunk: ChunkId, step: StepId) {
+        let ch = self.chunks.get_mut(&chunk).expect("ready step");
+        ch.fired[step as usize] = true;
+        let updates = ch.descr.updates_for(step);
+        let base = updates as f64 * self.workers[worker].w;
+        let start = self.workers[worker].compute_free_at.max(self.now);
+        let end = match &self.profile {
+            None => start + base,
+            Some(p) => p.compute_end(worker, start, base),
+        };
+        let w = &mut self.workers[worker];
+        w.compute_free_at = end;
+        w.stats.busy_time += end - start;
+        self.record(TraceEntry {
+            kind: TraceKind::Compute {
+                chunk,
+                step,
+                updates,
+            },
+            worker,
+            start,
+            end,
+        });
+        let id = self.push(
+            end,
+            EvKind::StepDone {
+                worker,
+                chunk,
+                step,
+            },
+        );
+        self.chunks
+            .get_mut(&chunk)
+            .expect("ready step")
+            .pending_steps
+            .push((step, id));
+    }
+
+    pub(crate) fn collect_stats(&mut self, policy: &str) -> RunStats {
+        RunStats {
+            makespan: self.last_retrieve_done,
+            port_busy: self.port_busy,
+            blocks_to_workers: self.workers.iter().map(|w| w.stats.blocks_rx).sum(),
+            blocks_to_master: self.workers.iter().map(|w| w.stats.blocks_tx).sum(),
+            total_updates: self.workers.iter().map(|w| w.stats.updates).sum(),
+            chunks: self.retrieved_count,
+            per_worker: self.workers.iter().map(|w| w.stats).collect(),
+            policy: policy.to_string(),
+        }
+    }
+}
+
+impl From<KernelError> for SimError {
+    fn from(e: KernelError) -> Self {
+        match e {
+            KernelError::EventCapExceeded { cap } => SimError::EventCapExceeded { cap },
+        }
+    }
+}

@@ -74,7 +74,7 @@ pub enum SimEvent {
 /// it entirely.
 pub struct SimCtx<'a> {
     pub(crate) now: f64,
-    pub(crate) workers: &'a [crate::engine::WorkerRt],
+    pub(crate) workers: &'a [crate::model::WorkerRt],
 }
 
 impl SimCtx<'_> {
@@ -132,7 +132,7 @@ impl SimCtx<'_> {
 /// freed by step completions and retrievals.
 pub struct CtxMirror {
     now: f64,
-    workers: Vec<crate::engine::WorkerRt>,
+    workers: Vec<crate::model::WorkerRt>,
 }
 
 impl CtxMirror {
@@ -143,7 +143,7 @@ impl CtxMirror {
             workers: platform
                 .workers()
                 .iter()
-                .map(crate::engine::WorkerRt::from_spec)
+                .map(crate::model::WorkerRt::from_spec)
                 .collect(),
         }
     }
