@@ -43,6 +43,21 @@ impl Cli {
 
     /// Parses a raw argument list (no program name).
     pub fn from_args(args: &[String]) -> Result<Cli, String> {
+        // A flag's value must not itself look like a flag: `--json
+        // --threads` is a forgotten path, not a file named "--threads".
+        fn value<'a>(
+            it: &mut std::slice::Iter<'a, String>,
+            flag: &str,
+            what: &str,
+        ) -> Result<&'a str, String> {
+            match it.clone().next() {
+                Some(v) if !v.starts_with("--") => {
+                    it.next();
+                    Ok(v)
+                }
+                _ => Err(format!("{flag} needs a {what} argument")),
+            }
+        }
         let mut cli = Cli {
             smoke: false,
             json: None,
@@ -53,11 +68,10 @@ impl Cli {
             match arg.as_str() {
                 "--smoke" => cli.smoke = true,
                 "--json" => {
-                    let path = it.next().ok_or("--json needs a path argument")?;
-                    cli.json = Some(PathBuf::from(path));
+                    cli.json = Some(PathBuf::from(value(&mut it, "--json", "path")?));
                 }
                 "--threads" => {
-                    let n = it.next().ok_or("--threads needs a count argument")?;
+                    let n = value(&mut it, "--threads", "count")?;
                     let n: usize = n
                         .parse()
                         .map_err(|_| format!("--threads needs a number, got {n:?}"))?;
@@ -66,7 +80,12 @@ impl Cli {
                     }
                     cli.threads = n;
                 }
-                other => return Err(format!("unknown argument {other:?}")),
+                other => {
+                    return Err(format!(
+                        "unknown argument {other:?} \
+                         (valid flags: --smoke, --json <path>, --threads <n>)"
+                    ))
+                }
             }
         }
         Ok(cli)
@@ -110,5 +129,34 @@ mod tests {
         assert!(Cli::from_args(&strs(&["--threads", "zero"])).is_err());
         assert!(Cli::from_args(&strs(&["--threads", "0"])).is_err());
         assert!(Cli::from_args(&strs(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn a_flag_is_never_swallowed_as_a_value() {
+        // Regression: `--json --smoke` used to accept "--smoke" as the
+        // output path (and silently drop the smoke request).
+        let err = Cli::from_args(&strs(&["--json", "--smoke"])).unwrap_err();
+        assert!(err.contains("--json needs a path"), "{err}");
+        let err = Cli::from_args(&strs(&["--threads", "--json", "x"])).unwrap_err();
+        assert!(err.contains("--threads needs a count"), "{err}");
+    }
+
+    #[test]
+    fn error_messages_name_the_offender_and_the_valid_flags() {
+        let err = Cli::from_args(&strs(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+        assert!(err.contains("--smoke"), "{err}");
+        assert!(err.contains("--threads"), "{err}");
+        let err = Cli::from_args(&strs(&["--threads", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = Cli::from_args(&strs(&["--threads", "three"])).unwrap_err();
+        assert!(err.contains("needs a number"), "{err}");
+    }
+
+    #[test]
+    fn negative_thread_counts_are_rejected() {
+        // "-2" parses as no usize; the message points at the flag.
+        let err = Cli::from_args(&strs(&["--threads", "-2"])).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
     }
 }

@@ -1,0 +1,88 @@
+//! Golden-snapshot tests for the experiment artifacts.
+//!
+//! Each test runs an `exp_*` binary with `--smoke --json` and compares
+//! the JSON byte-for-byte against the checked-in snapshot under
+//! `tests/golden/`. The artifacts are contractually independent of the
+//! build profile, the thread count, and the machine (pure model time,
+//! deterministic seeds, shortest-round-trip float rendering), so a
+//! mismatch means a serde/CLI/model refactor silently changed published
+//! numbers — regenerate the snapshot *deliberately* with
+//!
+//! ```sh
+//! cargo run --release -p stargemm-bench --bin exp_fig7 -- \
+//!     --smoke --threads 1 --json crates/bench/tests/golden/exp_fig7.json
+//! ```
+//!
+//! and explain the change in the commit message.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs `exe --smoke --threads 2 --json <tmp>` in a scratch directory
+/// (the binaries also write `results/*` into their cwd) and returns the
+/// JSON bytes.
+fn run_smoke_json(exe: &str, tag: &str) -> Vec<u8> {
+    let scratch =
+        std::env::temp_dir().join(format!("stargemm-golden-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let json_path: PathBuf = scratch.join("out.json");
+    let status = Command::new(exe)
+        .args(["--smoke", "--threads", "2", "--json"])
+        .arg(&json_path)
+        .current_dir(&scratch)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("cannot launch {exe}: {e}"));
+    assert!(status.success(), "{exe} exited with {status}");
+    let bytes = std::fs::read(&json_path).expect("json artifact written");
+    let _ = std::fs::remove_dir_all(&scratch);
+    bytes
+}
+
+fn assert_matches_golden(exe: &str, tag: &str, golden: &str) {
+    let got = run_smoke_json(exe, tag);
+    let want = golden.as_bytes();
+    if got != want {
+        let got_s = String::from_utf8_lossy(&got);
+        let first_diff = got_s
+            .lines()
+            .zip(golden.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        panic!(
+            "{tag}: artifact drifted from tests/golden/{tag}.json \
+             (got {} bytes, want {} bytes; first differing line: {:?})",
+            got.len(),
+            want.len(),
+            first_diff,
+        );
+    }
+}
+
+#[test]
+fn exp_fig7_smoke_json_is_pinned() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fig7"),
+        "exp_fig7",
+        include_str!("golden/exp_fig7.json"),
+    );
+}
+
+#[test]
+fn exp_dynamic_smoke_json_is_pinned() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_dynamic"),
+        "exp_dynamic",
+        include_str!("golden/exp_dynamic.json"),
+    );
+}
+
+#[test]
+fn exp_stream_smoke_json_is_pinned() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_stream"),
+        "exp_stream",
+        include_str!("golden/exp_stream.json"),
+    );
+}

@@ -497,10 +497,13 @@ impl MasterPolicy for StreamingMaster {
             // Dynamic-platform lifecycle: the bare streaming master is
             // crash-oblivious; `stargemm-dyn`'s adaptive wrapper reacts
             // to these and repairs the lanes through the queue-surgery
-            // API below.
+            // API below. Job lifecycle belongs to the multi-job layer
+            // (`stargemm-stream`), which owns its member masters.
             SimEvent::WorkerDown { .. }
             | SimEvent::WorkerUp { .. }
-            | SimEvent::ChunkLost { .. } => {}
+            | SimEvent::ChunkLost { .. }
+            | SimEvent::JobArrived { .. }
+            | SimEvent::JobCompleted { .. } => {}
         }
     }
 

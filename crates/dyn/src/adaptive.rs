@@ -532,6 +532,8 @@ impl MasterPolicy for AdaptiveMaster {
                     self.replan(geom);
                 }
             }
+            // Single-job policy: job streams are not its concern.
+            SimEvent::JobArrived { .. } | SimEvent::JobCompleted { .. } => {}
         }
     }
 

@@ -533,6 +533,15 @@ impl NetRuntime {
                         }
                     }
                 }
+                Action::CompleteJob { job } => {
+                    // Multi-job streams are a simulator-side feature for
+                    // now; the threaded runtime refuses them loudly
+                    // instead of silently dropping the bookkeeping.
+                    return Err(NetError::Protocol(format!(
+                        "job streams are not supported by the threaded runtime \
+                         (CompleteJob for job {job})"
+                    )));
+                }
                 Action::Finished => break,
             }
         }
@@ -556,6 +565,7 @@ impl NetRuntime {
             total_updates: per_worker.iter().map(|w| w.updates).sum(),
             chunks: chunks_retrieved,
             per_worker,
+            jobs: Vec::new(),
             policy: policy.name().to_string(),
         })
     }

@@ -1,0 +1,153 @@
+//! Malformed-input suite for the platform text formats — every bad
+//! input must come back as a typed [`ParseError`] with a line number,
+//! never a panic.
+//!
+//! The `@`-directive grammar of [`stargemm_platform::dynamic`] is the
+//! main target: overlapping downtime intervals, non-monotone trace
+//! timestamps, empty traces, and a pile of lexical edge cases.
+
+use stargemm_platform::dynamic::parse_dyn_platform;
+use stargemm_platform::parse::{parse_platform, ParseError};
+
+/// Parses inside `catch_unwind`, so a panicking parser fails the test
+/// with a clear message instead of a bare unwind.
+fn must_fail(text: &str) -> ParseError {
+    let owned = text.to_string();
+    let result = std::panic::catch_unwind(move || parse_dyn_platform("bad", &owned, 80));
+    match result {
+        Ok(Err(e)) => e,
+        Ok(Ok(dp)) => panic!("{text:?} was accepted: {dp:?}"),
+        Err(_) => panic!("{text:?} made the parser panic"),
+    }
+}
+
+#[test]
+fn overlapping_downtime_intervals_are_typed_errors() {
+    for text in [
+        "1 1 10\n@0 down 1..4\n@0 down 2..9\n",     // plain overlap
+        "1 1 10\n@0 down 1..4\n@0 down 3.9..4.1\n", // straddles the end
+        "1 1 10\n@0 down 5..9\n@0 down 1..2\n",     // out of order
+        "1 1 10\n@0 down 0..inf\n@0 down 1..2\n",   // after a permanent crash
+        "1 1 10\n@0 down 1..3\n@0 down 3..3\n",     // empty second interval
+    ] {
+        let err = must_fail(text);
+        assert!(err.line >= 2, "{text:?}: {err}");
+        assert!(!err.message.is_empty());
+    }
+}
+
+#[test]
+fn non_monotone_trace_timestamps_are_typed_errors() {
+    for text in [
+        "1 1 10\n@0 cscale 0:1 5:2 5:3\n", // duplicate timestamp
+        "1 1 10\n@0 cscale 0:1 9:2 4:3\n", // decreasing
+        "1 1 10\n@0 wscale 0:1 0:2\n",     // duplicate at zero
+        "1 1 10\n@0 cscale 5:1 7:2\n",     // does not start at 0
+        "1 1 10\n@0 wscale 0:1 inf:2\n",   // infinite start
+        "1 1 10\n@0 cscale 0:1 nan:2\n",   // NaN start
+        "1 1 10\n@0 cscale 0:1 -3:2\n",    // negative start
+    ] {
+        let err = must_fail(text);
+        assert_eq!(err.line, 2, "{text:?}: {err}");
+    }
+}
+
+#[test]
+fn empty_traces_are_typed_errors() {
+    for text in [
+        "1 1 10\n@0 cscale\n",
+        "1 1 10\n@0 wscale\n",
+        "1 1 10\n@0 cscale   \n", // whitespace only
+        "1 1 10\n@0 cscale # just a comment\n",
+    ] {
+        let err = must_fail(text);
+        assert_eq!(err.line, 2, "{text:?}: {err}");
+        assert!(
+            err.message.contains("trace") || err.message.contains("directive"),
+            "{text:?}: {err}"
+        );
+    }
+}
+
+#[test]
+fn degenerate_scales_and_times_are_typed_errors() {
+    for text in [
+        "1 1 10\n@0 cscale 0:0\n",     // zero scale
+        "1 1 10\n@0 cscale 0:-2\n",    // negative scale
+        "1 1 10\n@0 wscale 0:nan\n",   // NaN scale
+        "1 1 10\n@0 wscale 0:inf\n",   // infinite scale
+        "1 1 10\n@0 cscale 0\n",       // missing the :v half
+        "1 1 10\n@0 cscale 0:\n",      // empty value
+        "1 1 10\n@0 cscale :2\n",      // empty time
+        "1 1 10\n@0 down 5\n",         // missing ..
+        "1 1 10\n@0 down 5..\n",       // empty until
+        "1 1 10\n@0 down ..5\n",       // empty from
+        "1 1 10\n@0 down inf..inf\n",  // never starts
+        "1 1 10\n@0 down -1..5\n",     // negative from
+        "1 1 10\n@0 down 1..2 3..4\n", // two ranges on one line
+    ] {
+        let err = must_fail(text);
+        assert_eq!(err.line, 2, "{text:?}: {err}");
+    }
+}
+
+#[test]
+fn directive_addressing_errors_are_typed() {
+    for text in [
+        "1 1 10\n@1 cscale 0:1\n",                   // unknown worker
+        "1 1 10\n@x cscale 0:1\n",                   // non-numeric index
+        "1 1 10\n@ cscale 0:1\n",                    // empty index
+        "1 1 10\n@0 sideways 0:1\n",                 // unknown directive
+        "1 1 10\n@0\n",                              // directive with no verb
+        "1 1 10\n@99999999999999999999 down 1..2\n", // index overflow
+        "@0 cscale 0:1\n",                           // directives without workers
+    ] {
+        let err = must_fail(text);
+        assert!(err.line <= 2, "{text:?}: {err}");
+    }
+}
+
+#[test]
+fn error_display_carries_the_line_number() {
+    let err = must_fail("1 1 10\n@0 cscale 0:1 1:0\n");
+    let shown = err.to_string();
+    assert!(shown.contains("line 2"), "{shown}");
+}
+
+#[test]
+fn static_parser_rejects_the_same_lexical_garbage() {
+    for text in [
+        "1 1\n",       // missing field
+        "1 1 10 10\n", // extra field
+        "a b c\n",     // non-numeric
+        "inf 1 10\n",  // infinite cost
+        "nan 1 10\n",  // NaN cost
+        "-1 1 10\n",   // negative cost
+        "1 1 2\n",     // below the 3-buffer floor
+        "",            // empty file
+        "# only comments\n",
+    ] {
+        let owned = text.to_string();
+        let result = std::panic::catch_unwind(move || parse_platform("bad", &owned, 80));
+        match result {
+            Ok(Err(_)) => {}
+            Ok(Ok(p)) => panic!("{text:?} was accepted: {p:?}"),
+            Err(_) => panic!("{text:?} made the parser panic"),
+        }
+    }
+}
+
+#[test]
+fn good_directives_still_parse_after_the_negative_gauntlet() {
+    let dp = parse_dyn_platform(
+        "good",
+        "1 1 10\n2 2 20\n@0 cscale 0:1 5:2\n@1 down 3..7\n@1 down 9..inf\n",
+        80,
+    )
+    .unwrap();
+    assert_eq!(dp.base.len(), 2);
+    assert_eq!(dp.profile.c_scale(0, 6.0), 2.0);
+    assert!(!dp.profile.is_up(1, 4.0));
+    assert!(dp.profile.is_up(1, 8.0));
+    assert!(!dp.profile.is_up(1, 1e12));
+}

@@ -23,6 +23,7 @@ use stargemm_platform::Platform;
 
 use crate::error::SimError;
 use crate::model::{EvKind, MasterState, StarModel};
+use crate::msg::JobId;
 use crate::policy::{MasterPolicy, SimCtx};
 use crate::stats::RunStats;
 use crate::trace::TraceEntry;
@@ -32,6 +33,9 @@ use crate::trace::TraceEntry;
 pub struct Simulator {
     platform: Platform,
     profile: Option<DynProfile>,
+    /// Multi-job stream: `(arrival time, job id)` pairs delivered to the
+    /// policy as [`crate::policy::SimEvent::JobArrived`] events.
+    arrivals: Vec<(f64, JobId)>,
     record_trace: bool,
     /// Defensive cap on processed events (a correct policy on the paper's
     /// largest instance needs ~10⁶).
@@ -52,6 +56,7 @@ impl Simulator {
         Simulator {
             platform,
             profile: None,
+            arrivals: Vec::new(),
             record_trace: false,
             max_events: 200_000_000,
         }
@@ -76,6 +81,27 @@ impl Simulator {
             "profile must describe every worker"
         );
         self.profile = Some(profile);
+        self
+    }
+
+    /// Attaches a job-arrival plan: each `(time, job)` pair is scheduled
+    /// as a kernel event whose delivery notifies the policy with
+    /// [`crate::policy::SimEvent::JobArrived`]. Per-job lifecycle records
+    /// appear in [`crate::stats::RunStats::jobs`].
+    ///
+    /// # Panics
+    /// Panics on a non-finite or negative arrival time, or a duplicate
+    /// job id.
+    pub fn with_arrivals(mut self, arrivals: Vec<(f64, JobId)>) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for &(time, job) in &arrivals {
+            assert!(
+                time.is_finite() && time >= 0.0,
+                "bad arrival time {time} for job {job}"
+            );
+            assert!(seen.insert(job), "duplicate arrival of job {job}");
+        }
+        self.arrivals = arrivals;
         self
     }
 
@@ -111,6 +137,7 @@ impl Simulator {
             &self.platform,
             self.record_trace,
             self.profile.clone(),
+            &self.arrivals,
             self.max_events,
         );
         let mut master = MasterState::Idle;
@@ -168,6 +195,8 @@ impl Simulator {
                         }
                     }
                 }
+                // Job lifecycle never touches the port.
+                EvKind::JobArrival { .. } | EvKind::JobDeclaredDone { .. } => {}
             }
             if master == MasterState::Waiting {
                 master = MasterState::Idle;
@@ -824,6 +853,81 @@ mod tests {
             .any(|e| matches!(e, SimEvent::WorkerUp { worker: 0 })));
         // Everything shifted 3 s late: makespan 20 → 23.
         assert!((stats.makespan - 23.0).abs() < 1e-9, "{}", stats.makespan);
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-job stream semantics.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn job_arrivals_and_completions_are_recorded() {
+        // Job 7 arrives at t = 3; the policy runs the one-chunk program
+        // and declares the job done right after the retrieval at t = 23
+        // (arrival fired mid-transfer: C load runs [0, 4]).
+        let descr = demo_descr();
+        let mut actions = full_script(descr, 0);
+        actions.push(Action::CompleteJob { job: 7 });
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_arrivals(vec![(3.0, 7)]);
+        let mut p = Recorder::new(actions);
+        let stats = sim.run(&mut p).unwrap();
+        assert_eq!(stats.jobs.len(), 1);
+        let js = stats.jobs[0];
+        assert_eq!(js.job, 7);
+        assert!((js.arrival - 3.0).abs() < 1e-12);
+        // Single chunk finishes at t = 20 (see one_chunk_timing_is_exact);
+        // completion is declared at the next decision instant.
+        assert_eq!(js.completion, Some(stats.makespan));
+        assert!((js.response_time().unwrap() - 17.0).abs() < 1e-9);
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::JobArrived { job: 7 })));
+        assert!(p
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::JobCompleted { job: 7 })));
+    }
+
+    #[test]
+    fn unfinished_jobs_report_no_completion() {
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_arrivals(vec![(1.0, 0)]);
+        // The policy ignores the job entirely and finishes at once.
+        let stats = sim.run(&mut Script::new(vec![])).unwrap();
+        // The arrival never delivered (non-work events don't keep the
+        // run alive), so no record exists — the job never entered.
+        assert!(stats.jobs.is_empty());
+
+        // When the policy waits past the arrival, the record exists but
+        // stays open.
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_arrivals(vec![(1.0, 0)]);
+        let stats = sim.run(&mut Script::new(vec![Action::Wait])).unwrap();
+        assert_eq!(stats.jobs.len(), 1);
+        assert_eq!(stats.jobs[0].completion, None);
+    }
+
+    #[test]
+    fn completing_an_unknown_or_finished_job_is_a_protocol_error() {
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100));
+        let err = sim
+            .run(&mut Script::new(vec![Action::CompleteJob { job: 9 }]))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Protocol(_)), "{err}");
+
+        let sim = Simulator::new(one_worker(1.0, 1.0, 100)).with_arrivals(vec![(0.0, 9)]);
+        let err = sim
+            .run(&mut Script::new(vec![
+                Action::Wait, // deliver the arrival
+                Action::CompleteJob { job: 9 },
+                Action::CompleteJob { job: 9 },
+            ]))
+            .unwrap_err();
+        assert!(matches!(err, SimError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate arrival")]
+    fn duplicate_job_arrivals_are_rejected_up_front() {
+        let _ = Simulator::new(one_worker(1.0, 1.0, 100)).with_arrivals(vec![(0.0, 1), (2.0, 1)]);
     }
 
     #[test]

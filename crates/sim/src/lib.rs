@@ -44,6 +44,6 @@ pub use engine::Simulator;
 pub use error::SimError;
 pub use kernel::{ComponentId, EventId, EventQueue, KernelError};
 pub use model::WorkerRt;
-pub use msg::{ChunkDescr, ChunkId, Fragment, MatKind, StepCosts, StepId};
+pub use msg::{ChunkDescr, ChunkId, Fragment, JobId, MatKind, StepCosts, StepId};
 pub use policy::{Action, CtxMirror, MasterPolicy, SimCtx, SimEvent};
-pub use stats::{RunStats, WorkerStats};
+pub use stats::{JobStats, RunStats, WorkerStats};

@@ -30,9 +30,9 @@ use stargemm_platform::{Platform, WorkerId};
 
 use crate::error::SimError;
 use crate::kernel::{ComponentId, Event, EventId, EventQueue, KernelError};
-use crate::msg::{ChunkDescr, ChunkId, Fragment, MatKind, StepId};
+use crate::msg::{ChunkDescr, ChunkId, Fragment, JobId, MatKind, StepId};
 use crate::policy::{Action, MasterPolicy, SimEvent};
-use crate::stats::{RunStats, WorkerStats};
+use crate::stats::{JobStats, RunStats, WorkerStats};
 use crate::trace::{TraceEntry, TraceKind};
 
 /// Component id of the master's port.
@@ -143,21 +143,37 @@ pub(crate) enum EvKind {
         worker: WorkerId,
         up: bool,
     },
+    /// A job of a multi-job stream enters the system (scheduled from the
+    /// arrival plan attached via `Simulator::with_arrivals`).
+    JobArrival {
+        job: JobId,
+    },
+    /// Kernel echo of `Action::CompleteJob`, so the completion hook is
+    /// delivered in event order like everything else.
+    JobDeclaredDone {
+        job: JobId,
+    },
 }
 
 impl EvKind {
-    /// Lifecycle events are scenario background noise: they keep firing
-    /// after the policy declared completion and never justify keeping
-    /// the run alive.
+    /// Lifecycle and arrival events are scenario background noise: they
+    /// keep firing after the policy declared completion and never
+    /// justify keeping the run alive. (A pending completion echo *does*:
+    /// the run must not end before the completion it already recorded is
+    /// reported.)
     fn is_work(&self) -> bool {
-        !matches!(self, EvKind::Lifecycle { .. })
+        !matches!(self, EvKind::Lifecycle { .. } | EvKind::JobArrival { .. })
     }
 
-    /// The component this event is addressed to: transfer completions go
-    /// to the master port, compute and lifecycle to their worker.
+    /// The component this event is addressed to: transfer completions
+    /// and job lifecycle go to the master port, compute and worker
+    /// lifecycle to their worker.
     fn component(&self) -> ComponentId {
         match *self {
-            EvKind::SendDone { .. } | EvKind::RetrieveDone { .. } => MASTER_PORT,
+            EvKind::SendDone { .. }
+            | EvKind::RetrieveDone { .. }
+            | EvKind::JobArrival { .. }
+            | EvKind::JobDeclaredDone { .. } => MASTER_PORT,
             EvKind::StepDone { worker, .. } | EvKind::Lifecycle { worker, .. } => {
                 worker_component(worker)
             }
@@ -190,8 +206,18 @@ pub(crate) struct StarModel {
     last_retrieve_done: f64,
     pub(crate) trace: Option<Vec<TraceEntry>>,
     profile: Option<DynProfile>,
+    /// Per-job lifecycle records of a multi-job stream, keyed by job id
+    /// (inserted when the arrival event delivers).
+    jobs: BTreeMap<JobId, JobRecord>,
     /// Queued events that are not lifecycle noise (run-liveness check).
     work_events: u64,
+}
+
+/// Engine-observed lifecycle of one job.
+#[derive(Clone, Copy, Debug)]
+struct JobRecord {
+    arrival: f64,
+    completion: Option<f64>,
 }
 
 impl StarModel {
@@ -199,6 +225,7 @@ impl StarModel {
         platform: &Platform,
         record_trace: bool,
         profile: Option<DynProfile>,
+        arrivals: &[(f64, JobId)],
         max_events: u64,
     ) -> Self {
         let workers = platform
@@ -226,6 +253,7 @@ impl StarModel {
             last_retrieve_done: 0.0,
             trace: record_trace.then(Vec::new),
             profile,
+            jobs: BTreeMap::new(),
             work_events: 0,
         };
         if let Some(p) = st.profile.clone() {
@@ -238,6 +266,9 @@ impl StarModel {
                     },
                 );
             }
+        }
+        for &(time, job) in arrivals {
+            st.push(time, EvKind::JobArrival { job });
         }
         st
     }
@@ -328,6 +359,20 @@ impl StarModel {
             } => {
                 self.issue_send(worker, fragment, new_chunk)?;
                 Ok(MasterState::Busy)
+            }
+            Action::CompleteJob { job } => {
+                let rec = self.jobs.get_mut(&job).ok_or_else(|| {
+                    SimError::protocol(format!("completion of unknown (never-arrived) job {job}"))
+                })?;
+                if rec.completion.is_some() {
+                    return Err(SimError::protocol(format!("job {job} completed twice")));
+                }
+                rec.completion = Some(self.now);
+                // Echo through the kernel so the hook arrives in event
+                // order; completion is free (no port time).
+                let now = self.now;
+                self.push(now, EvKind::JobDeclaredDone { job });
+                Ok(MasterState::Idle)
             }
             Action::Retrieve { worker, chunk } => {
                 if worker >= self.workers.len() {
@@ -612,6 +657,20 @@ impl StarModel {
                 self.last_retrieve_done = self.now;
                 hooks.push(SimEvent::RetrieveDone { worker, chunk });
             }
+            EvKind::JobArrival { job } => {
+                let prev = self.jobs.insert(
+                    job,
+                    JobRecord {
+                        arrival: self.now,
+                        completion: None,
+                    },
+                );
+                debug_assert!(prev.is_none(), "duplicate arrival of job {job}");
+                hooks.push(SimEvent::JobArrived { job });
+            }
+            EvKind::JobDeclaredDone { job } => {
+                hooks.push(SimEvent::JobCompleted { job });
+            }
             EvKind::Lifecycle { worker, up } => {
                 let w = &mut self.workers[worker];
                 if up {
@@ -692,6 +751,15 @@ impl StarModel {
             total_updates: self.workers.iter().map(|w| w.stats.updates).sum(),
             chunks: self.retrieved_count,
             per_worker: self.workers.iter().map(|w| w.stats).collect(),
+            jobs: self
+                .jobs
+                .iter()
+                .map(|(&job, rec)| JobStats {
+                    job,
+                    arrival: rec.arrival,
+                    completion: rec.completion,
+                })
+                .collect(),
             policy: policy.to_string(),
         }
     }

@@ -8,6 +8,11 @@ use serde::{Deserialize, Serialize};
 /// within a run.
 pub type ChunkId = u32;
 
+/// Identifier of one job in a multi-job stream. Job ids are chosen by
+/// the workload layer and must be unique within a run; single-job runs
+/// never see one.
+pub type JobId = u32;
+
 /// Index of an update step within a chunk (the paper's `k`, `1 ≤ k ≤ t`;
 /// 0-based here).
 pub type StepId = u32;

@@ -9,7 +9,7 @@
 //! The same trait drives both the discrete-event simulator and the
 //! threaded `stargemm-net` runtime — algorithms are written once.
 
-use crate::msg::{ChunkDescr, ChunkId, Fragment};
+use crate::msg::{ChunkDescr, ChunkId, Fragment, JobId};
 use stargemm_platform::WorkerId;
 
 /// What the master does next, decided each time its port becomes free.
@@ -27,6 +27,12 @@ pub enum Action {
     /// being computed the master *blocks* (its port idles) until the
     /// result is ready — mirroring a blocking receive.
     Retrieve { worker: WorkerId, chunk: ChunkId },
+    /// Declare a job of a multi-job stream complete (all its chunks
+    /// retrieved). Free — takes no port time — and timestamped by the
+    /// engine into [`crate::stats::JobStats`]; the matching
+    /// [`SimEvent::JobCompleted`] is delivered through the kernel. The
+    /// job must have arrived and not been completed before.
+    CompleteJob { job: JobId },
     /// Do nothing until the next event, then ask again.
     Wait,
     /// All chunks have been retrieved; the run is over.
@@ -65,6 +71,13 @@ pub enum SimEvent {
     /// never deliver further events for it and does not require its
     /// retrieval. Recovering the lost C region is the policy's job.
     ChunkLost { worker: WorkerId, chunk: ChunkId },
+    /// A job of a multi-job stream entered the system (scheduled via
+    /// [`crate::engine::Simulator::with_arrivals`]). Admitting and
+    /// planning it is the policy's job.
+    JobArrived { job: JobId },
+    /// A job the policy declared complete ([`Action::CompleteJob`]) —
+    /// its completion time is now recorded in the run statistics.
+    JobCompleted { job: JobId },
 }
 
 /// Read-only view of the engine state offered to policies.

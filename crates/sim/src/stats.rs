@@ -1,6 +1,9 @@
-//! Run statistics — everything Figures 4–9 of the paper are built from.
+//! Run statistics — everything Figures 4–9 of the paper are built from,
+//! plus the per-job records multi-tenant streams report on.
 
 use serde::{Deserialize, Serialize};
+
+use crate::msg::JobId;
 
 /// Per-worker counters accumulated during a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -28,6 +31,27 @@ impl WorkerStats {
     }
 }
 
+/// Lifecycle record of one job in a multi-job stream (engine-observed:
+/// the arrival comes from the scheduled arrival event, the completion
+/// from the policy's `Action::CompleteJob`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobStats {
+    /// Job id, as chosen by the workload layer.
+    pub job: JobId,
+    /// Model time the job entered the system.
+    pub arrival: f64,
+    /// Model time the job was declared complete (`None`: never finished
+    /// before the run ended).
+    pub completion: Option<f64>,
+}
+
+impl JobStats {
+    /// Response time (sojourn time): completion minus arrival.
+    pub fn response_time(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.arrival)
+    }
+}
+
 /// Aggregate statistics of one (simulated or real) run.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -45,6 +69,9 @@ pub struct RunStats {
     pub chunks: u64,
     /// Per-worker counters, indexed by `WorkerId`.
     pub per_worker: Vec<WorkerStats>,
+    /// Per-job lifecycle records, sorted by job id (empty for classic
+    /// single-job runs).
+    pub jobs: Vec<JobStats>,
     /// Name of the scheduling policy that produced the run.
     pub policy: String,
 }
@@ -115,6 +142,7 @@ mod tests {
                     ..Default::default()
                 },
             ],
+            jobs: vec![],
             policy: "test".into(),
         }
     }
@@ -137,6 +165,22 @@ mod tests {
         let s = sample();
         assert!((s.port_utilization() - 0.4).abs() < 1e-12);
         assert!((s.throughput() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_response_times() {
+        let done = JobStats {
+            job: 3,
+            arrival: 2.5,
+            completion: Some(10.0),
+        };
+        assert_eq!(done.response_time(), Some(7.5));
+        let open = JobStats {
+            job: 4,
+            arrival: 9.0,
+            completion: None,
+        };
+        assert_eq!(open.response_time(), None);
     }
 
     #[test]

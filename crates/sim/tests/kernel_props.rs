@@ -1,0 +1,188 @@
+//! Property/fuzz suite for the generic DES kernel
+//! ([`stargemm_sim::EventQueue`]).
+//!
+//! Arbitrary interleavings of `schedule` / `cancel` / `pop` are replayed
+//! against a naive shadow model (a sorted list of live events), pinning
+//! the kernel's contracts:
+//!
+//! * deliveries never violate `(time, sequence)` order, and match the
+//!   shadow's expected next event exactly (time, component, payload);
+//! * generation-safe cancellation — a dead [`EventId`] (delivered or
+//!   already cancelled) can never cancel again, even after its slot was
+//!   reused by later schedules;
+//! * the `pending + delivered + cancelled` bookkeeping stays exact at
+//!   every step and adds up to the number of schedules at the end.
+
+use proptest::prelude::*;
+use stargemm_sim::{EventId, EventQueue};
+
+/// One scripted operation. `schedule` times come from a small grid so
+/// same-time ties (the interesting ordering case) are frequent.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Schedule {
+        time_q: u8,
+        component: u8,
+    },
+    /// Cancel the `pick`-th id ever issued (mod the number issued) —
+    /// dead handles are picked on purpose.
+    Cancel {
+        pick: u8,
+    },
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0u8..4, 0u8..16, 0u8..8), 1..120).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, a, b)| match kind {
+                // Schedule twice as often as the others, so queues grow.
+                0 | 1 => Op::Schedule {
+                    time_q: a,
+                    component: b,
+                },
+                2 => Op::Cancel { pick: a },
+                _ => Op::Pop,
+            })
+            .collect()
+    })
+}
+
+/// The shadow model: every live (scheduled, undelivered, uncancelled)
+/// event as `(time, seq, component, payload)`.
+#[derive(Default)]
+struct Shadow {
+    live: Vec<(f64, u64, usize, u64)>,
+}
+
+impl Shadow {
+    fn next(&self) -> Option<(f64, u64, usize, u64)> {
+        self.live
+            .iter()
+            .copied()
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+    }
+
+    fn remove_seq(&mut self, seq: u64) -> bool {
+        let before = self.live.len();
+        self.live.retain(|&(_, s, _, _)| s != seq);
+        before != self.live.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interleavings_match_the_shadow_model(ops in arb_ops()) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut shadow = Shadow::default();
+        // Every id ever issued, with the seq of its schedule call and
+        // whether the shadow still considers it live.
+        let mut issued: Vec<(EventId, u64)> = Vec::new();
+        let mut scheduled = 0u64;
+        let mut last_delivery: Option<f64> = None;
+        let mut seq = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Schedule { time_q, component } => {
+                    let time = f64::from(time_q) * 0.5;
+                    let payload = seq; // unique payload per schedule
+                    let id = q.schedule(time, component as usize, payload);
+                    prop_assert!(q.is_pending(id));
+                    shadow.live.push((time, seq, component as usize, payload));
+                    issued.push((id, seq));
+                    scheduled += 1;
+                    seq += 1;
+                }
+                Op::Cancel { pick } => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let (id, id_seq) = issued[pick as usize % issued.len()];
+                    let was_live = shadow.live.iter().any(|&(_, s, _, _)| s == id_seq);
+                    let got = q.cancel(id);
+                    // Generation safety: the handle cancels exactly when
+                    // the shadow still holds it — a dead handle never
+                    // resurrects, even after slot reuse.
+                    prop_assert_eq!(got.is_some(), was_live, "cancel of seq {}", id_seq);
+                    if got.is_some() {
+                        prop_assert!(shadow.remove_seq(id_seq));
+                        prop_assert!(!q.is_pending(id));
+                        prop_assert_eq!(q.cancel(id), None, "double cancel");
+                    }
+                }
+                Op::Pop => {
+                    let expect = shadow.next();
+                    let got = q.pop().unwrap();
+                    match (expect, got) {
+                        (None, None) => {}
+                        (Some((time, s, component, payload)), Some(ev)) => {
+                            // Exact agreement with the shadow's minimum
+                            // (time, seq) — the ordering contract.
+                            prop_assert_eq!(ev.payload, payload);
+                            prop_assert_eq!(ev.component, component);
+                            // Past-scheduled events deliver "now": the
+                            // delivery clock is monotone and never below
+                            // the scheduled time.
+                            prop_assert!(ev.time >= time - 1e-12);
+                            if let Some(lt) = last_delivery {
+                                prop_assert!(
+                                    ev.time >= lt,
+                                    "clock rewound: {} after {}", ev.time, lt
+                                );
+                            }
+                            last_delivery = Some(ev.time);
+                            prop_assert!(shadow.remove_seq(s));
+                        }
+                        (e, g) => {
+                            return Err(TestCaseError::fail(format!(
+                                "shadow expected {e:?}, kernel returned {g:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+            // Bookkeeping is exact at every step.
+            prop_assert_eq!(q.pending(), shadow.live.len());
+            prop_assert_eq!(
+                q.pending() as u64 + q.delivered() + q.cancelled(),
+                scheduled
+            );
+        }
+
+        // Drain: the remaining events come out in exact shadow order.
+        while let Some((time, s, component, payload)) = shadow.next() {
+            let ev = q.pop().unwrap().expect("shadow says more events remain");
+            prop_assert_eq!(ev.payload, payload);
+            prop_assert_eq!(ev.component, component);
+            prop_assert!(ev.time >= time - 1e-12);
+            prop_assert!(shadow.remove_seq(s));
+        }
+        prop_assert!(q.pop().unwrap().is_none());
+        prop_assert_eq!(q.pending(), 0);
+        prop_assert_eq!(q.delivered() + q.cancelled(), scheduled);
+    }
+
+    /// Cancelling everything leaves a queue that delivers nothing and
+    /// counts everything as cancelled.
+    #[test]
+    fn cancel_all_is_exact(n in 1usize..60, times in prop::collection::vec(0u8..10, 60..61)) {
+        let mut q: EventQueue<usize> = EventQueue::new();
+        let ids: Vec<EventId> = (0..n)
+            .map(|i| q.schedule(f64::from(times[i]), i, i))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            prop_assert_eq!(q.cancel(*id), Some(i));
+        }
+        prop_assert_eq!(q.pending(), 0);
+        prop_assert_eq!(q.cancelled(), n as u64);
+        prop_assert!(q.pop().unwrap().is_none());
+        // All dead handles stay dead after the slab was fully recycled.
+        let _fresh: Vec<EventId> = (0..n).map(|i| q.schedule(1.0, i, i)).collect();
+        for id in &ids {
+            prop_assert_eq!(q.cancel(*id), None);
+        }
+    }
+}

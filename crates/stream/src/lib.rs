@@ -1,0 +1,35 @@
+//! Multi-tenant job streams: online multi-job scheduling over the
+//! shared star.
+//!
+//! The paper schedules **one** matrix product on the heterogeneous
+//! master-worker star. This crate lets many independent GEMM jobs share
+//! one platform under online arrivals:
+//!
+//! * [`workload`] — seeded open (Poisson-like) and closed-batch
+//!   job-arrival generators with mixed job shapes and per-tenant
+//!   fairness weights;
+//! * [`allocator`] — the steady-state LP of `core::steady` extended to
+//!   *weighted max-min* throughput across concurrent jobs (solved with
+//!   `stargemm-lp`'s simplex), yielding per-job port shares;
+//! * [`multi`] — [`multi::MultiJobMaster`], a
+//!   [`MasterPolicy`](stargemm_sim::MasterPolicy) that time-shares the
+//!   one-port star between admitted jobs (deficit scheduling against the
+//!   LP shares), keeps a FIFO admission backlog, statically partitions
+//!   each worker's memory between job slots, and recovers chunks lost to
+//!   worker crashes on dynamic platforms;
+//! * [`metrics`] — per-job response time and slowdown against a solo
+//!   baseline, quantiles, and the aggregate steady-state throughput
+//!   bound no schedule can beat.
+//!
+//! The `exp_stream` binary of `stargemm-bench` sweeps load factor ×
+//! tenant mix × platform over this machinery.
+
+pub mod allocator;
+pub mod metrics;
+pub mod multi;
+pub mod workload;
+
+pub use allocator::{weighted_maxmin, JobDemand, MultiJobAllocation};
+pub use metrics::{aggregate_throughput_bound, solo_makespan, stream_report, StreamReport};
+pub use multi::{MultiJobMaster, StreamConfig, StreamError};
+pub use workload::{ArrivalProcess, JobRequest, TenantSpec, WorkloadSpec};

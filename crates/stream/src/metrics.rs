@@ -1,0 +1,192 @@
+//! Stream-level metrics: per-job response and slowdown, quantiles, and
+//! the aggregate steady-state throughput bound.
+//!
+//! *Slowdown* of a job is its response time (completion − arrival)
+//! divided by its **solo** makespan — the time the same job takes on the
+//! same (empty) platform with the full memory of every worker. The
+//! aggregate throughput of *any* multi-job schedule is bounded by the
+//! single-port steady-state optimum of `core::steady`: over a whole run
+//! of length `T`, worker `i`'s `U_i` updates satisfy `U_i·w_i ≤ T` and
+//! move at least `2·U_i/μ_i` operand blocks through the port, so
+//! `(U_i/T)_i` is feasible for the Table 1 LP and
+//! `Σ U_i / T ≤ ρ*`. `tests/stream_props.rs` pins this property.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+use stargemm_core::steady::bandwidth_centric;
+use stargemm_core::Job;
+use stargemm_platform::Platform;
+use stargemm_sim::{RunStats, Simulator};
+
+use crate::multi::{MultiJobMaster, StreamConfig};
+use crate::workload::JobRequest;
+
+/// Aggregate report over one stream run.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct StreamReport {
+    /// Jobs that completed before the run ended.
+    pub completed: usize,
+    /// Jobs in the stream.
+    pub total: usize,
+    /// End of the run (last retrieval), model seconds.
+    pub makespan: f64,
+    /// Achieved aggregate throughput, block updates per second.
+    pub throughput: f64,
+    /// Steady-state aggregate throughput bound of the platform.
+    pub throughput_bound: f64,
+    /// Mean response time over completed jobs.
+    pub mean_response: f64,
+    /// Slowdown quantiles over completed jobs (nearest-rank).
+    pub p50_slowdown: f64,
+    /// 95th percentile slowdown.
+    pub p95_slowdown: f64,
+    /// 99th percentile slowdown.
+    pub p99_slowdown: f64,
+}
+
+/// Aggregate steady-state throughput bound of `platform`: the
+/// bandwidth-centric optimum with uncapped chunk sides. No multi-job
+/// schedule on a platform at (or below) its nominal speed can exceed it.
+pub fn aggregate_throughput_bound(platform: &Platform) -> f64 {
+    bandwidth_centric(platform, usize::MAX).throughput
+}
+
+/// Solo makespan of `job` on an empty `platform`: a single-slot stream
+/// holding only this job (full memory, same serving discipline) — the
+/// baseline slowdowns are measured against.
+pub fn solo_makespan(platform: &Platform, job: &Job) -> f64 {
+    let req = [JobRequest {
+        id: 0,
+        tenant: 0,
+        weight: 1.0,
+        job: *job,
+        arrival: 0.0,
+    }];
+    let cfg = StreamConfig {
+        slots: 1,
+        window: 2,
+    };
+    let mut policy =
+        MultiJobMaster::new(platform, &req, cfg).expect("solo job fits the full memory");
+    Simulator::new(platform.clone())
+        .with_arrivals(MultiJobMaster::arrival_plan(&req))
+        .run(&mut policy)
+        .expect("solo run completes")
+        .makespan
+}
+
+/// Nearest-rank quantile of an unsorted sample (`q ∈ [0, 1]`); NaN on an
+/// empty sample.
+pub fn quantile(sample: &[f64], q: f64) -> f64 {
+    if sample.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Builds the aggregate report of one stream run. Solo baselines are
+/// computed once per distinct job shape (cached).
+pub fn stream_report(
+    platform: &Platform,
+    requests: &[JobRequest],
+    stats: &RunStats,
+) -> StreamReport {
+    let mut solo_cache: BTreeMap<(usize, usize, usize, usize), f64> = BTreeMap::new();
+    let mut slowdowns = Vec::new();
+    let mut responses = Vec::new();
+    for js in &stats.jobs {
+        let Some(response) = js.response_time() else {
+            continue;
+        };
+        let req = requests
+            .iter()
+            .find(|r| r.id == js.job)
+            .expect("stats report only scheduled jobs");
+        let key = (req.job.r, req.job.t, req.job.s, req.job.q);
+        let solo = *solo_cache
+            .entry(key)
+            .or_insert_with(|| solo_makespan(platform, &req.job));
+        responses.push(response);
+        slowdowns.push(response / solo);
+    }
+    let completed = responses.len();
+    let mean_response = if completed == 0 {
+        f64::NAN
+    } else {
+        responses.iter().sum::<f64>() / completed as f64
+    };
+    StreamReport {
+        completed,
+        total: requests.len(),
+        makespan: stats.makespan,
+        throughput: stats.throughput(),
+        throughput_bound: aggregate_throughput_bound(platform),
+        mean_response,
+        p50_slowdown: quantile(&slowdowns, 0.50),
+        p95_slowdown: quantile(&slowdowns, 0.95),
+        p99_slowdown: quantile(&slowdowns, 0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalProcess, TenantSpec, WorkloadSpec};
+    use stargemm_platform::WorkerSpec;
+
+    fn platform() -> Platform {
+        Platform::new(
+            "metrics",
+            vec![WorkerSpec::new(0.2, 0.1, 60), WorkerSpec::new(0.4, 0.2, 40)],
+        )
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let s = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&s, 0.50), 2.0);
+        assert_eq!(quantile(&s, 0.95), 4.0);
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 1.0), 4.0);
+        assert!(quantile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn solo_baseline_is_positive_and_deterministic() {
+        let job = Job::new(4, 3, 6, 2);
+        let a = solo_makespan(&platform(), &job);
+        let b = solo_makespan(&platform(), &job);
+        assert!(a > 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_covers_a_full_run_with_slowdowns_at_least_one() {
+        let reqs = WorkloadSpec {
+            tenants: vec![TenantSpec::new("t", 1.0, vec![Job::new(4, 3, 6, 2)])],
+            arrivals: ArrivalProcess::Open {
+                mean_interarrival: 30.0,
+            },
+            jobs: 4,
+            seed: 5,
+        }
+        .generate();
+        let mut policy = MultiJobMaster::new(&platform(), &reqs, StreamConfig::default()).unwrap();
+        let stats = Simulator::new(platform())
+            .with_arrivals(MultiJobMaster::arrival_plan(&reqs))
+            .run(&mut policy)
+            .unwrap();
+        let report = stream_report(&platform(), &reqs, &stats);
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.total, 4);
+        // A shared platform can never beat the solo baseline.
+        assert!(report.p50_slowdown >= 1.0 - 1e-9, "{report:?}");
+        assert!(report.p99_slowdown >= report.p50_slowdown);
+        assert!(report.throughput <= report.throughput_bound + 1e-9);
+        assert!(report.mean_response > 0.0);
+    }
+}

@@ -1,0 +1,728 @@
+//! The multi-job master: online time-sharing of the one-port star.
+//!
+//! [`MultiJobMaster`] is a [`MasterPolicy`] that serves a *stream* of
+//! independent GEMM jobs:
+//!
+//! * **Admission.** Arrivals (delivered as
+//!   [`SimEvent::JobArrived`]) queue FIFO in a backlog; at most
+//!   [`StreamConfig::slots`] jobs are admitted at once. Each worker's
+//!   memory is statically partitioned into `slots` slices, so the per-job
+//!   chunk sides (`μ² + 2·window·μ ≤ m_i / slots`) make any interleaving
+//!   of admitted jobs memory-safe by construction.
+//! * **Planning.** An admitted job is carved into column strips
+//!   round-robin over the workers that fit it (globally unique chunk
+//!   ids) and driven by its own demand-driven
+//!   [`StreamingMaster`] lane set.
+//! * **Dispatch.** Whenever the port frees, jobs are served by *deficit*:
+//!   the active job with the smallest spent-port-time over its share goes
+//!   first. Shares come from the weighted max-min steady-state LP
+//!   ([`crate::allocator`]), refreshed whenever the active set changes;
+//!   if the LP degenerates the tenant weights serve directly.
+//! * **Completion.** When a job's last chunk is retrieved the master
+//!   issues [`Action::CompleteJob`], the engine timestamps it into
+//!   [`stargemm_sim::RunStats::jobs`], and the next backlog job is
+//!   admitted.
+//! * **Churn.** On dynamic platforms, lanes of downed workers are
+//!   drained and lost regions re-planned onto surviving workers (split
+//!   to fit their partitioned sides), mirroring `stargemm-dyn`'s
+//!   recovery; regions nobody can host are parked until a rejoin.
+
+use std::collections::{HashMap, VecDeque};
+
+use stargemm_core::geometry::{carve_strip, plan_chunk, ChunkGeom, PlannedChunk};
+use stargemm_core::layout::mu_with_window;
+use stargemm_core::stream::{Serving, StreamingMaster};
+use stargemm_core::Job;
+use stargemm_platform::Platform;
+use stargemm_sim::{Action, ChunkId, JobId, MasterPolicy, SimCtx, SimEvent, StepId};
+
+use crate::allocator::{weighted_maxmin, JobDemand};
+use crate::workload::JobRequest;
+
+/// Tuning of the multi-job master.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Maximum concurrently admitted jobs (the multiprogramming level).
+    /// Every worker's memory is split into this many slices.
+    pub slots: usize,
+    /// Per-lane lookahead window in steps (2 = the paper's
+    /// double-buffered layout).
+    pub window: StepId,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            slots: 2,
+            window: 2,
+        }
+    }
+}
+
+/// Why a stream cannot be scheduled on a platform.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// A job of the stream fits no worker once memory is partitioned
+    /// into the configured number of slots.
+    Infeasible {
+        /// The offending job id.
+        job: JobId,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Infeasible { job } => write!(
+                f,
+                "job {job} fits no worker under the partitioned memory layout"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// One admitted, in-flight job.
+struct ActiveJob {
+    id: JobId,
+    weight: f64,
+    job: Job,
+    /// Per-worker chunk sides under the partitioned layout (0 = worker
+    /// cannot serve this job).
+    sides: Vec<usize>,
+    inner: StreamingMaster,
+    /// Port seconds this job has been charged so far (deficit counter).
+    port_used: f64,
+    /// Port share from the allocator (fallback: the tenant weight).
+    share: f64,
+    /// Lost regions currently without a host.
+    stranded: Vec<ChunkGeom>,
+}
+
+/// Counters exposed for tests and experiment reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Jobs admitted so far.
+    pub admitted: u64,
+    /// Jobs completed so far.
+    pub completed: u64,
+    /// Peak backlog length observed.
+    pub peak_backlog: usize,
+    /// Chunks re-planned after crashes.
+    pub reassigned_chunks: u64,
+    /// Allocator refreshes (active-set changes).
+    pub reallocations: u64,
+}
+
+/// See the module docs.
+pub struct MultiJobMaster {
+    platform: Platform,
+    cfg: StreamConfig,
+    /// The full request script, by id; a job only *opens* when its
+    /// arrival event fires.
+    requests: HashMap<JobId, JobRequest>,
+    expected: usize,
+    backlog: VecDeque<JobId>,
+    active: Vec<ActiveJob>,
+    completed: Vec<JobId>,
+    /// Owner job of every planned chunk (ids are globally unique).
+    owner: HashMap<ChunkId, JobId>,
+    next_chunk_id: ChunkId,
+    up: Vec<bool>,
+    shares_dirty: bool,
+    /// Retrieved chunk geometries per job (coverage audits).
+    retrieved: HashMap<JobId, Vec<ChunkGeom>>,
+    stats: StreamStats,
+}
+
+/// Per-worker chunk sides for `job` when memory is split `slots` ways.
+fn partitioned_sides(platform: &Platform, job: &Job, cfg: &StreamConfig) -> Vec<usize> {
+    platform
+        .workers()
+        .iter()
+        .map(|s| mu_with_window(s.m / cfg.slots, cfg.window as usize).min(job.r))
+        .collect()
+}
+
+impl MultiJobMaster {
+    /// A master for the given request stream.
+    ///
+    /// Validates up front that every job fits at least one worker under
+    /// the partitioned memory layout.
+    ///
+    /// # Panics
+    /// Panics on zero slots, a zero window, or duplicate job ids.
+    pub fn new(
+        platform: &Platform,
+        requests: &[JobRequest],
+        cfg: StreamConfig,
+    ) -> Result<Self, StreamError> {
+        assert!(cfg.slots >= 1, "at least one job slot is required");
+        assert!(cfg.window >= 1, "window must be at least 1 step");
+        let mut by_id = HashMap::new();
+        for r in requests {
+            if partitioned_sides(platform, &r.job, &cfg)
+                .iter()
+                .all(|&s| s == 0)
+            {
+                return Err(StreamError::Infeasible { job: r.id });
+            }
+            let prev = by_id.insert(r.id, *r);
+            assert!(prev.is_none(), "duplicate job id {}", r.id);
+        }
+        Ok(MultiJobMaster {
+            platform: platform.clone(),
+            cfg,
+            expected: by_id.len(),
+            requests: by_id,
+            backlog: VecDeque::new(),
+            active: Vec::new(),
+            completed: Vec::new(),
+            owner: HashMap::new(),
+            next_chunk_id: 0,
+            up: vec![true; platform.len()],
+            shares_dirty: false,
+            retrieved: HashMap::new(),
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// The arrival plan to attach to the engine
+    /// ([`stargemm_sim::Simulator::with_arrivals`]).
+    pub fn arrival_plan(requests: &[JobRequest]) -> Vec<(f64, JobId)> {
+        requests.iter().map(|r| (r.arrival, r.id)).collect()
+    }
+
+    /// Stream-level counters.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Retrieved chunk geometries of `job` (tile the job's C exactly on
+    /// a completed run, whatever crashes re-planned on the way).
+    pub fn retrieved_geoms(&self, job: JobId) -> &[ChunkGeom] {
+        self.retrieved.get(&job).map_or(&[], Vec::as_slice)
+    }
+
+    /// Ids of the jobs completed so far, in completion order.
+    pub fn completed_jobs(&self) -> &[JobId] {
+        &self.completed
+    }
+
+    // ------------------------------------------------------------------
+    // Admission and planning.
+    // ------------------------------------------------------------------
+
+    /// Admits backlog jobs FIFO while slots are free and the head job
+    /// has a live worker to run on.
+    fn admit_ready(&mut self) {
+        while self.active.len() < self.cfg.slots {
+            let Some(&id) = self.backlog.front() else {
+                return;
+            };
+            let req = self.requests[&id];
+            let sides = partitioned_sides(&self.platform, &req.job, &self.cfg);
+            if !sides.iter().enumerate().any(|(w, &s)| s > 0 && self.up[w]) {
+                // Head-of-line job has no live host right now; admission
+                // resumes when a worker rejoins (FIFO is kept — jobs are
+                // not overtaken while they wait out a crash).
+                return;
+            }
+            self.backlog.pop_front();
+            let queues = carve_queues(&req.job, &sides, &self.up, &mut self.next_chunk_id);
+            for pc in queues.iter().flatten() {
+                self.owner.insert(pc.geom.id, id);
+            }
+            let inner = StreamingMaster::new_static(
+                "stream-member",
+                req.job,
+                queues,
+                Serving::DemandDriven,
+                self.cfg.window,
+            );
+            // A newcomer starts at the lowest existing deficit so it
+            // cannot monopolize the port to "catch up" on time it was
+            // never entitled to.
+            let port_used = self
+                .active
+                .iter()
+                .map(|a| a.port_used)
+                .fold(f64::INFINITY, f64::min);
+            let port_used = if port_used.is_finite() {
+                port_used
+            } else {
+                0.0
+            };
+            self.active.push(ActiveJob {
+                id,
+                weight: req.weight,
+                job: req.job,
+                sides,
+                inner,
+                port_used,
+                share: req.weight,
+                stranded: Vec::new(),
+            });
+            self.stats.admitted += 1;
+            self.shares_dirty = true;
+        }
+    }
+
+    /// Recomputes the per-job port shares from the weighted max-min LP
+    /// (fallback: raw tenant weights).
+    fn refresh_shares(&mut self) {
+        self.shares_dirty = false;
+        self.stats.reallocations += 1;
+        let demands: Vec<JobDemand> = self
+            .active
+            .iter()
+            .map(|a| JobDemand {
+                sides: a
+                    .sides
+                    .iter()
+                    .enumerate()
+                    .map(|(w, &s)| if self.up[w] { s } else { 0 })
+                    .collect(),
+                weight: a.weight,
+            })
+            .collect();
+        let alloc = weighted_maxmin(&self.platform, &demands);
+        for (j, a) in self.active.iter_mut().enumerate() {
+            a.share = match &alloc {
+                Some(al) if al.port_shares[j] > 1e-12 => al.port_shares[j],
+                _ => a.weight,
+            };
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery.
+    // ------------------------------------------------------------------
+
+    /// Syncs liveness from the engine and evacuates every active job's
+    /// lane on workers that are down *now* (including workers down from
+    /// `t = 0`, for which no lifecycle event ever fires).
+    fn sync_liveness(&mut self, ctx: &SimCtx) {
+        for w in 0..self.platform.len() {
+            self.up[w] = ctx.is_up(w);
+        }
+        for w in 0..self.platform.len() {
+            if self.up[w] {
+                continue;
+            }
+            for j in 0..self.active.len() {
+                let orphans: Vec<PlannedChunk> = self.active[j].inner.drain_lane(w);
+                for pc in orphans {
+                    self.replan(j, pc.geom);
+                }
+            }
+        }
+    }
+
+    /// Re-plans a lost region of active job `j` onto the least-loaded
+    /// surviving worker that fits it, splitting it into tiles of the
+    /// target's partitioned side.
+    fn replan(&mut self, j: usize, geom: ChunkGeom) {
+        let target = (0..self.platform.len())
+            .filter(|&w| self.up[w] && self.active[j].sides[w] > 0)
+            .min_by(|&a, &b| {
+                let la = self.queued_updates(j, a);
+                let lb = self.queued_updates(j, b);
+                la.cmp(&lb).then(a.cmp(&b))
+            });
+        let Some(target) = target else {
+            self.active[j].stranded.push(geom);
+            return;
+        };
+        let side = self.active[j].sides[target];
+        let job = self.active[j].job;
+        let owner_id = self.active[j].id;
+        let mut i0 = geom.i0;
+        while i0 < geom.i0 + geom.h {
+            let h = side.min(geom.i0 + geom.h - i0);
+            let mut j0 = geom.j0;
+            while j0 < geom.j0 + geom.w {
+                let w = side.min(geom.j0 + geom.w - j0);
+                let id = self.next_chunk_id;
+                self.next_chunk_id += 1;
+                let pc = plan_chunk(&job, id, target, i0, j0, h, w, geom.k_depth);
+                self.owner.insert(id, owner_id);
+                self.active[j].inner.enqueue_chunk(pc);
+                self.stats.reassigned_chunks += 1;
+                j0 += w;
+            }
+            i0 += h;
+        }
+    }
+
+    /// Updates queued (not yet opened) on job `j`'s lane `w` — the
+    /// load proxy replanning balances against.
+    fn queued_updates(&self, j: usize, w: usize) -> u64 {
+        self.active[j]
+            .inner
+            .queued_chunks(w)
+            .map(|pc| pc.descr.total_updates())
+            .sum()
+    }
+
+    /// Index of the active job owning `chunk`, if it is active.
+    fn active_index_of(&self, chunk: ChunkId) -> Option<usize> {
+        let job = *self.owner.get(&chunk)?;
+        self.active.iter().position(|a| a.id == job)
+    }
+}
+
+/// Carves `job` into round-robin column strips over the live workers
+/// that fit it, with globally unique chunk ids.
+fn carve_queues(
+    job: &Job,
+    sides: &[usize],
+    up: &[bool],
+    next_id: &mut ChunkId,
+) -> Vec<Vec<PlannedChunk>> {
+    let eligible: Vec<usize> = (0..sides.len())
+        .filter(|&w| sides[w] > 0 && up[w])
+        .collect();
+    debug_assert!(!eligible.is_empty(), "admission checked a live host");
+    let mut queues = vec![Vec::new(); sides.len()];
+    let mut col = 0;
+    let mut idx = 0;
+    loop {
+        let w = eligible[idx % eligible.len()];
+        match carve_strip(job, w, sides[w], 1, &mut col, next_id) {
+            Some(strip) => queues[w].extend(strip),
+            None => break,
+        }
+        idx += 1;
+    }
+    queues
+}
+
+impl MasterPolicy for MultiJobMaster {
+    fn next_action(&mut self, ctx: &SimCtx) -> Action {
+        self.sync_liveness(ctx);
+        self.admit_ready();
+        if self.shares_dirty {
+            self.refresh_shares();
+        }
+
+        // Deficit order: least port-time-per-share first; job id breaks
+        // ties deterministically.
+        let mut order: Vec<usize> = (0..self.active.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ka = self.active[a].port_used / self.active[a].share;
+            let kb = self.active[b].port_used / self.active[b].share;
+            ka.total_cmp(&kb)
+                .then(self.active[a].id.cmp(&self.active[b].id))
+        });
+
+        let mut finished: Option<usize> = None;
+        for i in order {
+            match self.active[i].inner.next_action(ctx) {
+                Action::Send {
+                    worker,
+                    fragment,
+                    new_chunk,
+                } => {
+                    debug_assert!(self.up[worker], "member offered a downed lane");
+                    debug_assert!(
+                        new_chunk.is_none_or(|d| self.owner.contains_key(&d.id)),
+                        "chunk planned without an owner"
+                    );
+                    self.active[i].port_used +=
+                        fragment.blocks as f64 * self.platform.worker(worker).c;
+                    return Action::Send {
+                        worker,
+                        fragment,
+                        new_chunk,
+                    };
+                }
+                Action::Retrieve { worker, chunk } => {
+                    let blocks = self.active[i]
+                        .inner
+                        .geom(chunk)
+                        .map_or(0, |g| (g.h * g.w) as u64);
+                    self.active[i].port_used += blocks as f64 * self.platform.worker(worker).c;
+                    return Action::Retrieve { worker, chunk };
+                }
+                Action::Finished if self.active[i].stranded.is_empty() => {
+                    finished = Some(i);
+                    break;
+                }
+                // Stranded regions mean the job is *not* done — it waits
+                // for a rejoin like any other blocked lane.
+                Action::Finished | Action::Wait => {}
+                Action::CompleteJob { .. } => {
+                    unreachable!("member masters never manage jobs")
+                }
+            }
+        }
+
+        if let Some(i) = finished {
+            let done = self.active.remove(i);
+            self.completed.push(done.id);
+            self.stats.completed += 1;
+            self.shares_dirty = true;
+            return Action::CompleteJob { job: done.id };
+        }
+
+        if self.completed.len() == self.expected {
+            Action::Finished
+        } else {
+            Action::Wait
+        }
+    }
+
+    fn on_event(&mut self, ev: &SimEvent, ctx: &SimCtx) {
+        match *ev {
+            SimEvent::JobArrived { job } => {
+                debug_assert!(
+                    self.requests.contains_key(&job),
+                    "arrival of an unknown job {job}"
+                );
+                self.backlog.push_back(job);
+                self.stats.peak_backlog = self.stats.peak_backlog.max(self.backlog.len());
+            }
+            SimEvent::JobCompleted { .. } => {} // bookkept at issuance
+            SimEvent::SendDone { fragment, .. } => {
+                if let Some(i) = self.active_index_of(fragment.chunk) {
+                    self.active[i].inner.on_event(ev, ctx);
+                }
+            }
+            SimEvent::StepDone { chunk, .. } | SimEvent::ChunkComputed { chunk, .. } => {
+                if let Some(i) = self.active_index_of(chunk) {
+                    self.active[i].inner.on_event(ev, ctx);
+                }
+            }
+            SimEvent::RetrieveDone { chunk, .. } => {
+                if let Some(i) = self.active_index_of(chunk) {
+                    let id = self.active[i].id;
+                    if let Some(g) = self.active[i].inner.geom(chunk).copied() {
+                        self.retrieved.entry(id).or_default().push(g);
+                    }
+                    self.active[i].inner.on_event(ev, ctx);
+                }
+            }
+            SimEvent::WorkerDown { worker } => {
+                self.up[worker] = false;
+                for j in 0..self.active.len() {
+                    // Unsent chunks survive on the master: re-plan them
+                    // right away. The active chunk's loss arrives as its
+                    // own ChunkLost event.
+                    let orphans: Vec<PlannedChunk> = self.active[j].inner.drain_lane(worker);
+                    self.active[j].inner.clear_active(worker);
+                    for pc in orphans {
+                        self.replan(j, pc.geom);
+                    }
+                }
+                self.shares_dirty = true;
+            }
+            SimEvent::WorkerUp { worker } => {
+                self.up[worker] = true;
+                for j in 0..self.active.len() {
+                    let stranded = std::mem::take(&mut self.active[j].stranded);
+                    for geom in stranded {
+                        self.replan(j, geom);
+                    }
+                }
+                self.shares_dirty = true;
+            }
+            SimEvent::ChunkLost { chunk, .. } => {
+                let Some(i) = self.active_index_of(chunk) else {
+                    return;
+                };
+                let Some(geom) = self.active[i].inner.geom(chunk).copied() else {
+                    return;
+                };
+                // If the lost chunk was being streamed, stop feeding it.
+                if self.active[i]
+                    .inner
+                    .active_chunk_on(geom.worker)
+                    .is_some_and(|pc| pc.descr.id == chunk)
+                {
+                    self.active[i].inner.clear_active(geom.worker);
+                }
+                self.replan(i, geom);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MultiJobStream"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{ArrivalProcess, TenantSpec, WorkloadSpec};
+    use stargemm_core::geometry::validate_coverage;
+    use stargemm_platform::WorkerSpec;
+    use stargemm_sim::Simulator;
+
+    fn platform() -> Platform {
+        Platform::new(
+            "stream-test",
+            vec![
+                WorkerSpec::new(0.2, 0.1, 60),
+                WorkerSpec::new(0.3, 0.15, 60),
+                WorkerSpec::new(0.5, 0.3, 40),
+            ],
+        )
+    }
+
+    fn workload(jobs: usize, seed: u64, mean: f64) -> Vec<JobRequest> {
+        WorkloadSpec {
+            tenants: vec![
+                TenantSpec::new("t0", 1.0, vec![Job::new(4, 3, 6, 2)]),
+                TenantSpec::new("t1", 2.0, vec![Job::new(6, 4, 8, 2)]),
+            ],
+            arrivals: ArrivalProcess::Open {
+                mean_interarrival: mean,
+            },
+            jobs,
+            seed,
+        }
+        .generate()
+    }
+
+    fn run_stream(
+        platform: &Platform,
+        requests: &[JobRequest],
+        cfg: StreamConfig,
+    ) -> (stargemm_sim::RunStats, MultiJobMaster) {
+        let mut policy = MultiJobMaster::new(platform, requests, cfg).unwrap();
+        let stats = Simulator::new(platform.clone())
+            .with_arrivals(MultiJobMaster::arrival_plan(requests))
+            .run(&mut policy)
+            .unwrap();
+        (stats, policy)
+    }
+
+    #[test]
+    fn every_job_completes_and_covers_its_c() {
+        let reqs = workload(6, 11, 20.0);
+        let (stats, policy) = run_stream(&platform(), &reqs, StreamConfig::default());
+        assert_eq!(stats.jobs.len(), 6);
+        assert!(stats.jobs.iter().all(|j| j.completion.is_some()));
+        let total: u64 = reqs.iter().map(|r| r.job.total_updates()).sum();
+        assert_eq!(stats.total_updates, total);
+        for r in &reqs {
+            validate_coverage(&r.job, policy.retrieved_geoms(r.id)).unwrap();
+        }
+        assert_eq!(policy.stats().admitted, 6);
+        assert_eq!(policy.stats().completed, 6);
+    }
+
+    #[test]
+    fn completions_are_timestamped_after_arrivals() {
+        let reqs = workload(5, 3, 15.0);
+        let (stats, _) = run_stream(&platform(), &reqs, StreamConfig::default());
+        for js in &stats.jobs {
+            let req = reqs.iter().find(|r| r.id == js.job).unwrap();
+            assert!((js.arrival - req.arrival).abs() < 1e-12);
+            assert!(js.completion.unwrap() >= js.arrival);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let reqs = workload(8, 5, 10.0);
+        let a = run_stream(&platform(), &reqs, StreamConfig::default()).0;
+        let b = run_stream(&platform(), &reqs, StreamConfig::default()).0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn admission_respects_the_slot_limit_and_memory() {
+        // A closed batch of 8 jobs on 2 slots: peak backlog ≥ 6, memory
+        // never violated (the engine enforces it strictly — a violation
+        // would fail the run).
+        let reqs: Vec<JobRequest> = WorkloadSpec {
+            tenants: vec![TenantSpec::new("t", 1.0, vec![Job::new(6, 4, 8, 2)])],
+            arrivals: ArrivalProcess::ClosedBatch,
+            jobs: 8,
+            seed: 2,
+        }
+        .generate();
+        let (stats, policy) = run_stream(&platform(), &reqs, StreamConfig::default());
+        assert!(policy.stats().peak_backlog >= 6);
+        assert_eq!(stats.jobs.len(), 8);
+        // Partitioned layout: high-water below each worker's capacity.
+        for (w, ws) in stats.per_worker.iter().enumerate() {
+            assert!(ws.mem_high_water <= platform().worker(w).m as u64);
+        }
+    }
+
+    #[test]
+    fn higher_weight_tenant_finishes_sooner_under_contention() {
+        // Two identical jobs arriving together; tenant weights 1 vs 4.
+        // The heavier job must not finish later.
+        let job = Job::new(6, 5, 12, 2);
+        let reqs = vec![
+            JobRequest {
+                id: 0,
+                tenant: 0,
+                weight: 1.0,
+                job,
+                arrival: 0.0,
+            },
+            JobRequest {
+                id: 1,
+                tenant: 1,
+                weight: 4.0,
+                job,
+                arrival: 0.0,
+            },
+        ];
+        let (stats, _) = run_stream(&platform(), &reqs, StreamConfig::default());
+        let done = |id: u32| {
+            stats
+                .jobs
+                .iter()
+                .find(|j| j.job == id)
+                .unwrap()
+                .completion
+                .unwrap()
+        };
+        assert!(
+            done(1) <= done(0) + 1e-9,
+            "weighted job finished later: {} vs {}",
+            done(1),
+            done(0)
+        );
+    }
+
+    #[test]
+    fn infeasible_job_is_rejected_up_front() {
+        let tiny = Platform::new("tiny", vec![WorkerSpec::new(1.0, 1.0, 8)]);
+        // m/slots = 4 → μ = 0 with window 2: no worker fits.
+        let reqs = vec![JobRequest {
+            id: 0,
+            tenant: 0,
+            weight: 1.0,
+            job: Job::new(4, 3, 4, 2),
+            arrival: 0.0,
+        }];
+        let err = match MultiJobMaster::new(&tiny, &reqs, StreamConfig::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("tiny platform must be infeasible"),
+        };
+        assert_eq!(err, StreamError::Infeasible { job: 0 });
+        assert!(err.to_string().contains("job 0"));
+    }
+
+    #[test]
+    fn single_slot_serializes_jobs() {
+        let reqs = workload(4, 9, 1.0);
+        let cfg = StreamConfig {
+            slots: 1,
+            window: 2,
+        };
+        let (stats, policy) = run_stream(&platform(), &reqs, cfg);
+        assert_eq!(stats.jobs.len(), 4);
+        assert!(stats.jobs.iter().all(|j| j.completion.is_some()));
+        assert_eq!(policy.stats().completed, 4);
+    }
+}

@@ -1,0 +1,246 @@
+//! Stream-level properties:
+//!
+//! * **Throughput bound** (acceptance): no multi-job schedule beats the
+//!   aggregate steady-state throughput bound — over a run of length `T`
+//!   the per-worker update counts are feasible for the Table 1 LP, so
+//!   `Σ U_i / T ≤ ρ*` (see `metrics`' module docs for the argument).
+//! * **Composition with `stargemm-dyn`**: arrivals + cost jitter +
+//!   worker churn in one scenario still complete every job, with each
+//!   job's retrieved chunks tiling its C exactly; under degraded (≥ 1×)
+//!   traces the nominal-platform bound still holds.
+//! * **Determinism**: a stream scenario is a pure function of its seed.
+
+use proptest::prelude::*;
+use stargemm_core::geometry::validate_coverage;
+use stargemm_core::Job;
+use stargemm_platform::dynamic::{DynProfile, Trace, WorkerDyn};
+use stargemm_platform::{Platform, WorkerSpec};
+use stargemm_sim::Simulator;
+use stargemm_stream::{
+    aggregate_throughput_bound, ArrivalProcess, JobRequest, MultiJobMaster, StreamConfig,
+    TenantSpec, WorkloadSpec,
+};
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec((0.05f64..2.0, 0.05f64..2.0, 24usize..200), 1..4).prop_map(|specs| {
+        Platform::new(
+            "prop",
+            specs
+                .into_iter()
+                .map(|(c, w, m)| WorkerSpec::new(c, w, m))
+                .collect(),
+        )
+    })
+}
+
+fn arb_workload() -> impl Strategy<Value = Vec<JobRequest>> {
+    (2usize..7, 0u64..500, 1usize..3, 2.0f64..40.0).prop_map(|(jobs, seed, tenants, mean)| {
+        let tenants = (0..tenants)
+            .map(|t| {
+                TenantSpec::new(
+                    format!("t{t}"),
+                    1.0 + t as f64,
+                    vec![Job::new(3 + t, 3, 4 + 2 * t, 2), Job::new(2, 2 + t, 3, 2)],
+                )
+            })
+            .collect();
+        WorkloadSpec {
+            tenants,
+            arrivals: ArrivalProcess::Open {
+                mean_interarrival: mean,
+            },
+            jobs,
+            seed,
+        }
+        .generate()
+    })
+}
+
+fn run_stream(
+    platform: &Platform,
+    requests: &[JobRequest],
+) -> Option<(stargemm_sim::RunStats, MultiJobMaster)> {
+    let mut policy = MultiJobMaster::new(platform, requests, StreamConfig::default()).ok()?;
+    let stats = Simulator::new(platform.clone())
+        .with_arrivals(MultiJobMaster::arrival_plan(requests))
+        .run(&mut policy)
+        .ok()?;
+    Some((stats, policy))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No multi-job schedule beats the aggregate steady-state bound.
+    #[test]
+    fn throughput_never_beats_the_steady_state_bound(
+        platform in arb_platform(),
+        requests in arb_workload(),
+    ) {
+        let Some((stats, _)) = run_stream(&platform, &requests) else {
+            // Infeasible layout on this draw — nothing to bound.
+            return Ok(());
+        };
+        prop_assert!(stats.makespan > 0.0);
+        let bound = aggregate_throughput_bound(&platform);
+        let achieved = stats.total_updates as f64 / stats.makespan;
+        prop_assert!(
+            achieved <= bound * (1.0 + 1e-9),
+            "throughput {} beats the steady-state bound {}",
+            achieved,
+            bound
+        );
+    }
+
+    /// Every job completes, every job's retrieved chunks tile its C.
+    #[test]
+    fn streams_complete_with_exact_per_job_coverage(
+        platform in arb_platform(),
+        requests in arb_workload(),
+    ) {
+        let Some((stats, policy)) = run_stream(&platform, &requests) else {
+            return Ok(());
+        };
+        prop_assert_eq!(stats.jobs.len(), requests.len());
+        for req in &requests {
+            let js = stats.jobs.iter().find(|j| j.job == req.id).unwrap();
+            prop_assert!(js.completion.is_some(), "job {} never completed", req.id);
+            prop_assert!(
+                validate_coverage(&req.job, policy.retrieved_geoms(req.id)).is_ok()
+            );
+        }
+    }
+
+    /// Same platform + same workload seed → byte-identical statistics.
+    #[test]
+    fn stream_runs_are_deterministic(
+        platform in arb_platform(),
+        requests in arb_workload(),
+    ) {
+        let a = run_stream(&platform, &requests).map(|(s, _)| format!("{s:?}"));
+        let b = run_stream(&platform, &requests).map(|(s, _)| format!("{s:?}"));
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Composition with the dynamic-platform layer.
+// ----------------------------------------------------------------------
+
+fn dyn_base() -> Platform {
+    Platform::new(
+        "stream-dyn",
+        vec![
+            WorkerSpec::new(0.2, 0.1, 80),
+            WorkerSpec::new(0.3, 0.15, 60),
+            WorkerSpec::new(0.5, 0.3, 60),
+        ],
+    )
+}
+
+fn dyn_workload() -> Vec<JobRequest> {
+    WorkloadSpec {
+        tenants: vec![
+            TenantSpec::new("steady", 1.0, vec![Job::new(4, 3, 6, 2)]),
+            TenantSpec::new("bursty", 2.0, vec![Job::new(6, 4, 8, 2)]),
+        ],
+        arrivals: ArrivalProcess::Open {
+            mean_interarrival: 15.0,
+        },
+        jobs: 6,
+        seed: 42,
+    }
+    .generate()
+}
+
+/// Arrivals + jitter + churn in one scenario: worker 2 crashes at t = 40
+/// and rejoins at 120 while worker 1's link degrades ×2 from t = 30.
+fn churny_profile() -> DynProfile {
+    DynProfile::new(vec![
+        WorkerDyn::stable(),
+        WorkerDyn::new(
+            Trace::new(vec![(0.0, 1.0), (30.0, 2.0)]),
+            Trace::default(),
+            vec![],
+        ),
+        WorkerDyn::new(Trace::default(), Trace::default(), vec![(40.0, 120.0)]),
+    ])
+}
+
+#[test]
+fn stream_composes_with_churn_and_jitter() {
+    let base = dyn_base();
+    let requests = dyn_workload();
+    let mut policy = MultiJobMaster::new(&base, &requests, StreamConfig::default()).unwrap();
+    let stats = Simulator::new(base.clone())
+        .with_profile(churny_profile())
+        .with_arrivals(MultiJobMaster::arrival_plan(&requests))
+        .run(&mut policy)
+        .unwrap();
+    assert_eq!(stats.jobs.len(), requests.len());
+    assert!(stats.jobs.iter().all(|j| j.completion.is_some()));
+    for req in &requests {
+        validate_coverage(&req.job, policy.retrieved_geoms(req.id)).unwrap();
+    }
+    // Degraded (≥ 1×) traces only slow the platform down, so the
+    // nominal-platform bound still holds — even counting redone work.
+    let achieved = stats.total_updates as f64 / stats.makespan;
+    assert!(achieved <= aggregate_throughput_bound(&base) * (1.0 + 1e-9));
+}
+
+#[test]
+fn permanent_crash_mid_stream_is_recovered() {
+    // Two identical jobs from t = 0; the strongest worker dies for good
+    // at t = 20 while both are in flight. Every lost region must be
+    // re-planned onto the survivors, both jobs complete with exact
+    // coverage, and the redone work shows up in the update count.
+    let base = dyn_base();
+    let job = Job::new(6, 4, 8, 2);
+    let requests: Vec<JobRequest> = (0..2)
+        .map(|i| JobRequest {
+            id: i,
+            tenant: 0,
+            weight: 1.0,
+            job,
+            arrival: 0.0,
+        })
+        .collect();
+    let profile = DynProfile::new(vec![
+        WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(20.0, f64::INFINITY)],
+        ),
+        WorkerDyn::stable(),
+        WorkerDyn::stable(),
+    ]);
+    let mut policy = MultiJobMaster::new(&base, &requests, StreamConfig::default()).unwrap();
+    let stats = Simulator::new(base)
+        .with_profile(profile)
+        .with_arrivals(MultiJobMaster::arrival_plan(&requests))
+        .run(&mut policy)
+        .unwrap();
+    assert!(policy.stats().reassigned_chunks > 0, "{:?}", policy.stats());
+    assert!(stats.jobs.iter().all(|j| j.completion.is_some()));
+    for req in &requests {
+        validate_coverage(&req.job, policy.retrieved_geoms(req.id)).unwrap();
+    }
+    // Lost work was redone: strictly more updates than the nominal total.
+    assert!(stats.total_updates > 2 * job.total_updates());
+}
+
+#[test]
+fn churny_stream_is_deterministic() {
+    let run = || {
+        let base = dyn_base();
+        let requests = dyn_workload();
+        let mut policy = MultiJobMaster::new(&base, &requests, StreamConfig::default()).unwrap();
+        let stats = Simulator::new(base)
+            .with_profile(churny_profile())
+            .with_arrivals(MultiJobMaster::arrival_plan(&requests))
+            .run(&mut policy)
+            .unwrap();
+        format!("{stats:?}")
+    };
+    assert_eq!(run(), run());
+}

@@ -11,7 +11,10 @@
 //! * [`core`] — the paper's scheduling algorithms and baselines,
 //! * [`net`] — a hand-rolled threaded messaging runtime (MPI substitute),
 //! * [`dynamic`] — time-varying platforms (cost traces, worker churn)
-//!   and the adaptive online scheduler built on top of them.
+//!   and the adaptive online scheduler built on top of them,
+//! * [`stream`] — multi-tenant job streams: seeded arrival generators,
+//!   the weighted max-min multi-job allocator, and the online
+//!   time-sharing master.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! reproduction of every table and figure.
@@ -45,3 +48,4 @@ pub use stargemm_lp as lp;
 pub use stargemm_net as net;
 pub use stargemm_platform as platform;
 pub use stargemm_sim as sim;
+pub use stargemm_stream as stream;
