@@ -206,18 +206,38 @@ fn render(rows: &[Row]) -> String {
     ));
     for r in rows {
         match &r.report {
-            Some(rep) => out.push_str(&format!(
-                "{:<9}{:<10}{:>6.1}{:>6}{:>12.3}{:>9.3}{:>9.2}{:>9.2}{:>9.2}\n",
-                r.platform,
-                r.mix,
-                r.load,
-                format!("{}/{}", rep.completed, rep.total),
-                rep.throughput,
-                rep.throughput / rep.throughput_bound,
-                rep.p50_slowdown,
-                rep.p95_slowdown,
-                rep.p99_slowdown,
-            )),
+            Some(rep) => {
+                out.push_str(&format!(
+                    "{:<9}{:<10}{:>6.1}{:>6}{:>12.3}{:>9.3}{:>9.2}{:>9.2}{:>9.2}\n",
+                    r.platform,
+                    r.mix,
+                    r.load,
+                    format!("{}/{}", rep.completed, rep.total),
+                    rep.throughput,
+                    rep.throughput / rep.throughput_bound,
+                    rep.p50_slowdown,
+                    rep.p95_slowdown,
+                    rep.p99_slowdown,
+                ));
+                // Per-tenant fairness view (only worth a sub-row when the
+                // mix actually has more than one tenant).
+                if rep.tenants.len() > 1 {
+                    for t in &rep.tenants {
+                        out.push_str(&format!(
+                            "{:<9}{:<10}{:>6}{:>6}{:>12.3}{:>9}{:>9.2}{:>9.2}{:>9}\n",
+                            "",
+                            format!("  t{} w={}", t.tenant, t.weight),
+                            "",
+                            format!("{}/{}", t.completed, t.total),
+                            t.throughput,
+                            "",
+                            t.p50_slowdown,
+                            t.p95_slowdown,
+                            "",
+                        ));
+                    }
+                }
+            }
             None => out.push_str(&format!(
                 "{:<9}{:<10}{:>6.1}  failed: {}\n",
                 r.platform,

@@ -86,3 +86,15 @@ fn exp_stream_smoke_json_is_pinned() {
         include_str!("golden/exp_stream.json"),
     );
 }
+
+#[test]
+fn exp_netmodel_smoke_json_is_pinned() {
+    // Also pins the OnePort-through-the-trait refactor: the sweep's
+    // one-port rows and the cross-engine schedule counts are exactly the
+    // values the pre-netmodel engine produced.
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_netmodel"),
+        "exp_netmodel",
+        include_str!("golden/exp_netmodel.json"),
+    );
+}

@@ -14,6 +14,7 @@
 //! absolute performance is good (within ~2.3× on average).
 
 use stargemm_lp::LpProblem;
+use stargemm_netmodel::NetModelSpec;
 use stargemm_platform::{Platform, WorkerId, WorkerSpec};
 
 use crate::job::Job;
@@ -147,6 +148,74 @@ pub fn lp_throughput(platform: &Platform, r: usize) -> f64 {
         .objective
 }
 
+/// The Table 1 LP generalized to an arbitrary network-contention model:
+/// the one-port row `Σ y_i c_i ≤ 1` is relaxed to
+///
+/// * **per-port rows** `y_i c_i ≤ 1` — each link carries at most its own
+///   bandwidth (transfers to one worker share that star edge whatever
+///   the model);
+/// * an **aggregate port row** `Σ y_i c_i ≤ k` when the master drives at
+///   most `k` simultaneous transfers (at every instant the busy-fraction
+///   sum of the links is at most `k`, so it holds on average);
+/// * a **backbone row** `Σ y_i ≤ B` when the model caps the aggregate
+///   block rate.
+///
+/// For [`NetModelSpec::OnePort`] this emits exactly [`table1_lp`] — the
+/// generalization degenerates to the paper's bound, row for row.
+pub fn generalized_lp(platform: &Platform, r: usize, model: &NetModelSpec) -> LpProblem {
+    if *model == NetModelSpec::OnePort {
+        return table1_lp(platform, r);
+    }
+    let mut lp = table1_lp(platform, r);
+    // Row 0 is the one-port row Σ y_i c_i ≤ 1; generalize it in place.
+    let p = platform.len();
+    match model.capacity() {
+        usize::MAX => {
+            // No admission limit: drop the aggregate port row entirely
+            // (the per-port and backbone rows below carry the load).
+            lp.constraints.remove(0);
+            lp.rhs.remove(0);
+        }
+        k => {
+            lp.rhs[0] = k as f64;
+        }
+    }
+    // Per-port rows: y_i c_i ≤ 1.
+    for (i, spec) in platform.iter() {
+        let mut row = vec![0.0; 2 * p];
+        row[p + i] = spec.c;
+        lp.constraints.push(row);
+        lp.rhs.push(1.0);
+    }
+    // Backbone row: Σ y_i ≤ B.
+    if let Some(bb) = model.backbone() {
+        let mut row = vec![0.0; 2 * p];
+        for slot in row.iter_mut().skip(p) {
+            *slot = 1.0;
+        }
+        lp.constraints.push(row);
+        lp.rhs.push(bb);
+    }
+    lp
+}
+
+/// Steady-state throughput bound under a contention model (block updates
+/// per second). No schedule executed under `model` on the static
+/// platform can sustain more.
+pub fn model_throughput(platform: &Platform, r: usize, model: &NetModelSpec) -> f64 {
+    generalized_lp(platform, r, model)
+        .solve()
+        .expect("generalized steady-state LP is feasible and bounded")
+        .objective
+}
+
+/// Makespan lower bound implied by the model-aware steady-state
+/// throughput: `r·s·t / ρ*(model)`. Reduces to
+/// [`makespan_lower_bound`]'s LP value under the one-port model.
+pub fn model_makespan_lower_bound(platform: &Platform, job: &Job, model: &NetModelSpec) -> f64 {
+    job.total_updates() as f64 / model_throughput(platform, job.r, model)
+}
+
 /// Makespan lower bound implied by the steady-state throughput:
 /// `r·s·t / ρ`. The paper compares Het's achieved throughput against
 /// this optimistic bound (ratio ≈ 2.3× on average).
@@ -235,6 +304,87 @@ mod tests {
         let ss = bandwidth_centric(&p, 100);
         assert_eq!(ss.enrolled.len(), 4);
         assert!((ss.throughput - 4.0 / 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generalized_lp_degenerates_to_table1_under_oneport() {
+        for r in [4, 8, 100] {
+            let t1 = lp_throughput(&platform(), r);
+            let gen = model_throughput(&platform(), r, &NetModelSpec::OnePort);
+            assert_eq!(t1, gen, "r={r}");
+        }
+    }
+
+    #[test]
+    fn more_ports_never_lower_the_bound() {
+        let p = platform();
+        let op = model_throughput(&p, 100, &NetModelSpec::OnePort);
+        let mut prev = op;
+        for k in 1..=3 {
+            let t = model_throughput(
+                &p,
+                100,
+                &NetModelSpec::BoundedMultiPort { k, backbone: None },
+            );
+            assert!(
+                t >= prev - 1e-9,
+                "k={k}: throughput {t} dropped below {prev}"
+            );
+            prev = t;
+        }
+        // With unlimited ports/backbone only the compute rows bind:
+        // ρ* = Σ 1/w_i (the per-port rows are loose on this platform at
+        // full compute rate? not necessarily — just assert ≥ one-port).
+        let fs = model_throughput(&p, 100, &NetModelSpec::FairShare { backbone: 1e9 });
+        assert!(fs >= op - 1e-9);
+    }
+
+    #[test]
+    fn binding_backbone_caps_the_bound() {
+        // Fast CPUs, fast links: with B far below what the links allow,
+        // the backbone row binds and throughput ≈ B·μ/2 per block of
+        // operand traffic... assert the monotone behaviour instead of
+        // the closed form: tightening B can only lower ρ*.
+        let p = platform();
+        let loose = model_throughput(
+            &p,
+            100,
+            &NetModelSpec::BoundedMultiPort {
+                k: 3,
+                backbone: Some(1e6),
+            },
+        );
+        let tight = model_throughput(
+            &p,
+            100,
+            &NetModelSpec::BoundedMultiPort {
+                k: 3,
+                backbone: Some(0.5),
+            },
+        );
+        assert!(tight < loose, "backbone not binding: {tight} vs {loose}");
+        // A fair-share backbone at the same B gives at least the k-capped
+        // value (fewer constraints).
+        let fs = model_throughput(&p, 100, &NetModelSpec::FairShare { backbone: 0.5 });
+        assert!(fs >= tight - 1e-9);
+    }
+
+    #[test]
+    fn multiport_k1_bound_equals_oneport_bound() {
+        // k = 1 with no backbone adds only redundant per-port rows.
+        let p = platform();
+        for r in [8, 100] {
+            let op = model_throughput(&p, r, &NetModelSpec::OnePort);
+            let k1 = model_throughput(
+                &p,
+                r,
+                &NetModelSpec::BoundedMultiPort {
+                    k: 1,
+                    backbone: None,
+                },
+            );
+            assert!((op - k1).abs() < 1e-9, "r={r}: {op} vs {k1}");
+        }
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! * [`wire`] — a binary message format (tag + header + raw `f64` block
 //!   payloads) with explicit encode/decode, exactly what would cross a
 //!   socket;
-//! * [`link`] — per-worker links sharing the master's single port (a
-//!   mutex — the one-port model) with bandwidth throttling so a
-//!   `WorkerSpec`'s `c_i` is honoured in wall-clock time;
+//! * [`link`] — per-worker links sharing the master's wire under a
+//!   pluggable contention model (`stargemm-netmodel`): the paper's
+//!   one-port (a mutex), bounded multi-port, or a fair-share backbone —
+//!   with bandwidth throttling so a `WorkerSpec`'s `c_i` (and the
+//!   model's share) is honoured in wall-clock time;
 //! * [`worker`] — real worker threads holding block buffers and running
 //!   the actual GEMM kernel on received fragments;
 //! * [`runtime`] — the master driver that executes any
@@ -32,4 +34,5 @@ pub mod runtime;
 pub mod wire;
 pub mod worker;
 
+pub use link::StarEvent;
 pub use runtime::{NetError, NetOptions, NetRuntime};

@@ -1,31 +1,38 @@
-//! One-port, bandwidth-throttled links.
+//! Contention-throttled links of the threaded star.
 //!
-//! Every data transfer — in either direction — must hold the master's
-//! single [`Port`] while it "occupies the wire" for
-//! `blocks × c_i × time_scale` seconds. This is precisely the paper's
-//! one-port model: current hardware serializes concurrent sends anyway
-//! (Bhat et al.; Saif & Parashar), so the master transfers to one worker
-//! at a time. Control messages (a few bytes) bypass the throttle.
+//! Every data transfer — in either direction — occupies the wire
+//! according to the star's [`ContentionModel`]: under the paper's
+//! one-port model the master's transfers serialize at full link speed
+//! (current hardware serializes concurrent sends anyway — Bhat et al.;
+//! Saif & Parashar); under bounded multi-port or fair-share models up to
+//! `k` (or unboundedly many) transfers progress concurrently, each
+//! throttled to the *same share* the discrete-event simulator computes —
+//! the shared `Backbone` recomputes shares whenever a transfer starts
+//! or finishes. Control messages (a few bytes) bypass the throttle.
 //!
 //! On a dynamic platform ([`stargemm_platform::dynamic::DynProfile`])
 //! the wire time is not `blocks × c_i` but its integral over the link's
-//! piecewise-constant cost trace: each link re-reads the shared profile
-//! at transfer time, so the threaded runtime executes exactly the
-//! scenario the discrete-event simulator models.
+//! piecewise-constant cost trace — the same shared segment walker
+//! (`platform::dynamic`) both engines use — so the threaded runtime
+//! executes exactly the scenario the discrete-event simulator models.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use stargemm_platform::dynamic::DynProfile;
+use stargemm_linalg::Block;
+use stargemm_netmodel::{ContentionModel, NetModelSpec, TransferLane};
+use stargemm_platform::dynamic::{transfer_end_opt, transfer_nominal_between_opt, DynProfile};
+use stargemm_sim::{ChunkId, Fragment};
 
 use crate::wire::{ToMaster, ToWorker};
 
-/// The master's single network port (one-port model).
+/// The master's single network port (one-port model) — kept as the
+/// simple standalone primitive; `Backbone` generalizes it to shared
+/// models.
 #[derive(Clone, Default)]
 pub struct Port {
-    inner: Arc<Mutex<()>>,
+    inner: Arc<parking_lot::Mutex<()>>,
 }
 
 impl Port {
@@ -59,6 +66,199 @@ pub(crate) struct LinkDynamics {
     pub(crate) epoch: Instant,
 }
 
+/// One wall-clock transfer in flight on the shared wire.
+#[derive(Clone, Copy, Debug)]
+struct Lane {
+    id: u64,
+    worker: usize,
+    /// Nominal model seconds still to serve as of `since`.
+    rem: f64,
+    /// Current bandwidth share, recomputed on membership changes.
+    share: f64,
+    /// Model time `rem` was last advanced to.
+    since: f64,
+}
+
+#[derive(Default)]
+struct BackboneState {
+    lanes: Vec<Lane>,
+    next_id: u64,
+}
+
+/// The wall-clock twin of the simulator's contention machinery: all data
+/// transfers of one star register here, and each blocks its calling
+/// thread for exactly the shared-wire time the model grants it. Shares
+/// are recomputed whenever a transfer starts or finishes
+/// (condvar-broadcast so sleeping transfers re-project their deadlines),
+/// composing with the dynamic cost traces through the same
+/// `platform::dynamic` integrators the simulator uses.
+pub(crate) struct Backbone {
+    model: Box<dyn ContentionModel>,
+    /// Per-worker nominal block costs (model seconds per block).
+    cs: Vec<f64>,
+    /// Wall seconds per model second.
+    time_scale: f64,
+    dynamics: Option<LinkDynamics>,
+    /// Wall-clock origin when no dynamics are attached.
+    epoch: Instant,
+    state: Mutex<BackboneState>,
+    cv: Condvar,
+}
+
+impl Backbone {
+    pub(crate) fn new(
+        spec: &NetModelSpec,
+        cs: Vec<f64>,
+        time_scale: f64,
+        dynamics: Option<LinkDynamics>,
+    ) -> Self {
+        Backbone {
+            model: spec.build(),
+            cs,
+            time_scale,
+            epoch: dynamics.as_ref().map_or_else(Instant::now, |d| d.epoch),
+            dynamics,
+            state: Mutex::new(BackboneState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn model_now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() / self.time_scale
+    }
+
+    fn profile(&self) -> Option<&DynProfile> {
+        self.dynamics.as_ref().map(|d| &*d.profile)
+    }
+
+    /// Advances every lane's remaining work to model time `now` under
+    /// its current share (idempotent: progress between membership
+    /// changes is linear in the trace integral).
+    fn advance_all(&self, st: &mut BackboneState, now: f64) {
+        for l in &mut st.lanes {
+            if now > l.since {
+                if l.share > 0.0 {
+                    let served = l.share
+                        * transfer_nominal_between_opt(self.profile(), l.worker, l.since, now);
+                    l.rem = (l.rem - served).max(0.0);
+                }
+                l.since = now;
+            }
+        }
+    }
+
+    /// Recomputes all shares from the contention model.
+    fn reshare(&self, st: &mut BackboneState) {
+        let lanes: Vec<TransferLane> = st
+            .lanes
+            .iter()
+            .map(|l| TransferLane {
+                worker: l.worker,
+                link_rate: 1.0 / self.cs[l.worker],
+            })
+            .collect();
+        let shares = self.model.shares(&lanes);
+        for (l, s) in st.lanes.iter_mut().zip(shares) {
+            l.share = s;
+        }
+    }
+
+    /// Blocks the calling thread for the shared-wire time of a transfer
+    /// of `base` nominal model seconds (`blocks · c_i`) on `worker`'s
+    /// link: waits for admission (the model's capacity), then sleeps in
+    /// share-projected slices, re-projecting whenever the active set
+    /// changes. Returns the model seconds the transfer occupied the wire
+    /// (≥ `base` under contention).
+    pub(crate) fn transfer(&self, worker: usize, base: f64) -> f64 {
+        if base <= 0.0 {
+            return 0.0;
+        }
+        let mut st = self.state.lock().expect("backbone poisoned");
+        while st.lanes.len() >= self.model.capacity() {
+            st = self.cv.wait(st).expect("backbone poisoned");
+        }
+        let now = self.model_now();
+        let started = now;
+        self.advance_all(&mut st, now);
+        let id = st.next_id;
+        st.next_id += 1;
+        st.lanes.push(Lane {
+            id,
+            worker,
+            rem: base,
+            share: 0.0,
+            since: now,
+        });
+        self.reshare(&mut st);
+        self.cv.notify_all();
+        loop {
+            let lane = *st
+                .lanes
+                .iter()
+                .find(|l| l.id == id)
+                .expect("own lane vanished");
+            if lane.rem <= 1e-12 {
+                st.lanes.retain(|l| l.id != id);
+                let now = self.model_now();
+                self.advance_all(&mut st, now);
+                self.reshare(&mut st);
+                self.cv.notify_all();
+                return now - started;
+            }
+            // Projected model end under the current share; sleep until
+            // then (or until a membership change broadcasts).
+            let end_model = transfer_end_opt(
+                self.profile(),
+                lane.worker,
+                lane.since,
+                lane.rem,
+                lane.share,
+            );
+            let wall_deadline = Duration::from_secs_f64((end_model * self.time_scale).max(0.0));
+            let slept = self.epoch.elapsed();
+            let wait = wall_deadline.saturating_sub(slept);
+            if wait.is_zero() {
+                // Deadline passed while we held the lock: account the
+                // progress and re-check.
+                let now = self.model_now();
+                self.advance_all(&mut st, now);
+                continue;
+            }
+            let (guard, _) = self.cv.wait_timeout(st, wait).expect("backbone poisoned");
+            st = guard;
+            let now = self.model_now();
+            self.advance_all(&mut st, now);
+        }
+    }
+}
+
+/// Master-side event of one star: either a worker message or the
+/// completion of an asynchronous wire transfer (multi-port models run
+/// the wire on helper threads; one-port serves it synchronously and
+/// never emits the wire variants).
+#[derive(Debug)]
+pub enum StarEvent {
+    /// A message from a worker thread.
+    Worker(ToMaster),
+    /// An outbound data transfer finished its wire time and is being
+    /// handed to the worker.
+    WireDone {
+        /// The fragment whose transfer completed.
+        fragment: Fragment,
+        /// Model seconds the transfer occupied the shared wire.
+        wire_secs: f64,
+    },
+    /// An inbound result transfer finished its wire time.
+    InboundDone {
+        /// The retrieved chunk.
+        chunk: ChunkId,
+        /// Its C blocks, row-major.
+        blocks: Vec<Block>,
+        /// Model seconds the transfer occupied the shared wire.
+        wire_secs: f64,
+    },
+}
+
 /// Master-side endpoint of one worker's link.
 pub struct MasterLink {
     /// Per-block transfer cost of this link (seconds).
@@ -67,9 +267,8 @@ pub struct MasterLink {
     pub time_scale: f64,
     /// Worker this link reaches (indexes the dynamic profile).
     pub id: usize,
-    port: Port,
+    backbone: Arc<Backbone>,
     to_worker: Sender<ToWorker>,
-    dynamics: Option<LinkDynamics>,
 }
 
 /// The worker's end of the link has gone away (its thread died).
@@ -77,24 +276,12 @@ pub struct MasterLink {
 pub struct LinkDown;
 
 impl MasterLink {
-    /// Wire seconds (already wall-clock scaled) for `blocks` data blocks
-    /// starting now.
-    fn wire_seconds(&self, blocks: u64) -> f64 {
-        let base = blocks as f64 * self.c;
-        match &self.dynamics {
-            None => base * self.time_scale,
-            Some(d) => {
-                let now = d.epoch.elapsed().as_secs_f64() / self.time_scale;
-                (d.profile.transfer_end(self.id, now, base) - now) * self.time_scale
-            }
-        }
-    }
-
-    /// Sends a data message, holding the port for its transfer time.
-    /// Fails when the worker thread is gone.
+    /// Sends a data message, holding the wire for its transfer time
+    /// (synchronous — the one-port serving path). Fails when the worker
+    /// thread is gone.
     pub fn send_data(&self, msg: ToWorker) -> Result<(), LinkDown> {
         let blocks = msg.data_blocks();
-        self.port.transfer_metered(|| self.wire_seconds(blocks));
+        self.backbone.transfer(self.id, blocks as f64 * self.c);
         self.to_worker.send(msg).map_err(|_| LinkDown)
     }
 
@@ -104,10 +291,16 @@ impl MasterLink {
         self.to_worker.send(msg).map_err(|_| LinkDown)
     }
 
-    /// Charges the port for a worker→master result transfer of `blocks`
+    /// Charges the wire for a worker→master result transfer of `blocks`
     /// (the payload itself arrives on the shared event channel).
     pub fn charge_inbound(&self, blocks: u64) {
-        self.port.transfer_metered(|| self.wire_seconds(blocks));
+        self.backbone.transfer(self.id, blocks as f64 * self.c);
+    }
+
+    /// Handles for asynchronous wire threads (multi-port serving): the
+    /// shared backbone and this link's data channel.
+    pub(crate) fn wire_parts(&self) -> (Arc<Backbone>, Sender<ToWorker>) {
+        (Arc::clone(&self.backbone), self.to_worker.clone())
     }
 }
 
@@ -116,7 +309,7 @@ pub struct WorkerLink {
     /// Worker id, stamped on outgoing events.
     pub id: usize,
     from_master: Receiver<ToWorker>,
-    to_master: Sender<(usize, ToMaster)>,
+    to_master: Sender<(usize, StarEvent)>,
 }
 
 impl WorkerLink {
@@ -129,36 +322,38 @@ impl WorkerLink {
     pub fn send(&self, msg: ToMaster) {
         // The master may already have torn down after an error; a worker
         // finishing late must not panic the whole process.
-        let _ = self.to_master.send((self.id, msg));
+        let _ = self.to_master.send((self.id, StarEvent::Worker(msg)));
     }
 }
 
-/// Builds the full star: one [`MasterLink`] per worker, the matching
-/// [`WorkerLink`]s, and the shared master-side event receiver.
-pub fn build_star(
-    cs: &[f64],
-    time_scale: f64,
-) -> (
+/// The pieces of one built star: master links, worker links, and the
+/// shared master-side event channel (receiver + a sender handle for
+/// wire helper threads).
+pub type Star = (
     Vec<MasterLink>,
     Vec<WorkerLink>,
-    Receiver<(usize, ToMaster)>,
-) {
-    build_star_dyn(cs, time_scale, None)
+    Receiver<(usize, StarEvent)>,
+    Sender<(usize, StarEvent)>,
+);
+
+/// Builds the full star: one [`MasterLink`] per worker, the matching
+/// [`WorkerLink`]s, and the shared master-side event channel (one-port
+/// contention).
+pub fn build_star(cs: &[f64], time_scale: f64) -> Star {
+    build_star_dyn(cs, time_scale, None, &NetModelSpec::OnePort)
 }
 
-/// [`build_star`] with an optional dynamic throttle: links integrate
-/// their wire times over `profile`'s cost traces, with model time
-/// anchored at `epoch`.
+/// [`build_star`] with an optional dynamic throttle and a contention
+/// model: links integrate their wire times over `profile`'s cost traces
+/// with model time anchored at `epoch`, and every transfer is throttled
+/// to the share the model grants it.
 pub(crate) fn build_star_dyn(
     cs: &[f64],
     time_scale: f64,
     dynamics: Option<LinkDynamics>,
-) -> (
-    Vec<MasterLink>,
-    Vec<WorkerLink>,
-    Receiver<(usize, ToMaster)>,
-) {
-    let port = Port::new();
+    netmodel: &NetModelSpec,
+) -> Star {
+    let backbone = Arc::new(Backbone::new(netmodel, cs.to_vec(), time_scale, dynamics));
     let (evt_tx, evt_rx) = unbounded();
     let mut masters = Vec::with_capacity(cs.len());
     let mut workers = Vec::with_capacity(cs.len());
@@ -168,9 +363,8 @@ pub(crate) fn build_star_dyn(
             c,
             time_scale,
             id,
-            port: port.clone(),
+            backbone: Arc::clone(&backbone),
             to_worker: tx,
-            dynamics: dynamics.clone(),
         });
         workers.push(WorkerLink {
             id,
@@ -178,7 +372,7 @@ pub(crate) fn build_star_dyn(
             to_master: evt_tx.clone(),
         });
     }
-    (masters, workers, evt_rx)
+    (masters, workers, evt_rx, evt_tx)
 }
 
 #[cfg(test)]
@@ -188,7 +382,7 @@ mod tests {
 
     #[test]
     fn star_routes_messages_per_worker() {
-        let (masters, workers, evt) = build_star(&[1e-9, 1e-9], 1.0);
+        let (masters, workers, evt, _tx) = build_star(&[1e-9, 1e-9], 1.0);
         masters[0]
             .send_control(ToWorker::Retrieve { chunk: 5 })
             .unwrap();
@@ -198,7 +392,10 @@ mod tests {
         workers[1].send(ToMaster::ChunkComputed { chunk: 5 });
         let (id, msg) = evt.recv().unwrap();
         assert_eq!(id, 1);
-        assert_eq!(msg, ToMaster::ChunkComputed { chunk: 5 });
+        assert!(matches!(
+            msg,
+            StarEvent::Worker(ToMaster::ChunkComputed { chunk: 5 })
+        ));
     }
 
     #[test]
@@ -221,8 +418,78 @@ mod tests {
     }
 
     #[test]
+    fn oneport_backbone_serializes_transfers() {
+        // The Backbone under the one-port spec behaves like the mutex
+        // port: two 30 ms transfers take at least ~60 ms.
+        let bb = Arc::new(Backbone::new(&NetModelSpec::OnePort, vec![0.03], 1.0, None));
+        let start = Instant::now();
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let bb = Arc::clone(&bb);
+                std::thread::spawn(move || bb.transfer(0, 0.03))
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        assert!(start.elapsed().as_secs_f64() >= 0.055);
+    }
+
+    #[test]
+    fn multiport_backbone_overlaps_disjoint_links() {
+        // Two ports, two links: two 40 ms transfers run concurrently —
+        // well under the 80 ms a serialized wire would take.
+        let bb = Arc::new(Backbone::new(
+            &NetModelSpec::BoundedMultiPort {
+                k: 2,
+                backbone: None,
+            },
+            vec![0.04, 0.04],
+            1.0,
+            None,
+        ));
+        let start = Instant::now();
+        let hs: Vec<_> = (0..2)
+            .map(|w| {
+                let bb = Arc::clone(&bb);
+                std::thread::spawn(move || bb.transfer(w, 0.04))
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let took = start.elapsed().as_secs_f64();
+        assert!(took < 0.07, "transfers serialized: {took}");
+    }
+
+    #[test]
+    fn fairshare_backbone_halves_concurrent_rates() {
+        // Backbone of half the aggregate link rate: two concurrent 30 ms
+        // transfers each run at share 0.5 and take ~60 ms.
+        let rate = 1.0 / 0.03; // blocks per second of each link
+        let bb = Arc::new(Backbone::new(
+            &NetModelSpec::FairShare { backbone: rate },
+            vec![0.03, 0.03],
+            1.0,
+            None,
+        ));
+        let start = Instant::now();
+        let hs: Vec<_> = (0..2)
+            .map(|w| {
+                let bb = Arc::clone(&bb);
+                std::thread::spawn(move || bb.transfer(w, 0.03))
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let took = start.elapsed().as_secs_f64();
+        assert!(took >= 0.055, "backbone not applied: {took}");
+    }
+
+    #[test]
     fn control_messages_are_instant() {
-        let (masters, workers, _evt) = build_star(&[10.0], 1.0); // huge c
+        let (masters, workers, _evt, _tx) = build_star(&[10.0], 1.0); // huge c
         let start = Instant::now();
         masters[0].send_control(ToWorker::Shutdown).unwrap();
         assert!(start.elapsed().as_secs_f64() < 0.05);
@@ -243,7 +510,8 @@ mod tests {
             profile: Arc::new(profile),
             epoch: Instant::now(),
         };
-        let (masters, _workers, _evt) = build_star_dyn(&[0.01], 1.0, Some(dynamics));
+        let (masters, _workers, _evt, _tx) =
+            build_star_dyn(&[0.01], 1.0, Some(dynamics), &NetModelSpec::OnePort);
         let start = Instant::now();
         masters[0]
             .send_data(ToWorker::Retrieve { chunk: 0 })

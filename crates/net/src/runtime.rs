@@ -14,13 +14,14 @@ use std::time::{Duration, Instant};
 
 use stargemm_core::stream::GeometryAccess;
 use stargemm_linalg::BlockMatrix;
+use stargemm_netmodel::NetModelSpec;
 use stargemm_platform::dynamic::{DynProfile, LifecycleEvent};
 use stargemm_platform::Platform;
 use stargemm_sim::{
     Action, ChunkDescr, ChunkId, CtxMirror, Fragment, MasterPolicy, MatKind, RunStats, SimEvent,
 };
 
-use crate::link::{build_star_dyn, LinkDynamics, MasterLink};
+use crate::link::{build_star_dyn, LinkDynamics, MasterLink, StarEvent};
 use crate::wire::{ToMaster, ToWorker};
 
 /// Runtime tuning knobs.
@@ -39,6 +40,12 @@ pub struct NetOptions {
     /// Lifecycle times are in *model* seconds (wall = model ×
     /// `time_scale`). `None` = the static platform of the paper.
     pub profile: Option<DynProfile>,
+    /// Network-contention model of the star. One-port (the default)
+    /// serves transfers synchronously on the master thread; concurrent
+    /// models (`multiport`, `fairshare`) run each wire transfer on a
+    /// helper thread throttled by the shared `link::Backbone`
+    /// to the same shares the simulator computes.
+    pub netmodel: NetModelSpec,
 }
 
 impl Default for NetOptions {
@@ -48,6 +55,7 @@ impl Default for NetOptions {
             idle_timeout: Duration::from_secs(30),
             inject_fault: None,
             profile: None,
+            netmodel: NetModelSpec::OnePort,
         }
     }
 }
@@ -228,6 +236,100 @@ fn apply_worker_event<P: MasterPolicy>(
     Ok(())
 }
 
+/// Closes out a run shared by both drivers: every live chunk must have
+/// been retrieved, and the per-worker mirror is folded into [`RunStats`].
+fn finish_stats(
+    mirror: &CtxMirror,
+    start: &Instant,
+    port_busy: f64,
+    chunks_retrieved: u64,
+    descrs: &HashMap<ChunkId, (usize, ChunkDescr)>,
+    lost: &HashSet<ChunkId>,
+    policy_name: &str,
+) -> Result<RunStats, NetError> {
+    let live_chunks = descrs.keys().filter(|id| !lost.contains(id)).count() as u64;
+    if chunks_retrieved != live_chunks {
+        return Err(NetError::Protocol(format!(
+            "finished with {chunks_retrieved} of {live_chunks} live chunks retrieved"
+        )));
+    }
+    let per_worker = mirror.stats();
+    Ok(RunStats {
+        makespan: start.elapsed().as_secs_f64(),
+        port_busy,
+        blocks_to_workers: per_worker.iter().map(|w| w.blocks_rx).sum(),
+        blocks_to_master: per_worker.iter().map(|w| w.blocks_tx).sum(),
+        total_updates: per_worker.iter().map(|w| w.updates).sum(),
+        chunks: chunks_retrieved,
+        per_worker,
+        jobs: Vec::new(),
+        policy: policy_name.to_string(),
+    })
+}
+
+/// Shared `Action::Send` guards of both drivers: the target worker
+/// exists and is up, the chunk is alive, and the blocks fit the
+/// worker's memory. `reserved_in_flight` covers blocks still on the
+/// wire (0 for the synchronous driver, whose deliveries are accounted
+/// immediately).
+fn validate_send(
+    platform: &Platform,
+    workers: usize,
+    dyn_state: &DynState,
+    mirror: &CtxMirror,
+    worker: usize,
+    fragment: &Fragment,
+    reserved_in_flight: u64,
+) -> Result<(), NetError> {
+    if worker >= workers {
+        return Err(NetError::Protocol(format!("unknown worker {worker}")));
+    }
+    if dyn_state.down[worker] {
+        return Err(NetError::Protocol(format!(
+            "send to downed worker {worker}"
+        )));
+    }
+    if dyn_state.lost.contains(&fragment.chunk) {
+        return Err(NetError::Protocol(format!(
+            "fragment for chunk {}, lost in a worker crash",
+            fragment.chunk
+        )));
+    }
+    let capacity = platform.worker(worker).m as u64;
+    let attempted = mirror.occupancy(worker) + reserved_in_flight + fragment.blocks;
+    if attempted > capacity {
+        return Err(NetError::MemoryViolation {
+            worker,
+            attempted,
+            capacity,
+        });
+    }
+    Ok(())
+}
+
+/// Shared `Action::Retrieve` guards of both drivers.
+fn validate_retrieve(
+    workers: usize,
+    dyn_state: &DynState,
+    worker: usize,
+    chunk: ChunkId,
+) -> Result<(), NetError> {
+    if worker >= workers {
+        return Err(NetError::Protocol(format!("unknown worker {worker}")));
+    }
+    if dyn_state.down[worker] {
+        return Err(NetError::Protocol(format!(
+            "retrieve from downed worker {worker}"
+        )));
+    }
+    if dyn_state.lost.contains(&chunk) {
+        return Err(NetError::Protocol(format!(
+            "retrieve of chunk {chunk}, lost in a worker crash"
+        )));
+    }
+    Ok(())
+}
+
 /// The threaded runtime for one platform.
 pub struct NetRuntime {
     platform: Platform,
@@ -287,13 +389,17 @@ impl NetRuntime {
             }
         }
 
+        if let Err(e) = self.opts.netmodel.validate() {
+            return Err(NetError::Protocol(format!("invalid net model: {e}")));
+        }
         let cs: Vec<f64> = self.platform.workers().iter().map(|s| s.c).collect();
         let epoch = Instant::now();
         let dynamics = self.opts.profile.as_ref().map(|p| LinkDynamics {
             profile: Arc::new(p.clone()),
             epoch,
         });
-        let (masters, worker_links, events) = build_star_dyn(&cs, self.opts.time_scale, dynamics);
+        let (masters, worker_links, events, evt_tx) =
+            build_star_dyn(&cs, self.opts.time_scale, dynamics, &self.opts.netmodel);
         let handles: Vec<_> = worker_links
             .into_iter()
             .map(|wl| {
@@ -308,7 +414,15 @@ impl NetRuntime {
             })
             .collect();
 
-        let result = self.drive(policy, a, b, c, &masters, &events, epoch);
+        let result = if self.opts.netmodel.capacity() > 1 {
+            self.drive_concurrent(policy, a, b, c, &masters, &events, &evt_tx, epoch)
+        } else {
+            // Drop the master-side sender so the channel disconnects as
+            // soon as every worker thread is gone — the synchronous
+            // driver relies on that for its fast dead-star detection.
+            drop(evt_tx);
+            self.drive(policy, a, b, c, &masters, &events, epoch)
+        };
 
         // Tear down regardless of outcome.
         for m in &masters {
@@ -340,7 +454,7 @@ impl NetRuntime {
         b: &BlockMatrix,
         c: &mut BlockMatrix,
         masters: &[MasterLink],
-        events: &crossbeam::channel::Receiver<(usize, ToMaster)>,
+        events: &crossbeam::channel::Receiver<(usize, StarEvent)>,
         start: Instant,
     ) -> Result<RunStats, NetError> {
         let mut mirror = CtxMirror::new(&self.platform);
@@ -378,29 +492,15 @@ impl NetRuntime {
                     fragment,
                     new_chunk,
                 } => {
-                    if worker >= masters.len() {
-                        return Err(NetError::Protocol(format!("unknown worker {worker}")));
-                    }
-                    if dyn_state.down[worker] {
-                        return Err(NetError::Protocol(format!(
-                            "send to downed worker {worker}"
-                        )));
-                    }
-                    if dyn_state.lost.contains(&fragment.chunk) {
-                        return Err(NetError::Protocol(format!(
-                            "fragment for chunk {}, lost in a worker crash",
-                            fragment.chunk
-                        )));
-                    }
-                    let cap = self.platform.worker(worker).m as u64;
-                    let attempted = mirror.occupancy(worker) + fragment.blocks;
-                    if attempted > cap {
-                        return Err(NetError::MemoryViolation {
-                            worker,
-                            attempted,
-                            capacity: cap,
-                        });
-                    }
+                    validate_send(
+                        &self.platform,
+                        masters.len(),
+                        &dyn_state,
+                        &mirror,
+                        worker,
+                        &fragment,
+                        0,
+                    )?;
                     if let Some(d) = new_chunk {
                         descrs.insert(d.id, (worker, d));
                         mirror.on_chunk_assigned(worker);
@@ -421,16 +521,7 @@ impl NetRuntime {
                     policy.on_event(&ev, &mirror.ctx());
                 }
                 Action::Retrieve { worker, chunk } => {
-                    if dyn_state.down[worker] {
-                        return Err(NetError::Protocol(format!(
-                            "retrieve from downed worker {worker}"
-                        )));
-                    }
-                    if dyn_state.lost.contains(&chunk) {
-                        return Err(NetError::Protocol(format!(
-                            "retrieve of chunk {chunk}, lost in a worker crash"
-                        )));
-                    }
+                    validate_retrieve(masters.len(), &dyn_state, worker, chunk)?;
                     masters[worker]
                         .send_control(ToWorker::Retrieve { chunk })
                         .map_err(|_| {
@@ -441,9 +532,12 @@ impl NetRuntime {
                     // applied after the retrieval completes — the
                     // blocking receive models the master's busy port.)
                     loop {
-                        let (wid, msg) = events
+                        let (wid, ev) = events
                             .recv_timeout(self.opts.idle_timeout)
                             .map_err(|_| NetError::Timeout)?;
+                        let StarEvent::Worker(msg) = ev else {
+                            unreachable!("wire events on the synchronous one-port path");
+                        };
                         if let ToMaster::Result { chunk: got, blocks } = msg {
                             if dyn_state.lost.contains(&got) {
                                 continue; // stale result of a dead chunk
@@ -508,7 +602,10 @@ impl NetRuntime {
                         }
                         use crossbeam::channel::RecvTimeoutError;
                         match events.recv_timeout(budget) {
-                            Ok((wid, msg)) => {
+                            Ok((wid, ev)) => {
+                                let StarEvent::Worker(msg) = ev else {
+                                    unreachable!("wire events on the synchronous one-port path");
+                                };
                                 apply_worker_event(
                                     &descrs,
                                     &dyn_state.lost,
@@ -546,28 +643,353 @@ impl NetRuntime {
             }
         }
 
-        let live_chunks = descrs
-            .keys()
-            .filter(|id| !dyn_state.lost.contains(id))
-            .count() as u64;
-        if chunks_retrieved != live_chunks {
-            return Err(NetError::Protocol(format!(
-                "finished with {chunks_retrieved} of {live_chunks} live chunks retrieved"
-            )));
+        finish_stats(
+            &mirror,
+            &start,
+            port_busy,
+            chunks_retrieved,
+            &descrs,
+            &dyn_state.lost,
+            policy.name(),
+        )
+    }
+
+    /// The concurrent-wire driver for multi-port / fair-share contention
+    /// models: up to `capacity` transfers are in flight at once, each
+    /// served by a helper thread sleeping inside the shared
+    /// `link::Backbone` (which throttles it to the same share
+    /// the simulator computes), so the master keeps issuing work while
+    /// data moves — mirroring the simulator's admission protocol.
+    ///
+    /// Delivery-side bookkeeping happens when a wire completion
+    /// ([`StarEvent::WireDone`]/[`StarEvent::InboundDone`]) arrives, not
+    /// at issue: memory occupancy counts in-flight blocks as reserved
+    /// exactly like the simulator's admission control.
+    ///
+    /// Unlike the synchronous driver, this one cannot detect a dead star
+    /// through channel disconnection (the master and its wire helpers
+    /// necessarily hold sender handles), so a fully-dead worker set
+    /// degrades to the idle timeout instead of an immediate
+    /// `WorkerFailure`.
+    ///
+    /// Each transfer occupies one short-lived helper thread for its wire
+    /// time. For bounded models the count is capped at any instant by
+    /// `k`; under fair-share (unlimited admission) it is bounded only by
+    /// what per-worker memory admission lets the policy put in flight —
+    /// small on this runtime's platforms, but a deliberately permissive
+    /// policy on huge-memory workers could spawn hundreds. A failed run
+    /// may leave in-flight helpers sleeping out their projected wire
+    /// time after `run` returns; they hold only channel handles and the
+    /// backbone `Arc`, and their sends are ignored once the receiver is
+    /// gone.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_concurrent<P: MasterPolicy + GeometryAccess>(
+        &self,
+        policy: &mut P,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        c: &mut BlockMatrix,
+        masters: &[MasterLink],
+        events: &crossbeam::channel::Receiver<(usize, StarEvent)>,
+        evt_tx: &crossbeam::channel::Sender<(usize, StarEvent)>,
+        start: Instant,
+    ) -> Result<RunStats, NetError> {
+        let capacity = self.opts.netmodel.capacity();
+        let mut mirror = CtxMirror::new(&self.platform);
+        if let Some(p) = &self.opts.profile {
+            for w in 0..self.platform.len() {
+                if !p.is_up(w, 0.0) {
+                    mirror.on_crash(w);
+                }
+            }
+        }
+        let mut descrs: HashMap<ChunkId, (usize, ChunkDescr)> = HashMap::new();
+        let mut retrieved: HashSet<ChunkId> = HashSet::new();
+        let mut dyn_state = DynState::new(self.opts.profile.as_ref(), self.platform.len());
+        let mut port_busy = 0.0f64;
+        let mut chunks_retrieved = 0u64;
+        // Wire lanes in use: outbound sends plus inbound retrievals
+        // whose wire transfer has started.
+        let mut in_flight = 0usize;
+        // Blocks reserved by in-flight sends, per worker (admission).
+        let mut inflight_blocks: Vec<u64> = vec![0; self.platform.len()];
+        // Retrievals awaiting their result / inbound wire time:
+        // chunk → (worker, wire thread already spawned).
+        let mut pending_retrievals: HashMap<ChunkId, (usize, bool)> = HashMap::new();
+        // The simulator's BlockedRetrieve: a retrieval was issued and its
+        // result has not arrived yet, so the master only consumes events
+        // (in-flight transfers keep completing meanwhile).
+        let mut blocked_retrieve: Option<ChunkId> = None;
+        let model_now = |start: &Instant| start.elapsed().as_secs_f64() / self.opts.time_scale;
+
+        let spawn_wire = |name: String, body: Box<dyn FnOnce() + Send>| {
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(body)
+                .expect("spawn wire thread");
+        };
+
+        'outer: loop {
+            let wall = start.elapsed().as_secs_f64();
+            dyn_state.pump(
+                model_now(&start),
+                wall,
+                masters,
+                &descrs,
+                &retrieved,
+                &mut mirror,
+                policy,
+            )?;
+            // Drop retrievals whose chunk a crash just destroyed before
+            // the worker could reply (no Result will ever arrive; they
+            // never held a lane — retrievals already on the wire complete
+            // via InboundDone and release their lane there) and release
+            // the master if it was parked on one of them.
+            pending_retrievals.retain(|chunk, &mut (_, wire_started)| {
+                wire_started || !dyn_state.lost.contains(chunk)
+            });
+            if blocked_retrieve.is_some_and(|chunk| dyn_state.lost.contains(&chunk)) {
+                blocked_retrieve = None;
+            }
+            // The master acts only when it is not parked on a pending
+            // retrieval (the simulator's BlockedRetrieve) and the wire
+            // has a free lane.
+            let action = if blocked_retrieve.is_some() || in_flight >= capacity {
+                Action::Wait
+            } else {
+                mirror.set_now(start.elapsed().as_secs_f64());
+                policy.next_action(&mirror.ctx())
+            };
+            match action {
+                Action::Send {
+                    worker,
+                    fragment,
+                    new_chunk,
+                } => {
+                    validate_send(
+                        &self.platform,
+                        masters.len(),
+                        &dyn_state,
+                        &mirror,
+                        worker,
+                        &fragment,
+                        inflight_blocks[worker],
+                    )?;
+                    if let Some(d) = new_chunk {
+                        descrs.insert(d.id, (worker, d));
+                        mirror.on_chunk_assigned(worker);
+                    }
+                    let msg = self.materialize(policy, &fragment, new_chunk, a, b, c)?;
+                    let msg = ToWorker::decode(msg.encode());
+                    in_flight += 1;
+                    inflight_blocks[worker] += fragment.blocks;
+                    let (backbone, tx) = masters[worker].wire_parts();
+                    let nominal = fragment.blocks as f64 * masters[worker].c;
+                    let evt = evt_tx.clone();
+                    spawn_wire(
+                        format!("stargemm-wire-{worker}"),
+                        Box::new(move || {
+                            let wire_secs = backbone.transfer(worker, nominal);
+                            // Enqueue the completion *before* handing the
+                            // payload over, so the master's SendDone
+                            // bookkeeping always precedes any worker
+                            // event the payload triggers (the simulator's
+                            // ordering).
+                            let _ = evt.send((
+                                worker,
+                                StarEvent::WireDone {
+                                    fragment,
+                                    wire_secs,
+                                },
+                            ));
+                            let _ = tx.send(msg);
+                        }),
+                    );
+                }
+                Action::Retrieve { worker, chunk } => {
+                    validate_retrieve(masters.len(), &dyn_state, worker, chunk)?;
+                    if retrieved.contains(&chunk) || pending_retrievals.contains_key(&chunk) {
+                        return Err(NetError::Protocol(format!("chunk {chunk} retrieved twice")));
+                    }
+                    masters[worker]
+                        .send_control(ToWorker::Retrieve { chunk })
+                        .map_err(|_| {
+                            NetError::WorkerFailure(format!("worker {worker} link down"))
+                        })?;
+                    // Park like the simulator's BlockedRetrieve; the lane
+                    // is occupied only once the result starts its wire
+                    // transfer (a computed chunk replies immediately, so
+                    // the parked window then matches the simulator's
+                    // instant retrieval start).
+                    pending_retrievals.insert(chunk, (worker, false));
+                    blocked_retrieve = Some(chunk);
+                }
+                Action::Wait => {
+                    // Receive one event, waking for lifecycle boundaries.
+                    let idle_start = Instant::now();
+                    loop {
+                        if dyn_state.due(model_now(&start)) {
+                            continue 'outer; // pumped at the top
+                        }
+                        let Some(mut budget) = self
+                            .opts
+                            .idle_timeout
+                            .checked_sub(idle_start.elapsed())
+                            .filter(|d| !d.is_zero())
+                        else {
+                            return Err(NetError::Timeout);
+                        };
+                        if let Some(next) = dyn_state.pending.front() {
+                            let wall_until = (next.time - model_now(&start)).max(0.0)
+                                * self.opts.time_scale
+                                + 1e-3;
+                            budget = budget.min(Duration::from_secs_f64(wall_until));
+                        }
+                        use crossbeam::channel::RecvTimeoutError;
+                        let (wid, ev) = match events.recv_timeout(budget) {
+                            Ok(pair) => pair,
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => {
+                                return Err(NetError::WorkerFailure(
+                                    "all worker threads gone while waiting".into(),
+                                ));
+                            }
+                        };
+                        match ev {
+                            StarEvent::Worker(ToMaster::Result { chunk, blocks }) => {
+                                if dyn_state.lost.contains(&chunk) {
+                                    // Stale result of a dead chunk: no
+                                    // lane was occupied yet, just forget
+                                    // the request (and unpark the master
+                                    // if it was waiting on it).
+                                    pending_retrievals.remove(&chunk);
+                                    if blocked_retrieve == Some(chunk) {
+                                        blocked_retrieve = None;
+                                    }
+                                    continue;
+                                }
+                                let Some(&(worker, _)) = pending_retrievals.get(&chunk) else {
+                                    return Err(NetError::Protocol(format!(
+                                        "unsolicited result for chunk {chunk}"
+                                    )));
+                                };
+                                if wid != worker {
+                                    return Err(NetError::Protocol(format!(
+                                        "result for chunk {chunk} from worker {wid}, \
+                                         expected worker {worker}"
+                                    )));
+                                }
+                                // The inbound transfer occupies a lane
+                                // from here; the master unparks.
+                                pending_retrievals.insert(chunk, (worker, true));
+                                in_flight += 1;
+                                if blocked_retrieve == Some(chunk) {
+                                    blocked_retrieve = None;
+                                }
+                                // Inbound wire time on a helper thread;
+                                // the payload lands with InboundDone.
+                                let (backbone, _) = masters[worker].wire_parts();
+                                let nominal = blocks.len() as f64 * masters[worker].c;
+                                let evt = evt_tx.clone();
+                                spawn_wire(
+                                    format!("stargemm-wire-in-{worker}"),
+                                    Box::new(move || {
+                                        let wire_secs = backbone.transfer(worker, nominal);
+                                        let _ = evt.send((
+                                            worker,
+                                            StarEvent::InboundDone {
+                                                chunk,
+                                                blocks,
+                                                wire_secs,
+                                            },
+                                        ));
+                                    }),
+                                );
+                            }
+                            StarEvent::Worker(msg) => {
+                                apply_worker_event(
+                                    &descrs,
+                                    &dyn_state.lost,
+                                    &msg,
+                                    wid,
+                                    &mut mirror,
+                                    policy,
+                                    start.elapsed().as_secs_f64(),
+                                )?;
+                            }
+                            StarEvent::WireDone {
+                                fragment,
+                                wire_secs,
+                            } => {
+                                in_flight -= 1;
+                                inflight_blocks[wid] -= fragment.blocks;
+                                // Actual shared-wire occupancy (≥ the
+                                // nominal under contention) — the same
+                                // accounting the simulator reports.
+                                port_busy += wire_secs * self.opts.time_scale;
+                                // Blocks landing on a downed worker (or a
+                                // dead chunk) are dropped by the worker;
+                                // mirror occupancy follows the simulator.
+                                if !dyn_state.down[wid] && !dyn_state.lost.contains(&fragment.chunk)
+                                {
+                                    mirror.on_delivered(wid, fragment.blocks);
+                                }
+                                mirror.set_now(start.elapsed().as_secs_f64());
+                                policy.on_event(
+                                    &SimEvent::SendDone {
+                                        worker: wid,
+                                        fragment,
+                                    },
+                                    &mirror.ctx(),
+                                );
+                            }
+                            StarEvent::InboundDone {
+                                chunk,
+                                blocks,
+                                wire_secs,
+                            } => {
+                                in_flight -= 1;
+                                pending_retrievals.remove(&chunk);
+                                port_busy += wire_secs * self.opts.time_scale;
+                                if dyn_state.lost.contains(&chunk) {
+                                    continue; // crashed mid-wire
+                                }
+                                let geom = policy
+                                    .chunk_geom(chunk)
+                                    .ok_or(NetError::UnknownChunk(chunk))?;
+                                c.store_chunk(geom.i0, geom.j0, geom.h, geom.w, blocks);
+                                mirror.set_now(start.elapsed().as_secs_f64());
+                                mirror.on_retrieved(wid, (geom.h * geom.w) as u64);
+                                chunks_retrieved += 1;
+                                retrieved.insert(chunk);
+                                policy.on_event(
+                                    &SimEvent::RetrieveDone { worker: wid, chunk },
+                                    &mirror.ctx(),
+                                );
+                            }
+                        }
+                        break;
+                    }
+                }
+                Action::CompleteJob { job } => {
+                    return Err(NetError::Protocol(format!(
+                        "job streams are not supported by the threaded runtime \
+                         (CompleteJob for job {job})"
+                    )));
+                }
+                Action::Finished => break,
+            }
         }
 
-        let per_worker = mirror.stats();
-        Ok(RunStats {
-            makespan: start.elapsed().as_secs_f64(),
+        finish_stats(
+            &mirror,
+            &start,
             port_busy,
-            blocks_to_workers: per_worker.iter().map(|w| w.blocks_rx).sum(),
-            blocks_to_master: per_worker.iter().map(|w| w.blocks_tx).sum(),
-            total_updates: per_worker.iter().map(|w| w.updates).sum(),
-            chunks: chunks_retrieved,
-            per_worker,
-            jobs: Vec::new(),
-            policy: policy.name().to_string(),
-        })
+            chunks_retrieved,
+            &descrs,
+            &dyn_state.lost,
+            policy.name(),
+        )
     }
 
     /// Slices the real matrices into the fragment's payload.
@@ -750,6 +1172,53 @@ mod tests {
             jittered > flat * 2.0,
             "trace throttle not applied: {flat} vs {jittered}"
         );
+    }
+
+    #[test]
+    fn multiport_runtime_produces_the_exact_product() {
+        // The concurrent-wire driver (k = 2) computes the same product,
+        // moving every block through the shared backbone.
+        let job = Job::new(6, 5, 8, 4);
+        let platform = small_platform();
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+        let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+        let c0 = BlockMatrix::random(job.r, job.s, job.q, &mut rng);
+        let mut c = c0.clone();
+        let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
+        let rt = NetRuntime::new(platform).with_options(NetOptions {
+            netmodel: NetModelSpec::BoundedMultiPort {
+                k: 2,
+                backbone: None,
+            },
+            ..fast_opts()
+        });
+        let stats = rt.run(&mut policy, &a, &b, &mut c).unwrap();
+        assert_eq!(stats.total_updates, job.total_updates());
+        let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+        assert!(report.passed(), "{report:?}");
+    }
+
+    #[test]
+    fn fairshare_runtime_produces_the_exact_product() {
+        let job = Job::new(4, 4, 6, 4);
+        let platform = small_platform();
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+        let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+        let c0 = BlockMatrix::zeros(job.r, job.s, job.q);
+        let mut c = c0.clone();
+        let mut policy = build_policy(&platform, &job, Algorithm::Oddoml).unwrap();
+        // A backbone below the aggregate link rate so sharing really
+        // kicks in (links are 1e-4/2e-4 s per block ⇒ 15k blocks/s).
+        let rt = NetRuntime::new(platform).with_options(NetOptions {
+            netmodel: NetModelSpec::FairShare { backbone: 8_000.0 },
+            ..fast_opts()
+        });
+        let stats = rt.run(&mut policy, &a, &b, &mut c).unwrap();
+        assert_eq!(stats.total_updates, job.total_updates());
+        let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+        assert!(report.passed(), "{report:?}");
     }
 
     #[test]

@@ -198,13 +198,22 @@ fn reply_result(chunks: &mut HashMap<ChunkId, WorkerChunk>, id: ChunkId, link: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::link::build_star;
+    use crate::link::{build_star, StarEvent};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use stargemm_linalg::gemm::gemm_naive;
 
     fn blocks(n: usize, q: usize, rng: &mut StdRng) -> Vec<Block> {
         (0..n).map(|_| Block::random(q, rng)).collect()
+    }
+
+    /// Unwraps the worker message of a star event (the tests drive the
+    /// links directly, so no wire events occur).
+    fn worker_msg(ev: StarEvent) -> ToMaster {
+        match ev {
+            StarEvent::Worker(msg) => msg,
+            other => panic!("unexpected wire event {other:?}"),
+        }
     }
 
     /// Drives a lone worker through a 2×2-chunk, 3-step job and checks
@@ -227,7 +236,7 @@ mod tests {
         let a_frags: Vec<Vec<Block>> = (0..steps).map(|_| blocks(h, q, &mut rng)).collect();
         let b_frags: Vec<Vec<Block>> = (0..steps).map(|_| blocks(w, q, &mut rng)).collect();
 
-        let (masters, mut workers, evt) = build_star(&[1e-9], 1.0);
+        let (masters, mut workers, evt, _tx) = build_star(&[1e-9], 1.0);
         let wl = workers.remove(0);
         let handle = std::thread::spawn(move || worker_main(wl));
 
@@ -264,7 +273,7 @@ mod tests {
         let mut step_dones = 0;
         let mut computed = 0;
         for _ in 0..(steps as usize + 1 + 1) {
-            match evt.recv().unwrap().1 {
+            match worker_msg(evt.recv().unwrap().1) {
                 ToMaster::StepDone { .. } => step_dones += 1,
                 ToMaster::ChunkComputed { .. } => computed += 1,
                 ToMaster::Result { blocks, .. } => {
@@ -313,7 +322,7 @@ mod tests {
             tail: None,
         };
         let mut rng = StdRng::seed_from_u64(2);
-        let (masters, mut workers, evt) = build_star(&[1e-9], 1.0);
+        let (masters, mut workers, evt, _tx) = build_star(&[1e-9], 1.0);
         let wl = workers.remove(0);
         let handle = std::thread::spawn(move || worker_main(wl));
 
@@ -346,7 +355,7 @@ mod tests {
 
         // Expect StepDone, ChunkComputed, then the deferred Result.
         let kinds: Vec<u8> = (0..3)
-            .map(|_| match evt.recv().unwrap().1 {
+            .map(|_| match worker_msg(evt.recv().unwrap().1) {
                 ToMaster::StepDone { .. } => 0,
                 ToMaster::ChunkComputed { .. } => 1,
                 ToMaster::Result { .. } => 2,

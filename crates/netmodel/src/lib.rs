@@ -1,0 +1,589 @@
+//! Pluggable network-contention models for the star platform.
+//!
+//! The paper hard-wires the **one-port** assumption: the master
+//! serializes all of its communications, so at any instant at most one
+//! transfer occupies the wire at full link speed. This crate makes the
+//! contention model a first-class, swappable component (in the spirit of
+//! dslab's throughput-sharing models): the execution engines describe
+//! the set of *active transfers* and a [`ContentionModel`] answers two
+//! questions —
+//!
+//! 1. **admission** — how many transfers may be in flight at once
+//!    ([`ContentionModel::capacity`]);
+//! 2. **sharing** — what fraction of its own link bandwidth each active
+//!    transfer progresses at ([`ContentionModel::shares`]).
+//!
+//! Shares are recomputed whenever the active set changes (a transfer
+//! starts or finishes); between those instants they are constant, so the
+//! engines can integrate transfer progress in closed form — including
+//! over dynamic `c_scale` cost traces, which compose multiplicatively on
+//! top of the share.
+//!
+//! Three models are provided:
+//!
+//! * [`OnePort`] — the paper's model: one transfer at a time, full link
+//!   speed. The degenerate case every other model must generalize.
+//! * [`BoundedMultiPort`] — the master drives up to `k` simultaneous
+//!   transfers; each is capped by its own link and all of them together
+//!   by an aggregate backbone bandwidth.
+//! * [`FairShare`] — no admission limit; all active transfers max-min
+//!   fair-share a finite backbone, each still capped by its own link.
+//!
+//! All sharing goes through one deterministic **progressive-filling**
+//! max-min allocation ([`maxmin_shares`]): rates rise uniformly until a
+//! constraint (a link shared by transfers to the same worker, or the
+//! backbone) saturates, freezing its transfers. With a single active
+//! transfer and no binding backbone the share is exactly `1.0` — bitwise,
+//! not approximately — which is what lets `BoundedMultiPort { k: 1,
+//! backbone: ∞ }` reproduce [`OnePort`] byte-for-byte.
+//!
+//! [`NetModelSpec`] is the serializable/parsable configuration form used
+//! by platform files (`@netmodel …` directive), CLIs and sweep grids;
+//! [`NetModelSpec::build`] instantiates the trait object.
+
+use std::fmt;
+
+use serde::json::Value;
+use serde::Serialize;
+
+/// Instantaneous description of one active transfer, as seen by a
+/// contention model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferLane {
+    /// Worker whose link the transfer occupies (both directions contend
+    /// for the same star edge).
+    pub worker: usize,
+    /// Nominal capacity of that link in blocks per second (`1 / c_i`).
+    pub link_rate: f64,
+}
+
+/// A network-contention model: admission capacity plus bandwidth shares
+/// for the active transfer set.
+pub trait ContentionModel: Send + Sync {
+    /// Human-readable model name (reports, traces).
+    fn name(&self) -> &'static str;
+
+    /// Maximum number of simultaneously active transfers the master may
+    /// drive (`usize::MAX` = unlimited).
+    fn capacity(&self) -> usize;
+
+    /// The share (fraction of its *own* link bandwidth, in `(0, 1]`)
+    /// granted to each active transfer, index-aligned with `active`.
+    ///
+    /// Invariants every model must uphold: transfers on the same worker
+    /// link never sum past that link's capacity, and — when the model has
+    /// a backbone — allocated rates never sum past it.
+    fn shares(&self, active: &[TransferLane]) -> Vec<f64>;
+}
+
+/// Deterministic progressive-filling max-min allocation.
+///
+/// Every lane's rate rises uniformly from zero; when a constraint
+/// saturates — a per-worker link (capacity `link_rate`, shared by every
+/// lane addressing that worker) or the aggregate `backbone` — its lanes
+/// freeze at their current rate. Returns per-lane *shares*
+/// (`rate / link_rate`).
+///
+/// With one lane per link and a non-binding backbone every share is
+/// exactly `1.0`.
+pub fn maxmin_shares(active: &[TransferLane], backbone: f64) -> Vec<f64> {
+    let n = active.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Lanes to the same worker share one physical link.
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut backbone_left = backbone;
+    let link_used = |rates: &[f64], worker: usize| -> f64 {
+        active
+            .iter()
+            .zip(rates)
+            .filter(|(l, _)| l.worker == worker)
+            .map(|(_, &r)| r)
+            .sum()
+    };
+    loop {
+        let unfrozen = frozen.iter().filter(|f| !**f).count();
+        if unfrozen == 0 {
+            break;
+        }
+        // Headroom per constraint, divided by the unfrozen lanes it
+        // covers: the uniform raise is the smallest such quotient.
+        let mut delta = if backbone_left.is_finite() {
+            backbone_left / unfrozen as f64
+        } else {
+            f64::INFINITY
+        };
+        for (i, lane) in active.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let used = link_used(&rates, lane.worker);
+            let link_unfrozen = active
+                .iter()
+                .enumerate()
+                .filter(|(j, l)| l.worker == lane.worker && !frozen[*j])
+                .count();
+            delta = delta.min((lane.link_rate - used) / link_unfrozen as f64);
+        }
+        if delta.is_nan() || delta <= 0.0 {
+            // A constraint is exactly saturated (or the backbone is 0):
+            // freeze everything still active at its current rate.
+            break;
+        }
+        for i in 0..n {
+            if !frozen[i] {
+                rates[i] += delta;
+                if backbone_left.is_finite() {
+                    backbone_left -= delta;
+                }
+            }
+        }
+        // Freeze lanes whose link is now saturated. The backbone
+        // saturating ends the allocation outright.
+        for (i, lane) in active.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            if link_used(&rates, lane.worker) >= lane.link_rate * (1.0 - 1e-12) {
+                frozen[i] = true;
+            }
+        }
+        if backbone_left.is_finite() && backbone_left <= 0.0 {
+            break;
+        }
+    }
+    active
+        .iter()
+        .zip(&rates)
+        .map(|(l, &r)| {
+            // A single unconstrained lane must come out at exactly 1.0:
+            // its rate accumulated exactly link_rate (one raise of
+            // link_rate/1), and link_rate / link_rate == 1.0 bitwise.
+            (r / l.link_rate).min(1.0)
+        })
+        .collect()
+}
+
+/// The paper's one-port model: one transfer at a time, full link speed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OnePort;
+
+impl ContentionModel for OnePort {
+    fn name(&self) -> &'static str {
+        "oneport"
+    }
+
+    fn capacity(&self) -> usize {
+        1
+    }
+
+    fn shares(&self, active: &[TransferLane]) -> Vec<f64> {
+        debug_assert!(active.len() <= 1, "one-port admitted {}", active.len());
+        vec![1.0; active.len()]
+    }
+}
+
+/// Bounded multi-port: the master drives up to `k` simultaneous
+/// transfers, each capped by its own link, all of them together by an
+/// aggregate `backbone` bandwidth (blocks/s; `∞` = links are the only
+/// limit).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundedMultiPort {
+    /// Simultaneous transfer limit (`k ≥ 1`).
+    pub k: usize,
+    /// Aggregate backbone bandwidth in blocks per second.
+    pub backbone: f64,
+}
+
+impl ContentionModel for BoundedMultiPort {
+    fn name(&self) -> &'static str {
+        "multiport"
+    }
+
+    fn capacity(&self) -> usize {
+        self.k
+    }
+
+    fn shares(&self, active: &[TransferLane]) -> Vec<f64> {
+        debug_assert!(active.len() <= self.k, "multi-port overcommitted");
+        maxmin_shares(active, self.backbone)
+    }
+}
+
+/// Fair-share backbone (dslab-style): no admission limit; all active
+/// transfers max-min fair-share the finite backbone, each still capped
+/// by its own link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FairShare {
+    /// Aggregate backbone bandwidth in blocks per second.
+    pub backbone: f64,
+}
+
+impl ContentionModel for FairShare {
+    fn name(&self) -> &'static str {
+        "fairshare"
+    }
+
+    fn capacity(&self) -> usize {
+        usize::MAX
+    }
+
+    fn shares(&self, active: &[TransferLane]) -> Vec<f64> {
+        maxmin_shares(active, self.backbone)
+    }
+}
+
+/// Serializable/parsable configuration of a contention model — the form
+/// platform files (`@netmodel` directive), CLIs and sweep grids carry.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum NetModelSpec {
+    /// [`OnePort`].
+    #[default]
+    OnePort,
+    /// [`BoundedMultiPort`] with `k` ports and an optional backbone
+    /// (`None` = unlimited backbone, links are the only cap).
+    BoundedMultiPort {
+        /// Simultaneous transfer limit (`k ≥ 1`).
+        k: usize,
+        /// Aggregate backbone bandwidth in blocks/s (`None` = ∞).
+        backbone: Option<f64>,
+    },
+    /// [`FairShare`] over a finite backbone (blocks/s).
+    FairShare {
+        /// Aggregate backbone bandwidth in blocks/s.
+        backbone: f64,
+    },
+}
+
+impl NetModelSpec {
+    /// Instantiates the configured model.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (`k = 0`, or a non-positive /
+    /// NaN backbone) — specs built through [`NetModelSpec::parse`] are
+    /// validated there with a proper error instead.
+    pub fn build(&self) -> Box<dyn ContentionModel> {
+        self.validate().expect("invalid net-model spec");
+        match *self {
+            NetModelSpec::OnePort => Box::new(OnePort),
+            NetModelSpec::BoundedMultiPort { k, backbone } => Box::new(BoundedMultiPort {
+                k,
+                backbone: backbone.unwrap_or(f64::INFINITY),
+            }),
+            NetModelSpec::FairShare { backbone } => Box::new(FairShare { backbone }),
+        }
+    }
+
+    /// Admission capacity without building the trait object.
+    pub fn capacity(&self) -> usize {
+        match *self {
+            NetModelSpec::OnePort => 1,
+            NetModelSpec::BoundedMultiPort { k, .. } => k,
+            NetModelSpec::FairShare { .. } => usize::MAX,
+        }
+    }
+
+    /// The backbone bandwidth constraint, if any.
+    pub fn backbone(&self) -> Option<f64> {
+        match *self {
+            NetModelSpec::OnePort => None,
+            NetModelSpec::BoundedMultiPort { backbone, .. } => backbone.filter(|b| b.is_finite()),
+            NetModelSpec::FairShare { backbone } => Some(backbone).filter(|b| b.is_finite()),
+        }
+    }
+
+    /// Checks the configuration; returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            NetModelSpec::OnePort => Ok(()),
+            NetModelSpec::BoundedMultiPort { k, backbone } => {
+                if k == 0 {
+                    return Err("multiport needs k >= 1".into());
+                }
+                if let Some(b) = backbone {
+                    if b.is_nan() || b <= 0.0 {
+                        return Err(format!("backbone must be positive, got {b}"));
+                    }
+                }
+                Ok(())
+            }
+            NetModelSpec::FairShare { backbone } => {
+                if backbone.is_nan() || backbone <= 0.0 {
+                    return Err(format!("backbone must be positive, got {backbone}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Parses the textual form rendered by [`fmt::Display`]:
+    ///
+    /// ```text
+    /// oneport
+    /// multiport k=3
+    /// multiport k=2 backbone=7.5
+    /// fairshare backbone=4
+    /// ```
+    pub fn parse(tokens: &[&str]) -> Result<NetModelSpec, String> {
+        let (head, rest) = tokens
+            .split_first()
+            .ok_or_else(|| "empty net-model spec".to_string())?;
+        let mut k: Option<usize> = None;
+        let mut backbone: Option<f64> = None;
+        for tok in rest {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {tok:?}"))?;
+            match key {
+                "k" => {
+                    k = Some(val.parse().map_err(|_| format!("bad port count {val:?}"))?);
+                }
+                "backbone" => {
+                    let b: f64 = if val == "inf" {
+                        f64::INFINITY
+                    } else {
+                        val.parse().map_err(|_| format!("bad backbone {val:?}"))?
+                    };
+                    backbone = Some(b);
+                }
+                other => return Err(format!("unknown net-model parameter {other:?}")),
+            }
+        }
+        let spec = match *head {
+            "oneport" => {
+                if k.is_some() || backbone.is_some() {
+                    return Err("oneport takes no parameters".into());
+                }
+                NetModelSpec::OnePort
+            }
+            "multiport" => NetModelSpec::BoundedMultiPort {
+                k: k.ok_or_else(|| "multiport needs k=<n>".to_string())?,
+                backbone: backbone.filter(|b| b.is_finite()),
+            },
+            "fairshare" => NetModelSpec::FairShare {
+                backbone: backbone.ok_or_else(|| "fairshare needs backbone=<rate>".to_string())?,
+            },
+            other => return Err(format!("unknown net model {other:?}")),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for NetModelSpec {
+    /// Renders the spec in the exact token form [`NetModelSpec::parse`]
+    /// accepts (floats in shortest-round-trip form, so render → parse is
+    /// the identity).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NetModelSpec::OnePort => write!(f, "oneport"),
+            NetModelSpec::BoundedMultiPort { k, backbone } => {
+                write!(f, "multiport k={k}")?;
+                if let Some(b) = backbone.filter(|b| b.is_finite()) {
+                    write!(f, " backbone={b}")?;
+                }
+                Ok(())
+            }
+            NetModelSpec::FairShare { backbone } => write!(f, "fairshare backbone={backbone}"),
+        }
+    }
+}
+
+impl Serialize for NetModelSpec {
+    fn to_value(&self) -> Value {
+        let (model, k, backbone) = match *self {
+            NetModelSpec::OnePort => ("oneport", None, None),
+            NetModelSpec::BoundedMultiPort { k, backbone } => {
+                ("multiport", Some(k), backbone.filter(|b| b.is_finite()))
+            }
+            NetModelSpec::FairShare { backbone } => ("fairshare", None, Some(backbone)),
+        };
+        Value::object([
+            ("model", model.to_value()),
+            ("k", k.to_value()),
+            ("backbone", backbone.to_value()),
+        ])
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for NetModelSpec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lanes(workers_rates: &[(usize, f64)]) -> Vec<TransferLane> {
+        workers_rates
+            .iter()
+            .map(|&(worker, link_rate)| TransferLane { worker, link_rate })
+            .collect()
+    }
+
+    #[test]
+    fn single_lane_gets_share_exactly_one() {
+        let l = lanes(&[(0, 4.0)]);
+        assert_eq!(maxmin_shares(&l, f64::INFINITY), vec![1.0]);
+        // Backbone above the link rate is not binding either.
+        assert_eq!(maxmin_shares(&l, 10.0), vec![1.0]);
+    }
+
+    #[test]
+    fn binding_backbone_throttles_a_single_lane() {
+        let l = lanes(&[(0, 4.0)]);
+        let s = maxmin_shares(&l, 1.0);
+        assert!((s[0] - 0.25).abs() < 1e-12, "{s:?}");
+    }
+
+    #[test]
+    fn equal_lanes_split_the_backbone_evenly() {
+        let l = lanes(&[(0, 4.0), (1, 4.0)]);
+        let s = maxmin_shares(&l, 4.0);
+        assert!(
+            (s[0] - 0.5).abs() < 1e-12 && (s[1] - 0.5).abs() < 1e-12,
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn maxmin_redistributes_a_slow_lane_surplus() {
+        // Backbone 6, links 2 and 10: the slow lane saturates at rate 2,
+        // the fast one takes the remaining 4 (share 0.4) — max-min, not
+        // an even 3/3 split.
+        let l = lanes(&[(0, 2.0), (1, 10.0)]);
+        let s = maxmin_shares(&l, 6.0);
+        assert!((s[0] - 1.0).abs() < 1e-12, "{s:?}");
+        assert!((s[1] - 0.4).abs() < 1e-12, "{s:?}");
+    }
+
+    #[test]
+    fn same_worker_lanes_share_their_link() {
+        // Two transfers to worker 0 (link rate 4) plus one to worker 1:
+        // the link constraint halves the first two even with an infinite
+        // backbone.
+        let l = lanes(&[(0, 4.0), (0, 4.0), (1, 8.0)]);
+        let s = maxmin_shares(&l, f64::INFINITY);
+        assert!(
+            (s[0] - 0.5).abs() < 1e-12 && (s[1] - 0.5).abs() < 1e-12,
+            "{s:?}"
+        );
+        assert!((s[2] - 1.0).abs() < 1e-12, "{s:?}");
+    }
+
+    #[test]
+    fn allocation_never_exceeds_constraints() {
+        // A few irregular cases: totals must respect backbone and links.
+        for (ws, bb) in [
+            (vec![(0, 1.0), (1, 2.0), (2, 3.0)], 2.5),
+            (vec![(0, 5.0), (0, 5.0), (1, 0.5)], 3.0),
+            (vec![(0, 1.0)], 0.25),
+            (vec![(0, 2.0), (1, 2.0), (1, 2.0), (2, 8.0)], 5.0),
+        ] {
+            let l = lanes(&ws);
+            let s = maxmin_shares(&l, bb);
+            let total: f64 = l.iter().zip(&s).map(|(l, &s)| s * l.link_rate).sum();
+            assert!(total <= bb * (1.0 + 1e-9), "total {total} > backbone {bb}");
+            for w in l.iter().map(|l| l.worker) {
+                let link: f64 = l
+                    .iter()
+                    .zip(&s)
+                    .filter(|(l, _)| l.worker == w)
+                    .map(|(l, &s)| s * l.link_rate)
+                    .sum();
+                let cap = l.iter().find(|l| l.worker == w).unwrap().link_rate;
+                assert!(link <= cap * (1.0 + 1e-9), "link {w}: {link} > {cap}");
+            }
+            assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneport_is_capacity_one_full_speed() {
+        let m = OnePort;
+        assert_eq!(m.capacity(), 1);
+        assert_eq!(m.shares(&lanes(&[(3, 0.5)])), vec![1.0]);
+        assert!(m.shares(&[]).is_empty());
+    }
+
+    #[test]
+    fn multiport_k1_unbounded_matches_oneport_bitwise() {
+        let spec = NetModelSpec::BoundedMultiPort {
+            k: 1,
+            backbone: None,
+        };
+        let m = spec.build();
+        assert_eq!(m.capacity(), 1);
+        for rate in [0.1, 1.0, 7.25, 1e9] {
+            let s = m.shares(&lanes(&[(0, rate)]));
+            assert_eq!(s, vec![1.0], "rate {rate}: share must be exactly 1.0");
+        }
+    }
+
+    #[test]
+    fn fairshare_admits_unbounded_lanes() {
+        let m = FairShare { backbone: 3.0 };
+        assert_eq!(m.capacity(), usize::MAX);
+        let l = lanes(&[(0, 2.0), (1, 2.0), (2, 2.0)]);
+        let s = m.shares(&l);
+        let total: f64 = l.iter().zip(&s).map(|(l, &s)| s * l.link_rate).sum();
+        assert!((total - 3.0).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn spec_text_round_trips() {
+        let specs = [
+            NetModelSpec::OnePort,
+            NetModelSpec::BoundedMultiPort {
+                k: 3,
+                backbone: None,
+            },
+            NetModelSpec::BoundedMultiPort {
+                k: 2,
+                backbone: Some(7.5),
+            },
+            NetModelSpec::FairShare { backbone: 4.0 },
+        ];
+        for spec in specs {
+            let text = spec.to_string();
+            let toks: Vec<&str> = text.split_whitespace().collect();
+            assert_eq!(NetModelSpec::parse(&toks), Ok(spec), "{text}");
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_reasons() {
+        for toks in [
+            &["warp"][..],
+            &["multiport"][..],
+            &["multiport", "k=0"][..],
+            &["multiport", "k=two"][..],
+            &["multiport", "k=2", "backbone=-1"][..],
+            &["fairshare"][..],
+            &["fairshare", "backbone=0"][..],
+            &["fairshare", "backbone=nan"][..],
+            &["oneport", "k=2"][..],
+            &["multiport", "k"][..],
+            &[][..],
+        ] {
+            assert!(NetModelSpec::parse(toks).is_err(), "{toks:?}");
+        }
+        // An infinite multiport backbone normalizes to "no backbone".
+        let spec = NetModelSpec::parse(&["multiport", "k=2", "backbone=inf"]).unwrap();
+        assert_eq!(
+            spec,
+            NetModelSpec::BoundedMultiPort {
+                k: 2,
+                backbone: None
+            }
+        );
+    }
+
+    #[test]
+    fn spec_serializes_to_a_tagged_object() {
+        let v = NetModelSpec::FairShare { backbone: 2.0 }.to_value();
+        let s = v.render_pretty();
+        assert!(s.contains("\"model\": \"fairshare\""), "{s}");
+        assert!(s.contains("\"backbone\": 2"), "{s}");
+    }
+}

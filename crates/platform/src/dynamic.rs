@@ -28,6 +28,7 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
+use stargemm_netmodel::NetModelSpec;
 
 use crate::parse::{fail, parse_worker_fields, ParseError};
 use crate::platform::{Platform, WorkerId};
@@ -93,6 +94,10 @@ impl Trace {
     /// `start`: in a segment with scale `s`, one nominal second takes `s`
     /// wall seconds, so the duration is the integral of the scale over
     /// the crossed segments.
+    ///
+    /// This is **the** segment-walking integrator of the workspace: both
+    /// execution engines (and every bound) route their cost scaling
+    /// through it rather than carrying private copies.
     pub fn finish(&self, start: f64, base: f64) -> f64 {
         debug_assert!(start >= 0.0 && base >= 0.0);
         if base == 0.0 {
@@ -109,6 +114,45 @@ impl Trace {
                 return t + rem * scale;
             }
             rem -= nominal_capacity;
+            t = seg_end;
+            idx += 1;
+        }
+    }
+
+    /// [`Trace::finish`] for a task progressing at a fractional `share`
+    /// of the resource (a transfer granted `share` of its link by a
+    /// contention model): serving one nominal second at share `s` takes
+    /// `scale / s` wall seconds, which is exactly serving `1/s` nominal
+    /// seconds at full share — so the walk itself is [`Trace::finish`].
+    ///
+    /// With `share == 1.0` the division is exact and this *is*
+    /// [`Trace::finish`], bit for bit.
+    ///
+    /// # Panics
+    /// Panics (in debug) unless `0 < share ≤ 1`.
+    pub fn finish_with_share(&self, start: f64, base: f64, share: f64) -> f64 {
+        debug_assert!(share > 0.0 && share <= 1.0, "bad share {share}");
+        self.finish(start, base / share)
+    }
+
+    /// Nominal seconds a full-share task serves over the wall interval
+    /// `[t0, t1]` — the inverse integral `∫ dt / scale` of
+    /// [`Trace::finish`]. A task at share `s` serves `s ×` this.
+    pub fn nominal_between(&self, t0: f64, t1: f64) -> f64 {
+        debug_assert!(t0 >= 0.0 && t1 >= t0);
+        if t1 == t0 {
+            return 0.0;
+        }
+        let mut idx = self.points.partition_point(|&(s, _)| s <= t0) - 1;
+        let mut t = t0;
+        let mut served = 0.0;
+        loop {
+            let scale = self.points[idx].1;
+            let seg_end = self.points.get(idx + 1).map_or(f64::INFINITY, |&(s, _)| s);
+            if t1 <= seg_end {
+                return served + (t1 - t) / scale;
+            }
+            served += (seg_end - t) / scale;
             t = seg_end;
             idx += 1;
         }
@@ -245,6 +289,21 @@ impl DynProfile {
         self.workers[w].c_scale.finish(start, base)
     }
 
+    /// [`Self::transfer_end`] for a transfer progressing at a fractional
+    /// `share` of worker `w`'s link (contention-model composition: the
+    /// share applies on top of the cost trace).
+    pub fn transfer_end_shared(&self, w: WorkerId, start: f64, base: f64, share: f64) -> f64 {
+        self.workers[w]
+            .c_scale
+            .finish_with_share(start, base, share)
+    }
+
+    /// Nominal transfer seconds worker `w`'s link serves at full share
+    /// over `[t0, t1]` (a transfer at share `s` serves `s ×` this).
+    pub fn transfer_nominal_between(&self, w: WorkerId, t0: f64, t1: f64) -> f64 {
+        self.workers[w].c_scale.nominal_between(t0, t1)
+    }
+
     /// End time of a computation needing `base` nominal seconds
     /// (`updates · w_i`) on worker `w`, starting at `start`.
     pub fn compute_end(&self, w: WorkerId, start: f64, base: f64) -> f64 {
@@ -284,17 +343,65 @@ impl DynProfile {
     }
 }
 
-/// A platform together with its dynamic profile.
+/// Shared piecewise-integration entry points for the execution engines:
+/// a `None` profile is the static limit (`end = start + base`), so both
+/// `stargemm-sim` and `stargemm-net` call these instead of carrying
+/// their own `match`-on-profile segment walking.
+///
+/// End of a transfer of `base` nominal seconds on worker `w`'s link at
+/// fractional `share`, starting at `start`. With `share == 1.0` and a
+/// `None`/unit profile this is exactly `start + base`.
+pub fn transfer_end_opt(
+    profile: Option<&DynProfile>,
+    w: WorkerId,
+    start: f64,
+    base: f64,
+    share: f64,
+) -> f64 {
+    match profile {
+        None => start + base / share,
+        Some(p) => p.transfer_end_shared(w, start, base, share),
+    }
+}
+
+/// Nominal transfer seconds worker `w`'s link serves at full share over
+/// `[t0, t1]` (`None` profile: the wall interval itself).
+pub fn transfer_nominal_between_opt(
+    profile: Option<&DynProfile>,
+    w: WorkerId,
+    t0: f64,
+    t1: f64,
+) -> f64 {
+    match profile {
+        None => t1 - t0,
+        Some(p) => p.transfer_nominal_between(w, t0, t1),
+    }
+}
+
+/// End of a computation of `base` nominal seconds on worker `w` starting
+/// at `start` (`None` profile: `start + base`).
+pub fn compute_end_opt(profile: Option<&DynProfile>, w: WorkerId, start: f64, base: f64) -> f64 {
+    match profile {
+        None => start + base,
+        Some(p) => p.compute_end(w, start, base),
+    }
+}
+
+/// A platform together with its dynamic profile and the network
+/// contention model its star operates under.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DynPlatform {
     /// Nominal worker specs `(c_i, w_i, m_i)`.
     pub base: Platform,
     /// Time-varying behaviour, one entry per worker.
     pub profile: DynProfile,
+    /// Network-contention model of the star (`@netmodel` directive;
+    /// defaults to the paper's one-port).
+    pub netmodel: NetModelSpec,
 }
 
 impl DynPlatform {
-    /// Pairs a platform with a profile.
+    /// Pairs a platform with a profile (one-port contention).
     ///
     /// # Panics
     /// Panics when the lengths disagree.
@@ -304,15 +411,26 @@ impl DynPlatform {
             profile.len(),
             "profile must describe every worker"
         );
-        DynPlatform { base, profile }
+        DynPlatform {
+            base,
+            profile,
+            netmodel: NetModelSpec::OnePort,
+        }
     }
 
-    /// The static limit of `base`.
+    /// Swaps in a contention model.
+    pub fn with_netmodel(mut self, netmodel: NetModelSpec) -> Self {
+        self.netmodel = netmodel;
+        self
+    }
+
+    /// The static limit of `base` (one-port contention).
     pub fn constant(base: Platform) -> Self {
         let p = base.len();
         DynPlatform {
             base,
             profile: DynProfile::constant(p),
+            netmodel: NetModelSpec::OnePort,
         }
     }
 }
@@ -360,11 +478,14 @@ fn parse_trace(toks: &[&str], line: usize) -> Result<Trace, ParseError> {
 
 /// Parses the dynamic flavour of the platform text format: static worker
 /// lines (identical to [`crate::parse::parse_platform`]) interleaved
-/// with `@<worker> cscale|wscale|down …` directives. A text with no
-/// directives parses to the static limit.
+/// with `@<worker> cscale|wscale|down …` directives and an optional
+/// platform-level `@netmodel …` directive
+/// (`@netmodel multiport k=2 backbone=5`). A text with no directives
+/// parses to the static one-port limit.
 pub fn parse_dyn_platform(name: &str, text: &str, q: usize) -> Result<DynPlatform, ParseError> {
     let mut workers = Vec::new();
     let mut directives: Vec<(usize, usize, Vec<String>)> = Vec::new(); // (line, worker, rest)
+    let mut netmodel: Option<NetModelSpec> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -372,7 +493,12 @@ pub fn parse_dyn_platform(name: &str, text: &str, q: usize) -> Result<DynPlatfor
             continue;
         }
         let toks: Vec<&str> = line.split_whitespace().collect();
-        if let Some(widx) = toks[0].strip_prefix('@') {
+        if toks[0] == "@netmodel" {
+            if netmodel.is_some() {
+                return Err(fail(line_no, "duplicate @netmodel directive"));
+            }
+            netmodel = Some(NetModelSpec::parse(&toks[1..]).map_err(|e| fail(line_no, e))?);
+        } else if let Some(widx) = toks[0].strip_prefix('@') {
             let w: usize = widx
                 .parse()
                 .map_err(|_| fail(line_no, format!("bad worker index {widx:?}")))?;
@@ -425,10 +551,10 @@ pub fn parse_dyn_platform(name: &str, text: &str, q: usize) -> Result<DynPlatfor
             _ => return Err(fail(line_no, "expected cscale, wscale or down directive")),
         }
     }
-    Ok(DynPlatform::new(
-        Platform::new(name, workers),
-        DynProfile::new(dyns),
-    ))
+    Ok(
+        DynPlatform::new(Platform::new(name, workers), DynProfile::new(dyns))
+            .with_netmodel(netmodel.unwrap_or_default()),
+    )
 }
 
 fn render_time(t: f64) -> String {
@@ -446,6 +572,9 @@ pub fn render_dyn_platform(dp: &DynPlatform) -> String {
     let mut out = format!("# {}\n", dp.base.name);
     for spec in dp.base.workers() {
         out.push_str(&format!("{} {} {}\n", spec.c, spec.w, spec.m));
+    }
+    if dp.netmodel != NetModelSpec::OnePort {
+        out.push_str(&format!("@netmodel {}\n", dp.netmodel));
     }
     for (w, d) in dp.profile.workers().iter().enumerate() {
         if !d.c_scale.is_one() {
@@ -498,6 +627,45 @@ mod tests {
         assert!((t.finish(5.0, 12.0) - 21.0).abs() < 1e-12);
         // Entirely inside the last segment.
         assert!((t.finish(30.0, 4.0) - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_walkers_invert_each_other() {
+        let t = Trace::new(vec![(0.0, 1.0), (10.0, 2.0), (20.0, 0.5)]);
+        for (start, base, share) in [
+            (5.0, 8.0, 1.0),
+            (5.0, 8.0, 0.5),
+            (0.0, 30.0, 0.25),
+            (18.0, 4.0, 0.8),
+        ] {
+            let end = t.finish_with_share(start, base, share);
+            // Serving back over [start, end] at the same share recovers
+            // the nominal work.
+            let served = share * t.nominal_between(start, end);
+            assert!((served - base).abs() < 1e-9, "{start}/{base}/{share}");
+        }
+        // Full share is bitwise `finish`.
+        assert_eq!(t.finish_with_share(5.0, 8.0, 1.0), t.finish(5.0, 8.0));
+        // Constant trace: share s stretches by exactly 1/s.
+        let c = Trace::constant(1.0);
+        assert!((c.finish_with_share(3.0, 4.0, 0.5) - 11.0).abs() < 1e-12);
+        assert!((c.nominal_between(3.0, 11.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opt_helpers_cover_the_static_limit() {
+        let p = DynProfile::new(vec![WorkerDyn::new(
+            Trace::new(vec![(0.0, 2.0)]),
+            Trace::new(vec![(0.0, 3.0)]),
+            vec![],
+        )]);
+        assert_eq!(transfer_end_opt(None, 0, 1.0, 4.0, 1.0), 5.0);
+        assert_eq!(transfer_end_opt(None, 0, 1.0, 4.0, 0.5), 9.0);
+        assert_eq!(transfer_end_opt(Some(&p), 0, 1.0, 4.0, 1.0), 9.0);
+        assert_eq!(transfer_nominal_between_opt(None, 0, 2.0, 6.0), 4.0);
+        assert_eq!(transfer_nominal_between_opt(Some(&p), 0, 2.0, 6.0), 2.0);
+        assert_eq!(compute_end_opt(None, 0, 1.0, 4.0), 5.0);
+        assert_eq!(compute_end_opt(Some(&p), 0, 1.0, 4.0), 13.0);
     }
 
     #[test]
@@ -575,6 +743,59 @@ mod tests {
         let dp = parse_dyn_platform("s", "1.0 1.0 10\n2.0 2.0 20\n", 80).unwrap();
         assert!(dp.profile.is_static());
         assert_eq!(dp.base.len(), 2);
+        assert_eq!(dp.netmodel, NetModelSpec::OnePort);
+    }
+
+    #[test]
+    fn netmodel_directive_round_trips() {
+        for spec in [
+            NetModelSpec::BoundedMultiPort {
+                k: 3,
+                backbone: None,
+            },
+            NetModelSpec::BoundedMultiPort {
+                k: 2,
+                backbone: Some(6.25),
+            },
+            NetModelSpec::FairShare { backbone: 3.5 },
+        ] {
+            let dp =
+                DynPlatform::constant(Platform::new("nm", vec![WorkerSpec::new(0.5, 0.25, 40)]))
+                    .with_netmodel(spec);
+            let text = render_dyn_platform(&dp);
+            assert!(text.contains("@netmodel "), "{text}");
+            let parsed = parse_dyn_platform(&dp.base.name, &text, 80).unwrap();
+            assert_eq!(parsed, dp);
+        }
+        // One-port is the default and renders no directive at all.
+        let dp =
+            DynPlatform::constant(Platform::new("plain", vec![WorkerSpec::new(0.5, 0.25, 40)]));
+        assert!(!render_dyn_platform(&dp).contains("@netmodel"));
+        // The directive can appear anywhere and composes with worker
+        // directives.
+        let dp = parse_dyn_platform(
+            "mix",
+            "1 1 10\n@netmodel fairshare backbone=2\n@0 cscale 0:1 5:2\n",
+            80,
+        )
+        .unwrap();
+        assert_eq!(dp.netmodel, NetModelSpec::FairShare { backbone: 2.0 });
+        assert!(!dp.profile.is_static());
+    }
+
+    #[test]
+    fn bad_netmodel_directives_carry_line_numbers() {
+        for text in [
+            "1 1 10\n@netmodel warp\n",
+            "1 1 10\n@netmodel multiport\n",
+            "1 1 10\n@netmodel multiport k=0\n",
+            "1 1 10\n@netmodel fairshare backbone=-2\n",
+            "1 1 10\n@netmodel oneport\n@netmodel oneport\n",
+            "1 1 10\n@netmodel\n",
+        ] {
+            let err = parse_dyn_platform("f", text, 80).unwrap_err();
+            assert!(err.line >= 2, "{text:?}: {err}");
+        }
     }
 
     #[test]

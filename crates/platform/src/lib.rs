@@ -29,3 +29,4 @@ pub mod units;
 
 pub use dynamic::{DynPlatform, DynProfile, LifecycleEvent, Trace, WorkerDyn};
 pub use platform::{Platform, WorkerId, WorkerSpec};
+pub use stargemm_netmodel::NetModelSpec;

@@ -18,6 +18,7 @@
 //! the same scenario are bit-identical regardless of what executes next
 //! to them.
 
+use stargemm_netmodel::NetModelSpec;
 use stargemm_platform::dynamic::{DynPlatform, DynProfile};
 use stargemm_platform::Platform;
 
@@ -33,6 +34,9 @@ use crate::trace::TraceEntry;
 pub struct Simulator {
     platform: Platform,
     profile: Option<DynProfile>,
+    /// Network-contention model of the star (defaults to the paper's
+    /// one-port; see `stargemm-netmodel`).
+    netmodel: NetModelSpec,
     /// Multi-job stream: `(arrival time, job id)` pairs delivered to the
     /// policy as [`crate::policy::SimEvent::JobArrived`] events.
     arrivals: Vec<(f64, JobId)>,
@@ -56,6 +60,7 @@ impl Simulator {
         Simulator {
             platform,
             profile: None,
+            netmodel: NetModelSpec::OnePort,
             arrivals: Vec::new(),
             record_trace: false,
             max_events: 200_000_000,
@@ -65,9 +70,26 @@ impl Simulator {
     /// A simulator for a time-varying platform: transfer and compute
     /// durations are integrated over the profile's cost traces, and
     /// scheduled crashes abort the resident chunks (reported to the
-    /// policy as [`crate::policy::SimEvent::ChunkLost`]).
+    /// policy as [`crate::policy::SimEvent::ChunkLost`]). The platform's
+    /// contention model (`@netmodel` directive) is honoured.
     pub fn new_dyn(platform: DynPlatform) -> Self {
-        Simulator::new(platform.base).with_profile(platform.profile)
+        Simulator::new(platform.base)
+            .with_profile(platform.profile)
+            .with_netmodel(platform.netmodel)
+    }
+
+    /// Swaps in a network-contention model: transfer admission and
+    /// durations are routed through it (bandwidth re-shared whenever the
+    /// active transfer set changes, composing with any dynamic cost
+    /// traces). [`NetModelSpec::OnePort`] — the default — reproduces the
+    /// paper's engine byte for byte.
+    ///
+    /// # Panics
+    /// Panics on an invalid spec (`k = 0`, non-positive backbone).
+    pub fn with_netmodel(mut self, netmodel: NetModelSpec) -> Self {
+        netmodel.validate().expect("invalid net-model spec");
+        self.netmodel = netmodel;
+        self
     }
 
     /// Attaches a dynamic profile to the current platform.
@@ -137,6 +159,7 @@ impl Simulator {
             &self.platform,
             self.record_trace,
             self.profile.clone(),
+            &self.netmodel,
             &self.arrivals,
             self.max_events,
         );
@@ -171,32 +194,32 @@ impl Simulator {
 
             let hooks = st.apply_event(kind)?;
 
-            // Port-freeing and unblocking effects.
-            match kind {
-                EvKind::SendDone { .. } | EvKind::RetrieveDone { .. } => {
-                    debug_assert_eq!(master, MasterState::Busy);
+            // Port-freeing effects: a completed transfer frees wire
+            // capacity, so a master parked on a full port may act again.
+            // (Under one-port, `Busy` means exactly "the transfer is in
+            // flight", as it always did.)
+            if matches!(kind, EvKind::SendDone { .. } | EvKind::RetrieveDone { .. })
+                && master == MasterState::Busy
+            {
+                master = MasterState::Idle;
+            }
+            // Blocked-retrieval resolution: a crash destroying the waited
+            // chunk releases the master; the chunk completing starts the
+            // retrieval as soon as the contention model has a free lane
+            // (immediately under one-port — no other transfer can be in
+            // flight while the master is blocked).
+            if let MasterState::BlockedRetrieve(waiting) = master {
+                if st.chunk_is_lost(waiting)? {
                     master = MasterState::Idle;
+                } else if st.chunk_is_computed(waiting)? && st.can_issue() {
+                    let worker = st.chunk_worker(waiting)?;
+                    st.start_retrieval(worker, waiting);
+                    master = if st.can_issue() {
+                        MasterState::Idle
+                    } else {
+                        MasterState::Busy
+                    };
                 }
-                EvKind::StepDone { chunk, worker, .. } => {
-                    if let MasterState::BlockedRetrieve(waiting) = master {
-                        if waiting == chunk && st.chunk_is_computed(chunk)? {
-                            st.start_retrieval(worker, chunk);
-                            master = MasterState::Busy;
-                        }
-                    }
-                }
-                EvKind::Lifecycle { .. } => {
-                    // A crash destroys the chunk a blocked retrieval was
-                    // waiting for: release the master instead of leaving
-                    // it waiting forever.
-                    if let MasterState::BlockedRetrieve(waiting) = master {
-                        if st.chunk_is_lost(waiting)? {
-                            master = MasterState::Idle;
-                        }
-                    }
-                }
-                // Job lifecycle never touches the port.
-                EvKind::JobArrival { .. } | EvKind::JobDeclaredDone { .. } => {}
             }
             if master == MasterState::Waiting {
                 master = MasterState::Idle;
@@ -853,6 +876,361 @@ mod tests {
             .any(|e| matches!(e, SimEvent::WorkerUp { worker: 0 })));
         // Everything shifted 3 s late: makespan 20 → 23.
         assert!((stats.makespan - 23.0).abs() < 1e-9, "{}", stats.makespan);
+    }
+
+    // ------------------------------------------------------------------
+    // Network-contention models.
+    // ------------------------------------------------------------------
+
+    use stargemm_netmodel::NetModelSpec;
+
+    /// Runs a [`Script`], then waits until every issued retrieval has
+    /// completed before declaring `Finished`. Under concurrent-transfer
+    /// models the master is asked for actions while retrievals are still
+    /// in flight, so the naive script would finish prematurely — real
+    /// policies gate `Finished` on their own bookkeeping exactly like
+    /// this.
+    struct Patient {
+        inner: Script,
+        retrieves: usize,
+        seen: usize,
+    }
+
+    impl Patient {
+        fn new(actions: Vec<Action>) -> Self {
+            let retrieves = actions
+                .iter()
+                .filter(|a| matches!(a, Action::Retrieve { .. }))
+                .count();
+            Patient {
+                inner: Script::new(actions),
+                retrieves,
+                seen: 0,
+            }
+        }
+    }
+
+    impl MasterPolicy for Patient {
+        fn next_action(&mut self, ctx: &SimCtx) -> Action {
+            if self.inner.next < self.inner.actions.len() {
+                self.inner.next_action(ctx)
+            } else if self.seen < self.retrieves {
+                Action::Wait
+            } else {
+                Action::Finished
+            }
+        }
+
+        fn on_event(&mut self, ev: &SimEvent, _ctx: &SimCtx) {
+            if matches!(ev, SimEvent::RetrieveDone { .. }) {
+                self.seen += 1;
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "patient"
+        }
+    }
+
+    /// Two one-chunk programs on two identical workers: both C loads
+    /// back to back, then (after `pause` waits) the operand fragments
+    /// interleaved across the workers, then both retrievals.
+    fn two_worker_script(pause: usize) -> (Platform, Vec<Action>) {
+        let platform = Platform::new(
+            "nm-two",
+            vec![
+                WorkerSpec::new(1.0, 1e-9, 100),
+                WorkerSpec::new(1.0, 1e-9, 100),
+            ],
+        );
+        let d0 = demo_descr();
+        let d1 = ChunkDescr { id: 1, ..d0 };
+        let mut script = Vec::new();
+        for (w, d) in [(0usize, d0), (1usize, d1)] {
+            script.push(Action::Send {
+                worker: w,
+                fragment: Fragment::c_load(&d),
+                new_chunk: Some(d),
+            });
+        }
+        script.extend(std::iter::repeat_n(Action::Wait, pause));
+        for s in 0..d0.steps {
+            // Alternate workers per fragment so concurrent lanes land on
+            // disjoint links.
+            for (w, d) in [(0usize, d0), (1usize, d1)] {
+                script.push(Action::Send {
+                    worker: w,
+                    fragment: Fragment::b_step(&d, s),
+                    new_chunk: None,
+                });
+            }
+            for (w, d) in [(0usize, d0), (1usize, d1)] {
+                script.push(Action::Send {
+                    worker: w,
+                    fragment: Fragment::a_step(&d, s),
+                    new_chunk: None,
+                });
+            }
+        }
+        script.push(Action::Retrieve {
+            worker: 0,
+            chunk: 0,
+        });
+        script.push(Action::Retrieve {
+            worker: 1,
+            chunk: 1,
+        });
+        (platform, script)
+    }
+
+    /// The C-load trace entries, in issue order.
+    fn c_loads(trace: &[crate::trace::TraceEntry]) -> Vec<&crate::trace::TraceEntry> {
+        use crate::trace::TraceKind;
+        trace
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t.kind,
+                    TraceKind::SendToWorker {
+                        kind: crate::msg::MatKind::C,
+                        ..
+                    }
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multiport_overlaps_transfers_and_beats_oneport() {
+        let (platform, script) = two_worker_script(0);
+        let run = |spec: NetModelSpec| {
+            Simulator::new(platform.clone())
+                .with_netmodel(spec)
+                .run(&mut Patient::new(script.clone()))
+                .unwrap()
+        };
+        let op = run(NetModelSpec::OnePort);
+        let mp = run(NetModelSpec::BoundedMultiPort {
+            k: 2,
+            backbone: None,
+        });
+        // Two disjoint links, two ports: traffic to worker 0 and worker 1
+        // moves in parallel, roughly halving the serialized wire time.
+        assert!(
+            mp.makespan < op.makespan * 0.6,
+            "multiport {} vs oneport {}",
+            mp.makespan,
+            op.makespan
+        );
+        // Same data moved either way.
+        assert_eq!(op.blocks_to_workers, mp.blocks_to_workers);
+        assert_eq!(op.blocks_to_master, mp.blocks_to_master);
+        assert_eq!(op.chunks, mp.chunks);
+    }
+
+    #[test]
+    fn fairshare_backbone_throttle_is_integrated_exactly() {
+        // Both 4-block C loads start at t = 0 under fair share; the
+        // backbone (1 block/s against two 1 block/s links) grants each
+        // share 0.5, so both finish at t = 8 exactly. The two pauses
+        // keep the operand fragments off the wire until then.
+        let (platform, script) = two_worker_script(2);
+        let (_, trace) = Simulator::new(platform)
+            .with_netmodel(NetModelSpec::FairShare { backbone: 1.0 })
+            .with_trace(true)
+            .run_traced(&mut Patient::new(script))
+            .unwrap();
+        let loads = c_loads(&trace);
+        assert_eq!(loads.len(), 2);
+        for t in loads {
+            assert_eq!(t.start, 0.0, "{t:?}");
+            assert!((t.end - 8.0).abs() < 1e-9, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn reshare_speeds_up_the_survivor_when_a_transfer_finishes() {
+        // A 4-block and a 2-block C load share a backbone of 1 from
+        // t = 0 (share 0.5 each). The short one finishes at t = 4; the
+        // long one then has 2 nominal seconds left, re-shares to 1.0,
+        // and finishes at 6 — not its original projection of 8.
+        let platform = Platform::new(
+            "nm-reshare",
+            vec![
+                WorkerSpec::new(1.0, 1e-9, 100),
+                WorkerSpec::new(1.0, 1e-9, 100),
+            ],
+        );
+        let d0 = ChunkDescr {
+            id: 0,
+            c_blocks: 4,
+            steps: 1,
+            a_blocks_per_step: 1,
+            b_blocks_per_step: 1,
+            updates_per_step: 1,
+            tail: None,
+        };
+        let d1 = ChunkDescr {
+            id: 1,
+            c_blocks: 2,
+            ..d0
+        };
+        let mut script = vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&d0),
+                new_chunk: Some(d0),
+            },
+            Action::Send {
+                worker: 1,
+                fragment: Fragment::c_load(&d1),
+                new_chunk: Some(d1),
+            },
+            Action::Wait,
+            Action::Wait,
+        ];
+        for (w, d) in [(0usize, d0), (1usize, d1)] {
+            script.push(Action::Send {
+                worker: w,
+                fragment: Fragment::b_step(&d, 0),
+                new_chunk: None,
+            });
+            script.push(Action::Send {
+                worker: w,
+                fragment: Fragment::a_step(&d, 0),
+                new_chunk: None,
+            });
+        }
+        script.push(Action::Retrieve {
+            worker: 0,
+            chunk: 0,
+        });
+        script.push(Action::Retrieve {
+            worker: 1,
+            chunk: 1,
+        });
+        let (_, trace) = Simulator::new(platform)
+            .with_netmodel(NetModelSpec::FairShare { backbone: 1.0 })
+            .with_trace(true)
+            .run_traced(&mut Patient::new(script))
+            .unwrap();
+        let loads = c_loads(&trace);
+        assert!((loads[0].end - 6.0).abs() < 1e-9, "{loads:?}");
+        assert!((loads[1].end - 4.0).abs() < 1e-9, "{loads:?}");
+    }
+
+    #[test]
+    fn multiport_k1_is_bitwise_oneport() {
+        let (platform, script) = two_worker_script(0);
+        let op = Simulator::new(platform.clone())
+            .with_trace(true)
+            .run_traced(&mut Patient::new(script.clone()))
+            .unwrap();
+        let k1 = Simulator::new(platform)
+            .with_netmodel(NetModelSpec::BoundedMultiPort {
+                k: 1,
+                backbone: None,
+            })
+            .with_trace(true)
+            .run_traced(&mut Patient::new(script))
+            .unwrap();
+        assert_eq!(op.0, k1.0);
+        assert_eq!(op.1, k1.1);
+    }
+
+    #[test]
+    fn same_link_transfers_share_their_link_under_fairshare() {
+        // The C load (4 blocks) and step-0 B (2 blocks) go to the same
+        // worker concurrently: its link caps their joint rate, so the
+        // pair still takes 6 link seconds (B at share 0.5 ends at 4, C
+        // re-shares to full speed and ends at 6).
+        let descr = demo_descr();
+        let mut script = vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::b_step(&descr, 0),
+                new_chunk: None,
+            },
+            Action::Wait,
+            Action::Wait,
+        ];
+        script.push(Action::Send {
+            worker: 0,
+            fragment: Fragment::a_step(&descr, 0),
+            new_chunk: None,
+        });
+        script.push(Action::Send {
+            worker: 0,
+            fragment: Fragment::b_step(&descr, 1),
+            new_chunk: None,
+        });
+        script.push(Action::Send {
+            worker: 0,
+            fragment: Fragment::a_step(&descr, 1),
+            new_chunk: None,
+        });
+        script.push(Action::Retrieve {
+            worker: 0,
+            chunk: 0,
+        });
+        let (_, trace) = Simulator::new(one_worker(1.0, 1e-9, 100))
+            .with_netmodel(NetModelSpec::FairShare { backbone: 100.0 })
+            .with_trace(true)
+            .run_traced(&mut Patient::new(script))
+            .unwrap();
+        assert!((trace[0].end - 6.0).abs() < 1e-9, "{:?}", &trace[..2]);
+        assert!((trace[1].end - 4.0).abs() < 1e-9, "{:?}", &trace[..2]);
+    }
+
+    #[test]
+    fn netmodel_composes_with_dynamic_cost_traces() {
+        // Fair-share throttles the lone transfer to share 0.5 (backbone
+        // 0.5 against a 1 block/s link); the cost trace doubles the cost
+        // from t = 4. The 4-block load serves 2 nominal seconds on
+        // [0, 4]; the remaining 2 at scale 2 and share 0.5 take 8 more
+        // seconds ⇒ end at 12.
+        let profile = DynProfile::new(vec![WorkerDyn::new(
+            Trace::new(vec![(0.0, 1.0), (4.0, 2.0)]),
+            Trace::default(),
+            vec![],
+        )]);
+        let descr = demo_descr();
+        let mut script = vec![
+            Action::Send {
+                worker: 0,
+                fragment: Fragment::c_load(&descr),
+                new_chunk: Some(descr),
+            },
+            Action::Wait,
+        ];
+        for s in 0..descr.steps {
+            script.push(Action::Send {
+                worker: 0,
+                fragment: Fragment::b_step(&descr, s),
+                new_chunk: None,
+            });
+            script.push(Action::Send {
+                worker: 0,
+                fragment: Fragment::a_step(&descr, s),
+                new_chunk: None,
+            });
+        }
+        script.push(Action::Retrieve {
+            worker: 0,
+            chunk: 0,
+        });
+        let (_, trace) = Simulator::new(one_worker(1.0, 1e-9, 100))
+            .with_profile(profile)
+            .with_netmodel(NetModelSpec::FairShare { backbone: 0.5 })
+            .with_trace(true)
+            .run_traced(&mut Patient::new(script))
+            .unwrap();
+        assert!((trace[0].end - 12.0).abs() < 1e-9, "{:?}", trace[0]);
     }
 
     // ------------------------------------------------------------------

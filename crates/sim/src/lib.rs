@@ -46,4 +46,5 @@ pub use kernel::{ComponentId, EventId, EventQueue, KernelError};
 pub use model::WorkerRt;
 pub use msg::{ChunkDescr, ChunkId, Fragment, JobId, MatKind, StepCosts, StepId};
 pub use policy::{Action, CtxMirror, MasterPolicy, SimCtx, SimEvent};
+pub use stargemm_netmodel::{ContentionModel, NetModelSpec, TransferLane};
 pub use stats::{JobStats, RunStats, WorkerStats};

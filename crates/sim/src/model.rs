@@ -25,7 +25,10 @@
 
 use std::collections::BTreeMap;
 
-use stargemm_platform::dynamic::DynProfile;
+use stargemm_netmodel::{ContentionModel, NetModelSpec, TransferLane};
+use stargemm_platform::dynamic::{
+    compute_end_opt, transfer_end_opt, transfer_nominal_between_opt, DynProfile,
+};
 use stargemm_platform::{Platform, WorkerId};
 
 use crate::error::SimError;
@@ -195,12 +198,35 @@ pub(crate) enum MasterState {
     Done,
 }
 
+/// One wire transfer currently in flight under the contention model.
+///
+/// `rem` nominal seconds (blocks · c_i at full link speed, unit trace)
+/// were still unserved as of model time `since`, progressing at `share`
+/// of the link. The pending kernel completion is rescheduled whenever a
+/// re-share changes the projected end.
+#[derive(Clone, Copy, Debug)]
+struct ActiveTransfer {
+    worker: WorkerId,
+    rem: f64,
+    share: f64,
+    since: f64,
+    started: f64,
+    event: Option<EventId>,
+    completion: EvKind,
+    trace_idx: Option<usize>,
+}
+
 /// Whole-run mutable state of the star-GEMM model.
 pub(crate) struct StarModel {
     pub(crate) now: f64,
     pub(crate) workers: Vec<WorkerRt>,
     chunks: BTreeMap<ChunkId, ChunkRt>,
     queue: EventQueue<EvKind>,
+    /// The star's network-contention model: admission capacity and
+    /// bandwidth shares of the active transfer set.
+    netmodel: Box<dyn ContentionModel>,
+    /// Transfers currently occupying the wire, in start order.
+    active: Vec<ActiveTransfer>,
     port_busy: f64,
     retrieved_count: u64,
     last_retrieve_done: f64,
@@ -225,6 +251,7 @@ impl StarModel {
         platform: &Platform,
         record_trace: bool,
         profile: Option<DynProfile>,
+        netmodel: &NetModelSpec,
         arrivals: &[(f64, JobId)],
         max_events: u64,
     ) -> Self {
@@ -248,6 +275,8 @@ impl StarModel {
             workers,
             chunks: BTreeMap::new(),
             queue: EventQueue::new().with_max_events(max_events),
+            netmodel: netmodel.build(),
+            active: Vec::new(),
             port_busy: 0.0,
             retrieved_count: 0,
             last_retrieve_done: 0.0,
@@ -287,6 +316,111 @@ impl StarModel {
 
     pub(crate) fn chunk_is_computed(&self, id: ChunkId) -> Result<bool, SimError> {
         self.chunk(id).map(|c| c.computed)
+    }
+
+    pub(crate) fn chunk_worker(&self, id: ChunkId) -> Result<WorkerId, SimError> {
+        self.chunk(id).map(|c| c.worker)
+    }
+
+    /// Whether the contention model admits another transfer right now.
+    pub(crate) fn can_issue(&self) -> bool {
+        self.active.len() < self.netmodel.capacity()
+    }
+
+    /// Master state after issuing a transfer: free to act while the
+    /// model still has wire capacity, parked otherwise. One-port always
+    /// parks — the historical `Busy`.
+    fn port_state(&self) -> MasterState {
+        if self.can_issue() {
+            MasterState::Idle
+        } else {
+            MasterState::Busy
+        }
+    }
+
+    /// Admits a transfer of `base` nominal wire seconds to the active
+    /// set, re-shares the wire, and schedules its completion.
+    ///
+    /// With the one-port model this reduces exactly to the historical
+    /// path — a single lane at share 1.0, no rescheduling ever.
+    fn begin_transfer(&mut self, worker: WorkerId, base: f64, completion: EvKind) {
+        debug_assert!(self.can_issue(), "transfer admitted past capacity");
+        let start = self.now;
+        self.active.push(ActiveTransfer {
+            worker,
+            rem: base,
+            share: 0.0,
+            since: start,
+            started: start,
+            event: None,
+            completion,
+            trace_idx: self.trace.as_ref().map(|t| t.len().saturating_sub(1)),
+        });
+        self.reshare();
+    }
+
+    /// Removes the completed transfer matching `completion`, charges the
+    /// port time, finalizes its trace interval, and re-shares the rest.
+    fn finish_transfer(&mut self, completion: EvKind) {
+        let idx = self
+            .active
+            .iter()
+            .position(|t| t.completion == completion)
+            .expect("completion event for an unknown transfer");
+        let t = self.active.remove(idx);
+        self.port_busy += self.now - t.started;
+        if let Some(trace) = self.trace.as_mut() {
+            if let Some(ti) = t.trace_idx {
+                trace[ti].end = self.now;
+            }
+        }
+        self.reshare();
+    }
+
+    /// Recomputes the active transfers' bandwidth shares and reschedules
+    /// every completion whose share changed. Called only when the active
+    /// set changes, so between calls shares are constant and each
+    /// pending completion time stays exact.
+    fn reshare(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        let lanes: Vec<TransferLane> = self
+            .active
+            .iter()
+            .map(|t| TransferLane {
+                worker: t.worker,
+                link_rate: 1.0 / self.workers[t.worker].c,
+            })
+            .collect();
+        let shares = self.netmodel.shares(&lanes);
+        debug_assert_eq!(shares.len(), self.active.len());
+        let now = self.now;
+        for (i, &share) in shares.iter().enumerate() {
+            let t = self.active[i];
+            if t.event.is_some() && share == t.share {
+                continue; // projected end still exact
+            }
+            // Progress served under the old share since the last update
+            // (a fresh lane has no progress yet).
+            let rem = if t.event.is_some() {
+                let served = t.share
+                    * transfer_nominal_between_opt(self.profile.as_ref(), t.worker, t.since, now);
+                (t.rem - served).max(0.0)
+            } else {
+                t.rem
+            };
+            let end = transfer_end_opt(self.profile.as_ref(), t.worker, now, rem, share);
+            if let Some(ev) = t.event {
+                self.cancel_work(ev);
+            }
+            let ev = self.push(end, t.completion);
+            let t = &mut self.active[i];
+            t.rem = rem;
+            t.since = now;
+            t.share = share;
+            t.event = Some(ev);
+        }
     }
 
     pub(crate) fn chunk_is_lost(&self, id: ChunkId) -> Result<bool, SimError> {
@@ -358,7 +492,7 @@ impl StarModel {
                 new_chunk,
             } => {
                 self.issue_send(worker, fragment, new_chunk)?;
-                Ok(MasterState::Busy)
+                Ok(self.port_state())
             }
             Action::CompleteJob { job } => {
                 let rec = self.jobs.get_mut(&job).ok_or_else(|| {
@@ -396,7 +530,7 @@ impl StarModel {
                 }
                 if ch.computed {
                     self.start_retrieval(worker, chunk);
-                    Ok(MasterState::Busy)
+                    Ok(self.port_state())
                 } else {
                     self.chunks
                         .get_mut(&chunk)
@@ -506,11 +640,6 @@ impl StarModel {
 
         let base = fragment.blocks as f64 * w.c;
         let start = self.now;
-        let end = match &self.profile {
-            None => start + base,
-            Some(p) => p.transfer_end(worker, start, base),
-        };
-        self.port_busy += end - start;
         self.record(TraceEntry {
             kind: TraceKind::SendToWorker {
                 kind: fragment.kind,
@@ -520,9 +649,9 @@ impl StarModel {
             },
             worker,
             start,
-            end,
+            end: start, // finalized when the transfer completes
         });
-        self.push(end, EvKind::SendDone { worker, fragment });
+        self.begin_transfer(worker, base, EvKind::SendDone { worker, fragment });
         Ok(())
     }
 
@@ -530,18 +659,13 @@ impl StarModel {
         let blocks = self.chunks[&chunk].descr.c_blocks;
         let base = blocks as f64 * self.workers[worker].c;
         let start = self.now;
-        let end = match &self.profile {
-            None => start + base,
-            Some(p) => p.transfer_end(worker, start, base),
-        };
-        self.port_busy += end - start;
         self.record(TraceEntry {
             kind: TraceKind::RetrieveFromWorker { chunk, blocks },
             worker,
             start,
-            end,
+            end: start, // finalized when the transfer completes
         });
-        self.push(end, EvKind::RetrieveDone { worker, chunk });
+        self.begin_transfer(worker, base, EvKind::RetrieveDone { worker, chunk });
     }
 
     /// Applies an event; returns the hook notifications to dispatch.
@@ -549,6 +673,7 @@ impl StarModel {
         let mut hooks = Vec::with_capacity(2);
         match kind {
             EvKind::SendDone { worker, fragment } => {
+                self.finish_transfer(kind);
                 let w = &mut self.workers[worker];
                 w.reserved -= fragment.blocks;
                 // Blocks landing on a downed worker — or belonging to a
@@ -642,6 +767,7 @@ impl StarModel {
                 }
             }
             EvKind::RetrieveDone { worker, chunk } => {
+                self.finish_transfer(kind);
                 let ch = self.chunks.get_mut(&chunk).expect("retrieval started");
                 if ch.lost {
                     // The source crashed mid-retrieval: the partial
@@ -710,10 +836,7 @@ impl StarModel {
         let updates = ch.descr.updates_for(step);
         let base = updates as f64 * self.workers[worker].w;
         let start = self.workers[worker].compute_free_at.max(self.now);
-        let end = match &self.profile {
-            None => start + base,
-            Some(p) => p.compute_end(worker, start, base),
-        };
+        let end = compute_end_opt(self.profile.as_ref(), worker, start, base);
         let w = &mut self.workers[worker];
         w.compute_free_at = end;
         w.stats.busy_time += end - start;

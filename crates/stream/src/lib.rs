@@ -30,6 +30,8 @@ pub mod multi;
 pub mod workload;
 
 pub use allocator::{weighted_maxmin, JobDemand, MultiJobAllocation};
-pub use metrics::{aggregate_throughput_bound, solo_makespan, stream_report, StreamReport};
+pub use metrics::{
+    aggregate_throughput_bound, solo_makespan, stream_report, StreamReport, TenantReport,
+};
 pub use multi::{MultiJobMaster, StreamConfig, StreamError};
 pub use workload::{ArrivalProcess, JobRequest, TenantSpec, WorkloadSpec};

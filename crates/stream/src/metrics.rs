@@ -22,6 +22,28 @@ use stargemm_sim::{RunStats, Simulator};
 use crate::multi::{MultiJobMaster, StreamConfig};
 use crate::workload::JobRequest;
 
+/// Per-tenant slice of a stream run: the fairness view the aggregate
+/// numbers hide.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct TenantReport {
+    /// Tenant index (order of the workload's `TenantSpec`s).
+    pub tenant: usize,
+    /// The tenant's fairness weight (as carried by its requests).
+    pub weight: f64,
+    /// The tenant's jobs that completed before the run ended.
+    pub completed: usize,
+    /// The tenant's jobs in the stream.
+    pub total: usize,
+    /// Block updates of the tenant's completed jobs per second of run.
+    pub throughput: f64,
+    /// Mean response time over the tenant's completed jobs.
+    pub mean_response: f64,
+    /// Median slowdown over the tenant's completed jobs.
+    pub p50_slowdown: f64,
+    /// 95th percentile slowdown.
+    pub p95_slowdown: f64,
+}
+
 /// Aggregate report over one stream run.
 #[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct StreamReport {
@@ -43,6 +65,8 @@ pub struct StreamReport {
     pub p95_slowdown: f64,
     /// 99th percentile slowdown.
     pub p99_slowdown: f64,
+    /// Per-tenant throughput and slowdown, in tenant order.
+    pub tenants: Vec<TenantReport>,
 }
 
 /// Aggregate steady-state throughput bound of `platform`: the
@@ -95,9 +119,23 @@ pub fn stream_report(
     requests: &[JobRequest],
     stats: &RunStats,
 ) -> StreamReport {
+    #[derive(Default)]
+    struct TenantAcc {
+        responses: Vec<f64>,
+        slowdowns: Vec<f64>,
+        updates: u64,
+        total: usize,
+        weight: f64,
+    }
     let mut solo_cache: BTreeMap<(usize, usize, usize, usize), f64> = BTreeMap::new();
     let mut slowdowns = Vec::new();
     let mut responses = Vec::new();
+    let mut per_tenant: BTreeMap<usize, TenantAcc> = BTreeMap::new();
+    for req in requests {
+        let slot = per_tenant.entry(req.tenant).or_default();
+        slot.weight = req.weight;
+        slot.total += 1;
+    }
     for js in &stats.jobs {
         let Some(response) = js.response_time() else {
             continue;
@@ -112,23 +150,47 @@ pub fn stream_report(
             .or_insert_with(|| solo_makespan(platform, &req.job));
         responses.push(response);
         slowdowns.push(response / solo);
+        let slot = per_tenant.get_mut(&req.tenant).expect("seeded above");
+        slot.responses.push(response);
+        slot.slowdowns.push(response / solo);
+        slot.updates += req.job.total_updates();
     }
     let completed = responses.len();
-    let mean_response = if completed == 0 {
-        f64::NAN
-    } else {
-        responses.iter().sum::<f64>() / completed as f64
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            f64::NAN
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
     };
+    let tenants = per_tenant
+        .into_iter()
+        .map(|(tenant, acc)| TenantReport {
+            tenant,
+            weight: acc.weight,
+            completed: acc.responses.len(),
+            total: acc.total,
+            throughput: if stats.makespan > 0.0 {
+                acc.updates as f64 / stats.makespan
+            } else {
+                f64::NAN
+            },
+            mean_response: mean(&acc.responses),
+            p50_slowdown: quantile(&acc.slowdowns, 0.50),
+            p95_slowdown: quantile(&acc.slowdowns, 0.95),
+        })
+        .collect();
     StreamReport {
         completed,
         total: requests.len(),
         makespan: stats.makespan,
         throughput: stats.throughput(),
         throughput_bound: aggregate_throughput_bound(platform),
-        mean_response,
+        mean_response: mean(&responses),
         p50_slowdown: quantile(&slowdowns, 0.50),
         p95_slowdown: quantile(&slowdowns, 0.95),
         p99_slowdown: quantile(&slowdowns, 0.99),
+        tenants,
     }
 }
 
@@ -188,5 +250,48 @@ mod tests {
         assert!(report.p99_slowdown >= report.p50_slowdown);
         assert!(report.throughput <= report.throughput_bound + 1e-9);
         assert!(report.mean_response > 0.0);
+        // The single tenant's slice covers the whole run.
+        assert_eq!(report.tenants.len(), 1);
+        let t = &report.tenants[0];
+        assert_eq!((t.tenant, t.completed, t.total), (0, 4, 4));
+        assert!((t.throughput - report.throughput).abs() < 1e-9);
+        assert!(t.p50_slowdown >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn per_tenant_slices_partition_the_aggregate() {
+        let reqs = WorkloadSpec {
+            tenants: vec![
+                TenantSpec::new("light", 1.0, vec![Job::new(4, 3, 6, 2)]),
+                TenantSpec::new("heavy", 3.0, vec![Job::new(6, 4, 8, 2)]),
+            ],
+            arrivals: ArrivalProcess::Open {
+                mean_interarrival: 25.0,
+            },
+            jobs: 6,
+            seed: 9,
+        }
+        .generate();
+        let mut policy = MultiJobMaster::new(&platform(), &reqs, StreamConfig::default()).unwrap();
+        let stats = Simulator::new(platform())
+            .with_arrivals(MultiJobMaster::arrival_plan(&reqs))
+            .run(&mut policy)
+            .unwrap();
+        let report = stream_report(&platform(), &reqs, &stats);
+        // Tenant slices are disjoint and exhaustive.
+        assert_eq!(
+            report.tenants.iter().map(|t| t.total).sum::<usize>(),
+            report.total
+        );
+        assert_eq!(
+            report.tenants.iter().map(|t| t.completed).sum::<usize>(),
+            report.completed
+        );
+        // Tenant throughputs sum to the aggregate (same denominator).
+        let sum: f64 = report.tenants.iter().map(|t| t.throughput).sum();
+        assert!((sum - report.throughput).abs() < 1e-9, "{report:?}");
+        // Weights are carried through for the fairness view.
+        let weights: Vec<f64> = report.tenants.iter().map(|t| t.weight).collect();
+        assert_eq!(weights, vec![1.0, 3.0]);
     }
 }

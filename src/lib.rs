@@ -7,6 +7,8 @@
 //! * [`linalg`] — `q × q` block matrices and GEMM kernels,
 //! * [`platform`] — the heterogeneous star-platform model and presets,
 //! * [`lp`] — a small simplex solver for the steady-state bound (Table 1),
+//! * [`netmodel`] — pluggable network-contention models (one-port,
+//!   bounded multi-port, fair-share backbone) shared by both engines,
 //! * [`sim`] — a discrete-event simulator of the one-port star network,
 //! * [`core`] — the paper's scheduling algorithms and baselines,
 //! * [`net`] — a hand-rolled threaded messaging runtime (MPI substitute),
@@ -46,6 +48,7 @@ pub use stargemm_dyn as dynamic;
 pub use stargemm_linalg as linalg;
 pub use stargemm_lp as lp;
 pub use stargemm_net as net;
+pub use stargemm_netmodel as netmodel;
 pub use stargemm_platform as platform;
 pub use stargemm_sim as sim;
 pub use stargemm_stream as stream;

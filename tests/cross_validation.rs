@@ -102,6 +102,54 @@ fn repeated_runs_are_schedule_deterministic() {
     }
 }
 
+/// The contention-model subsystem's cross-engine pin: under a bounded
+/// multi-port model (k = 2 with a binding backbone), the static `Het`
+/// plan realizes the *identical* per-worker schedule in the simulator
+/// and in the threaded runtime (whose `Backbone` throttles real links
+/// to the same shares), and the threaded product is numerically exact.
+#[test]
+fn static_multiport_schedule_is_identical_across_engines() {
+    let (platform, job) = (fixed_platform(), fixed_job());
+    // Backbone below the two fastest links combined, so fair sharing
+    // genuinely kicks in (links are 1e5/5e4/1e5 blocks/s).
+    let spec = stargemm::netmodel::NetModelSpec::BoundedMultiPort {
+        k: 2,
+        backbone: Some(1.5e5),
+    };
+    let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
+    let sim = Simulator::new(platform.clone())
+        .with_netmodel(spec)
+        .run(&mut policy)
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+    let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+    let c0 = BlockMatrix::zeros(job.r, job.s, job.q);
+    let mut c = c0.clone();
+    let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
+    let rt = NetRuntime::new(platform).with_options(NetOptions {
+        time_scale: 1e-6,
+        idle_timeout: Duration::from_secs(20),
+        netmodel: spec,
+        ..Default::default()
+    });
+    let net = rt.run(&mut policy, &a, &b, &mut c).unwrap();
+
+    assert_eq!(sim.chunks, net.chunks);
+    assert_eq!(sim.total_updates, net.total_updates);
+    assert_eq!(sim.blocks_to_workers, net.blocks_to_workers);
+    assert_eq!(sim.blocks_to_master, net.blocks_to_master);
+    for (w, (s, n)) in sim.per_worker.iter().zip(&net.per_worker).enumerate() {
+        assert_eq!(s.chunks_assigned, n.chunks_assigned, "worker {w} chunks");
+        assert_eq!(s.updates, n.updates, "worker {w} updates");
+        assert_eq!(s.blocks_rx, n.blocks_rx, "worker {w} blocks in");
+        assert_eq!(s.blocks_tx, n.blocks_tx, "worker {w} blocks out");
+    }
+    let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+    assert!(report.passed(), "{report:?}");
+}
+
 #[test]
 fn makespans_agree_in_the_communication_dominated_limit() {
     // Model compute is negligible (w = 1e-7 s/update) next to transfer
