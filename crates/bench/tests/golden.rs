@@ -88,6 +88,18 @@ fn exp_stream_smoke_json_is_pinned() {
 }
 
 #[test]
+fn exp_dag_smoke_json_is_pinned() {
+    // Pins the DAG-member integration: bottom-level dispatch order, the
+    // DAG chunk-id namespace, and the mixed-stream deficit accounting
+    // all feed these numbers.
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_dag"),
+        "exp_dag",
+        include_str!("golden/exp_dag.json"),
+    );
+}
+
+#[test]
 fn exp_netmodel_smoke_json_is_pinned() {
     // Also pins the OnePort-through-the-trait refactor: the sweep's
     // one-port rows and the cross-engine schedule counts are exactly the

@@ -22,6 +22,7 @@
 pub mod algorithms;
 pub mod assign;
 pub mod bounds;
+pub mod cpath;
 pub mod estimate;
 pub mod geometry;
 pub mod job;

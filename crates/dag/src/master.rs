@@ -1,0 +1,548 @@
+//! Critical-path-aware dispatch of a DAG job onto the star.
+//!
+//! [`DagMaster`] wraps the generic [`StreamingMaster`] with a *ready
+//! frontier*: tasks whose predecessors have all completed are eligible,
+//! and each `next_action` call first maps eligible tasks onto idle lanes
+//! (HEFT-style — highest *bottom level* first, placed on the worker with
+//! the earliest estimated finish), then delegates fragment streaming to
+//! the inner master. Precedence enforcement is purely a matter of *when*
+//! a task's chunk is enqueued, so both execution engines run DAG jobs
+//! through their existing chunk machinery unchanged.
+//!
+//! A task of width `w` becomes a `1 × w` chunk of the DAG's virtual GEMM
+//! on the task's private column range: `w` C blocks down, one step of
+//! `w` B blocks plus 1 A block, `w` updates, `w` C blocks back. The
+//! [`SimEvent::RetrieveDone`] for that chunk is the task-completion
+//! event that unlocks successors — which also makes crash recovery
+//! uniform: a lost chunk simply re-enters the ready frontier (with a
+//! fresh id) and its successors stay blocked until the retry lands.
+
+use std::collections::HashMap;
+
+use stargemm_core::cpath::best_task_time;
+use stargemm_core::geometry::plan_chunk;
+use stargemm_core::stream::{GeometryAccess, Serving};
+use stargemm_core::{ChunkGeom, Job, StreamingMaster};
+use stargemm_platform::Platform;
+use stargemm_sim::{Action, ChunkId, MasterPolicy, SimCtx, SimEvent, StepId};
+
+use crate::graph::{DagJob, TaskId};
+
+/// A task that fits no worker's memory allowance: its chunk needs
+/// `2·width + 1` buffers and no capacity offers them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InfeasibleTask {
+    /// Label of the offending task.
+    pub task: String,
+    /// Its width in block columns.
+    pub width: usize,
+}
+
+impl std::fmt::Display for InfeasibleTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task {:?} (width {}, needs {} buffers) fits no worker",
+            self.task,
+            self.width,
+            2 * self.width + 1
+        )
+    }
+}
+
+impl std::error::Error for InfeasibleTask {}
+
+/// Lifecycle of one task inside the dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TaskState {
+    /// Some predecessor has not completed.
+    Blocked,
+    /// All predecessors done; waiting for a lane.
+    Ready,
+    /// Its chunk is queued or streaming on a lane.
+    InFlight,
+    /// Retrieved — the result is home.
+    Done,
+}
+
+/// The DAG dispatcher. See the module docs.
+pub struct DagMaster {
+    name: &'static str,
+    dag: DagJob,
+    virt: Job,
+    inner: StreamingMaster,
+    platform: Platform,
+    /// Per-worker buffer allowance (≤ the worker's `m`; the multi-job
+    /// layer hands each tenant a slice of memory).
+    capacity: Vec<usize>,
+    state: Vec<TaskState>,
+    /// Predecessors not yet done, per task.
+    unmet: Vec<usize>,
+    /// Tasks by descending bottom level (ties: ascending id) — the HEFT
+    /// dispatch priority.
+    priority: Vec<TaskId>,
+    /// Bottom level of each task: its best-case time plus the longest
+    /// best-case chain below it.
+    bottom: Vec<f64>,
+    /// Estimated time each lane drains its assigned work.
+    est_free: Vec<f64>,
+    chunk_task: HashMap<ChunkId, TaskId>,
+    /// The live chunk of an in-flight task (re-dispatch after a crash
+    /// allocates a fresh id, so stale ids guard themselves).
+    cur_chunk: Vec<Option<ChunkId>>,
+    next_chunk: ChunkId,
+    completion: Vec<TaskId>,
+    done: usize,
+}
+
+impl DagMaster {
+    /// A dispatcher using each worker's full memory and chunk ids from 0.
+    ///
+    /// # Panics
+    /// Panics when some task fits no worker (see [`DagMaster::with_capacity`]).
+    pub fn new(
+        name: &'static str,
+        platform: &Platform,
+        dag: DagJob,
+        q: usize,
+        window: StepId,
+    ) -> Self {
+        let capacity = platform.workers().iter().map(|s| s.m).collect();
+        Self::with_capacity(name, platform, dag, q, window, capacity, 0)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// A dispatcher with an explicit per-worker buffer allowance and a
+    /// base chunk id — what the multi-tenant layer uses to give each DAG
+    /// job its memory slice and id namespace.
+    ///
+    /// Fails when some task fits no worker under `capacity` (a width-`w`
+    /// task needs `2w + 1` buffers: C + B rows plus one A block).
+    ///
+    /// # Panics
+    /// Panics when `capacity` and the platform disagree in length or
+    /// `window == 0` (via the inner master).
+    pub fn with_capacity(
+        name: &'static str,
+        platform: &Platform,
+        dag: DagJob,
+        q: usize,
+        window: StepId,
+        capacity: Vec<usize>,
+        id_base: ChunkId,
+    ) -> Result<Self, InfeasibleTask> {
+        assert_eq!(capacity.len(), platform.len(), "one allowance per worker");
+        for t in 0..dag.len() {
+            let need = 2 * dag.width(t) + 1;
+            if !capacity.iter().any(|&m| need <= m) {
+                return Err(InfeasibleTask {
+                    task: dag.label(t).to_string(),
+                    width: dag.width(t),
+                });
+            }
+        }
+        let virt = dag.virtual_job(q);
+        let inner = StreamingMaster::new_static(
+            name,
+            virt,
+            vec![Vec::new(); platform.len()],
+            Serving::DemandDriven,
+            window,
+        );
+        // Bottom levels over the best-case task times (reverse topo).
+        let costs = dag.task_costs();
+        let mut bottom = vec![0.0f64; dag.len()];
+        for &v in dag.topo_order().iter().rev() {
+            let below = dag
+                .succs(v)
+                .iter()
+                .map(|&s| bottom[s])
+                .fold(0.0f64, f64::max);
+            bottom[v] = best_task_time(platform, &costs[v]) + below;
+        }
+        let mut priority: Vec<TaskId> = (0..dag.len()).collect();
+        priority.sort_by(|&a, &b| {
+            bottom[b]
+                .partial_cmp(&bottom[a])
+                .expect("finite bottom levels")
+                .then(a.cmp(&b))
+        });
+        let unmet: Vec<usize> = (0..dag.len()).map(|t| dag.preds(t).len()).collect();
+        let state = unmet
+            .iter()
+            .map(|&u| {
+                if u == 0 {
+                    TaskState::Ready
+                } else {
+                    TaskState::Blocked
+                }
+            })
+            .collect();
+        Ok(DagMaster {
+            name,
+            cur_chunk: vec![None; dag.len()],
+            completion: Vec::with_capacity(dag.len()),
+            dag,
+            virt,
+            inner,
+            platform: platform.clone(),
+            state,
+            unmet,
+            priority,
+            bottom,
+            est_free: vec![0.0; capacity.len()],
+            capacity,
+            chunk_task: HashMap::new(),
+            next_chunk: id_base,
+            done: 0,
+        })
+    }
+
+    /// The DAG being executed.
+    pub fn dag(&self) -> &DagJob {
+        &self.dag
+    }
+
+    /// The virtual GEMM the DAG executes as.
+    pub fn virtual_job(&self) -> Job {
+        self.virt
+    }
+
+    /// Bottom level of task `t` (best-case time of `t` plus the longest
+    /// best-case chain below it).
+    pub fn bottom_level(&self, t: TaskId) -> f64 {
+        self.bottom[t]
+    }
+
+    /// Tasks in the order their results were retrieved. After a complete
+    /// run this is a permutation of all tasks and — by construction —
+    /// respects the precedence relation ([`DagJob::is_topological`]).
+    pub fn completion_order(&self) -> &[TaskId] {
+        &self.completion
+    }
+
+    /// Whether every task has completed.
+    pub fn is_complete(&self) -> bool {
+        self.done == self.dag.len()
+    }
+
+    /// Time to run a width-`w` task on worker `i`, port and compute.
+    fn task_time(&self, width: usize, i: usize) -> f64 {
+        let spec = self.platform.worker(i);
+        (3 * width + 1) as f64 * spec.c + width as f64 * spec.w
+    }
+
+    /// Maps ready tasks onto idle lanes, highest bottom level first.
+    fn dispatch(&mut self, ctx: &SimCtx) {
+        for pi in 0..self.priority.len() {
+            let t = self.priority[pi];
+            if self.state[t] != TaskState::Ready {
+                continue;
+            }
+            let width = self.dag.width(t);
+            let need = 2 * width + 1;
+            let mut best: Option<(f64, usize)> = None;
+            for i in 0..self.platform.len() {
+                if !ctx.is_up(i)
+                    || need > self.capacity[i]
+                    || self.inner.queued_chunks(i).next().is_some()
+                {
+                    continue;
+                }
+                let finish = self.est_free[i].max(ctx.now()) + self.task_time(width, i);
+                if best.is_none_or(|(bf, _)| finish < bf) {
+                    best = Some((finish, i));
+                }
+            }
+            let Some((finish, i)) = best else { continue };
+            let id = self.next_chunk;
+            self.next_chunk += 1;
+            let pc = plan_chunk(&self.virt, id, i, 0, self.dag.col0(t), 1, width, 1);
+            self.inner.enqueue_chunk(pc);
+            self.chunk_task.insert(id, t);
+            self.cur_chunk[t] = Some(id);
+            self.state[t] = TaskState::InFlight;
+            self.est_free[i] = finish;
+        }
+    }
+
+    /// Reverts a lost in-flight task to the ready frontier.
+    fn revert(&mut self, chunk: ChunkId) {
+        if let Some(&t) = self.chunk_task.get(&chunk) {
+            if self.cur_chunk[t] == Some(chunk) {
+                self.cur_chunk[t] = None;
+                self.state[t] = TaskState::Ready;
+            }
+        }
+    }
+}
+
+impl GeometryAccess for DagMaster {
+    fn chunk_geom(&self, id: ChunkId) -> Option<ChunkGeom> {
+        self.inner.chunk_geom(id)
+    }
+
+    fn job_dims(&self) -> Job {
+        self.virt
+    }
+}
+
+impl MasterPolicy for DagMaster {
+    fn next_action(&mut self, ctx: &SimCtx) -> Action {
+        self.dispatch(ctx);
+        match self.inner.next_action(ctx) {
+            // The inner master only sees the chunks released so far; it
+            // is "finished" whenever its lanes drain, not when the DAG is.
+            Action::Finished => {
+                if self.is_complete() {
+                    Action::Finished
+                } else {
+                    Action::Wait
+                }
+            }
+            other => other,
+        }
+    }
+
+    fn on_event(&mut self, ev: &SimEvent, ctx: &SimCtx) {
+        match *ev {
+            SimEvent::SendDone { .. }
+            | SimEvent::StepDone { .. }
+            | SimEvent::ChunkComputed { .. } => self.inner.on_event(ev, ctx),
+            SimEvent::RetrieveDone { chunk, .. } => {
+                self.inner.on_event(ev, ctx);
+                if let Some(&t) = self.chunk_task.get(&chunk) {
+                    if self.state[t] != TaskState::Done {
+                        self.state[t] = TaskState::Done;
+                        self.cur_chunk[t] = None;
+                        self.done += 1;
+                        self.completion.push(t);
+                        for si in 0..self.dag.succs(t).len() {
+                            let s = self.dag.succs(t)[si];
+                            self.unmet[s] -= 1;
+                            if self.unmet[s] == 0 && self.state[s] == TaskState::Blocked {
+                                self.state[s] = TaskState::Ready;
+                            }
+                        }
+                    }
+                }
+            }
+            SimEvent::WorkerDown { worker } => {
+                // The lane's queued and active chunks are gone with the
+                // worker; their tasks re-enter the frontier and their
+                // successors stay blocked (`unmet` never decremented).
+                for pc in self.inner.drain_lane(worker) {
+                    self.revert(pc.descr.id);
+                }
+                if let Some(pc) = self.inner.clear_active(worker) {
+                    self.revert(pc.descr.id);
+                }
+                self.est_free[worker] = 0.0;
+            }
+            SimEvent::ChunkLost { worker, chunk } => {
+                // Usually already handled by WorkerDown; clean up both
+                // the lane and the task state if this arrives alone.
+                if self
+                    .inner
+                    .active_chunk_on(worker)
+                    .is_some_and(|pc| pc.descr.id == chunk)
+                {
+                    self.inner.clear_active(worker);
+                } else if self
+                    .inner
+                    .queued_chunks(worker)
+                    .any(|pc| pc.descr.id == chunk)
+                {
+                    let keep: Vec<_> = self
+                        .inner
+                        .drain_lane(worker)
+                        .into_iter()
+                        .filter(|pc| pc.descr.id != chunk)
+                        .collect();
+                    for pc in keep {
+                        self.inner.enqueue_chunk(pc);
+                    }
+                }
+                self.revert(chunk);
+            }
+            SimEvent::WorkerUp { .. }
+            | SimEvent::JobArrived { .. }
+            | SimEvent::JobCompleted { .. } => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskSpec;
+    use crate::lu::lu_dag;
+    use stargemm_core::cpath::dag_makespan_lower_bound;
+    use stargemm_platform::{DynProfile, Trace, WorkerDyn, WorkerSpec};
+    use stargemm_sim::{RunStats, Simulator};
+
+    fn homog(p: usize, m: usize) -> Platform {
+        Platform::homogeneous("test", p, WorkerSpec::new(1.0, 1.0, m))
+    }
+
+    fn diamond() -> DagJob {
+        DagJob::new(
+            "diamond",
+            vec![
+                TaskSpec::new("a", 1, vec![]),
+                TaskSpec::new("b", 2, vec![0]),
+                TaskSpec::new("c", 3, vec![0]),
+                TaskSpec::new("d", 1, vec![1, 2]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn run(policy: &mut DagMaster, platform: Platform) -> RunStats {
+        Simulator::new(platform).run(policy).unwrap()
+    }
+
+    #[test]
+    fn diamond_completes_respecting_precedence_and_bound() {
+        let platform = homog(2, 100);
+        let dag = diamond();
+        let bound = dag_makespan_lower_bound(&platform, &dag.task_costs(), dag.preds_all());
+        let mut p = DagMaster::new("dag", &platform, dag, 4, 2);
+        let stats = run(&mut p, platform);
+        assert!(p.is_complete());
+        assert_eq!(stats.total_updates, 7);
+        assert!(p.dag().is_topological(p.completion_order()));
+        assert!(
+            stats.makespan >= bound - 1e-9,
+            "makespan {} beats bound {bound}",
+            stats.makespan
+        );
+    }
+
+    #[test]
+    fn lu_completion_order_is_topological() {
+        let platform = homog(3, 64);
+        let (dag, _) = lu_dag(4);
+        assert_eq!(dag.len(), 30);
+        let mut p = DagMaster::new("lu4", &platform, dag, 2, 2);
+        let stats = run(&mut p, platform);
+        assert_eq!(stats.total_updates, 30);
+        assert!(p.dag().is_topological(p.completion_order()));
+    }
+
+    #[test]
+    fn bottom_levels_rank_the_critical_chain_first() {
+        let platform = homog(2, 100);
+        let dag = diamond();
+        let p = DagMaster::new("bl", &platform, dag, 4, 2);
+        // Source dominates everything; the wide task (c) outranks b; the
+        // sink is last.
+        assert!(p.bottom_level(0) > p.bottom_level(2));
+        assert!(p.bottom_level(2) > p.bottom_level(1));
+        assert!(p.bottom_level(1) > p.bottom_level(3));
+    }
+
+    #[test]
+    fn single_chain_degenerates_to_the_static_queue_schedule() {
+        // On one worker a chain has no scheduling freedom: the DAG master
+        // must reproduce the sequential static-queue run *exactly*.
+        let platform = homog(1, 100);
+        let dag = DagJob::chain("chain", &[2, 1, 3]);
+        let virt = dag.virtual_job(4);
+        let mut queues = vec![Vec::new()];
+        for t in 0..dag.len() {
+            queues[0].push(plan_chunk(
+                &virt,
+                t as ChunkId,
+                0,
+                0,
+                dag.col0(t),
+                1,
+                dag.width(t),
+                1,
+            ));
+        }
+        let mut base = StreamingMaster::new_static("chain", virt, queues, Serving::DemandDriven, 2);
+        let want = Simulator::new(platform.clone()).run(&mut base).unwrap();
+        let mut p = DagMaster::new("chain", &platform, dag, 4, 2);
+        let got = run(&mut p, platform);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn capacity_gates_task_placement() {
+        // Worker 0 can only hold width-1 tasks (2·1+1 = 3 buffers); the
+        // width-3 task (needs 7) must land on worker 1.
+        let platform = Platform::new(
+            "uneven",
+            vec![WorkerSpec::new(1.0, 1.0, 3), WorkerSpec::new(1.0, 1.0, 100)],
+        );
+        let dag = diamond();
+        let mut p = DagMaster::new("cap", &platform, dag, 4, 2);
+        let stats = run(&mut p, platform);
+        assert!(p.is_complete());
+        // Worker 0 never gets more than width-1 chunks: its retrieved
+        // C-traffic is at most the two width-1 tasks.
+        assert!(stats.per_worker[0].blocks_tx <= 2);
+        assert!(stats.per_worker[1].blocks_tx >= 5);
+    }
+
+    #[test]
+    fn infeasible_width_is_a_typed_error() {
+        let platform = homog(2, 5);
+        let dag = diamond(); // width-3 task needs 7 buffers
+        let err = DagMaster::with_capacity("bad", &platform, dag, 4, 2, vec![5, 5], 0)
+            .err()
+            .expect("must not fit");
+        assert_eq!(err.task, "c");
+        assert_eq!(err.width, 3);
+        assert!(err.to_string().contains("7 buffers"));
+    }
+
+    #[test]
+    fn crash_returns_tasks_to_the_frontier() {
+        // Worker 0 dies early and stays down; every task must still
+        // complete (on worker 1) in a dependency-respecting order.
+        let platform = homog(2, 100);
+        let (dag, _) = lu_dag(3);
+        let n_tasks = dag.len() as u64;
+        let mut p = DagMaster::new("crash", &platform, dag, 2, 2);
+        let profile = DynProfile::new(vec![
+            WorkerDyn::new(
+                Trace::default(),
+                Trace::default(),
+                vec![(4.0, f64::INFINITY)],
+            ),
+            WorkerDyn::stable(),
+        ]);
+        let stats = Simulator::new(platform)
+            .with_profile(profile)
+            .run(&mut p)
+            .unwrap();
+        assert!(p.is_complete());
+        assert_eq!(stats.total_updates, n_tasks);
+        assert!(p.dag().is_topological(p.completion_order()));
+    }
+
+    #[test]
+    fn crash_and_rejoin_still_completes() {
+        let platform = homog(2, 100);
+        let (dag, _) = lu_dag(3);
+        let mut p = DagMaster::new("bounce", &platform, dag, 2, 2);
+        let profile = DynProfile::new(vec![
+            WorkerDyn::new(Trace::default(), Trace::default(), vec![(3.0, 20.0)]),
+            WorkerDyn::stable(),
+        ]);
+        let stats = Simulator::new(platform)
+            .with_profile(profile)
+            .run(&mut p)
+            .unwrap();
+        assert!(p.is_complete());
+        assert!(p.dag().is_topological(p.completion_order()));
+        assert!(stats.makespan > 0.0);
+    }
+}

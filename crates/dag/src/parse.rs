@@ -1,0 +1,290 @@
+//! A minimal text format for DAG job specs, so experiments can run
+//! user-supplied task graphs — the DAG analog of the platform parser.
+//!
+//! Format: one task per non-empty, non-comment line; `#` starts a
+//! comment. Each line is
+//!
+//! ```text
+//! <id> <width> [: <dep-id> <dep-id> ...]
+//! ```
+//!
+//! where `<id>` names the task, `<width>` is its block-column width, and
+//! the ids after the colon are its direct predecessors (forward
+//! references are allowed — a task may depend on one defined later in
+//! the file). Example, a 2×2 tiled LU:
+//!
+//! ```text
+//! # k = 0
+//! f0   1
+//! r01  1 : f0
+//! c10  1 : f0
+//! u11  1 : r01 c10
+//! # k = 1
+//! f1   1 : u11
+//! ```
+//!
+//! Parsing returns typed [`ParseError`]s — duplicate ids, dangling
+//! references, cycles, malformed widths — never panics; the malformed
+//! -input suite in `tests/` pins that guarantee.
+
+use std::collections::HashMap;
+
+use crate::graph::{DagJob, GraphError, TaskSpec};
+
+/// What went wrong on a spec line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The line does not match `<id> <width> [: deps...]`.
+    Syntax(String),
+    /// The width field is not a positive integer.
+    BadWidth(String),
+    /// A task id is defined twice.
+    DuplicateTask(String),
+    /// A dependency names a task the spec never defines.
+    DanglingRef {
+        /// The referencing task.
+        task: String,
+        /// The undefined dependency id.
+        dep: String,
+    },
+    /// The dependency relation has a cycle through the reported task.
+    Cycle(String),
+    /// The spec defines no tasks at all.
+    Empty,
+}
+
+/// Parse failure with line context, mirroring the platform parser.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let loc = |f: &mut std::fmt::Formatter<'_>| {
+            if self.line > 0 {
+                write!(f, "line {}: ", self.line)
+            } else {
+                Ok(())
+            }
+        };
+        loc(f)?;
+        match &self.kind {
+            ParseErrorKind::Syntax(msg) => write!(f, "{msg}"),
+            ParseErrorKind::BadWidth(tok) => {
+                write!(f, "width must be a positive integer, got {tok:?}")
+            }
+            ParseErrorKind::DuplicateTask(id) => write!(f, "task {id:?} defined twice"),
+            ParseErrorKind::DanglingRef { task, dep } => {
+                write!(f, "task {task:?} depends on undefined task {dep:?}")
+            }
+            ParseErrorKind::Cycle(id) => write!(f, "dependency cycle through task {id:?}"),
+            ParseErrorKind::Empty => write!(f, "spec defines no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn fail(line: usize, kind: ParseErrorKind) -> ParseError {
+    ParseError { line, kind }
+}
+
+/// Parses a DAG job spec. `name` labels the resulting job.
+pub fn parse_dag(name: &str, text: &str) -> Result<DagJob, ParseError> {
+    struct Raw {
+        line: usize,
+        id: String,
+        width: usize,
+        deps: Vec<String>,
+    }
+    let mut raws: Vec<Raw> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    for (line0, raw_line) in text.lines().enumerate() {
+        let line = line0 + 1;
+        let content = raw_line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let (head, deps_part) = match content.split_once(':') {
+            Some((h, d)) => (h.trim(), Some(d.trim())),
+            None => (content, None),
+        };
+        let mut toks = head.split_whitespace();
+        let id = toks
+            .next()
+            .ok_or_else(|| {
+                fail(
+                    line,
+                    ParseErrorKind::Syntax("expected `<id> <width> [: deps...]`".into()),
+                )
+            })?
+            .to_string();
+        let width_tok = toks.next().ok_or_else(|| {
+            fail(
+                line,
+                ParseErrorKind::Syntax(format!("task {id:?} is missing its width field")),
+            )
+        })?;
+        if let Some(extra) = toks.next() {
+            return Err(fail(
+                line,
+                ParseErrorKind::Syntax(format!(
+                    "unexpected token {extra:?} before the dependency colon"
+                )),
+            ));
+        }
+        let width: usize = match width_tok.parse() {
+            Ok(w) if w > 0 => w,
+            _ => return Err(fail(line, ParseErrorKind::BadWidth(width_tok.into()))),
+        };
+        if deps_part == Some("") {
+            return Err(fail(
+                line,
+                ParseErrorKind::Syntax(format!("task {id:?} has a colon but no dependencies")),
+            ));
+        }
+        let deps: Vec<String> = deps_part
+            .map(|d| d.split_whitespace().map(str::to_string).collect())
+            .unwrap_or_default();
+        if index.insert(id.clone(), raws.len()).is_some() {
+            return Err(fail(line, ParseErrorKind::DuplicateTask(id)));
+        }
+        raws.push(Raw {
+            line,
+            id,
+            width,
+            deps,
+        });
+    }
+    if raws.is_empty() {
+        return Err(fail(0, ParseErrorKind::Empty));
+    }
+    let mut tasks = Vec::with_capacity(raws.len());
+    for raw in &raws {
+        let mut deps = Vec::with_capacity(raw.deps.len());
+        for dep in &raw.deps {
+            match index.get(dep) {
+                Some(&d) => deps.push(d),
+                None => {
+                    return Err(fail(
+                        raw.line,
+                        ParseErrorKind::DanglingRef {
+                            task: raw.id.clone(),
+                            dep: dep.clone(),
+                        },
+                    ))
+                }
+            }
+        }
+        tasks.push(TaskSpec::new(raw.id.clone(), raw.width, deps));
+    }
+    DagJob::new(name, tasks).map_err(|e| match e {
+        GraphError::Cycle { task } => {
+            let line = raws[index[&task]].line;
+            fail(line, ParseErrorKind::Cycle(task))
+        }
+        // Empty, zero widths and bad indices are caught above; a failure
+        // here would be a parser bug worth hearing about loudly.
+        other => unreachable!("validator rejected a parsed spec: {other}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LU_2X2: &str = "\
+# k = 0
+f0   1
+r01  1 : f0
+c10  1 : f0
+u11  1 : r01 c10
+# k = 1
+f1   1 : u11
+";
+
+    #[test]
+    fn well_formed_spec_parses() {
+        let dag = parse_dag("lu2", LU_2X2).unwrap();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.label(0), "f0");
+        assert_eq!(dag.preds(3), &[1, 2]);
+        assert_eq!(dag.preds(4), &[3]);
+        assert_eq!(dag.total_width(), 5);
+    }
+
+    #[test]
+    fn forward_references_are_allowed() {
+        let dag = parse_dag("fwd", "a 1 : b\nb 2\n").unwrap();
+        assert_eq!(dag.preds(0), &[1]);
+        assert_eq!(dag.topo_order(), &[1, 0]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let dag = parse_dag("c", "\n# header\n  a 1  # trailing\n\n").unwrap();
+        assert_eq!(dag.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected_with_the_line() {
+        let err = parse_dag("d", "a 1\na 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.kind, ParseErrorKind::DuplicateTask("a".into()));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn dangling_refs_are_rejected() {
+        let err = parse_dag("d", "a 1 : ghost\n").unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::DanglingRef {
+                task: "a".into(),
+                dep: "ghost".into()
+            }
+        );
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn cycles_are_rejected_with_a_member_line() {
+        let err = parse_dag("c", "a 1 : c\nb 1 : a\nc 1 : b\n").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Cycle(_)), "{err:?}");
+        assert!(err.line >= 1 && err.line <= 3);
+    }
+
+    #[test]
+    fn malformed_widths_and_syntax_are_rejected() {
+        assert!(matches!(
+            parse_dag("w", "a zero\n").unwrap_err().kind,
+            ParseErrorKind::BadWidth(_)
+        ));
+        assert!(matches!(
+            parse_dag("w", "a 0\n").unwrap_err().kind,
+            ParseErrorKind::BadWidth(_)
+        ));
+        assert!(matches!(
+            parse_dag("w", "a -3\n").unwrap_err().kind,
+            ParseErrorKind::BadWidth(_)
+        ));
+        assert!(matches!(
+            parse_dag("s", "a\n").unwrap_err().kind,
+            ParseErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            parse_dag("s", "a 1 b : c\n").unwrap_err().kind,
+            ParseErrorKind::Syntax(_)
+        ));
+        assert!(matches!(
+            parse_dag("s", "a 1 :\n").unwrap_err().kind,
+            ParseErrorKind::Syntax(_)
+        ));
+        assert_eq!(parse_dag("e", "# nothing\n").unwrap_err().line, 0);
+        assert_eq!(parse_dag("e", "").unwrap_err().kind, ParseErrorKind::Empty);
+    }
+}

@@ -1,0 +1,101 @@
+//! Numerical oracle: a full tiled-LU DAG scheduled through the
+//! discrete-event engine, with the *engine's* completion order replayed
+//! through the real linalg task kernels. The reassembled factors must
+//! match the sequential factorization bitwise and satisfy the residual
+//! bound — pinning that the scheduler's interleavings are all
+//! numerically equivalent to `lu_factor`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stargemm_core::cpath::dag_makespan_lower_bound;
+use stargemm_dag::{lu_dag, lu_replay, DagMaster};
+use stargemm_linalg::lu::{lu_factor, lu_residual, random_diag_dominant};
+use stargemm_platform::{Platform, WorkerSpec};
+use stargemm_sim::Simulator;
+
+fn platform() -> Platform {
+    Platform::new(
+        "lu-oracle",
+        vec![
+            WorkerSpec::new(0.2, 0.1, 40),
+            WorkerSpec::new(0.3, 0.2, 24),
+            WorkerSpec::new(0.5, 0.3, 12),
+        ],
+    )
+}
+
+#[test]
+fn scheduled_lu_matches_the_sequential_factorization() {
+    let platform = platform();
+    let mut rng = StdRng::seed_from_u64(0xDA6);
+    for n in [2usize, 3, 4] {
+        let q = 3;
+        let (dag, kinds) = lu_dag(n);
+        let costs = dag.task_costs();
+        let bound = dag_makespan_lower_bound(&platform, &costs, dag.preds_all());
+
+        let mut master = DagMaster::new("lu-oracle", &platform, dag, q, 2);
+        let stats = Simulator::new(platform.clone()).run(&mut master).unwrap();
+        assert!(master.is_complete(), "n={n}");
+        assert_eq!(stats.total_updates, master.dag().total_updates());
+        assert!(
+            stats.makespan >= bound - 1e-9,
+            "n={n}: makespan {} beats the critical-path bound {bound}",
+            stats.makespan
+        );
+
+        let order = master.completion_order();
+        assert!(master.dag().is_topological(order), "n={n}: {order:?}");
+
+        // Replay the engine's completion order on real data.
+        let a0 = random_diag_dominant(n, q, &mut rng);
+        let mut seq = a0.clone();
+        lu_factor(&mut seq).unwrap();
+        let mut scheduled = a0.clone();
+        lu_replay(&mut scheduled, &kinds, order).unwrap();
+        assert_eq!(
+            scheduled.max_abs_diff(&seq),
+            0.0,
+            "n={n}: scheduled factorization diverged from lu_factor"
+        );
+        let res = lu_residual(&a0, &scheduled);
+        assert!(res < 1e-9, "n={n}: residual {res}");
+    }
+}
+
+#[test]
+fn crashed_lu_run_still_factors_exactly() {
+    // A worker dies mid-run; the recovered schedule's completion order
+    // must still replay to the exact factors.
+    use stargemm_platform::{DynProfile, Trace, WorkerDyn};
+    let platform = platform();
+    let n = 4;
+    let q = 3;
+    let (dag, kinds) = lu_dag(n);
+    let mut master = DagMaster::new("lu-crash", &platform, dag, q, 2);
+    let profile = DynProfile::new(vec![
+        WorkerDyn::new(
+            Trace::default(),
+            Trace::default(),
+            vec![(10.0, f64::INFINITY)],
+        ),
+        WorkerDyn::stable(),
+        WorkerDyn::stable(),
+    ]);
+    Simulator::new(platform.clone())
+        .with_profile(profile)
+        .run(&mut master)
+        .unwrap();
+    assert!(master.is_complete());
+    let order = master.completion_order();
+    assert!(master.dag().is_topological(order));
+
+    let mut rng = StdRng::seed_from_u64(0xC4A5);
+    let a0 = random_diag_dominant(n, q, &mut rng);
+    let mut seq = a0.clone();
+    lu_factor(&mut seq).unwrap();
+    let mut scheduled = a0.clone();
+    lu_replay(&mut scheduled, &kinds, order).unwrap();
+    assert_eq!(scheduled.max_abs_diff(&seq), 0.0);
+    assert!(lu_residual(&a0, &scheduled) < 1e-9);
+}

@@ -34,9 +34,28 @@ impl std::error::Error for SingularPivot {}
 
 const PIVOT_TOL: f64 = 1e-12;
 
+/// The *trailing-update* task: `C ← C − L·U` for one block, with exactly
+/// the operation order [`lu_factor`] uses (accumulate the product into a
+/// scratch block, then subtract element-wise), so a DAG replay of the
+/// trailing updates is bitwise-identical to the sequential algorithm.
+pub fn lu_update(c: &mut Block, l: &Block, u: &Block) {
+    let q = c.q();
+    let mut neg = vec![0.0; q * q];
+    gemm_tiled(q, &mut neg, l.as_slice(), u.as_slice());
+    for (ci, ni) in c.as_mut_slice().iter_mut().zip(&neg) {
+        *ci -= ni;
+    }
+}
+
 /// In-place scalar LU of one block: `A = L·U` with unit diagonal `L`
-/// stored in the strict lower triangle.
-fn lu_block(a: &mut Block, block_offset: usize) -> Result<(), SingularPivot> {
+/// stored in the strict lower triangle — the *panel factorization* task
+/// of the tiled-LU DAG (`stargemm-dag` replays completion orders through
+/// these task kernels; [`lu_factor`] calls the very same ones, so any
+/// dependency-respecting task order reproduces its result bitwise).
+///
+/// `block_offset` is the global scalar index of the block's first row,
+/// used only to report singular pivots.
+pub fn lu_factor_block(a: &mut Block, block_offset: usize) -> Result<(), SingularPivot> {
     let q = a.q();
     for k in 0..q {
         let piv = a.get(k, k);
@@ -58,8 +77,8 @@ fn lu_block(a: &mut Block, block_offset: usize) -> Result<(), SingularPivot> {
 }
 
 /// Solves `L · X = B` in place (`L` unit lower triangular from a
-/// factored pivot block): the row-panel update.
-fn trsm_lower(l: &Block, b: &mut Block) {
+/// factored pivot block): the *row-panel triangular-solve* task.
+pub fn lu_trsm_lower(l: &Block, b: &mut Block) {
     let q = l.q();
     for j in 0..q {
         for i in 0..q {
@@ -73,8 +92,8 @@ fn trsm_lower(l: &Block, b: &mut Block) {
 }
 
 /// Solves `X · U = B` in place (`U` upper triangular from a factored
-/// pivot block): the column-panel update.
-fn trsm_upper(u: &Block, b: &mut Block) -> Result<(), SingularPivot> {
+/// pivot block): the *column-panel triangular-solve* task.
+pub fn lu_trsm_upper(u: &Block, b: &mut Block) -> Result<(), SingularPivot> {
     let q = u.q();
     for i in 0..q {
         for j in 0..q {
@@ -108,18 +127,18 @@ pub fn lu_factor(a: &mut BlockMatrix) -> Result<(), SingularPivot> {
     for k in 0..n {
         // Factor the pivot block.
         let mut pivot = a.block(k, k).clone();
-        lu_block(&mut pivot, k * q)?;
+        lu_factor_block(&mut pivot, k * q)?;
         a.set_block(k, k, pivot.clone());
         // Row panel: U(k, j) = L(k,k)^-1 A(k, j).
         for j in k + 1..n {
             let mut b = a.block(k, j).clone();
-            trsm_lower(&pivot, &mut b);
+            lu_trsm_lower(&pivot, &mut b);
             a.set_block(k, j, b);
         }
         // Column panel: L(i, k) = A(i, k) U(k,k)^-1.
         for i in k + 1..n {
             let mut b = a.block(i, k).clone();
-            trsm_upper(&pivot, &mut b)?;
+            lu_trsm_upper(&pivot, &mut b)?;
             a.set_block(i, k, b);
         }
         // Trailing update: A(i, j) -= L(i, k) · U(k, j) — the block
@@ -128,12 +147,7 @@ pub fn lu_factor(a: &mut BlockMatrix) -> Result<(), SingularPivot> {
             let l_ik = a.block(i, k).clone();
             for j in k + 1..n {
                 let u_kj = a.block(k, j).clone();
-                let c = a.block_mut(i, j);
-                let mut neg = vec![0.0; q * q];
-                gemm_tiled(q, &mut neg, l_ik.as_slice(), u_kj.as_slice());
-                for (ci, ni) in c.as_mut_slice().iter_mut().zip(&neg) {
-                    *ci -= ni;
-                }
+                lu_update(a.block_mut(i, j), &l_ik, &u_kj);
             }
         }
     }
@@ -197,7 +211,7 @@ mod tests {
     fn one_block_lu_matches_hand_example() {
         // A = [4 3; 6 3] → L = [1 0; 1.5 1], U = [4 3; 0 -1.5].
         let mut a = Block::from_vec(2, vec![4.0, 3.0, 6.0, 3.0]);
-        lu_block(&mut a, 0).unwrap();
+        lu_factor_block(&mut a, 0).unwrap();
         assert!((a.get(1, 0) - 1.5).abs() < 1e-12);
         assert!((a.get(1, 1) + 1.5).abs() < 1e-12);
         assert_eq!(a.get(0, 0), 4.0);
@@ -207,7 +221,7 @@ mod tests {
     #[test]
     fn singular_pivot_is_reported() {
         let mut a = Block::from_vec(2, vec![0.0, 1.0, 1.0, 0.0]);
-        let err = lu_block(&mut a, 6).unwrap_err();
+        let err = lu_factor_block(&mut a, 6).unwrap_err();
         assert_eq!(err.index, 6);
     }
 

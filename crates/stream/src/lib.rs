@@ -15,8 +15,10 @@
 //!   [`MasterPolicy`](stargemm_sim::MasterPolicy) that time-shares the
 //!   one-port star between admitted jobs (deficit scheduling against the
 //!   LP shares), keeps a FIFO admission backlog, statically partitions
-//!   each worker's memory between job slots, and recovers chunks lost to
-//!   worker crashes on dynamic platforms;
+//!   each worker's memory between job slots, recovers chunks lost to
+//!   worker crashes on dynamic platforms, and admits DAG-structured jobs
+//!   (`stargemm-dag`) as ready-frontier members next to plain GEMM
+//!   tenants ([`multi::MultiJobMaster::with_dags`]);
 //! * [`metrics`] — per-job response time and slowdown against a solo
 //!   baseline, quantiles, and the aggregate steady-state throughput
 //!   bound no schedule can beat.
@@ -33,5 +35,5 @@ pub use allocator::{weighted_maxmin, JobDemand, MultiJobAllocation};
 pub use metrics::{
     aggregate_throughput_bound, solo_makespan, stream_report, StreamReport, TenantReport,
 };
-pub use multi::{MultiJobMaster, StreamConfig, StreamError};
+pub use multi::{MultiJobMaster, StreamConfig, StreamError, DAG_ID_BASE, DAG_ID_SPAN};
 pub use workload::{ArrivalProcess, JobRequest, TenantSpec, WorkloadSpec};

@@ -26,18 +26,37 @@
 //!   drained and lost regions re-planned onto surviving workers (split
 //!   to fit their partitioned sides), mirroring `stargemm-dyn`'s
 //!   recovery; regions nobody can host are parked until a rejoin.
+//! * **DAG jobs.** A request registered with a [`DagJob`]
+//!   ([`MultiJobMaster::with_dags`]) is admitted as a
+//!   [`DagMaster`] member instead of a plain chunk-queue member: its
+//!   ready frontier replaces linear chunk lanes, its chunk ids come from
+//!   a private namespace above [`DAG_ID_BASE`], and crashes are healed
+//!   by the member itself (lost tasks re-enter the frontier; successors
+//!   stay blocked). Deficit accounting, LP shares, memory partitioning
+//!   and completion all work identically for both member kinds.
 
 use std::collections::{HashMap, VecDeque};
 
 use stargemm_core::geometry::{carve_strip, plan_chunk, ChunkGeom, PlannedChunk};
 use stargemm_core::layout::mu_with_window;
-use stargemm_core::stream::{Serving, StreamingMaster};
+use stargemm_core::stream::{GeometryAccess, Serving, StreamingMaster};
 use stargemm_core::Job;
+use stargemm_dag::{DagJob, DagMaster, TaskId};
 use stargemm_platform::Platform;
 use stargemm_sim::{Action, ChunkId, JobId, MasterPolicy, SimCtx, SimEvent, StepId};
 
 use crate::allocator::{weighted_maxmin, JobDemand};
 use crate::workload::JobRequest;
+
+/// First chunk id of the DAG namespace: DAG members draw their ids from
+/// `DAG_ID_BASE + job_id · DAG_ID_SPAN`, far above anything the GEMM
+/// carving counter reaches, so ownership of a chunk is decidable from
+/// its id alone.
+pub const DAG_ID_BASE: ChunkId = 0x4000_0000;
+
+/// Ids reserved per DAG job (bounds re-dispatches after crashes, not
+/// task count — a job re-planning a task gets a fresh id).
+pub const DAG_ID_SPAN: ChunkId = 0x0010_0000;
 
 /// Tuning of the multi-job master.
 #[derive(Clone, Copy, Debug)]
@@ -83,6 +102,57 @@ impl std::fmt::Display for StreamError {
 
 impl std::error::Error for StreamError {}
 
+/// The policy executing one admitted job's chunks.
+enum Member {
+    /// A plain GEMM: static per-worker chunk queues.
+    Gemm(Box<StreamingMaster>),
+    /// A DAG job: ready-frontier dispatch with its own id namespace.
+    Dag(Box<DagMaster>),
+}
+
+impl Member {
+    fn next_action(&mut self, ctx: &SimCtx) -> Action {
+        match self {
+            Member::Gemm(m) => m.next_action(ctx),
+            Member::Dag(m) => m.next_action(ctx),
+        }
+    }
+
+    fn on_event(&mut self, ev: &SimEvent, ctx: &SimCtx) {
+        match self {
+            Member::Gemm(m) => m.on_event(ev, ctx),
+            Member::Dag(m) => m.on_event(ev, ctx),
+        }
+    }
+
+    fn geom(&self, id: ChunkId) -> Option<ChunkGeom> {
+        match self {
+            Member::Gemm(m) => m.geom(id).copied(),
+            Member::Dag(m) => m.chunk_geom(id),
+        }
+    }
+
+    fn is_dag(&self) -> bool {
+        matches!(self, Member::Dag(_))
+    }
+
+    /// The GEMM master behind this member — queue-surgery recovery is
+    /// only ever invoked on GEMM members (DAG members self-heal).
+    fn as_gemm_mut(&mut self) -> &mut StreamingMaster {
+        match self {
+            Member::Gemm(m) => m,
+            Member::Dag(_) => unreachable!("queue surgery on a DAG member"),
+        }
+    }
+
+    fn as_gemm(&self) -> &StreamingMaster {
+        match self {
+            Member::Gemm(m) => m,
+            Member::Dag(_) => unreachable!("queue surgery on a DAG member"),
+        }
+    }
+}
+
 /// One admitted, in-flight job.
 struct ActiveJob {
     id: JobId,
@@ -91,7 +161,7 @@ struct ActiveJob {
     /// Per-worker chunk sides under the partitioned layout (0 = worker
     /// cannot serve this job).
     sides: Vec<usize>,
-    inner: StreamingMaster,
+    member: Member,
     /// Port seconds this job has been charged so far (deficit counter).
     port_used: f64,
     /// Port share from the allocator (fallback: the tenant weight).
@@ -133,6 +203,10 @@ pub struct MultiJobMaster {
     shares_dirty: bool,
     /// Retrieved chunk geometries per job (coverage audits).
     retrieved: HashMap<JobId, Vec<ChunkGeom>>,
+    /// Task graphs of the requests that are DAG jobs.
+    dag_specs: HashMap<JobId, DagJob>,
+    /// Task completion orders of finished DAG jobs.
+    dag_completions: HashMap<JobId, Vec<TaskId>>,
     stats: StreamStats,
 }
 
@@ -158,14 +232,59 @@ impl MultiJobMaster {
         requests: &[JobRequest],
         cfg: StreamConfig,
     ) -> Result<Self, StreamError> {
+        Self::with_dags(platform, requests, Vec::new(), cfg)
+    }
+
+    /// A master for a stream mixing plain GEMM jobs and DAG jobs: each
+    /// `(id, dag)` pair turns the request with that id into a DAG member.
+    /// The request's `job` must equal `dag.virtual_job(q)` for its block
+    /// side `q` — the DAG's schedule *is* a schedule of that GEMM.
+    ///
+    /// # Panics
+    /// Panics on zero slots, a zero window, duplicate job ids, a DAG for
+    /// an unknown request, a DAG job id outside the id namespace, or a
+    /// DAG/job dimension mismatch.
+    pub fn with_dags(
+        platform: &Platform,
+        requests: &[JobRequest],
+        dags: Vec<(JobId, DagJob)>,
+        cfg: StreamConfig,
+    ) -> Result<Self, StreamError> {
         assert!(cfg.slots >= 1, "at least one job slot is required");
         assert!(cfg.window >= 1, "window must be at least 1 step");
+        let mut dag_specs = HashMap::new();
+        for (id, dag) in dags {
+            assert!(
+                requests.iter().any(|r| r.id == id),
+                "DAG registered for unknown job {id}"
+            );
+            assert!(
+                (id as ChunkId) < (ChunkId::MAX - DAG_ID_BASE) / DAG_ID_SPAN,
+                "job id {id} outside the DAG chunk-id namespace"
+            );
+            let prev = dag_specs.insert(id, dag);
+            assert!(prev.is_none(), "duplicate DAG for job {id}");
+        }
         let mut by_id = HashMap::new();
         for r in requests {
-            if partitioned_sides(platform, &r.job, &cfg)
-                .iter()
-                .all(|&s| s == 0)
-            {
+            let feasible = match dag_specs.get(&r.id) {
+                Some(dag) => {
+                    assert_eq!(
+                        r.job,
+                        dag.virtual_job(r.job.q),
+                        "job {} does not match its DAG's virtual GEMM",
+                        r.id
+                    );
+                    // Every task must fit some worker's memory slice.
+                    let caps: Vec<usize> =
+                        platform.workers().iter().map(|s| s.m / cfg.slots).collect();
+                    (0..dag.len()).all(|t| caps.iter().any(|&m| 2 * dag.width(t) < m))
+                }
+                None => partitioned_sides(platform, &r.job, &cfg)
+                    .iter()
+                    .any(|&s| s > 0),
+            };
+            if !feasible {
                 return Err(StreamError::Infeasible { job: r.id });
             }
             let prev = by_id.insert(r.id, *r);
@@ -184,6 +303,8 @@ impl MultiJobMaster {
             up: vec![true; platform.len()],
             shares_dirty: false,
             retrieved: HashMap::new(),
+            dag_specs,
+            dag_completions: HashMap::new(),
             stats: StreamStats::default(),
         })
     }
@@ -210,9 +331,38 @@ impl MultiJobMaster {
         &self.completed
     }
 
+    /// The task graph registered for `job`, if it is a DAG job.
+    pub fn dag_spec(&self, job: JobId) -> Option<&DagJob> {
+        self.dag_specs.get(&job)
+    }
+
+    /// Task completion order of a *finished* DAG job — a topological
+    /// order of its graph by construction (tests assert it).
+    pub fn dag_completion_order(&self, job: JobId) -> &[TaskId] {
+        self.dag_completions.get(&job).map_or(&[], Vec::as_slice)
+    }
+
     // ------------------------------------------------------------------
     // Admission and planning.
     // ------------------------------------------------------------------
+
+    /// Per-worker "sides" of a DAG job for the allocator: the widest
+    /// task half-width each worker's memory slice accommodates, capped
+    /// at the DAG's widest task (0 = the worker serves no task at all).
+    fn dag_sides(&self, dag: &DagJob) -> Vec<usize> {
+        self.platform
+            .workers()
+            .iter()
+            .map(|s| {
+                let cap = s.m / self.cfg.slots;
+                if cap < 3 {
+                    0
+                } else {
+                    ((cap - 1) / 2).min(dag.max_width())
+                }
+            })
+            .collect()
+    }
 
     /// Admits backlog jobs FIFO while slots are free and the head job
     /// has a live worker to run on.
@@ -222,7 +372,10 @@ impl MultiJobMaster {
                 return;
             };
             let req = self.requests[&id];
-            let sides = partitioned_sides(&self.platform, &req.job, &self.cfg);
+            let sides = match self.dag_specs.get(&id) {
+                Some(dag) => self.dag_sides(dag),
+                None => partitioned_sides(&self.platform, &req.job, &self.cfg),
+            };
             if !sides.iter().enumerate().any(|(w, &s)| s > 0 && self.up[w]) {
                 // Head-of-line job has no live host right now; admission
                 // resumes when a worker rejoins (FIFO is kept — jobs are
@@ -230,17 +383,46 @@ impl MultiJobMaster {
                 return;
             }
             self.backlog.pop_front();
-            let queues = carve_queues(&req.job, &sides, &self.up, &mut self.next_chunk_id);
-            for pc in queues.iter().flatten() {
-                self.owner.insert(pc.geom.id, id);
-            }
-            let inner = StreamingMaster::new_static(
-                "stream-member",
-                req.job,
-                queues,
-                Serving::DemandDriven,
-                self.cfg.window,
-            );
+            let member = match self.dag_specs.get(&id) {
+                Some(dag) => {
+                    let caps: Vec<usize> = self
+                        .platform
+                        .workers()
+                        .iter()
+                        .map(|s| s.m / self.cfg.slots)
+                        .collect();
+                    let id_base = DAG_ID_BASE + id * DAG_ID_SPAN;
+                    Member::Dag(Box::new(
+                        DagMaster::with_capacity(
+                            "stream-member-dag",
+                            &self.platform,
+                            dag.clone(),
+                            req.job.q,
+                            self.cfg.window,
+                            caps,
+                            id_base,
+                        )
+                        .expect("feasibility was validated at construction"),
+                    ))
+                }
+                None => {
+                    let queues = carve_queues(&req.job, &sides, &self.up, &mut self.next_chunk_id);
+                    debug_assert!(
+                        self.next_chunk_id < DAG_ID_BASE,
+                        "GEMM chunk ids ran into the DAG namespace"
+                    );
+                    for pc in queues.iter().flatten() {
+                        self.owner.insert(pc.geom.id, id);
+                    }
+                    Member::Gemm(Box::new(StreamingMaster::new_static(
+                        "stream-member",
+                        req.job,
+                        queues,
+                        Serving::DemandDriven,
+                        self.cfg.window,
+                    )))
+                }
+            };
             // A newcomer starts at the lowest existing deficit so it
             // cannot monopolize the port to "catch up" on time it was
             // never entitled to.
@@ -259,7 +441,7 @@ impl MultiJobMaster {
                 weight: req.weight,
                 job: req.job,
                 sides,
-                inner,
+                member,
                 port_used,
                 share: req.weight,
                 stranded: Vec::new(),
@@ -312,7 +494,12 @@ impl MultiJobMaster {
                 continue;
             }
             for j in 0..self.active.len() {
-                let orphans: Vec<PlannedChunk> = self.active[j].inner.drain_lane(w);
+                if self.active[j].member.is_dag() {
+                    // DAG members never dispatch to a downed worker and
+                    // heal their own lanes on WorkerDown.
+                    continue;
+                }
+                let orphans: Vec<PlannedChunk> = self.active[j].member.as_gemm_mut().drain_lane(w);
                 for pc in orphans {
                     self.replan(j, pc.geom);
                 }
@@ -348,7 +535,7 @@ impl MultiJobMaster {
                 self.next_chunk_id += 1;
                 let pc = plan_chunk(&job, id, target, i0, j0, h, w, geom.k_depth);
                 self.owner.insert(id, owner_id);
-                self.active[j].inner.enqueue_chunk(pc);
+                self.active[j].member.as_gemm_mut().enqueue_chunk(pc);
                 self.stats.reassigned_chunks += 1;
                 j0 += w;
             }
@@ -360,15 +547,22 @@ impl MultiJobMaster {
     /// load proxy replanning balances against.
     fn queued_updates(&self, j: usize, w: usize) -> u64 {
         self.active[j]
-            .inner
+            .member
+            .as_gemm()
             .queued_chunks(w)
             .map(|pc| pc.descr.total_updates())
             .sum()
     }
 
-    /// Index of the active job owning `chunk`, if it is active.
+    /// Index of the active job owning `chunk`, if it is active. DAG
+    /// chunks carry their owner in the id itself (the namespace slot);
+    /// GEMM chunks are looked up in the owner map.
     fn active_index_of(&self, chunk: ChunkId) -> Option<usize> {
-        let job = *self.owner.get(&chunk)?;
+        let job = if chunk >= DAG_ID_BASE {
+            (chunk - DAG_ID_BASE) / DAG_ID_SPAN
+        } else {
+            *self.owner.get(&chunk)?
+        };
         self.active.iter().position(|a| a.id == job)
     }
 }
@@ -419,7 +613,7 @@ impl MasterPolicy for MultiJobMaster {
 
         let mut finished: Option<usize> = None;
         for i in order {
-            match self.active[i].inner.next_action(ctx) {
+            match self.active[i].member.next_action(ctx) {
                 Action::Send {
                     worker,
                     fragment,
@@ -427,7 +621,8 @@ impl MasterPolicy for MultiJobMaster {
                 } => {
                     debug_assert!(self.up[worker], "member offered a downed lane");
                     debug_assert!(
-                        new_chunk.is_none_or(|d| self.owner.contains_key(&d.id)),
+                        new_chunk
+                            .is_none_or(|d| d.id >= DAG_ID_BASE || self.owner.contains_key(&d.id)),
                         "chunk planned without an owner"
                     );
                     self.active[i].port_used +=
@@ -440,7 +635,7 @@ impl MasterPolicy for MultiJobMaster {
                 }
                 Action::Retrieve { worker, chunk } => {
                     let blocks = self.active[i]
-                        .inner
+                        .member
                         .geom(chunk)
                         .map_or(0, |g| (g.h * g.w) as u64);
                     self.active[i].port_used += blocks as f64 * self.platform.worker(worker).c;
@@ -461,6 +656,10 @@ impl MasterPolicy for MultiJobMaster {
 
         if let Some(i) = finished {
             let done = self.active.remove(i);
+            if let Member::Dag(d) = &done.member {
+                self.dag_completions
+                    .insert(done.id, d.completion_order().to_vec());
+            }
             self.completed.push(done.id);
             self.stats.completed += 1;
             self.shares_dirty = true;
@@ -487,31 +686,38 @@ impl MasterPolicy for MultiJobMaster {
             SimEvent::JobCompleted { .. } => {} // bookkept at issuance
             SimEvent::SendDone { fragment, .. } => {
                 if let Some(i) = self.active_index_of(fragment.chunk) {
-                    self.active[i].inner.on_event(ev, ctx);
+                    self.active[i].member.on_event(ev, ctx);
                 }
             }
             SimEvent::StepDone { chunk, .. } | SimEvent::ChunkComputed { chunk, .. } => {
                 if let Some(i) = self.active_index_of(chunk) {
-                    self.active[i].inner.on_event(ev, ctx);
+                    self.active[i].member.on_event(ev, ctx);
                 }
             }
             SimEvent::RetrieveDone { chunk, .. } => {
                 if let Some(i) = self.active_index_of(chunk) {
                     let id = self.active[i].id;
-                    if let Some(g) = self.active[i].inner.geom(chunk).copied() {
+                    if let Some(g) = self.active[i].member.geom(chunk) {
                         self.retrieved.entry(id).or_default().push(g);
                     }
-                    self.active[i].inner.on_event(ev, ctx);
+                    self.active[i].member.on_event(ev, ctx);
                 }
             }
             SimEvent::WorkerDown { worker } => {
                 self.up[worker] = false;
                 for j in 0..self.active.len() {
+                    if self.active[j].member.is_dag() {
+                        // The DAG member returns its lost tasks to the
+                        // ready frontier itself.
+                        self.active[j].member.on_event(ev, ctx);
+                        continue;
+                    }
                     // Unsent chunks survive on the master: re-plan them
                     // right away. The active chunk's loss arrives as its
                     // own ChunkLost event.
-                    let orphans: Vec<PlannedChunk> = self.active[j].inner.drain_lane(worker);
-                    self.active[j].inner.clear_active(worker);
+                    let gemm = self.active[j].member.as_gemm_mut();
+                    let orphans: Vec<PlannedChunk> = gemm.drain_lane(worker);
+                    gemm.clear_active(worker);
                     for pc in orphans {
                         self.replan(j, pc.geom);
                     }
@@ -521,6 +727,10 @@ impl MasterPolicy for MultiJobMaster {
             SimEvent::WorkerUp { worker } => {
                 self.up[worker] = true;
                 for j in 0..self.active.len() {
+                    if self.active[j].member.is_dag() {
+                        self.active[j].member.on_event(ev, ctx);
+                        continue;
+                    }
                     let stranded = std::mem::take(&mut self.active[j].stranded);
                     for geom in stranded {
                         self.replan(j, geom);
@@ -532,16 +742,20 @@ impl MasterPolicy for MultiJobMaster {
                 let Some(i) = self.active_index_of(chunk) else {
                     return;
                 };
-                let Some(geom) = self.active[i].inner.geom(chunk).copied() else {
+                if self.active[i].member.is_dag() {
+                    self.active[i].member.on_event(ev, ctx);
+                    return;
+                }
+                let Some(geom) = self.active[i].member.geom(chunk) else {
                     return;
                 };
                 // If the lost chunk was being streamed, stop feeding it.
-                if self.active[i]
-                    .inner
+                let gemm = self.active[i].member.as_gemm_mut();
+                if gemm
                     .active_chunk_on(geom.worker)
                     .is_some_and(|pc| pc.descr.id == chunk)
                 {
-                    self.active[i].inner.clear_active(geom.worker);
+                    gemm.clear_active(geom.worker);
                 }
                 self.replan(i, geom);
             }
@@ -711,6 +925,129 @@ mod tests {
         };
         assert_eq!(err, StreamError::Infeasible { job: 0 });
         assert!(err.to_string().contains("job 0"));
+    }
+
+    fn lu_request(id: u32, q: usize, arrival: f64) -> (JobRequest, (JobId, DagJob)) {
+        let (dag, _) = stargemm_dag::lu_dag(3);
+        let job = dag.virtual_job(q);
+        (
+            JobRequest {
+                id,
+                tenant: 0,
+                weight: 1.0,
+                job,
+                arrival,
+            },
+            (id, dag),
+        )
+    }
+
+    #[test]
+    fn mixed_dag_and_gemm_stream_completes() {
+        let platform = platform();
+        let mut reqs = workload(3, 7, 12.0);
+        let (dag_req, pair) = lu_request(100, 2, 5.0);
+        reqs.push(dag_req);
+        let mut policy =
+            MultiJobMaster::with_dags(&platform, &reqs, vec![pair], StreamConfig::default())
+                .unwrap();
+        let stats = Simulator::new(platform.clone())
+            .with_arrivals(MultiJobMaster::arrival_plan(&reqs))
+            .run(&mut policy)
+            .unwrap();
+        assert_eq!(stats.jobs.len(), 4);
+        assert!(stats.jobs.iter().all(|j| j.completion.is_some()));
+        // GEMM members still tile their jobs exactly.
+        for r in &reqs {
+            validate_coverage(&r.job, policy.retrieved_geoms(r.id)).unwrap();
+        }
+        // The DAG member finished every task in a dependency-respecting
+        // order.
+        let order = policy.dag_completion_order(100);
+        let dag = policy.dag_spec(100).unwrap();
+        assert!(dag.is_topological(order), "{order:?}");
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic() {
+        let platform = platform();
+        let mut reqs = workload(4, 13, 8.0);
+        let (dag_req, pair) = lu_request(200, 2, 0.0);
+        reqs.push(dag_req);
+        let go = || {
+            let mut policy = MultiJobMaster::with_dags(
+                &platform,
+                &reqs,
+                vec![pair.clone()],
+                StreamConfig::default(),
+            )
+            .unwrap();
+            let stats = Simulator::new(platform.clone())
+                .with_arrivals(MultiJobMaster::arrival_plan(&reqs))
+                .run(&mut policy)
+                .unwrap();
+            let order = policy.dag_completion_order(200).to_vec();
+            (stats, order)
+        };
+        let (a, oa) = go();
+        let (b, ob) = go();
+        assert_eq!(a, b);
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn dag_job_survives_a_worker_crash() {
+        use stargemm_platform::{DynProfile, Trace, WorkerDyn};
+        let platform = platform();
+        let (dag_req, pair) = lu_request(7, 2, 0.0);
+        let reqs = vec![dag_req];
+        let mut policy =
+            MultiJobMaster::with_dags(&platform, &reqs, vec![pair], StreamConfig::default())
+                .unwrap();
+        let profile = DynProfile::new(vec![
+            WorkerDyn::new(
+                Trace::default(),
+                Trace::default(),
+                vec![(2.0, f64::INFINITY)],
+            ),
+            WorkerDyn::stable(),
+            WorkerDyn::stable(),
+        ]);
+        let stats = Simulator::new(platform.clone())
+            .with_arrivals(MultiJobMaster::arrival_plan(&reqs))
+            .with_profile(profile)
+            .run(&mut policy)
+            .unwrap();
+        assert_eq!(stats.jobs.len(), 1);
+        assert!(stats.jobs[0].completion.is_some());
+        let order = policy.dag_completion_order(7);
+        let dag = policy.dag_spec(7).unwrap();
+        assert_eq!(order.len(), dag.len());
+        assert!(dag.is_topological(order), "{order:?}");
+    }
+
+    #[test]
+    fn infeasible_dag_task_is_rejected_up_front() {
+        // Widest worker slice is 60/2 = 30 buffers; a width-15 task
+        // needs 31 — infeasible under 2 slots.
+        let chain = DagJob::chain("wide", &[15]);
+        let job = chain.virtual_job(2);
+        let reqs = vec![JobRequest {
+            id: 0,
+            tenant: 0,
+            weight: 1.0,
+            job,
+            arrival: 0.0,
+        }];
+        let err = MultiJobMaster::with_dags(
+            &platform(),
+            &reqs,
+            vec![(0, chain)],
+            StreamConfig::default(),
+        )
+        .err()
+        .expect("wide task must not fit");
+        assert_eq!(err, StreamError::Infeasible { job: 0 });
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   bounded multi-port, fair-share backbone) shared by both engines,
 //! * [`sim`] — a discrete-event simulator of the one-port star network,
 //! * [`core`] — the paper's scheduling algorithms and baselines,
+//! * [`dag`] — DAG-structured jobs (tiled LU task graphs) with
+//!   critical-path-aware ready-frontier dispatch on the star,
 //! * [`net`] — a hand-rolled threaded messaging runtime (MPI substitute),
 //! * [`dynamic`] — time-varying platforms (cost traces, worker churn)
 //!   and the adaptive online scheduler built on top of them,
@@ -44,6 +46,7 @@
 //! ```
 
 pub use stargemm_core as core;
+pub use stargemm_dag as dag;
 pub use stargemm_dyn as dynamic;
 pub use stargemm_linalg as linalg;
 pub use stargemm_lp as lp;

@@ -292,6 +292,107 @@ fn adaptive_net_run_survives_a_crash_with_an_exact_product() {
     assert!(stats.total_updates >= job.total_updates());
 }
 
+/// The DAG subsystem's cross-engine pin: a tiled-LU task graph
+/// dispatched by the critical-path-aware `DagMaster` realizes the
+/// *identical* per-worker schedule in the simulator and in the threaded
+/// runtime, and the threaded run's virtual GEMM (each task one `1 × w`
+/// strip of C) is numerically exact. Ready-frontier dispatch reacts to
+/// `RetrieveDone` events, so this also pins that both engines deliver
+/// retrievals in the same one-port order.
+#[test]
+fn dag_schedule_is_identical_across_engines() {
+    let platform = fixed_platform();
+    let (dag, _) = stargemm::dag::lu_dag(3);
+    let q = 4;
+    let job = dag.virtual_job(q);
+
+    let mut sim_master = stargemm::dag::DagMaster::new("xval-dag", &platform, dag.clone(), q, 2);
+    let sim = Simulator::new(platform.clone())
+        .run(&mut sim_master)
+        .unwrap();
+    assert!(sim_master.is_complete());
+    assert!(dag.is_topological(sim_master.completion_order()));
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+    let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+    let c0 = BlockMatrix::zeros(job.r, job.s, job.q);
+    let mut c = c0.clone();
+    let mut net_master = stargemm::dag::DagMaster::new("xval-dag", &platform, dag.clone(), q, 2);
+    let rt = NetRuntime::new(platform).with_options(NetOptions {
+        time_scale: 1e-6,
+        idle_timeout: Duration::from_secs(20),
+        ..Default::default()
+    });
+    let net = rt.run(&mut net_master, &a, &b, &mut c).unwrap();
+    assert!(net_master.is_complete());
+    assert!(dag.is_topological(net_master.completion_order()));
+
+    assert_eq!(sim.chunks, net.chunks);
+    assert_eq!(sim.total_updates, net.total_updates);
+    assert_eq!(sim.blocks_to_workers, net.blocks_to_workers);
+    assert_eq!(sim.blocks_to_master, net.blocks_to_master);
+    for (w, (s, n)) in sim.per_worker.iter().zip(&net.per_worker).enumerate() {
+        assert_eq!(s.chunks_assigned, n.chunks_assigned, "worker {w} chunks");
+        assert_eq!(s.updates, n.updates, "worker {w} updates");
+        assert_eq!(s.blocks_rx, n.blocks_rx, "worker {w} blocks in");
+        assert_eq!(s.blocks_tx, n.blocks_tx, "worker {w} blocks out");
+    }
+    let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+    assert!(report.passed(), "{report:?}");
+}
+
+/// Crash during the trailing updates of a threaded DAG run: a worker
+/// dies mid-graph, its in-flight tasks return to the ready frontier with
+/// fresh chunk ids, and the finished virtual GEMM is still exact — the
+/// lost strips of C were really recomputed elsewhere.
+#[test]
+fn dag_net_run_survives_a_crash_with_an_exact_product() {
+    // Slow links (1 ms/block at time_scale 1) stretch the run to
+    // ~100 ms of wall time, so the crash at 0.03 s lands squarely in
+    // the trailing-update phase of the first panels.
+    let platform = Platform::new(
+        "dag-crash",
+        vec![
+            WorkerSpec::new(1e-3, 1e-6, 40),
+            WorkerSpec::new(1e-3, 1e-6, 40),
+            WorkerSpec::new(2e-3, 2e-6, 24),
+        ],
+    );
+    let (dag, _) = stargemm::dag::lu_dag(4);
+    let q = 4;
+    let job = dag.virtual_job(q);
+    let profile = DynProfile::new(vec![
+        stargemm::platform::WorkerDyn::new(
+            stargemm::platform::Trace::default(),
+            stargemm::platform::Trace::default(),
+            vec![(0.03, f64::INFINITY)],
+        ),
+        stargemm::platform::WorkerDyn::stable(),
+        stargemm::platform::WorkerDyn::stable(),
+    ]);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+    let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+    let c0 = BlockMatrix::zeros(job.r, job.s, job.q);
+    let mut c = c0.clone();
+    let mut master = stargemm::dag::DagMaster::new("dag-crash", &platform, dag.clone(), q, 2);
+    let rt = NetRuntime::new(platform).with_options(NetOptions {
+        time_scale: 1.0,
+        idle_timeout: Duration::from_secs(20),
+        profile: Some(profile),
+        ..Default::default()
+    });
+    let stats = rt.run(&mut master, &a, &b, &mut c).unwrap();
+    assert!(master.is_complete());
+    assert!(dag.is_topological(master.completion_order()));
+    let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+    assert!(report.passed(), "{report:?}");
+    // Every task retrieved exactly once despite the re-dispatches.
+    assert_eq!(stats.chunks as usize, dag.len());
+    assert!(stats.total_updates >= dag.total_updates());
+}
+
 #[test]
 fn cross_validated_run_still_computes_the_right_product() {
     // The schedule comparison is only meaningful if the threaded run is
