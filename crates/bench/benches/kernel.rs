@@ -1,6 +1,8 @@
 //! Throughput of the generic discrete-event kernel, in events/sec.
 //!
-//! Three classic workloads on `sim::kernel::EventQueue`:
+//! The workloads live in [`stargemm_bench::perf`] so this bench and the
+//! `exp_perf` trajectory writer (`BENCH_kernel.json`) always measure the
+//! same code:
 //!
 //! * **hold** — the standard DES benchmark: keep N events pending; each
 //!   delivery schedules a successor at `now + δ` (pure heap/slab hot
@@ -15,91 +17,24 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use std::time::Instant;
 
-use stargemm_sim::EventQueue;
+use stargemm_bench::perf::{cancel_half, drain, hold, sample};
 
 const EVENTS: u64 = 100_000;
 
-/// Deterministic pseudo-random delays (xorshift — no rand dependency in
-/// the hot loop).
-struct Delays(u64);
-
-impl Delays {
-    fn next(&mut self) -> f64 {
-        self.0 ^= self.0 << 13;
-        self.0 ^= self.0 >> 7;
-        self.0 ^= self.0 << 17;
-        (self.0 % 1_000) as f64 / 1_000.0 + 1e-3
-    }
-}
-
-fn hold(pending: usize, events: u64) -> u64 {
-    let mut q = EventQueue::new();
-    let mut delays = Delays(0x9e3779b97f4a7c15);
-    for i in 0..pending {
-        q.schedule(delays.next(), i % 8, i as u64);
-    }
-    while q.delivered() < events {
-        let ev = q.pop().unwrap().expect("hold model never drains");
-        q.schedule(ev.time + delays.next(), ev.component, ev.payload);
-    }
-    q.delivered()
-}
-
-fn cancel_half(pending: usize, events: u64) -> u64 {
-    let mut q = EventQueue::new();
-    let mut delays = Delays(0x2545f4914f6cdd1d);
-    let mut cancellable = Vec::with_capacity(pending / 2);
-    for i in 0..pending {
-        let id = q.schedule(delays.next(), i % 8, i as u64);
-        if i % 2 == 0 {
-            cancellable.push(id);
-        }
-    }
-    while q.delivered() < events {
-        // Cancel one pending event, reschedule it, deliver one.
-        if let Some(id) = cancellable.pop() {
-            if let Some(payload) = q.cancel(id) {
-                q.schedule(q.now() + delays.next(), 0, payload);
-            }
-        }
-        let ev = q.pop().unwrap().expect("never drains");
-        cancellable.push(q.schedule(ev.time + delays.next(), ev.component, ev.payload));
-    }
-    q.delivered()
-}
-
-fn drain(events: u64) -> u64 {
-    let mut q = EventQueue::new();
-    let mut delays = Delays(0xda942042e4dd58b5);
-    for i in 0..events {
-        q.schedule(delays.next() * 1e3, (i % 8) as usize, i);
-    }
-    let mut count = 0;
-    while let Some(ev) = q.pop().unwrap() {
-        black_box(ev.payload);
-        count += 1;
-    }
-    count
-}
-
-fn report_events_per_sec(label: &str, events: u64, run: impl Fn() -> u64) {
-    let t0 = Instant::now();
-    let delivered = run();
-    let secs = t0.elapsed().as_secs_f64();
-    assert!(delivered >= events);
-    println!(
-        "kernel/{label:<12} throughput: {:>10.0} events/sec ({delivered} events in {secs:.3}s)",
-        delivered as f64 / secs
-    );
-}
-
 fn bench_kernel(c: &mut Criterion) {
     // The headline numbers: one full-size measured pass per workload.
-    report_events_per_sec("hold", EVENTS, || hold(1_024, EVENTS));
-    report_events_per_sec("cancel-half", EVENTS, || cancel_half(1_024, EVENTS));
-    report_events_per_sec("drain", EVENTS, || drain(EVENTS));
+    for s in [
+        sample("hold", || hold(1_024, EVENTS)),
+        sample("cancel-half", || cancel_half(1_024, EVENTS)),
+        sample("drain", || drain(EVENTS)),
+    ] {
+        assert!(s.events >= EVENTS);
+        println!(
+            "kernel/{:<12} throughput: {:>10.0} events/sec ({} events in {:.3}s)",
+            s.workload, s.events_per_sec, s.events, s.wall_secs
+        );
+    }
 
     // Criterion timings over smaller batches (per-iteration medians).
     let mut group = c.benchmark_group("kernel");

@@ -154,4 +154,13 @@ fn main() {
         .render_pretty();
         write_json(path, &json);
     }
+    if let Some(path) = &cli.trace_out {
+        // The ablation baseline cell: Het on the memory-het platform.
+        stargemm_bench::obs::emit_gemm_trace(
+            path,
+            &platform,
+            &job,
+            stargemm_core::algorithms::Algorithm::Het,
+        );
+    }
 }

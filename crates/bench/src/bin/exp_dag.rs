@@ -304,4 +304,29 @@ fn main() {
     if let Some(path) = &cli.json {
         write_json(path, &outcome.to_json());
     }
+    if let Some(path) = &cli.trace_out {
+        // The representative mixed cell: the first grid cell that has
+        // DAG jobs, re-run serially under the recorder so the trace
+        // carries frontier promotions next to the port and worker
+        // intervals.
+        let cell = cells
+            .iter()
+            .find(|c| !c.dags.is_empty())
+            .unwrap_or(&cells[0]);
+        let (res, events, _) = stargemm_bench::obs::record_with(|obs| {
+            let mut policy = MultiJobMaster::with_dags(
+                &cell.platform,
+                &cell.requests,
+                cell.dags.clone(),
+                StreamConfig::default(),
+            )
+            .expect("dag policy builds")
+            .with_obs(obs.clone());
+            Simulator::new(cell.platform.clone())
+                .with_arrivals(MultiJobMaster::arrival_plan(&cell.requests))
+                .run_observed(&mut policy, obs)
+        });
+        res.expect("trace cell completes");
+        stargemm_bench::obs::write_perfetto(path, &events);
+    }
 }

@@ -267,4 +267,20 @@ fn main() {
     if let Some(path) = &cli.json {
         write_json(path, &outcome.to_json());
     }
+    if let Some(path) = &cli.trace_out {
+        // The representative dynamic cell: AdaptiveHet through the
+        // crash-top scenario (a top worker dies mid-run), so the trace
+        // shows crash, chunk reassignment, and recovery events.
+        let dp = scenarios(&base, true)
+            .into_iter()
+            .find(|(name, _, _)| *name == "crash-top")
+            .map(|(_, dp, _)| dp)
+            .expect("crash-top is always in the grid");
+        let mut policy = AdaptiveMaster::adaptive_het(&base, &job).expect("layout fits");
+        let (res, events, _) = stargemm_bench::obs::record_with(|obs| {
+            Simulator::new_dyn(dp).run_observed(&mut policy, obs)
+        });
+        res.expect("crash-top run succeeds");
+        stargemm_bench::obs::write_perfetto(path, &events);
+    }
 }

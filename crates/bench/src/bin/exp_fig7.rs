@@ -11,13 +11,14 @@
 //! runner, one independent simulation batch per platform.
 
 use stargemm_bench::{
-    emit_figure, fig7_grid, geomean, instances_to_json, write_json, Cli, Instance,
+    emit_figure, fig7_grid, geomean, instances_to_json, obs, write_json, Cli, Instance,
 };
 use stargemm_core::algorithms::Algorithm;
 
 fn main() {
     let cli = Cli::parse();
-    let instances = Instance::run_grid(&fig7_grid(&cli), cli.threads);
+    let grid = fig7_grid(&cli);
+    let instances = Instance::run_grid(&grid, cli.threads);
     emit_figure(
         "fig7",
         "Figure 7. Fully heterogeneous platforms.",
@@ -27,6 +28,26 @@ fn main() {
     if let Some(path) = &cli.json {
         write_json(path, &instances_to_json("fig7", &instances));
     }
+    if let Some(path) = &cli.trace_out {
+        let (p, j) = &grid[0];
+        obs::emit_gemm_trace(path, p, j, Algorithm::Het);
+    }
+
+    // Satellite view: where the one-port actually spent its time under
+    // the best algorithm (Het) on every platform.
+    let port_rows: Vec<(String, &stargemm_sim::RunStats)> = instances
+        .iter()
+        .filter_map(|i| {
+            i.result(Algorithm::Het)
+                .stats
+                .as_ref()
+                .map(|s| (i.platform_name.clone(), s))
+        })
+        .collect();
+    print!(
+        "{}",
+        obs::render_port_breakdown("Port breakdown (Het):", &port_rows)
+    );
 
     // Paper-style summary claims.
     let het_costs: Vec<f64> = instances

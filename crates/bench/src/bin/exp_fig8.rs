@@ -6,11 +6,12 @@
 //! Uniform flags: `--smoke` (smaller B), `--json <path>`, `--threads
 //! <n>` (the two configurations run concurrently).
 
-use stargemm_bench::{emit_figure, fig8_grid, instances_to_json, write_json, Cli, Instance};
+use stargemm_bench::{emit_figure, fig8_grid, instances_to_json, obs, write_json, Cli, Instance};
 
 fn main() {
     let cli = Cli::parse();
-    let instances = Instance::run_grid(&fig8_grid(&cli), cli.threads);
+    let grid = fig8_grid(&cli);
+    let instances = Instance::run_grid(&grid, cli.threads);
     emit_figure(
         "fig8",
         "Figure 8. Real platform (Lyon cluster).",
@@ -32,5 +33,9 @@ fn main() {
     }
     if let Some(path) = &cli.json {
         write_json(path, &instances_to_json("fig8", &instances));
+    }
+    if let Some(path) = &cli.trace_out {
+        let (p, j) = &grid[0];
+        obs::emit_gemm_trace(path, p, j, stargemm_core::algorithms::Algorithm::Het);
     }
 }

@@ -361,4 +361,21 @@ fn main() {
         .render_pretty();
         write_json(path, &json);
     }
+    if let Some(path) = &cli.trace_out {
+        // The representative cell: Het under bounded multi-port k=2 on
+        // the ratio-2 preset — the trace shows two concurrent port lanes.
+        let platform = stargemm_platform::presets::fully_het(2.0);
+        let job = Job::paper(16_000);
+        let mut policy = build_policy(&platform, &job, Algorithm::Het).expect("layout fits");
+        let (res, events, _) = stargemm_bench::obs::record_with(|obs| {
+            Simulator::new(platform.clone())
+                .with_netmodel(NetModelSpec::BoundedMultiPort {
+                    k: 2,
+                    backbone: None,
+                })
+                .run_observed(&mut policy, obs)
+        });
+        res.expect("trace cell completes");
+        stargemm_bench::obs::write_perfetto(path, &events);
+    }
 }

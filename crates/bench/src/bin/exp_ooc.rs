@@ -104,4 +104,10 @@ fn main() {
     if let Some(path) = &cli.json {
         write_json(path, &outcome.to_json());
     }
+    if let Some(path) = &cli.trace_out {
+        // The representative out-of-core cell: 1200 RAM blocks, 200 MB/s.
+        let c = (q * q * 8) as f64 / (200.0 * 1e6);
+        let platform = Platform::new("ooc", vec![WorkerSpec::new(c, w, 1_200)]);
+        stargemm_bench::obs::emit_gemm_trace(path, &platform, &job, Algorithm::Bmm);
+    }
 }

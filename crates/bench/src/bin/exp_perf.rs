@@ -1,0 +1,44 @@
+//! Pinned perf trajectory: kernel events/sec, heap high-water,
+//! cancellation counts, and sweep per-cell wall times.
+//!
+//! CI runs `exp_perf --smoke --json BENCH_kernel.json` and uploads the
+//! artifact, so kernel or sweep regressions show up as steps in the
+//! trajectory across commits. The workloads are shared with
+//! `benches/kernel.rs` (see [`stargemm_bench::perf`]); this binary is
+//! the cheap always-on sampling pass, the criterion bench the
+//! statistically careful one.
+
+use stargemm_bench::perf::{
+    kernel_trajectory, perf_report_json, render_kernel_table, sweep_cell_times,
+};
+use stargemm_bench::{write_json, write_results, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    let (pending, events) = if cli.smoke {
+        (1_024, 50_000)
+    } else {
+        (1_024, 500_000)
+    };
+
+    let kernel = kernel_trajectory(pending, events);
+    let table = render_kernel_table(&kernel);
+    print!("{table}");
+
+    let cells = sweep_cell_times(&cli);
+    println!("\nsweep per-cell wall time (serial):");
+    for c in &cells {
+        println!("{:<28}{:>10.3}s", c.cell, c.wall_secs);
+    }
+
+    let json = perf_report_json(&kernel, &cells);
+    if let Ok(p) = write_results("perf.txt", &table) {
+        eprintln!("(written to {})", p.display());
+    }
+    if let Some(path) = &cli.json {
+        write_json(path, &json);
+    }
+    if let Some(path) = &cli.trace_out {
+        stargemm_bench::obs::emit_default_trace(path);
+    }
+}

@@ -104,4 +104,19 @@ fn main() {
         .render_pretty();
         write_json(path, &json);
     }
+    if let Some(path) = &cli.trace_out {
+        // Trace the *threaded* engine (not the simulator): the Perfetto
+        // timeline shows real wall-driven transfers, in model seconds.
+        let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
+        let mut c = c0.clone();
+        let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
+            time_scale: 1.0,
+            ..Default::default()
+        });
+        let (res, events, _) = stargemm_bench::obs::record_with(|obs| {
+            rt.run_observed(&mut policy, &a, &b, &mut c, obs)
+        });
+        res.unwrap();
+        stargemm_bench::obs::write_perfetto(path, &events);
+    }
 }

@@ -247,6 +247,29 @@ fn render(rows: &[Row]) -> String {
             )),
         }
     }
+
+    // Satellite view: where the shared port actually spent its time —
+    // per-lane busy seconds, all-lanes-idle gaps, and the longest stall.
+    out.push_str("\nport breakdown:\n");
+    out.push_str(&format!(
+        "{:<9}{:<10}{:>6}{:>12}{:>7}{:>10}{:>10}{:>10}\n",
+        "platform", "mix", "load", "busy", "lanes", "idle gaps", "idle s", "stall"
+    ));
+    for r in rows {
+        if let Some(rep) = &r.report {
+            out.push_str(&format!(
+                "{:<9}{:<10}{:>6.1}{:>12.2}{:>7}{:>10}{:>10.2}{:>10.2}\n",
+                r.platform,
+                r.mix,
+                r.load,
+                rep.port.lane_busy.iter().sum::<f64>(),
+                rep.port.peak_lanes,
+                rep.port.idle_gaps,
+                rep.port.idle_time,
+                rep.port.longest_stall,
+            ));
+        }
+    }
     out
 }
 
@@ -279,5 +302,23 @@ fn main() {
     }
     if let Some(path) = &cli.json {
         write_json(path, &outcome.to_json());
+    }
+    if let Some(path) = &cli.trace_out {
+        // The representative stream cell: the first grid cell (static
+        // platform, uniform mix, lightest load), re-run serially under
+        // the recorder — the trace gets job admission/completion, LP
+        // re-solves, and deficit credits on the master track.
+        let cell = &cells[0];
+        let (res, events, _) = stargemm_bench::obs::record_with(|obs| {
+            let mut policy =
+                MultiJobMaster::new(&cell.dp.base, &cell.requests, StreamConfig::default())
+                    .expect("stream policy builds")
+                    .with_obs(obs.clone());
+            Simulator::new_dyn(cell.dp.clone())
+                .with_arrivals(MultiJobMaster::arrival_plan(&cell.requests))
+                .run_observed(&mut policy, obs)
+        });
+        res.expect("trace cell completes");
+        stargemm_bench::obs::write_perfetto(path, &events);
     }
 }

@@ -86,4 +86,7 @@ fn main() {
     if let Some(path) = &cli.json {
         write_json(path, &outcome.to_json());
     }
+    if let Some(path) = &cli.trace_out {
+        stargemm_bench::obs::emit_default_trace(path);
+    }
 }

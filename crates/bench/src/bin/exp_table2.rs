@@ -126,4 +126,8 @@ fn main() {
         .render_pretty();
         write_json(path, &json);
     }
+    if let Some(path) = &cli.trace_out {
+        // The starvation cell the table is about: x = 8.
+        stargemm_bench::obs::emit_gemm_trace(path, &table2_platform(8.0), &job, Algorithm::Het);
+    }
 }

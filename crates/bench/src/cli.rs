@@ -7,7 +7,10 @@
 //!   smaller instance simply ignore it);
 //! * `--json <path>` — also write machine-readable results to `path`;
 //! * `--threads <n>` — worker threads for the sweep runner
-//!   (default: all available cores; `--threads 1` forces a serial run).
+//!   (default: all available cores; `--threads 1` forces a serial run);
+//! * `--trace-out <path>` — write a Perfetto/Chrome `trace_event` JSON
+//!   of a representative cell to `path` (re-run serially under a
+//!   recorder, so the artifact is thread-count independent).
 //!
 //! ```sh
 //! cargo run --release -p stargemm-bench --bin exp_dynamic -- --smoke --threads 2
@@ -24,6 +27,8 @@ pub struct Cli {
     pub json: Option<PathBuf>,
     /// Worker threads for sweep fan-out (≥ 1).
     pub threads: usize,
+    /// Where to write a Perfetto trace of a representative run.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Cli {
@@ -35,7 +40,7 @@ impl Cli {
             Ok(cli) => cli,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [--smoke] [--json <path>] [--threads <n>]");
+                eprintln!("usage: [--smoke] [--json <path>] [--threads <n>] [--trace-out <path>]");
                 std::process::exit(2);
             }
         }
@@ -62,6 +67,7 @@ impl Cli {
             smoke: false,
             json: None,
             threads: default_threads(),
+            trace_out: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -69,6 +75,9 @@ impl Cli {
                 "--smoke" => cli.smoke = true,
                 "--json" => {
                     cli.json = Some(PathBuf::from(value(&mut it, "--json", "path")?));
+                }
+                "--trace-out" => {
+                    cli.trace_out = Some(PathBuf::from(value(&mut it, "--trace-out", "path")?));
                 }
                 "--threads" => {
                     let n = value(&mut it, "--threads", "count")?;
@@ -83,7 +92,8 @@ impl Cli {
                 other => {
                     return Err(format!(
                         "unknown argument {other:?} \
-                         (valid flags: --smoke, --json <path>, --threads <n>)"
+                         (valid flags: --smoke, --json <path>, --threads <n>, \
+                         --trace-out <path>)"
                     ))
                 }
             }
@@ -110,15 +120,25 @@ mod tests {
         let cli = Cli::from_args(&[]).unwrap();
         assert!(!cli.smoke);
         assert_eq!(cli.json, None);
+        assert_eq!(cli.trace_out, None);
         assert!(cli.threads >= 1);
     }
 
     #[test]
     fn all_flags_parse_in_any_order() {
-        let cli =
-            Cli::from_args(&strs(&["--threads", "3", "--smoke", "--json", "o.json"])).unwrap();
+        let cli = Cli::from_args(&strs(&[
+            "--threads",
+            "3",
+            "--smoke",
+            "--trace-out",
+            "t.json",
+            "--json",
+            "o.json",
+        ]))
+        .unwrap();
         assert!(cli.smoke);
         assert_eq!(cli.json, Some(PathBuf::from("o.json")));
+        assert_eq!(cli.trace_out, Some(PathBuf::from("t.json")));
         assert_eq!(cli.threads, 3);
     }
 
@@ -128,6 +148,8 @@ mod tests {
         assert!(Cli::from_args(&strs(&["--threads"])).is_err());
         assert!(Cli::from_args(&strs(&["--threads", "zero"])).is_err());
         assert!(Cli::from_args(&strs(&["--threads", "0"])).is_err());
+        assert!(Cli::from_args(&strs(&["--trace-out"])).is_err());
+        assert!(Cli::from_args(&strs(&["--trace-out", "--smoke"])).is_err());
         assert!(Cli::from_args(&strs(&["--frobnicate"])).is_err());
     }
 

@@ -14,12 +14,15 @@
 //!   plus aligned text tables and CSV.
 
 pub mod cli;
+pub mod obs;
+pub mod perf;
 pub mod sweep;
 
 use serde::json::Value;
 use serde::Serialize;
 use stargemm_core::algorithms::{run_algorithm, Algorithm};
 use stargemm_core::Job;
+use stargemm_obs::RunMetrics;
 use stargemm_platform::Platform;
 use stargemm_sim::RunStats;
 
@@ -31,6 +34,8 @@ pub use sweep::{parallel_map, SweepOutcome, SweepSpec};
 pub struct AlgResult {
     pub algorithm: Algorithm,
     pub stats: Option<RunStats>,
+    /// Bound-gap metrics derived from the stats (None on failure).
+    pub metrics: Option<RunMetrics>,
     /// Error string when the run failed (e.g. no feasible layout).
     pub error: Option<String>,
 }
@@ -61,14 +66,19 @@ impl Instance {
         let results = Algorithm::all()
             .into_iter()
             .map(|alg| match run_algorithm(platform, job, alg) {
-                Ok(stats) => AlgResult {
-                    algorithm: alg,
-                    stats: Some(stats),
-                    error: None,
-                },
+                Ok(stats) => {
+                    let metrics = obs::gemm_run_metrics(platform, job, &stats);
+                    AlgResult {
+                        algorithm: alg,
+                        stats: Some(stats),
+                        metrics: Some(metrics),
+                        error: None,
+                    }
+                }
                 Err(e) => AlgResult {
                     algorithm: alg,
                     stats: None,
+                    metrics: None,
                     error: Some(e.to_string()),
                 },
             })
@@ -133,6 +143,9 @@ impl Serialize for AlgResult {
             ("makespan", makespan.to_value()),
             ("enrolled", enrolled.to_value()),
             ("work", work.to_value()),
+            ("metrics", self.metrics.to_value()),
+            // Keep "error" last: Instance::to_value pops it to splice
+            // the relative metrics in front.
             ("error", self.error.to_value()),
         ])
     }
@@ -328,12 +341,18 @@ pub fn fig8_grid(cli: &Cli) -> Vec<(Platform, Job)> {
 /// sweep (`--smoke` keeps the two smallest sizes, `--threads` fans the
 /// grid out), emit the two-panel figure, and honour `--json`.
 pub fn emit_size_figure(id: &str, title: &str, platform: &Platform, cli: &Cli) {
-    let instances = Instance::run_grid(&size_grid(platform, cli), cli.threads);
+    let grid = size_grid(platform, cli);
+    let instances = Instance::run_grid(&grid, cli.threads);
     emit_figure(id, title, &instances, |i| {
         format!("s={} ({})", i.job.s, i.platform_name)
     });
     if let Some(path) = &cli.json {
         write_json(path, &instances_to_json(id, &instances));
+    }
+    if let Some(path) = &cli.trace_out {
+        // The representative cell: Het on the largest size kept.
+        let (p, j) = grid.last().expect("size grid is never empty");
+        obs::emit_gemm_trace(path, p, j, Algorithm::Het);
     }
 }
 
@@ -472,6 +491,7 @@ mod tests {
             results: vec![AlgResult {
                 algorithm: Algorithm::Het,
                 stats: None,
+                metrics: None,
                 error: Some("no feasible layout".into()),
             }],
         };

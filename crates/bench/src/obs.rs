@@ -1,0 +1,183 @@
+//! Observability plumbing shared by the `exp_*` binaries: recording a
+//! representative run under a [`RunRecorder`], exporting Perfetto
+//! traces for `--trace-out`, and deriving the [`RunMetrics`] bound-gap
+//! block embedded in `--json` artifacts.
+//!
+//! Trace export deliberately *re-runs* one cell serially under the
+//! recorder instead of recording the whole sweep: the artifact is then
+//! independent of `--threads`, and the recorder-off sweep results stay
+//! byte-identical to a sweep that never asked for a trace (the on/off
+//! invariant `tests/obs_props.rs` pins).
+
+use std::path::Path;
+use std::rc::Rc;
+
+use stargemm_core::algorithms::{run_algorithm_observed, Algorithm};
+use stargemm_core::steady::lp_throughput;
+use stargemm_core::Job;
+use stargemm_obs::{perfetto_trace, MetricsRegistry, ObsEvent, RunMetrics};
+use stargemm_platform::Platform;
+use stargemm_sim::{ObsSink, RunRecorder, RunStats, SimError};
+
+use crate::write_json;
+
+/// Runs `run` with a fresh recorder attached and returns its result
+/// alongside the captured event log and metrics registry. `run`
+/// receives the [`ObsSink`] to thread into whichever engine it drives.
+pub fn record_with<T>(run: impl FnOnce(ObsSink) -> T) -> (T, Vec<ObsEvent>, MetricsRegistry) {
+    let rec = RunRecorder::shared();
+    let out = run(ObsSink::to(rec.clone()));
+    let Ok(rec) = Rc::try_unwrap(rec) else {
+        unreachable!("recorder has one owner after the run")
+    };
+    let (events, metrics) = rec.into_inner().into_parts();
+    (out, events, metrics)
+}
+
+/// Runs `alg` on `platform`/`job` with a recorder attached and returns
+/// the stats alongside the captured event log and derived metrics.
+pub fn record_algorithm(
+    platform: &Platform,
+    job: &Job,
+    alg: Algorithm,
+) -> Result<(RunStats, Vec<ObsEvent>, MetricsRegistry), SimError> {
+    let (stats, events, metrics) =
+        record_with(|obs| run_algorithm_observed(platform, job, alg, obs));
+    Ok((stats?, events, metrics))
+}
+
+/// Writes `events` as a Perfetto/Chrome `trace_event` JSON file
+/// (open it at <https://ui.perfetto.dev>).
+pub fn write_perfetto(path: &Path, events: &[ObsEvent]) {
+    write_json(path, &perfetto_trace(events).render_pretty());
+}
+
+/// Honours `--trace-out` for a binary whose representative cell is a
+/// plain single-GEMM run: records `alg` on the cell serially and writes
+/// the Perfetto export. A failing cell reports instead of panicking —
+/// the experiment's own tables already show the error.
+pub fn emit_gemm_trace(path: &Path, platform: &Platform, job: &Job, alg: Algorithm) {
+    match record_algorithm(platform, job, alg) {
+        Ok((_, events, _)) => write_perfetto(path, &events),
+        Err(e) => eprintln!(
+            "(no trace: {} on {} failed: {e})",
+            alg.name(),
+            platform.name
+        ),
+    }
+}
+
+/// Honours `--trace-out` for binaries whose own cells are not engine
+/// runs (the LP table, the analytic bounds sweep): traces Het on the
+/// ratio-2 preset so the flag always yields a real schedule to look at.
+pub fn emit_default_trace(path: &Path) {
+    let platform = stargemm_platform::presets::fully_het(2.0);
+    let job = Job::paper(16_000);
+    emit_gemm_trace(path, &platform, &job, Algorithm::Het);
+}
+
+/// The [`RunMetrics`] bound-gap block of a single-GEMM run: port
+/// occupancy vs its peak-lane ceiling, achieved updates/second vs the
+/// Table 1 steady-state LP `ρ*`, and per-worker busy fractions vs the
+/// bandwidth-centric plan shares.
+pub fn gemm_run_metrics(platform: &Platform, job: &Job, stats: &RunStats) -> RunMetrics {
+    let achieved = if stats.makespan > 0.0 {
+        stats.total_updates as f64 / stats.makespan
+    } else {
+        0.0
+    };
+    let busy: Vec<f64> = stats
+        .per_worker
+        .iter()
+        .map(|w| {
+            if stats.makespan > 0.0 {
+                w.busy_time / stats.makespan
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let steady = stargemm_core::steady::bandwidth_centric(platform, job.r);
+    let plan: Vec<f64> = steady
+        .rates
+        .iter()
+        .zip(platform.workers())
+        .map(|(x, s)| x * s.w)
+        .collect();
+    RunMetrics::derive(
+        stats.makespan,
+        stats.port_busy,
+        stats.port.peak_lanes as usize,
+        achieved,
+        lp_throughput(platform, job.r),
+        &busy,
+        &plan,
+    )
+}
+
+/// Aligned text table of the port-level breakdown across instances —
+/// the satellite view `exp_fig7` prints under the classic two panels.
+pub fn render_port_breakdown(title: &str, rows: &[(String, &RunStats)]) -> String {
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<22}{:>10}{:>8}{:>10}{:>10}{:>12}\n",
+        "instance", "busy", "lanes", "idle gaps", "idle s", "longest stall"
+    ));
+    for (label, stats) in rows {
+        out.push_str(&format!(
+            "{:<22}{:>10.2}{:>8}{:>10}{:>10.2}{:>12.2}\n",
+            label,
+            stats.port_busy,
+            stats.port.peak_lanes,
+            stats.port.idle_gaps,
+            stats.port.idle_time,
+            stats.port.longest_stall,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stargemm_platform::WorkerSpec;
+
+    fn tiny() -> (Platform, Job) {
+        (
+            Platform::new(
+                "obs-t",
+                vec![WorkerSpec::new(0.5, 0.3, 40), WorkerSpec::new(1.0, 0.6, 20)],
+            ),
+            Job::new(6, 5, 8, 2),
+        )
+    }
+
+    #[test]
+    fn recording_does_not_change_the_stats() {
+        let (p, j) = tiny();
+        let plain = stargemm_core::run_algorithm(&p, &j, Algorithm::Oddoml).unwrap();
+        let (observed, events, metrics) = record_algorithm(&p, &j, Algorithm::Oddoml).unwrap();
+        assert_eq!(plain, observed);
+        assert!(!events.is_empty());
+        assert!(metrics.counter("events.port_acquire") > 0);
+    }
+
+    #[test]
+    fn gemm_metrics_respect_the_port_bound() {
+        let (p, j) = tiny();
+        let stats = stargemm_core::run_algorithm(&p, &j, Algorithm::Het).unwrap();
+        let m = gemm_run_metrics(&p, &j, &stats);
+        assert!(m.port.gap > 0.0 && m.port.gap <= 1.0, "{:?}", m.port);
+        assert!(m.throughput.bound > 0.0);
+        assert_eq!(m.workers.len(), p.len());
+    }
+
+    #[test]
+    fn port_breakdown_renders_every_row() {
+        let (p, j) = tiny();
+        let stats = stargemm_core::run_algorithm(&p, &j, Algorithm::Het).unwrap();
+        let table = render_port_breakdown("ports", &[("cell-a".to_string(), &stats)]);
+        assert!(table.contains("cell-a"));
+        assert!(table.contains("longest stall"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The pinned perf trajectory behind `BENCH_kernel.json`.
+//!
+//! One module owns the kernel workloads so the criterion bench
+//! (`benches/kernel.rs`) and the CI artifact writer (`exp_perf`) can
+//! never measure different code: **hold** (the classic DES benchmark —
+//! N events stay pending, each delivery schedules a successor),
+//! **cancel-half** (every other event is cancelled before delivery,
+//! exercising the tombstone-skipping pop), and **drain** (schedule N,
+//! pop all). Each sample records events/sec, the kernel's heap
+//! high-water mark, and the cancellation count, so a future regression
+//! in any of the three shows up as a step in the trajectory file.
+
+use std::time::Instant;
+
+use serde::json::Value;
+use serde::Serialize;
+use stargemm_sim::EventQueue;
+
+use crate::{Cli, Instance};
+
+/// Deterministic pseudo-random delays (xorshift — no rand dependency in
+/// the hot loop).
+pub struct Delays(u64);
+
+impl Delays {
+    /// A generator seeded for one workload.
+    pub fn new(seed: u64) -> Delays {
+        Delays(seed)
+    }
+
+    /// Next delay in `(1e-3, 1.001)` model seconds.
+    pub fn next_delay(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0 % 1_000) as f64 / 1_000.0 + 1e-3
+    }
+}
+
+/// Final queue counters of one kernel workload run.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelCounters {
+    /// Events delivered.
+    pub delivered: u64,
+    /// Events cancelled before delivery.
+    pub cancelled: u64,
+    /// Peak heap size (pending events plus cancellation tombstones).
+    pub heap_high_water: usize,
+}
+
+fn counters<T>(q: &EventQueue<T>) -> KernelCounters {
+    KernelCounters {
+        delivered: q.delivered(),
+        cancelled: q.cancelled(),
+        heap_high_water: q.heap_high_water(),
+    }
+}
+
+/// The hold model: keep `pending` events in flight until `events` have
+/// been delivered.
+pub fn hold(pending: usize, events: u64) -> KernelCounters {
+    let mut q = EventQueue::new();
+    let mut delays = Delays::new(0x9e37_79b9_7f4a_7c15);
+    for i in 0..pending {
+        q.schedule(delays.next_delay(), i % 8, i as u64);
+    }
+    while q.delivered() < events {
+        let ev = q.pop().unwrap().expect("hold model never drains");
+        q.schedule(ev.time + delays.next_delay(), ev.component, ev.payload);
+    }
+    counters(&q)
+}
+
+/// The cancel-half model: like hold, but one pending event is cancelled
+/// and rescheduled per delivery.
+pub fn cancel_half(pending: usize, events: u64) -> KernelCounters {
+    let mut q = EventQueue::new();
+    let mut delays = Delays::new(0x2545_f491_4f6c_dd1d);
+    let mut cancellable = Vec::with_capacity(pending / 2);
+    for i in 0..pending {
+        let id = q.schedule(delays.next_delay(), i % 8, i as u64);
+        if i % 2 == 0 {
+            cancellable.push(id);
+        }
+    }
+    while q.delivered() < events {
+        if let Some(id) = cancellable.pop() {
+            if let Some(payload) = q.cancel(id) {
+                q.schedule(q.now() + delays.next_delay(), 0, payload);
+            }
+        }
+        let ev = q.pop().unwrap().expect("never drains");
+        cancellable.push(q.schedule(ev.time + delays.next_delay(), ev.component, ev.payload));
+    }
+    counters(&q)
+}
+
+/// The drain model: schedule `events`, then pop everything.
+pub fn drain(events: u64) -> KernelCounters {
+    let mut q = EventQueue::new();
+    let mut delays = Delays::new(0xda94_2042_e4dd_58b5);
+    for i in 0..events {
+        q.schedule(delays.next_delay() * 1e3, (i % 8) as usize, i);
+    }
+    while let Some(ev) = q.pop().unwrap() {
+        std::hint::black_box(ev.payload);
+    }
+    counters(&q)
+}
+
+/// One row of the kernel trajectory.
+#[derive(Clone, Debug, Serialize)]
+pub struct KernelSample {
+    /// Workload name (`hold`, `cancel_half`, `drain`).
+    pub workload: String,
+    /// Events delivered by the run.
+    pub events: u64,
+    /// Delivered events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Kernel heap high-water mark.
+    pub heap_high_water: u64,
+    /// Events cancelled before delivery.
+    pub cancelled: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+}
+
+/// One row of the sweep timing trajectory.
+#[derive(Clone, Debug, Serialize)]
+pub struct CellSample {
+    /// Cell label (`platform/s=…`).
+    pub cell: String,
+    /// Wall-clock seconds to run all seven algorithms on the cell.
+    pub wall_secs: f64,
+}
+
+/// Runs one workload under the wall clock.
+pub fn sample(workload: &str, run: impl FnOnce() -> KernelCounters) -> KernelSample {
+    let t0 = Instant::now();
+    let c = run();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    KernelSample {
+        workload: workload.to_string(),
+        events: c.delivered,
+        events_per_sec: if wall_secs > 0.0 {
+            c.delivered as f64 / wall_secs
+        } else {
+            0.0
+        },
+        heap_high_water: c.heap_high_water as u64,
+        cancelled: c.cancelled,
+        wall_secs,
+    }
+}
+
+/// The three headline kernel samples at `events` deliveries each.
+pub fn kernel_trajectory(pending: usize, events: u64) -> Vec<KernelSample> {
+    vec![
+        sample("hold", || hold(pending, events)),
+        sample("cancel_half", || cancel_half(pending, events)),
+        sample("drain", || drain(events)),
+    ]
+}
+
+/// Per-cell wall time of the standard size sweep (run serially so the
+/// numbers mean something).
+pub fn sweep_cell_times(cli: &Cli) -> Vec<CellSample> {
+    let platform = stargemm_platform::presets::fully_het(2.0);
+    crate::size_grid(&platform, cli)
+        .iter()
+        .map(|(p, j)| {
+            let t0 = Instant::now();
+            std::hint::black_box(Instance::run(p, j));
+            CellSample {
+                cell: format!("{}/s={}", p.name, j.s),
+                wall_secs: t0.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the `BENCH_kernel.json` artifact.
+pub fn perf_report_json(kernel: &[KernelSample], cells: &[CellSample]) -> String {
+    Value::object([
+        ("experiment", "perf".to_value()),
+        ("kernel", kernel.to_value()),
+        ("sweep_cells", cells.to_value()),
+    ])
+    .render_pretty()
+}
+
+/// Aligned text table over the kernel samples.
+pub fn render_kernel_table(samples: &[KernelSample]) -> String {
+    let mut out = format!(
+        "{:<14}{:>10}{:>16}{:>12}{:>12}{:>10}\n",
+        "workload", "events", "events/sec", "heap hw", "cancelled", "wall s"
+    );
+    for s in samples {
+        out.push_str(&format!(
+            "{:<14}{:>10}{:>16.0}{:>12}{:>12}{:>10.3}\n",
+            s.workload, s.events, s.events_per_sec, s.heap_high_water, s.cancelled, s.wall_secs
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_deliver_what_they_promise() {
+        let h = hold(64, 1_000);
+        assert!(h.delivered >= 1_000);
+        assert_eq!(h.cancelled, 0);
+        assert!(h.heap_high_water >= 64);
+
+        let c = cancel_half(64, 1_000);
+        assert!(c.delivered >= 1_000);
+        assert!(c.cancelled > 0, "cancel-half must actually cancel");
+
+        let d = drain(1_000);
+        assert_eq!(d.delivered, 1_000);
+        assert_eq!(d.heap_high_water, 1_000);
+    }
+
+    #[test]
+    fn trajectory_json_carries_all_samples() {
+        let kernel = kernel_trajectory(64, 500);
+        let cells = vec![CellSample {
+            cell: "t/s=8".into(),
+            wall_secs: 0.1,
+        }];
+        let json = perf_report_json(&kernel, &cells);
+        assert!(json.contains("\"hold\""));
+        assert!(json.contains("\"cancel_half\""));
+        assert!(json.contains("\"drain\""));
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"heap_high_water\""));
+        assert!(json.contains("\"sweep_cells\""));
+        assert!(json.contains("t/s=8"));
+    }
+
+    #[test]
+    fn kernel_table_lists_every_workload() {
+        let table = render_kernel_table(&kernel_trajectory(64, 200));
+        assert!(table.contains("hold"));
+        assert!(table.contains("cancel_half"));
+        assert!(table.contains("drain"));
+    }
+}

@@ -39,6 +39,50 @@ impl Value {
         Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array; `None` for other variants.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload; `None` for other variants.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Any numeric variant widened to `f64`; `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer (`UInt`, or an `Int` ≥ 0); `None`
+    /// otherwise.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
     /// Compact rendering (no whitespace).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -133,6 +177,272 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub msg: String,
+    /// Byte offset into the input where parsing stopped.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`] (the stand-in's counterpart
+/// of `serde_json::from_str`).
+///
+/// Integral numbers parse to `UInt`/`Int` (sign-dependent), everything
+/// else numeric to `Float` — so a value rendered by this module parses
+/// back to a numerically equal tree. Strict on structure (no trailing
+/// garbage, no trailing commas), standard `\uXXXX` escapes including
+/// surrogate pairs.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(v)
+}
+
+/// Nesting depth cap: a backstop against stack overflow on adversarial
+/// inputs, far above anything the exporters emit.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            msg: msg.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object_value(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object_value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("non-ascii \\u escape"))?;
+        let n = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Run of plain UTF-8 up to the next quote or escape.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("unescaped control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let s =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number slice is utf-8");
+        if integral {
+            if let Some(digits) = s.strip_prefix('-') {
+                if digits.is_empty() {
+                    return Err(self.err("lone minus sign"));
+                }
+                if let Ok(n) = s.parse::<i64>() {
+                    return Ok(Value::Int(n));
+                }
+            } else if let Ok(n) = s.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        s.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
 /// Serializes `value` compactly.
 pub fn to_string(value: &impl Serialize) -> String {
     value.to_value().render()
@@ -181,5 +491,72 @@ mod tests {
     fn empty_containers_stay_on_one_line() {
         assert_eq!(Value::Array(vec![]).render_pretty(), "[]\n");
         assert_eq!(Value::Object(vec![]).render(), "{}");
+    }
+
+    #[test]
+    fn parser_round_trips_rendered_documents() {
+        let v = Value::object([
+            ("a", Value::UInt(1)),
+            ("b", Value::Array(vec![Value::Null, Value::Bool(false)])),
+            ("c", Value::String("x\"y\n\\z".into())),
+            ("d", Value::Float(1.5)),
+            ("e", Value::Int(-3)),
+            ("f", Value::Object(vec![])),
+        ]);
+        assert_eq!(from_str(&v.render()).unwrap(), v);
+        // Pretty output parses to the same tree.
+        assert_eq!(from_str(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_classifies_numbers() {
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-42").unwrap(), Value::Int(-42));
+        assert_eq!(from_str("1.25").unwrap(), Value::Float(1.25));
+        assert_eq!(from_str("2e3").unwrap(), Value::Float(2000.0));
+        assert_eq!(from_str("-0.5").unwrap(), Value::Float(-0.5));
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        assert_eq!(
+            from_str(r#""a\u000ab""#).unwrap(),
+            Value::String("a\nb".into())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            from_str(r#""\ud83d\ude00""#).unwrap(),
+            Value::String("\u{1f600}".into())
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"abc",
+            "1 2",
+            "{\"a\" 1}",
+            "-",
+            "\"\\ud83d\"",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_trees() {
+        let v = from_str(r#"{"xs":[{"n":3},{"n":-1}],"s":"hi"}"#).unwrap();
+        let xs = v.get("xs").unwrap().as_array().unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(xs[1].get("n").unwrap().as_f64(), Some(-1.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(v.get("missing"), None);
     }
 }

@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 use stargemm_platform::Platform;
-use stargemm_sim::{RunStats, SimError, Simulator};
+use stargemm_sim::{ObsSink, RunStats, SimError, Simulator};
 
 use crate::assign::{bmm_sides, layout_sides, min_min_queues, round_robin_queues};
 use crate::job::Job;
@@ -172,9 +172,20 @@ pub fn build_policy(
 
 /// Builds and simulates `alg`, returning the run statistics.
 pub fn run_algorithm(platform: &Platform, job: &Job, alg: Algorithm) -> Result<RunStats, SimError> {
+    run_algorithm_observed(platform, job, alg, ObsSink::off())
+}
+
+/// [`run_algorithm`] with a structured-event recorder attached (the
+/// recorder only observes: stats and schedule are identical either way).
+pub fn run_algorithm_observed(
+    platform: &Platform,
+    job: &Job,
+    alg: Algorithm,
+    obs: ObsSink,
+) -> Result<RunStats, SimError> {
     let mut policy =
         build_policy(platform, job, alg).map_err(|e| SimError::protocol(e.to_string()))?;
-    Simulator::new(platform.clone()).run(&mut policy)
+    Simulator::new(platform.clone()).run_observed(&mut policy, obs)
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ pub mod select_hom;
 pub mod steady;
 pub mod stream;
 
-pub use algorithms::{run_algorithm, Algorithm};
+pub use algorithms::{run_algorithm, run_algorithm_observed, Algorithm};
 pub use geometry::{ChunkGeom, PlannedChunk};
 pub use job::Job;
 pub use stream::StreamingMaster;

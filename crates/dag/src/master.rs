@@ -24,7 +24,8 @@ use stargemm_core::geometry::plan_chunk;
 use stargemm_core::stream::{GeometryAccess, Serving};
 use stargemm_core::{ChunkGeom, Job, StreamingMaster};
 use stargemm_platform::Platform;
-use stargemm_sim::{Action, ChunkId, MasterPolicy, SimCtx, SimEvent, StepId};
+use stargemm_sim::{Action, ChunkId, JobId, MasterPolicy, SimCtx, SimEvent, StepId};
+use stargemm_sim::{ObsEvent, ObsSink};
 
 use crate::graph::{DagJob, TaskId};
 
@@ -93,6 +94,11 @@ pub struct DagMaster {
     next_chunk: ChunkId,
     completion: Vec<TaskId>,
     done: usize,
+    /// Structured-event sink (off by default; observation only).
+    obs: ObsSink,
+    /// Job id stamped on emitted frontier events (the multi-tenant layer
+    /// sets its stream job id; standalone runs use 0).
+    obs_job: JobId,
 }
 
 impl DagMaster {
@@ -195,7 +201,18 @@ impl DagMaster {
             chunk_task: HashMap::new(),
             next_chunk: id_base,
             done: 0,
+            obs: ObsSink::off(),
+            obs_job: 0,
         })
+    }
+
+    /// Attaches a structured-event sink; `job` labels the emitted
+    /// [`ObsEvent::FrontierPromote`] events.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsSink, job: JobId) -> Self {
+        self.obs = obs;
+        self.obs_job = job;
+        self
     }
 
     /// The DAG being executed.
@@ -234,6 +251,14 @@ impl DagMaster {
 
     /// Maps ready tasks onto idle lanes, highest bottom level first.
     fn dispatch(&mut self, ctx: &SimCtx) {
+        let mut frontier_width = if self.obs.is_on() {
+            self.state
+                .iter()
+                .filter(|&&s| s == TaskState::Ready)
+                .count()
+        } else {
+            0
+        };
         for pi in 0..self.priority.len() {
             let t = self.priority[pi];
             if self.state[t] != TaskState::Ready {
@@ -263,6 +288,14 @@ impl DagMaster {
             self.cur_chunk[t] = Some(id);
             self.state[t] = TaskState::InFlight;
             self.est_free[i] = finish;
+            self.obs.emit(|| ObsEvent::FrontierPromote {
+                time: ctx.now(),
+                job: self.obs_job,
+                task: t as u32,
+                worker: i,
+                frontier_width,
+            });
+            frontier_width = frontier_width.saturating_sub(1);
         }
     }
 

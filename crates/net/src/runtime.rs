@@ -15,10 +15,12 @@ use std::time::{Duration, Instant};
 use stargemm_core::stream::GeometryAccess;
 use stargemm_linalg::BlockMatrix;
 use stargemm_netmodel::NetModelSpec;
+use stargemm_obs::Dir;
 use stargemm_platform::dynamic::{DynProfile, LifecycleEvent};
 use stargemm_platform::Platform;
 use stargemm_sim::{
-    Action, ChunkDescr, ChunkId, CtxMirror, Fragment, MasterPolicy, MatKind, RunStats, SimEvent,
+    Action, ChunkDescr, ChunkId, CtxMirror, Fragment, MasterPolicy, MatKind, ObsEvent, ObsSink,
+    PortAccounting, RunStats, SimEvent,
 };
 
 use crate::link::{build_star_dyn, LinkDynamics, MasterLink, StarEvent};
@@ -101,6 +103,7 @@ impl DynState {
         retrieved: &HashSet<ChunkId>,
         mirror: &mut CtxMirror,
         policy: &mut P,
+        obs: &ObsSink,
     ) -> Result<(), NetError> {
         while self.due(model_now) {
             let ev = self.pending.pop_front().expect("checked by due()");
@@ -112,6 +115,10 @@ impl DynState {
                     .map_err(link_down)?;
                 self.down[ev.worker] = false;
                 mirror.on_rejoin(ev.worker);
+                obs.emit(|| ObsEvent::WorkerUp {
+                    time: model_now,
+                    worker: ev.worker,
+                });
                 policy.on_event(&SimEvent::WorkerUp { worker: ev.worker }, &mirror.ctx());
             } else {
                 masters[ev.worker]
@@ -119,6 +126,10 @@ impl DynState {
                     .map_err(link_down)?;
                 self.down[ev.worker] = true;
                 mirror.on_crash(ev.worker);
+                obs.emit(|| ObsEvent::WorkerDown {
+                    time: model_now,
+                    worker: ev.worker,
+                });
                 policy.on_event(&SimEvent::WorkerDown { worker: ev.worker }, &mirror.ctx());
                 let mut doomed: Vec<ChunkId> = descrs
                     .iter()
@@ -130,6 +141,11 @@ impl DynState {
                 doomed.sort_unstable();
                 for chunk in doomed {
                     self.lost.insert(chunk);
+                    obs.emit(|| ObsEvent::ChunkLost {
+                        time: model_now,
+                        worker: ev.worker,
+                        chunk,
+                    });
                     policy.on_event(
                         &SimEvent::ChunkLost {
                             worker: ev.worker,
@@ -238,10 +254,12 @@ fn apply_worker_event<P: MasterPolicy>(
 
 /// Closes out a run shared by both drivers: every live chunk must have
 /// been retrieved, and the per-worker mirror is folded into [`RunStats`].
+#[allow(clippy::too_many_arguments)]
 fn finish_stats(
     mirror: &CtxMirror,
     start: &Instant,
     port_busy: f64,
+    port_acct: &PortAccounting,
     chunks_retrieved: u64,
     descrs: &HashMap<ChunkId, (usize, ChunkDescr)>,
     lost: &HashSet<ChunkId>,
@@ -257,6 +275,7 @@ fn finish_stats(
     Ok(RunStats {
         makespan: start.elapsed().as_secs_f64(),
         port_busy,
+        port: port_acct.stats(),
         blocks_to_workers: per_worker.iter().map(|w| w.blocks_rx).sum(),
         blocks_to_master: per_worker.iter().map(|w| w.blocks_tx).sum(),
         total_updates: per_worker.iter().map(|w| w.updates).sum(),
@@ -305,6 +324,29 @@ fn validate_send(
         });
     }
     Ok(())
+}
+
+/// Obs tag of a fragment's matrix kind.
+fn mat_tag(kind: MatKind) -> stargemm_obs::MatTag {
+    match kind {
+        MatKind::A => stargemm_obs::MatTag::A,
+        MatKind::B => stargemm_obs::MatTag::B,
+        MatKind::C => stargemm_obs::MatTag::C,
+    }
+}
+
+/// Claims the lowest free contention lane (growing the set on demand).
+fn claim_lane(lane_used: &mut Vec<bool>) -> usize {
+    match lane_used.iter().position(|&u| !u) {
+        Some(lane) => {
+            lane_used[lane] = true;
+            lane
+        }
+        None => {
+            lane_used.push(true);
+            lane_used.len() - 1
+        }
+    }
 }
 
 /// Shared `Action::Retrieve` guards of both drivers.
@@ -359,6 +401,24 @@ impl NetRuntime {
         a: &BlockMatrix,
         b: &BlockMatrix,
         c: &mut BlockMatrix,
+    ) -> Result<RunStats, NetError> {
+        self.run_observed(policy, a, b, c, ObsSink::off())
+    }
+
+    /// [`NetRuntime::run`] with a structured-event recorder attached.
+    ///
+    /// The runtime records from the master thread only: port lane
+    /// acquire/release around each transfer, dispatches, and lifecycle
+    /// transitions. Event timestamps are in *model* seconds (wall time ÷
+    /// `time_scale`), the clock the platform's `c_i`/`w_i` are written
+    /// in, so traces are comparable with the discrete-event engine's.
+    pub fn run_observed<P: MasterPolicy + GeometryAccess>(
+        &self,
+        policy: &mut P,
+        a: &BlockMatrix,
+        b: &BlockMatrix,
+        c: &mut BlockMatrix,
+        obs: ObsSink,
     ) -> Result<RunStats, NetError> {
         let job = policy.job_dims();
         if a.block_rows() != job.r
@@ -415,13 +475,13 @@ impl NetRuntime {
             .collect();
 
         let result = if self.opts.netmodel.capacity() > 1 {
-            self.drive_concurrent(policy, a, b, c, &masters, &events, &evt_tx, epoch)
+            self.drive_concurrent(policy, a, b, c, &masters, &events, &evt_tx, epoch, &obs)
         } else {
             // Drop the master-side sender so the channel disconnects as
             // soon as every worker thread is gone — the synchronous
             // driver relies on that for its fast dead-star detection.
             drop(evt_tx);
-            self.drive(policy, a, b, c, &masters, &events, epoch)
+            self.drive(policy, a, b, c, &masters, &events, epoch, &obs)
         };
 
         // Tear down regardless of outcome.
@@ -456,6 +516,7 @@ impl NetRuntime {
         masters: &[MasterLink],
         events: &crossbeam::channel::Receiver<(usize, StarEvent)>,
         start: Instant,
+        obs: &ObsSink,
     ) -> Result<RunStats, NetError> {
         let mut mirror = CtxMirror::new(&self.platform);
         if let Some(p) = &self.opts.profile {
@@ -469,6 +530,7 @@ impl NetRuntime {
         let mut retrieved: HashSet<ChunkId> = HashSet::new();
         let mut dyn_state = DynState::new(self.opts.profile.as_ref(), self.platform.len());
         let mut port_busy = 0.0f64;
+        let mut port_acct = PortAccounting::default();
         let mut chunks_retrieved = 0u64;
         // Model time (the clock lifecycle schedules are written in).
         let model_now = |start: &Instant| start.elapsed().as_secs_f64() / self.opts.time_scale;
@@ -483,6 +545,7 @@ impl NetRuntime {
                 &retrieved,
                 &mut mirror,
                 policy,
+                obs,
             )?;
             mirror.set_now(start.elapsed().as_secs_f64());
             let action = policy.next_action(&mirror.ctx());
@@ -510,11 +573,38 @@ impl NetRuntime {
                     // reaches the worker is exactly what a socket would
                     // carry.
                     let msg = ToWorker::decode(msg.encode());
-                    port_busy +=
+                    let nominal =
                         fragment.blocks as f64 * masters[worker].c * masters[worker].time_scale;
+                    port_busy += nominal;
+                    port_acct.on_acquire(start.elapsed().as_secs_f64(), 1);
+                    obs.emit(|| ObsEvent::Dispatch {
+                        time: model_now(&start),
+                        worker,
+                        chunk: fragment.chunk,
+                        step: fragment.step,
+                        mat: mat_tag(fragment.kind),
+                        blocks: fragment.blocks,
+                    });
+                    obs.emit(|| ObsEvent::PortAcquire {
+                        time: model_now(&start),
+                        lane: 0,
+                        worker,
+                        dir: Dir::ToWorker,
+                        chunk: fragment.chunk,
+                        blocks: fragment.blocks,
+                    });
                     masters[worker].send_data(msg).map_err(|_| {
                         NetError::WorkerFailure(format!("worker {worker} link down"))
                     })?;
+                    port_acct.on_release(start.elapsed().as_secs_f64(), 0, nominal, 0);
+                    obs.emit(|| ObsEvent::PortRelease {
+                        time: model_now(&start),
+                        lane: 0,
+                        worker,
+                        dir: Dir::ToWorker,
+                        chunk: fragment.chunk,
+                        blocks: fragment.blocks,
+                    });
                     mirror.on_delivered(worker, fragment.blocks);
                     let ev = SimEvent::SendDone { worker, fragment };
                     mirror.set_now(start.elapsed().as_secs_f64());
@@ -549,10 +639,29 @@ impl NetRuntime {
                                 )));
                             }
                             // Charge the port for the inbound transfer.
-                            masters[worker].charge_inbound(blocks.len() as u64);
-                            port_busy += blocks.len() as f64
+                            let nominal = blocks.len() as f64
                                 * masters[worker].c
                                 * masters[worker].time_scale;
+                            port_acct.on_acquire(start.elapsed().as_secs_f64(), 1);
+                            obs.emit(|| ObsEvent::PortAcquire {
+                                time: model_now(&start),
+                                lane: 0,
+                                worker,
+                                dir: Dir::ToMaster,
+                                chunk,
+                                blocks: blocks.len() as u64,
+                            });
+                            masters[worker].charge_inbound(blocks.len() as u64);
+                            port_busy += nominal;
+                            port_acct.on_release(start.elapsed().as_secs_f64(), 0, nominal, 0);
+                            obs.emit(|| ObsEvent::PortRelease {
+                                time: model_now(&start),
+                                lane: 0,
+                                worker,
+                                dir: Dir::ToMaster,
+                                chunk,
+                                blocks: blocks.len() as u64,
+                            });
                             let geom = policy
                                 .chunk_geom(chunk)
                                 .ok_or(NetError::UnknownChunk(chunk))?;
@@ -647,6 +756,7 @@ impl NetRuntime {
             &mirror,
             &start,
             port_busy,
+            &port_acct,
             chunks_retrieved,
             &descrs,
             &dyn_state.lost,
@@ -693,6 +803,7 @@ impl NetRuntime {
         events: &crossbeam::channel::Receiver<(usize, StarEvent)>,
         evt_tx: &crossbeam::channel::Sender<(usize, StarEvent)>,
         start: Instant,
+        obs: &ObsSink,
     ) -> Result<RunStats, NetError> {
         let capacity = self.opts.netmodel.capacity();
         let mut mirror = CtxMirror::new(&self.platform);
@@ -707,6 +818,13 @@ impl NetRuntime {
         let mut retrieved: HashSet<ChunkId> = HashSet::new();
         let mut dyn_state = DynState::new(self.opts.profile.as_ref(), self.platform.len());
         let mut port_busy = 0.0f64;
+        let mut port_acct = PortAccounting::default();
+        // Lowest-free-index lane of each in-flight transfer, mirroring
+        // the simulator's admission: sends are keyed by (worker, chunk,
+        // step, kind), inbound retrievals by chunk.
+        let mut lane_used: Vec<bool> = Vec::new();
+        let mut send_lane: HashMap<(usize, ChunkId, u32, u8), usize> = HashMap::new();
+        let mut inbound_lane: HashMap<ChunkId, usize> = HashMap::new();
         let mut chunks_retrieved = 0u64;
         // Wire lanes in use: outbound sends plus inbound retrievals
         // whose wire transfer has started.
@@ -739,6 +857,7 @@ impl NetRuntime {
                 &retrieved,
                 &mut mirror,
                 policy,
+                obs,
             )?;
             // Drop retrievals whose chunk a crash just destroyed before
             // the worker could reply (no Result will ever arrive; they
@@ -783,6 +902,28 @@ impl NetRuntime {
                     let msg = ToWorker::decode(msg.encode());
                     in_flight += 1;
                     inflight_blocks[worker] += fragment.blocks;
+                    let lane = claim_lane(&mut lane_used);
+                    send_lane.insert(
+                        (worker, fragment.chunk, fragment.step, fragment.kind as u8),
+                        lane,
+                    );
+                    port_acct.on_acquire(start.elapsed().as_secs_f64(), in_flight);
+                    obs.emit(|| ObsEvent::Dispatch {
+                        time: model_now(&start),
+                        worker,
+                        chunk: fragment.chunk,
+                        step: fragment.step,
+                        mat: mat_tag(fragment.kind),
+                        blocks: fragment.blocks,
+                    });
+                    obs.emit(|| ObsEvent::PortAcquire {
+                        time: model_now(&start),
+                        lane,
+                        worker,
+                        dir: Dir::ToWorker,
+                        chunk: fragment.chunk,
+                        blocks: fragment.blocks,
+                    });
                     let (backbone, tx) = masters[worker].wire_parts();
                     let nominal = fragment.blocks as f64 * masters[worker].c;
                     let evt = evt_tx.clone();
@@ -883,6 +1024,17 @@ impl NetRuntime {
                                 // from here; the master unparks.
                                 pending_retrievals.insert(chunk, (worker, true));
                                 in_flight += 1;
+                                let lane = claim_lane(&mut lane_used);
+                                inbound_lane.insert(chunk, lane);
+                                port_acct.on_acquire(start.elapsed().as_secs_f64(), in_flight);
+                                obs.emit(|| ObsEvent::PortAcquire {
+                                    time: model_now(&start),
+                                    lane,
+                                    worker,
+                                    dir: Dir::ToMaster,
+                                    chunk,
+                                    blocks: blocks.len() as u64,
+                                });
                                 if blocked_retrieve == Some(chunk) {
                                     blocked_retrieve = None;
                                 }
@@ -927,6 +1079,28 @@ impl NetRuntime {
                                 // nominal under contention) — the same
                                 // accounting the simulator reports.
                                 port_busy += wire_secs * self.opts.time_scale;
+                                if let Some(lane) = send_lane.remove(&(
+                                    wid,
+                                    fragment.chunk,
+                                    fragment.step,
+                                    fragment.kind as u8,
+                                )) {
+                                    lane_used[lane] = false;
+                                    port_acct.on_release(
+                                        start.elapsed().as_secs_f64(),
+                                        lane,
+                                        wire_secs * self.opts.time_scale,
+                                        in_flight,
+                                    );
+                                    obs.emit(|| ObsEvent::PortRelease {
+                                        time: model_now(&start),
+                                        lane,
+                                        worker: wid,
+                                        dir: Dir::ToWorker,
+                                        chunk: fragment.chunk,
+                                        blocks: fragment.blocks,
+                                    });
+                                }
                                 // Blocks landing on a downed worker (or a
                                 // dead chunk) are dropped by the worker;
                                 // mirror occupancy follows the simulator.
@@ -951,6 +1125,23 @@ impl NetRuntime {
                                 in_flight -= 1;
                                 pending_retrievals.remove(&chunk);
                                 port_busy += wire_secs * self.opts.time_scale;
+                                if let Some(lane) = inbound_lane.remove(&chunk) {
+                                    lane_used[lane] = false;
+                                    port_acct.on_release(
+                                        start.elapsed().as_secs_f64(),
+                                        lane,
+                                        wire_secs * self.opts.time_scale,
+                                        in_flight,
+                                    );
+                                    obs.emit(|| ObsEvent::PortRelease {
+                                        time: model_now(&start),
+                                        lane,
+                                        worker: wid,
+                                        dir: Dir::ToMaster,
+                                        chunk,
+                                        blocks: blocks.len() as u64,
+                                    });
+                                }
                                 if dyn_state.lost.contains(&chunk) {
                                     continue; // crashed mid-wire
                                 }
@@ -985,6 +1176,7 @@ impl NetRuntime {
             &mirror,
             &start,
             port_busy,
+            &port_acct,
             chunks_retrieved,
             &descrs,
             &dyn_state.lost,

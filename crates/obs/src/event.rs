@@ -1,0 +1,178 @@
+//! The unified structured event schema.
+//!
+//! One enum covers both engines (`sim` emits model time directly; `net`
+//! maps wall clock through its `time_scale` into the same model-time
+//! axis) and every master policy. Identifiers are the engine-level ones
+//! (`worker`/`lane` indices, `u32` chunk/job/task ids) so an event is
+//! meaningful without any policy context.
+
+/// Direction of a wire transfer on the master's port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Master sends operand blocks out to a worker.
+    ToWorker,
+    /// Master retrieves result blocks back from a worker.
+    ToMaster,
+}
+
+impl Dir {
+    /// Short label used in trace tracks and rendered timelines.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dir::ToWorker => "send",
+            Dir::ToMaster => "recv",
+        }
+    }
+}
+
+/// Matrix operand carried by a master→worker fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatTag {
+    A,
+    B,
+    C,
+}
+
+impl MatTag {
+    /// Single-letter operand label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MatTag::A => "A",
+            MatTag::B => "B",
+            MatTag::C => "C",
+        }
+    }
+}
+
+/// One structured observability event. All times are model seconds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObsEvent {
+    /// A transfer was admitted onto contention lane `lane` of the
+    /// master's port.
+    PortAcquire {
+        time: f64,
+        lane: usize,
+        worker: usize,
+        dir: Dir,
+        chunk: u32,
+        blocks: u64,
+    },
+    /// The transfer occupying `lane` completed and freed the lane.
+    PortRelease {
+        time: f64,
+        lane: usize,
+        worker: usize,
+        dir: Dir,
+        chunk: u32,
+        blocks: u64,
+    },
+    /// A compute step started on a worker.
+    ComputeStart {
+        time: f64,
+        worker: usize,
+        chunk: u32,
+        step: u32,
+        updates: u64,
+    },
+    /// The step completed. A crash cancels the step in flight, so a
+    /// cancelled step never emits its `ComputeEnd` — exactly mirroring
+    /// engine semantics.
+    ComputeEnd {
+        time: f64,
+        worker: usize,
+        chunk: u32,
+        step: u32,
+    },
+    /// Master decision: a fragment dispatch was issued to a worker.
+    Dispatch {
+        time: f64,
+        worker: usize,
+        chunk: u32,
+        step: u32,
+        mat: MatTag,
+        blocks: u64,
+    },
+    /// Master decision: the stream allocator re-solved the weighted
+    /// max-min LP over the active job set.
+    LpResolve {
+        time: f64,
+        jobs: Vec<u32>,
+        shares: Vec<f64>,
+    },
+    /// Master decision: a job's deficit counter was charged for port
+    /// seconds consumed by one of its fragments.
+    DeficitCredit {
+        time: f64,
+        job: u32,
+        port_seconds: f64,
+    },
+    /// Master decision: a ready DAG task was promoted out of the
+    /// frontier onto a worker lane. `frontier_width` counts the tasks
+    /// that were ready immediately before the promotion.
+    FrontierPromote {
+        time: f64,
+        job: u32,
+        task: u32,
+        worker: usize,
+        frontier_width: usize,
+    },
+    /// A worker crashed (lifecycle trace or injected fault).
+    WorkerDown { time: f64, worker: usize },
+    /// A crashed worker came back up.
+    WorkerUp { time: f64, worker: usize },
+    /// A chunk's in-progress state was lost to a worker crash.
+    ChunkLost {
+        time: f64,
+        worker: usize,
+        chunk: u32,
+    },
+    /// A job entered the system (arrival event).
+    JobArrived { time: f64, job: u32 },
+    /// The stream master admitted an arrived job into the active set.
+    JobAdmitted { time: f64, job: u32 },
+    /// A job's last result block reached the master.
+    JobCompleted { time: f64, job: u32 },
+}
+
+impl ObsEvent {
+    /// Model-time stamp of the event, whatever its variant.
+    pub fn time(&self) -> f64 {
+        match *self {
+            ObsEvent::PortAcquire { time, .. }
+            | ObsEvent::PortRelease { time, .. }
+            | ObsEvent::ComputeStart { time, .. }
+            | ObsEvent::ComputeEnd { time, .. }
+            | ObsEvent::Dispatch { time, .. }
+            | ObsEvent::LpResolve { time, .. }
+            | ObsEvent::DeficitCredit { time, .. }
+            | ObsEvent::FrontierPromote { time, .. }
+            | ObsEvent::WorkerDown { time, .. }
+            | ObsEvent::WorkerUp { time, .. }
+            | ObsEvent::ChunkLost { time, .. }
+            | ObsEvent::JobArrived { time, .. }
+            | ObsEvent::JobAdmitted { time, .. }
+            | ObsEvent::JobCompleted { time, .. } => time,
+        }
+    }
+
+    /// Schema name of the variant (used as the Perfetto event name
+    /// prefix and in metrics counter keys).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::PortAcquire { .. } => "port_acquire",
+            ObsEvent::PortRelease { .. } => "port_release",
+            ObsEvent::ComputeStart { .. } => "compute_start",
+            ObsEvent::ComputeEnd { .. } => "compute_end",
+            ObsEvent::Dispatch { .. } => "dispatch",
+            ObsEvent::LpResolve { .. } => "lp_resolve",
+            ObsEvent::DeficitCredit { .. } => "deficit_credit",
+            ObsEvent::FrontierPromote { .. } => "frontier_promote",
+            ObsEvent::WorkerDown { .. } => "worker_down",
+            ObsEvent::WorkerUp { .. } => "worker_up",
+            ObsEvent::ChunkLost { .. } => "chunk_lost",
+            ObsEvent::JobArrived { .. } => "job_arrived",
+            ObsEvent::JobAdmitted { .. } => "job_admitted",
+            ObsEvent::JobCompleted { .. } => "job_completed",
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Unified observability layer for the star-platform engines.
+//!
+//! Every figure in the paper is a claim about *where time went* — port
+//! occupancy vs compute overlap — yet until this crate the engines
+//! could only answer post-hoc through [`RunStats`]-style aggregates.
+//! This crate defines one structured event schema ([`ObsEvent`])
+//! covering both engines and every master policy:
+//!
+//! * **wire** — port acquire/release per contention lane, with
+//!   direction, operand and block count;
+//! * **compute** — per-worker step start/end intervals;
+//! * **decisions** — chunk dispatch, stream LP re-solves, deficit
+//!   credits, DAG frontier promotion, crash/recovery, job
+//!   admission/completion.
+//!
+//! Events flow through a [`Recorder`] behind an [`ObsSink`] handle.
+//! The sink is **zero-overhead when disabled**: detached it is a
+//! `None` — one branch per would-be event, and the event constructor
+//! (a closure) is never run. Recording never feeds back into the
+//! engines: a recorder can only observe, so recorder-on and
+//! recorder-off runs produce byte-identical schedules and stats (pinned
+//! by workspace proptests).
+//!
+//! Downstream of the event stream:
+//!
+//! * [`MetricsRegistry`] — counters, gauges and log-bucketed
+//!   [`Histogram`]s (quantiles oracle-tested against exact sorted
+//!   vectors);
+//! * [`RunMetrics`] — headline *bound-gap* block (port utilization vs
+//!   the LP ceiling, per-worker busy fraction vs plan share, achieved
+//!   vs LP throughput, DAG frontier width) embedded in `--json`
+//!   artifacts;
+//! * [`perfetto_trace`] — Chrome/Perfetto `trace_event` JSON with one
+//!   track per port lane, per worker comm/compute lane, and per job
+//!   (written by every `exp_*` binary's `--trace-out` flag).
+//!
+//! Dependency-graph position: `obs` is a leaf above `serde` only, so
+//! every engine and policy crate can depend on it without cycles; LP
+//! inputs for the bound gaps are computed by the *callers* (bench
+//! binaries) and passed in as plain numbers.
+//!
+//! [`RunStats`]: ../stargemm_sim/stats/struct.RunStats.html
+
+mod event;
+mod metrics;
+mod perfetto;
+mod recorder;
+mod runmetrics;
+
+pub use event::{Dir, MatTag, ObsEvent};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use perfetto::perfetto_trace;
+pub use recorder::{ObsSink, Recorder, RunRecorder};
+pub use runmetrics::{BoundGap, RunMetrics, TenantGap, WorkerGap};

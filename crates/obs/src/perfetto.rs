@@ -1,0 +1,428 @@
+//! Chrome/Perfetto `trace_event` export of a recorded event log.
+//!
+//! The exported JSON loads directly in <https://ui.perfetto.dev> (or
+//! `chrome://tracing`). Track layout:
+//!
+//! * **process 1 — `port`**: one thread per contention lane; every
+//!   admitted transfer is a duration event (`ph: "X"`) named
+//!   `send`/`recv` with worker/chunk/blocks args.
+//! * **process 2 — `workers`**: three threads per worker — `send`,
+//!   `recv` (wire occupancy from that worker's perspective) and `cpu`
+//!   (compute steps).
+//! * **process 3 — `jobs`**: one thread per job; a span from arrival to
+//!   completion (stream/DAG runs only).
+//! * **process 4 — `master`**: instant events (`ph: "i"`) for every
+//!   scheduling decision — dispatch, LP re-solve, deficit credit,
+//!   frontier promotion, crash/recovery, admission.
+//!
+//! Times are model seconds scaled to microseconds (`ts`/`dur`).
+//! Intervals left open at the end of the log (e.g. a compute step
+//! cancelled by a crash) are dropped, mirroring engine cancellation
+//! semantics.
+
+use serde::json::Value;
+use serde::Serialize;
+
+use crate::event::{Dir, ObsEvent};
+
+const PORT_PID: u64 = 1;
+const WORKER_PID: u64 = 2;
+const JOB_PID: u64 = 3;
+const MASTER_PID: u64 = 4;
+
+fn us(t: f64) -> f64 {
+    t * 1e6
+}
+
+/// One complete duration event.
+fn span(pid: u64, tid: u64, name: String, start: f64, end: f64, args: Value) -> Value {
+    Value::object([
+        ("name", Value::String(name)),
+        ("ph", "X".to_value()),
+        ("pid", pid.to_value()),
+        ("tid", tid.to_value()),
+        ("ts", us(start).to_value()),
+        ("dur", us(end - start).to_value()),
+        ("args", args),
+    ])
+}
+
+/// One instant event on the master decisions track.
+fn instant(name: String, t: f64, args: Value) -> Value {
+    Value::object([
+        ("name", Value::String(name)),
+        ("ph", "i".to_value()),
+        ("s", "t".to_value()),
+        ("pid", MASTER_PID.to_value()),
+        ("tid", 1u64.to_value()),
+        ("ts", us(t).to_value()),
+        ("args", args),
+    ])
+}
+
+/// `process_name` / `thread_name` metadata event.
+fn meta(pid: u64, tid: Option<u64>, name: &str) -> Value {
+    let mut fields = vec![
+        (
+            "name".to_string(),
+            if tid.is_some() {
+                "thread_name".to_value()
+            } else {
+                "process_name".to_value()
+            },
+        ),
+        ("ph".to_string(), "M".to_value()),
+        ("pid".to_string(), pid.to_value()),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), tid.to_value()));
+    }
+    fields.push((
+        "args".to_string(),
+        Value::object([("name", name.to_value())]),
+    ));
+    Value::Object(fields)
+}
+
+fn worker_tid(worker: usize, dir: Option<Dir>) -> u64 {
+    3 * worker as u64
+        + match dir {
+            Some(Dir::ToWorker) => 1,
+            Some(Dir::ToMaster) => 2,
+            None => 3, // cpu
+        }
+}
+
+/// Converts a recorded event log into a Perfetto/Chrome `trace_event`
+/// JSON document.
+pub fn perfetto_trace(events: &[ObsEvent]) -> Value {
+    let mut out: Vec<Value> = Vec::new();
+    let mut metas: Vec<Value> = vec![
+        meta(PORT_PID, None, "port"),
+        meta(WORKER_PID, None, "workers"),
+        meta(MASTER_PID, None, "master"),
+        meta(MASTER_PID, Some(1), "decisions"),
+    ];
+    let mut seen_lane: Vec<usize> = Vec::new();
+    let mut seen_worker: Vec<usize> = Vec::new();
+    let mut seen_job: Vec<u32> = Vec::new();
+    let mut job_pid_named = false;
+
+    // Open-interval bookkeeping, keyed by track identity.
+    let mut open_port: Vec<(usize, f64)> = Vec::new();
+    let mut open_steps: Vec<((usize, u32, u32), f64)> = Vec::new();
+    let mut open_jobs: Vec<(u32, f64)> = Vec::new();
+
+    let note_lane = |lane: usize, metas: &mut Vec<Value>, seen: &mut Vec<usize>| {
+        if !seen.contains(&lane) {
+            seen.push(lane);
+            metas.push(meta(
+                PORT_PID,
+                Some(lane as u64 + 1),
+                &format!("lane {lane}"),
+            ));
+        }
+    };
+    let note_worker = |w: usize, metas: &mut Vec<Value>, seen: &mut Vec<usize>| {
+        if !seen.contains(&w) {
+            seen.push(w);
+            metas.push(meta(
+                WORKER_PID,
+                Some(worker_tid(w, Some(Dir::ToWorker))),
+                &format!("w{w} send"),
+            ));
+            metas.push(meta(
+                WORKER_PID,
+                Some(worker_tid(w, Some(Dir::ToMaster))),
+                &format!("w{w} recv"),
+            ));
+            metas.push(meta(
+                WORKER_PID,
+                Some(worker_tid(w, None)),
+                &format!("w{w} cpu"),
+            ));
+        }
+    };
+
+    for ev in events {
+        match ev {
+            ObsEvent::PortAcquire {
+                time, lane, worker, ..
+            } => {
+                note_lane(*lane, &mut metas, &mut seen_lane);
+                note_worker(*worker, &mut metas, &mut seen_worker);
+                open_port.retain(|(l, _)| l != lane);
+                open_port.push((*lane, *time));
+            }
+            ObsEvent::PortRelease {
+                time,
+                lane,
+                worker,
+                dir,
+                chunk,
+                blocks,
+            } => {
+                note_worker(*worker, &mut metas, &mut seen_worker);
+                if let Some(pos) = open_port.iter().position(|(l, _)| l == lane) {
+                    let (_, start) = open_port.swap_remove(pos);
+                    let args = Value::object([
+                        ("worker", worker.to_value()),
+                        ("chunk", chunk.to_value()),
+                        ("blocks", blocks.to_value()),
+                    ]);
+                    let name = format!("{} w{worker} c{chunk}", dir.label());
+                    // Same interval on the port-lane track and on the
+                    // worker's directional comm track.
+                    out.push(span(
+                        PORT_PID,
+                        *lane as u64 + 1,
+                        name.clone(),
+                        start,
+                        *time,
+                        args.clone(),
+                    ));
+                    out.push(span(
+                        WORKER_PID,
+                        worker_tid(*worker, Some(*dir)),
+                        name,
+                        start,
+                        *time,
+                        args,
+                    ));
+                }
+            }
+            ObsEvent::ComputeStart {
+                time,
+                worker,
+                chunk,
+                step,
+                ..
+            } => {
+                note_worker(*worker, &mut metas, &mut seen_worker);
+                let key = (*worker, *chunk, *step);
+                open_steps.retain(|(k, _)| *k != key);
+                open_steps.push((key, *time));
+            }
+            ObsEvent::ComputeEnd {
+                time,
+                worker,
+                chunk,
+                step,
+            } => {
+                let key = (*worker, *chunk, *step);
+                if let Some(pos) = open_steps.iter().position(|(k, _)| *k == key) {
+                    let (_, start) = open_steps.swap_remove(pos);
+                    out.push(span(
+                        WORKER_PID,
+                        worker_tid(*worker, None),
+                        format!("c{chunk} s{step}"),
+                        start,
+                        *time,
+                        Value::object([("chunk", chunk.to_value()), ("step", step.to_value())]),
+                    ));
+                }
+            }
+            ObsEvent::JobArrived { time, job } => {
+                if !job_pid_named {
+                    job_pid_named = true;
+                    metas.push(meta(JOB_PID, None, "jobs"));
+                }
+                if !seen_job.contains(job) {
+                    seen_job.push(*job);
+                    metas.push(meta(JOB_PID, Some(*job as u64 + 1), &format!("job {job}")));
+                }
+                open_jobs.retain(|(j, _)| j != job);
+                open_jobs.push((*job, *time));
+            }
+            ObsEvent::JobCompleted { time, job } => {
+                if let Some(pos) = open_jobs.iter().position(|(j, _)| j == job) {
+                    let (_, start) = open_jobs.swap_remove(pos);
+                    out.push(span(
+                        JOB_PID,
+                        *job as u64 + 1,
+                        format!("job {job}"),
+                        start,
+                        *time,
+                        Value::object([("job", job.to_value())]),
+                    ));
+                }
+                out.push(instant(
+                    "job_completed".to_string(),
+                    ev.time(),
+                    Value::object([("job", job.to_value())]),
+                ));
+            }
+            ObsEvent::Dispatch {
+                time,
+                worker,
+                chunk,
+                step,
+                mat,
+                blocks,
+            } => {
+                out.push(instant(
+                    format!("dispatch {} w{worker}", mat.label()),
+                    *time,
+                    Value::object([
+                        ("worker", worker.to_value()),
+                        ("chunk", chunk.to_value()),
+                        ("step", step.to_value()),
+                        ("mat", mat.label().to_value()),
+                        ("blocks", blocks.to_value()),
+                    ]),
+                ));
+            }
+            ObsEvent::LpResolve { time, jobs, shares } => {
+                out.push(instant(
+                    "lp_resolve".to_string(),
+                    *time,
+                    Value::object([
+                        (
+                            "jobs",
+                            Value::Array(jobs.iter().map(|j| j.to_value()).collect()),
+                        ),
+                        (
+                            "shares",
+                            Value::Array(shares.iter().map(|s| s.to_value()).collect()),
+                        ),
+                    ]),
+                ));
+            }
+            ObsEvent::DeficitCredit {
+                time,
+                job,
+                port_seconds,
+            } => {
+                out.push(instant(
+                    "deficit_credit".to_string(),
+                    *time,
+                    Value::object([
+                        ("job", job.to_value()),
+                        ("port_seconds", port_seconds.to_value()),
+                    ]),
+                ));
+            }
+            ObsEvent::FrontierPromote {
+                time,
+                job,
+                task,
+                worker,
+                frontier_width,
+            } => {
+                out.push(instant(
+                    format!("promote j{job} t{task}"),
+                    *time,
+                    Value::object([
+                        ("job", job.to_value()),
+                        ("task", task.to_value()),
+                        ("worker", worker.to_value()),
+                        ("frontier_width", frontier_width.to_value()),
+                    ]),
+                ));
+            }
+            ObsEvent::WorkerDown { time, worker } => {
+                out.push(instant(
+                    format!("worker_down w{worker}"),
+                    *time,
+                    Value::object([("worker", worker.to_value())]),
+                ));
+            }
+            ObsEvent::WorkerUp { time, worker } => {
+                out.push(instant(
+                    format!("worker_up w{worker}"),
+                    *time,
+                    Value::object([("worker", worker.to_value())]),
+                ));
+            }
+            ObsEvent::ChunkLost {
+                time,
+                worker,
+                chunk,
+            } => {
+                out.push(instant(
+                    format!("chunk_lost c{chunk}"),
+                    *time,
+                    Value::object([("worker", worker.to_value()), ("chunk", chunk.to_value())]),
+                ));
+            }
+            ObsEvent::JobAdmitted { time, job } => {
+                out.push(instant(
+                    "job_admitted".to_string(),
+                    *time,
+                    Value::object([("job", job.to_value())]),
+                ));
+            }
+        }
+    }
+
+    metas.extend(out);
+    Value::object([
+        ("traceEvents", Value::Array(metas)),
+        ("displayTimeUnit", "ms".to_value()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_builds_port_worker_and_job_tracks() {
+        let events = vec![
+            ObsEvent::JobArrived { time: 0.0, job: 3 },
+            ObsEvent::PortAcquire {
+                time: 0.0,
+                lane: 0,
+                worker: 1,
+                dir: Dir::ToWorker,
+                chunk: 9,
+                blocks: 4,
+            },
+            ObsEvent::PortRelease {
+                time: 0.8,
+                lane: 0,
+                worker: 1,
+                dir: Dir::ToWorker,
+                chunk: 9,
+                blocks: 4,
+            },
+            ObsEvent::ComputeStart {
+                time: 0.8,
+                worker: 1,
+                chunk: 9,
+                step: 0,
+                updates: 8,
+            },
+            ObsEvent::ComputeEnd {
+                time: 2.0,
+                worker: 1,
+                chunk: 9,
+                step: 0,
+            },
+            ObsEvent::JobCompleted { time: 2.0, job: 3 },
+        ];
+        let doc = perfetto_trace(&events);
+        let rendered = doc.render();
+        assert!(rendered.contains("\"traceEvents\""));
+        assert!(rendered.contains("\"process_name\""));
+        assert!(rendered.contains("\"lane 0\""));
+        assert!(rendered.contains("\"w1 cpu\""));
+        assert!(rendered.contains("\"job 3\""));
+        assert!(rendered.contains("\"send w1 c9\""));
+        // Interval durations are in microseconds.
+        assert!(rendered.contains("\"dur\":800000"));
+    }
+
+    #[test]
+    fn unclosed_intervals_are_dropped() {
+        let events = vec![ObsEvent::ComputeStart {
+            time: 1.0,
+            worker: 0,
+            chunk: 1,
+            step: 0,
+            updates: 2,
+        }];
+        let doc = perfetto_trace(&events);
+        assert!(!doc.render().contains("\"ph\":\"X\""));
+    }
+}

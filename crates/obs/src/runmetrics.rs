@@ -1,0 +1,151 @@
+//! The headline bound-gap metrics block embedded in `--json` artifacts.
+//!
+//! Every gap compares an *achieved* quantity against a *bound* that the
+//! schedule provably cannot beat, so `gap = achieved / bound ≤ 1.0` on
+//! every run:
+//!
+//! * **port** — occupancy-seconds on the master's port vs
+//!   `peak_lanes × makespan` (the port cannot be busier than its peak
+//!   concurrency for the whole run);
+//! * **throughput** — achieved updates/second vs the generalized
+//!   steady-state LP bound `ρ*`;
+//! * **workers** — per-worker busy fraction alongside the LP plan's
+//!   share of the work, exposing where the plan and the schedule
+//!   disagree;
+//! * **tenants** — per-tenant achieved vs LP-entitled throughput
+//!   (stream runs only).
+//!
+//! This crate stays a dependency leaf: callers compute the LP inputs
+//! (`core::steady`, `stream::aggregate_throughput_bound`) and hand in
+//! plain numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// An achieved quantity against a provable bound, with the ratio
+/// precomputed for the JSON artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoundGap {
+    /// What the schedule actually did.
+    pub achieved: f64,
+    /// What no schedule can beat.
+    pub bound: f64,
+    /// `achieved / bound` (0 when the bound is degenerate).
+    pub gap: f64,
+}
+
+impl BoundGap {
+    /// Builds the pair and precomputes the ratio.
+    pub fn new(achieved: f64, bound: f64) -> BoundGap {
+        let gap = if bound > 0.0 { achieved / bound } else { 0.0 };
+        BoundGap {
+            achieved,
+            bound,
+            gap,
+        }
+    }
+}
+
+/// One worker's busy fraction next to its LP plan share.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkerGap {
+    /// Worker index.
+    pub worker: usize,
+    /// Fraction of the makespan the worker spent computing.
+    pub busy_fraction: f64,
+    /// Fraction of total work the steady-state plan assigns it.
+    pub plan_share: f64,
+}
+
+/// One tenant's achieved throughput against its LP entitlement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TenantGap {
+    /// Tenant index (stream layer numbering).
+    pub tenant: usize,
+    /// Updates per second the tenant actually got.
+    pub achieved: f64,
+    /// Updates per second the weighted LP entitles it to.
+    pub bound: f64,
+}
+
+/// The per-run metrics block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Run makespan in model seconds.
+    pub makespan: f64,
+    /// Port occupancy vs `peak_lanes × makespan`.
+    pub port: BoundGap,
+    /// Achieved updates/second vs the generalized LP `ρ*`.
+    pub throughput: BoundGap,
+    /// Per-worker busy-fraction-vs-plan-share rows.
+    pub workers: Vec<WorkerGap>,
+    /// Per-tenant achieved-vs-entitled throughput (stream runs only).
+    pub tenants: Vec<TenantGap>,
+    /// Widest DAG ready-frontier observed (0 without DAG jobs).
+    pub frontier_peak: u64,
+}
+
+impl RunMetrics {
+    /// Derives the block from engine aggregates plus LP inputs.
+    ///
+    /// `peak_lanes` is the maximum number of simultaneously occupied
+    /// port lanes (≥ 1 whenever anything was transferred), which makes
+    /// the port gap provably ≤ 1. `plan_shares` may be empty when no
+    /// steady-state plan applies (rows get share 0).
+    pub fn derive(
+        makespan: f64,
+        port_busy: f64,
+        peak_lanes: usize,
+        achieved_throughput: f64,
+        lp_throughput: f64,
+        worker_busy_fractions: &[f64],
+        plan_shares: &[f64],
+    ) -> RunMetrics {
+        let lanes = peak_lanes.max(1) as f64;
+        let port = BoundGap::new(port_busy, lanes * makespan);
+        let throughput = BoundGap::new(achieved_throughput, lp_throughput);
+        let workers = worker_busy_fractions
+            .iter()
+            .enumerate()
+            .map(|(w, &busy)| WorkerGap {
+                worker: w,
+                busy_fraction: busy,
+                plan_share: plan_shares.get(w).copied().unwrap_or(0.0),
+            })
+            .collect();
+        RunMetrics {
+            makespan,
+            port,
+            throughput,
+            workers,
+            tenants: Vec::new(),
+            frontier_peak: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+
+    #[test]
+    fn gaps_stay_at_or_below_one_by_construction() {
+        // 2 lanes busy 1.4s over a 1.0s run: gap 0.7 of the 2-lane ceiling.
+        let m = RunMetrics::derive(1.0, 1.4, 2, 90.0, 100.0, &[0.9, 0.5], &[0.6, 0.4]);
+        assert!((m.port.gap - 0.7).abs() < 1e-12);
+        assert!((m.throughput.gap - 0.9).abs() < 1e-12);
+        assert!(m.port.gap <= 1.0 && m.throughput.gap <= 1.0);
+        assert_eq!(m.workers.len(), 2);
+        assert_eq!(m.workers[1].plan_share, 0.4);
+    }
+
+    #[test]
+    fn degenerate_bounds_render_a_zero_gap() {
+        let m = RunMetrics::derive(0.0, 0.0, 0, 0.0, 0.0, &[], &[]);
+        assert_eq!(m.port.gap, 0.0);
+        assert_eq!(m.throughput.gap, 0.0);
+        let rendered = m.to_value().render();
+        assert!(rendered.contains("\"frontier_peak\":0"));
+        assert!(rendered.contains("\"tenants\":[]"));
+    }
+}

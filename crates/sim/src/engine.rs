@@ -19,6 +19,7 @@
 //! to them.
 
 use stargemm_netmodel::NetModelSpec;
+use stargemm_obs::ObsSink;
 use stargemm_platform::dynamic::{DynPlatform, DynProfile};
 use stargemm_platform::Platform;
 
@@ -155,6 +156,31 @@ impl Simulator {
         &self,
         policy: &mut dyn MasterPolicy,
     ) -> Result<(RunStats, Vec<TraceEntry>), SimError> {
+        self.run_traced_observed(policy, ObsSink::off())
+    }
+
+    /// [`Self::run`] with a structured-event recorder attached.
+    ///
+    /// The sink is a *run parameter* — never stored on the simulator —
+    /// so `Simulator` stays `Send + Sync + Clone` while the (`Rc`-based,
+    /// deliberately `!Send`) sink lives only for the run. A recorder can
+    /// only observe: attaching one cannot change the schedule, the
+    /// stats, or the trace.
+    pub fn run_observed(
+        &self,
+        policy: &mut dyn MasterPolicy,
+        obs: ObsSink,
+    ) -> Result<RunStats, SimError> {
+        self.run_traced_observed(policy, obs)
+            .map(|(stats, _)| stats)
+    }
+
+    /// [`Self::run_traced`] with a structured-event recorder attached.
+    pub fn run_traced_observed(
+        &self,
+        policy: &mut dyn MasterPolicy,
+        obs: ObsSink,
+    ) -> Result<(RunStats, Vec<TraceEntry>), SimError> {
         let mut st = StarModel::new(
             &self.platform,
             self.record_trace,
@@ -162,6 +188,7 @@ impl Simulator {
             &self.netmodel,
             &self.arrivals,
             self.max_events,
+            obs,
         );
         let mut master = MasterState::Idle;
 

@@ -135,6 +135,7 @@ pub struct EventQueue<T> {
     pending: usize,
     delivered: u64,
     cancelled: u64,
+    heap_high_water: usize,
     max_events: u64,
 }
 
@@ -156,6 +157,7 @@ impl<T> EventQueue<T> {
             pending: 0,
             delivered: 0,
             cancelled: 0,
+            heap_high_water: 0,
             max_events: u64::MAX,
         }
     }
@@ -186,6 +188,12 @@ impl<T> EventQueue<T> {
     /// Number of events cancelled before delivery.
     pub fn cancelled(&self) -> u64 {
         self.cancelled
+    }
+
+    /// Peak heap size observed (pending events plus stale entries left
+    /// by O(1) cancellation) — the kernel's memory high-water mark.
+    pub fn heap_high_water(&self) -> usize {
+        self.heap_high_water
     }
 
     /// Schedules `payload` for `component` at absolute time `time` and
@@ -230,6 +238,7 @@ impl<T> EventQueue<T> {
         }));
         self.seq += 1;
         self.pending += 1;
+        self.heap_high_water = self.heap_high_water.max(self.heap.len());
         EventId { slot, gen }
     }
 

@@ -43,8 +43,9 @@ pub mod trace;
 pub use engine::Simulator;
 pub use error::SimError;
 pub use kernel::{ComponentId, EventId, EventQueue, KernelError};
-pub use model::WorkerRt;
+pub use model::{PortAccounting, WorkerRt};
 pub use msg::{ChunkDescr, ChunkId, Fragment, JobId, MatKind, StepCosts, StepId};
 pub use policy::{Action, CtxMirror, MasterPolicy, SimCtx, SimEvent};
 pub use stargemm_netmodel::{ContentionModel, NetModelSpec, TransferLane};
-pub use stats::{JobStats, RunStats, WorkerStats};
+pub use stargemm_obs::{ObsEvent, ObsSink, Recorder, RunRecorder};
+pub use stats::{JobStats, PortStats, RunStats, WorkerStats};

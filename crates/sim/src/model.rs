@@ -26,6 +26,7 @@
 use std::collections::BTreeMap;
 
 use stargemm_netmodel::{ContentionModel, NetModelSpec, TransferLane};
+use stargemm_obs::{Dir, MatTag, ObsEvent, ObsSink};
 use stargemm_platform::dynamic::{
     compute_end_opt, transfer_end_opt, transfer_nominal_between_opt, DynProfile,
 };
@@ -35,7 +36,7 @@ use crate::error::SimError;
 use crate::kernel::{ComponentId, Event, EventId, EventQueue, KernelError};
 use crate::msg::{ChunkDescr, ChunkId, Fragment, JobId, MatKind, StepId};
 use crate::policy::{Action, MasterPolicy, SimEvent};
-use crate::stats::{JobStats, RunStats, WorkerStats};
+use crate::stats::{JobStats, PortStats, RunStats, WorkerStats};
 use crate::trace::{TraceEntry, TraceKind};
 
 /// Component id of the master's port.
@@ -44,6 +45,15 @@ pub(crate) const MASTER_PORT: ComponentId = 0;
 /// Component id of worker `w`.
 pub(crate) fn worker_component(w: WorkerId) -> ComponentId {
     w + 1
+}
+
+/// The obs-schema operand tag of a fragment kind.
+fn mat_tag(kind: MatKind) -> MatTag {
+    match kind {
+        MatKind::A => MatTag::A,
+        MatKind::B => MatTag::B,
+        MatKind::C => MatTag::C,
+    }
 }
 
 /// Runtime state of one worker (crate-visible so [`crate::policy::SimCtx`]
@@ -211,9 +221,71 @@ struct ActiveTransfer {
     share: f64,
     since: f64,
     started: f64,
+    /// Contention lane the transfer occupies (lowest free at admission).
+    lane: usize,
     event: Option<EventId>,
     completion: EvKind,
     trace_idx: Option<usize>,
+}
+
+/// Always-on port-lane accounting behind [`PortStats`] — shared with
+/// the threaded runtime, which keys it off wall-clock timestamps.
+#[derive(Clone, Debug, Default)]
+pub struct PortAccounting {
+    lane_busy: Vec<f64>,
+    peak_lanes: u64,
+    idle_gaps: u64,
+    idle_time: f64,
+    longest_stall: f64,
+    /// Time of the first admission ever (gaps before it are ramp-up,
+    /// not stalls).
+    first_acquire: Option<f64>,
+    /// Time the port last went fully idle.
+    all_free_since: f64,
+}
+
+impl PortAccounting {
+    /// Called with the admission time and the lane count *after* the
+    /// admission.
+    pub fn on_acquire(&mut self, now: f64, lanes_in_use: usize) {
+        match self.first_acquire {
+            None => self.first_acquire = Some(now),
+            Some(_) if lanes_in_use == 1 => {
+                // Port was fully idle since `all_free_since`.
+                let gap = now - self.all_free_since;
+                if gap > 0.0 {
+                    self.idle_gaps += 1;
+                    self.idle_time += gap;
+                    self.longest_stall = self.longest_stall.max(gap);
+                }
+            }
+            Some(_) => {}
+        }
+        self.peak_lanes = self.peak_lanes.max(lanes_in_use as u64);
+    }
+
+    /// Called with the release time, the freed lane, its occupancy
+    /// interval, and the lane count after the release.
+    pub fn on_release(&mut self, now: f64, lane: usize, busy: f64, lanes_in_use: usize) {
+        if self.lane_busy.len() <= lane {
+            self.lane_busy.resize(lane + 1, 0.0);
+        }
+        self.lane_busy[lane] += busy;
+        if lanes_in_use == 0 {
+            self.all_free_since = now;
+        }
+    }
+
+    /// Snapshot into the [`PortStats`] block of [`crate::stats::RunStats`].
+    pub fn stats(&self) -> PortStats {
+        PortStats {
+            lane_busy: self.lane_busy.clone(),
+            peak_lanes: self.peak_lanes,
+            idle_gaps: self.idle_gaps,
+            idle_time: self.idle_time,
+            longest_stall: self.longest_stall,
+        }
+    }
 }
 
 /// Whole-run mutable state of the star-GEMM model.
@@ -228,6 +300,10 @@ pub(crate) struct StarModel {
     /// Transfers currently occupying the wire, in start order.
     active: Vec<ActiveTransfer>,
     port_busy: f64,
+    /// Per-lane busy/idle breakdown (always on — plain accumulation).
+    port_acct: PortAccounting,
+    /// Structured-event sink; detached in ordinary runs.
+    obs: ObsSink,
     retrieved_count: u64,
     last_retrieve_done: f64,
     pub(crate) trace: Option<Vec<TraceEntry>>,
@@ -254,6 +330,7 @@ impl StarModel {
         netmodel: &NetModelSpec,
         arrivals: &[(f64, JobId)],
         max_events: u64,
+        obs: ObsSink,
     ) -> Self {
         let workers = platform
             .workers()
@@ -278,6 +355,8 @@ impl StarModel {
             netmodel: netmodel.build(),
             active: Vec::new(),
             port_busy: 0.0,
+            port_acct: PortAccounting::default(),
+            obs,
             retrieved_count: 0,
             last_retrieve_done: 0.0,
             trace: record_trace.then(Vec::new),
@@ -346,17 +425,49 @@ impl StarModel {
     fn begin_transfer(&mut self, worker: WorkerId, base: f64, completion: EvKind) {
         debug_assert!(self.can_issue(), "transfer admitted past capacity");
         let start = self.now;
+        // Lowest free contention lane (one-port: always lane 0).
+        let mut lane = 0;
+        while self.active.iter().any(|t| t.lane == lane) {
+            lane += 1;
+        }
         self.active.push(ActiveTransfer {
             worker,
             rem: base,
             share: 0.0,
             since: start,
             started: start,
+            lane,
             event: None,
             completion,
             trace_idx: self.trace.as_ref().map(|t| t.len().saturating_sub(1)),
         });
+        self.port_acct.on_acquire(start, self.active.len());
+        self.obs.emit(|| {
+            let (dir, chunk, blocks) = self.transfer_descr(&completion);
+            ObsEvent::PortAcquire {
+                time: start,
+                lane,
+                worker,
+                dir,
+                chunk,
+                blocks,
+            }
+        });
         self.reshare();
+    }
+
+    /// Wire-level description (direction, chunk, blocks) of an in-flight
+    /// transfer, read off its completion event.
+    fn transfer_descr(&self, completion: &EvKind) -> (Dir, ChunkId, u64) {
+        match *completion {
+            EvKind::SendDone { fragment, .. } => (Dir::ToWorker, fragment.chunk, fragment.blocks),
+            EvKind::RetrieveDone { chunk, .. } => (
+                Dir::ToMaster,
+                chunk,
+                self.chunks.get(&chunk).map_or(0, |c| c.descr.c_blocks),
+            ),
+            _ => unreachable!("non-transfer completion on the wire"),
+        }
     }
 
     /// Removes the completed transfer matching `completion`, charges the
@@ -369,11 +480,25 @@ impl StarModel {
             .expect("completion event for an unknown transfer");
         let t = self.active.remove(idx);
         self.port_busy += self.now - t.started;
+        self.port_acct
+            .on_release(self.now, t.lane, self.now - t.started, self.active.len());
         if let Some(trace) = self.trace.as_mut() {
             if let Some(ti) = t.trace_idx {
                 trace[ti].end = self.now;
             }
         }
+        let now = self.now;
+        self.obs.emit(|| {
+            let (dir, chunk, blocks) = self.transfer_descr(&t.completion);
+            ObsEvent::PortRelease {
+                time: now,
+                lane: t.lane,
+                worker: t.worker,
+                dir,
+                chunk,
+                blocks,
+            }
+        });
         self.reshare();
     }
 
@@ -651,6 +776,14 @@ impl StarModel {
             start,
             end: start, // finalized when the transfer completes
         });
+        self.obs.emit(|| ObsEvent::Dispatch {
+            time: start,
+            worker,
+            chunk: fragment.chunk,
+            step: fragment.step,
+            mat: mat_tag(fragment.kind),
+            blocks: fragment.blocks,
+        });
         self.begin_transfer(worker, base, EvKind::SendDone { worker, fragment });
         Ok(())
     }
@@ -685,11 +818,20 @@ impl StarModel {
                         .chunks
                         .get_mut(&fragment.chunk)
                         .expect("validated at issue");
-                    if !ch.lost {
+                    let newly_lost = !ch.lost;
+                    if newly_lost {
                         // A C load addressed to an already-down worker
                         // opens the chunk dead on arrival.
                         ch.lost = true;
                         hooks.push(SimEvent::ChunkLost {
+                            worker,
+                            chunk: fragment.chunk,
+                        });
+                    }
+                    if newly_lost {
+                        let now = self.now;
+                        self.obs.emit(|| ObsEvent::ChunkLost {
+                            time: now,
                             worker,
                             chunk: fragment.chunk,
                         });
@@ -739,6 +881,13 @@ impl StarModel {
                 chunk,
                 step,
             } => {
+                let now = self.now;
+                self.obs.emit(|| ObsEvent::ComputeEnd {
+                    time: now,
+                    worker,
+                    chunk,
+                    step,
+                });
                 let ch = self.chunks.get_mut(&chunk).expect("fired step");
                 // Crashes cancel the pending steps of their chunks, so a
                 // delivered StepDone always belongs to a live chunk.
@@ -792,12 +941,24 @@ impl StarModel {
                     },
                 );
                 debug_assert!(prev.is_none(), "duplicate arrival of job {job}");
+                let now = self.now;
+                self.obs.emit(|| ObsEvent::JobArrived { time: now, job });
                 hooks.push(SimEvent::JobArrived { job });
             }
             EvKind::JobDeclaredDone { job } => {
+                let now = self.now;
+                self.obs.emit(|| ObsEvent::JobCompleted { time: now, job });
                 hooks.push(SimEvent::JobCompleted { job });
             }
             EvKind::Lifecycle { worker, up } => {
+                let now = self.now;
+                self.obs.emit(|| {
+                    if up {
+                        ObsEvent::WorkerUp { time: now, worker }
+                    } else {
+                        ObsEvent::WorkerDown { time: now, worker }
+                    }
+                });
                 let w = &mut self.workers[worker];
                 if up {
                     w.up = true;
@@ -813,12 +974,21 @@ impl StarModel {
                     w.compute_free_at = self.now;
                     hooks.push(SimEvent::WorkerDown { worker });
                     let mut cancels = Vec::new();
+                    let mut lost = Vec::new();
                     for (&id, ch) in self.chunks.iter_mut() {
                         if ch.worker == worker && !ch.retrieved && !ch.lost {
                             ch.lost = true;
                             cancels.extend(ch.pending_steps.drain(..).map(|(_, ev)| ev));
+                            lost.push(id);
                             hooks.push(SimEvent::ChunkLost { worker, chunk: id });
                         }
+                    }
+                    for chunk in lost {
+                        self.obs.emit(|| ObsEvent::ChunkLost {
+                            time: now,
+                            worker,
+                            chunk,
+                        });
                     }
                     for ev in cancels {
                         self.cancel_work(ev);
@@ -850,6 +1020,13 @@ impl StarModel {
             start,
             end,
         });
+        self.obs.emit(|| ObsEvent::ComputeStart {
+            time: start,
+            worker,
+            chunk,
+            step,
+            updates,
+        });
         let id = self.push(
             end,
             EvKind::StepDone {
@@ -873,6 +1050,7 @@ impl StarModel {
             blocks_to_master: self.workers.iter().map(|w| w.stats.blocks_tx).sum(),
             total_updates: self.workers.iter().map(|w| w.stats.updates).sum(),
             chunks: self.retrieved_count,
+            port: self.port_acct.stats(),
             per_worker: self.workers.iter().map(|w| w.stats).collect(),
             jobs: self
                 .jobs

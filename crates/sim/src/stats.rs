@@ -31,6 +31,25 @@ impl WorkerStats {
     }
 }
 
+/// Port-level breakdown of the master's wire time, accumulated by the
+/// engines whatever the contention model. Lane indices are assignment
+/// order (lowest free lane first), so with one-port everything lands on
+/// lane 0 and `lane_busy[0] == port_busy`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PortStats {
+    /// Seconds each contention lane spent occupied, indexed by lane.
+    pub lane_busy: Vec<f64>,
+    /// Peak number of simultaneously occupied lanes.
+    pub peak_lanes: u64,
+    /// Number of maximal intervals with every lane free, strictly
+    /// between the first acquire and the last release.
+    pub idle_gaps: u64,
+    /// Total seconds of those all-lanes-free gaps.
+    pub idle_time: f64,
+    /// Longest single all-lanes-free gap, seconds.
+    pub longest_stall: f64,
+}
+
 /// Lifecycle record of one job in a multi-job stream (engine-observed:
 /// the arrival comes from the scheduled arrival event, the completion
 /// from the policy's `Action::CompleteJob`).
@@ -67,6 +86,9 @@ pub struct RunStats {
     pub total_updates: u64,
     /// Number of chunks processed.
     pub chunks: u64,
+    /// Port-level breakdown: per-lane busy seconds, idle gaps, longest
+    /// stall.
+    pub port: PortStats,
     /// Per-worker counters, indexed by `WorkerId`.
     pub per_worker: Vec<WorkerStats>,
     /// Per-job lifecycle records, sorted by job id (empty for classic
@@ -129,6 +151,7 @@ mod tests {
             blocks_to_master: 100,
             total_updates: 2000,
             chunks: 4,
+            port: PortStats::default(),
             per_worker: vec![
                 WorkerStats {
                     blocks_rx: 200,

@@ -1,10 +1,14 @@
 //! Execution traces and a small ASCII Gantt renderer.
 //!
 //! Traces make the schedule *visible*: `examples/trace_gantt.rs` uses the
-//! renderer to reproduce the flavour of the paper's Figure 3 (the four
+//! renderers to reproduce the flavour of the paper's Figure 3 (the four
 //! steps of the maximum re-use algorithm) from an actual simulated run.
+//! [`render_gantt`] draws the legacy [`TraceEntry`] stream;
+//! [`render_obs_gantt`] draws the unified [`ObsEvent`] schema, including
+//! multi-lane port occupancy and DAG frontier promotions.
 
 use crate::msg::{ChunkId, MatKind, StepId};
+use stargemm_obs::{Dir, ObsEvent};
 use stargemm_platform::WorkerId;
 
 /// What an interval on the trace represents.
@@ -99,6 +103,156 @@ pub fn render_gantt(trace: &[TraceEntry], num_workers: usize, width: usize) -> S
     out
 }
 
+/// Renders a recorded [`ObsEvent`] stream as an ASCII Gantt chart: one
+/// row per observed port lane (`k > 1` contention models get `k` rows),
+/// a communication and a computation row per worker, and a master
+/// decision row. DAG frontier promotions are listed under the chart with
+/// their `job:task` labels, since a one-column marker cannot carry them.
+///
+/// Symbols: `>` master→worker transfer, `<` worker→master retrieval,
+/// `#` compute, and on the master row `^` frontier promotion, `L` LP
+/// re-solve, `J` job admission, `D` job completion, `X` worker crash.
+///
+/// `width` is the number of character columns for the time axis.
+pub fn render_obs_gantt(events: &[ObsEvent], num_workers: usize, width: usize) -> String {
+    assert!(width >= 10, "gantt width too small");
+    let horizon = events.iter().map(ObsEvent::time).fold(0.0, f64::max);
+    if horizon <= 0.0 {
+        return String::from("(empty trace)\n");
+    }
+    let scale = |t: f64| ((t / horizon) * (width as f64 - 1.0)).round() as usize;
+    let port_lanes = events
+        .iter()
+        .filter_map(|e| match *e {
+            ObsEvent::PortAcquire { lane, .. } | ObsEvent::PortRelease { lane, .. } => {
+                Some(lane + 1)
+            }
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1);
+
+    // Row layout: port lanes, then comm/cpu per worker, then master.
+    let mut lanes: Vec<(String, Vec<char>)> = Vec::new();
+    for l in 0..port_lanes {
+        lanes.push((format!("port L{l}"), vec![' '; width]));
+    }
+    for w in 0..num_workers {
+        lanes.push((format!("w{w} comm"), vec![' '; width]));
+        lanes.push((format!("w{w} cpu "), vec![' '; width]));
+    }
+    let master_row = lanes.len();
+    lanes.push(("master ".into(), vec![' '; width]));
+    let comm_row = |w: usize| port_lanes + 2 * w;
+    let cpu_row = |w: usize| port_lanes + 2 * w + 1;
+
+    let fill = |lanes: &mut [(String, Vec<char>)], row: usize, start: f64, end: f64, ch: char| {
+        let (s, e) = (scale(start), scale(end).max(scale(start) + 1));
+        for cell in lanes[row].1[s..e.min(width)].iter_mut() {
+            *cell = ch;
+        }
+    };
+    let mark = |lanes: &mut [(String, Vec<char>)], row: usize, time: f64, ch: char| {
+        let col = scale(time).min(width - 1);
+        lanes[row].1[col] = ch;
+    };
+
+    // Pair acquires/releases per lane by walking in stream order (the
+    // recorder preserves emission order). Compute steps are keyed by
+    // (worker, chunk, step): the engine fires a worker's FIFO queue
+    // ahead of time, so several `ComputeStart`s can precede the first
+    // `ComputeEnd` on the same worker.
+    let mut lane_open: Vec<Option<(f64, Dir, usize)>> = vec![None; port_lanes];
+    let mut cpu_open: std::collections::BTreeMap<(usize, u32, u32), f64> =
+        std::collections::BTreeMap::new();
+    let mut promotions: Vec<String> = Vec::new();
+    for e in events {
+        match *e {
+            ObsEvent::PortAcquire {
+                time,
+                lane,
+                dir,
+                worker,
+                ..
+            } => lane_open[lane] = Some((time, dir, worker)),
+            ObsEvent::PortRelease { time, lane, .. } => {
+                if let Some((start, dir, worker)) = lane_open[lane].take() {
+                    let ch = match dir {
+                        Dir::ToWorker => '>',
+                        Dir::ToMaster => '<',
+                    };
+                    fill(&mut lanes, lane, start, time, ch);
+                    if worker < num_workers {
+                        fill(&mut lanes, comm_row(worker), start, time, ch);
+                    }
+                }
+            }
+            ObsEvent::ComputeStart {
+                time,
+                worker,
+                chunk,
+                step,
+                ..
+            } if worker < num_workers => {
+                cpu_open.insert((worker, chunk, step), time);
+            }
+            ObsEvent::ComputeEnd {
+                time,
+                worker,
+                chunk,
+                step,
+            } if worker < num_workers => {
+                // A crashed step never ends: its open interval stays
+                // undrawn, exactly like the engine cancels it.
+                if let Some(start) = cpu_open.remove(&(worker, chunk, step)) {
+                    fill(&mut lanes, cpu_row(worker), start, time, '#');
+                }
+            }
+            ObsEvent::FrontierPromote {
+                time,
+                job,
+                task,
+                worker,
+                frontier_width,
+            } => {
+                mark(&mut lanes, master_row, time, '^');
+                promotions.push(format!(
+                    "  t={time:<8.3} job {job} task {task} -> w{worker} (frontier {frontier_width})"
+                ));
+            }
+            ObsEvent::LpResolve { time, .. } => mark(&mut lanes, master_row, time, 'L'),
+            ObsEvent::JobAdmitted { time, .. } => mark(&mut lanes, master_row, time, 'J'),
+            ObsEvent::JobCompleted { time, .. } => mark(&mut lanes, master_row, time, 'D'),
+            ObsEvent::WorkerDown { time, worker } => {
+                mark(&mut lanes, master_row, time, 'X');
+                if worker < num_workers {
+                    mark(&mut lanes, cpu_row(worker), time, 'X');
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("t = 0 .. {horizon:.3}s\n"));
+    for (label, cells) in lanes {
+        out.push_str(&label);
+        out.push(' ');
+        out.push('|');
+        out.extend(cells);
+        out.push('|');
+        out.push('\n');
+    }
+    if !promotions.is_empty() {
+        out.push_str("DAG frontier promotions (^):\n");
+        for p in promotions {
+            out.push_str(&p);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +315,110 @@ mod tests {
     #[test]
     fn empty_trace_renders_placeholder() {
         assert_eq!(render_gantt(&[], 2, 40), "(empty trace)\n");
+        assert_eq!(render_obs_gantt(&[], 2, 40), "(empty trace)\n");
+    }
+
+    #[test]
+    fn obs_gantt_draws_multi_lane_port_and_dag_promotions() {
+        let events = vec![
+            ObsEvent::PortAcquire {
+                time: 0.0,
+                lane: 0,
+                worker: 0,
+                dir: Dir::ToWorker,
+                chunk: 1,
+                blocks: 4,
+            },
+            ObsEvent::PortAcquire {
+                time: 1.0,
+                lane: 1,
+                worker: 1,
+                dir: Dir::ToWorker,
+                chunk: 2,
+                blocks: 4,
+            },
+            ObsEvent::FrontierPromote {
+                time: 1.5,
+                job: 3,
+                task: 7,
+                worker: 1,
+                frontier_width: 2,
+            },
+            ObsEvent::PortRelease {
+                time: 4.0,
+                lane: 0,
+                worker: 0,
+                dir: Dir::ToWorker,
+                chunk: 1,
+                blocks: 4,
+            },
+            ObsEvent::PortRelease {
+                time: 5.0,
+                lane: 1,
+                worker: 1,
+                dir: Dir::ToWorker,
+                chunk: 2,
+                blocks: 4,
+            },
+            ObsEvent::ComputeStart {
+                time: 4.0,
+                worker: 0,
+                chunk: 1,
+                step: 0,
+                updates: 8,
+            },
+            ObsEvent::ComputeEnd {
+                time: 9.0,
+                worker: 0,
+                chunk: 1,
+                step: 0,
+            },
+            ObsEvent::PortAcquire {
+                time: 9.0,
+                lane: 0,
+                worker: 0,
+                dir: Dir::ToMaster,
+                chunk: 1,
+                blocks: 4,
+            },
+            ObsEvent::PortRelease {
+                time: 10.0,
+                lane: 0,
+                worker: 0,
+                dir: Dir::ToMaster,
+                chunk: 1,
+                blocks: 4,
+            },
+        ];
+        let g = render_obs_gantt(&events, 2, 40);
+        // Two concurrently held lanes mean two port rows.
+        assert!(g.contains("port L0"));
+        assert!(g.contains("port L1"));
+        assert!(g.contains('>'), "{g}");
+        assert!(g.contains('<'), "{g}");
+        assert!(g.contains('#'), "{g}");
+        // The DAG promotion is marked and labelled with job:task.
+        assert!(g.contains('^'), "{g}");
+        assert!(g.contains("job 3 task 7 -> w1 (frontier 2)"), "{g}");
+    }
+
+    #[test]
+    fn obs_gantt_never_closes_a_crashed_compute() {
+        let events = vec![
+            ObsEvent::ComputeStart {
+                time: 0.0,
+                worker: 0,
+                chunk: 1,
+                step: 0,
+                updates: 8,
+            },
+            ObsEvent::WorkerDown {
+                time: 2.0,
+                worker: 0,
+            },
+        ];
+        let g = render_obs_gantt(&events, 1, 40);
+        assert!(!g.contains('#'), "cancelled step must not draw: {g}");
+        assert!(g.contains('X'), "{g}");
     }
 }

@@ -16,8 +16,9 @@ use std::collections::BTreeMap;
 use serde::Serialize;
 use stargemm_core::steady::bandwidth_centric;
 use stargemm_core::Job;
+use stargemm_obs::{RunMetrics, TenantGap};
 use stargemm_platform::Platform;
-use stargemm_sim::{RunStats, Simulator};
+use stargemm_sim::{PortStats, RunStats, Simulator};
 
 use crate::multi::{MultiJobMaster, StreamConfig};
 use crate::workload::JobRequest;
@@ -67,6 +68,13 @@ pub struct StreamReport {
     pub p99_slowdown: f64,
     /// Per-tenant throughput and slowdown, in tenant order.
     pub tenants: Vec<TenantReport>,
+    /// Port-level breakdown of the run (per-lane busy time, idle gaps,
+    /// longest stall), straight from the engine.
+    pub port: PortStats,
+    /// Bound-gap metrics: port utilization vs its lane bound, achieved
+    /// vs LP throughput, per-worker busy vs steady-state plan share,
+    /// per-tenant achieved vs weight-proportional share of the bound.
+    pub metrics: RunMetrics,
 }
 
 /// Aggregate steady-state throughput bound of `platform`: the
@@ -163,7 +171,7 @@ pub fn stream_report(
             v.iter().sum::<f64>() / v.len() as f64
         }
     };
-    let tenants = per_tenant
+    let tenants: Vec<TenantReport> = per_tenant
         .into_iter()
         .map(|(tenant, acc)| TenantReport {
             tenant,
@@ -180,17 +188,62 @@ pub fn stream_report(
             p95_slowdown: quantile(&acc.slowdowns, 0.95),
         })
         .collect();
+    let throughput_bound = aggregate_throughput_bound(platform);
+    let steady = bandwidth_centric(platform, usize::MAX);
+    let busy_fractions: Vec<f64> = stats
+        .per_worker
+        .iter()
+        .map(|w| {
+            if stats.makespan > 0.0 {
+                w.busy_time / stats.makespan
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    // Steady-state compute occupancy of worker i: x_i updates/s, each
+    // occupying the worker w_i seconds.
+    let plan_shares: Vec<f64> = steady
+        .rates
+        .iter()
+        .zip(platform.workers())
+        .map(|(x, s)| x * s.w)
+        .collect();
+    let mut metrics = RunMetrics::derive(
+        stats.makespan,
+        stats.port_busy,
+        stats.port.peak_lanes as usize,
+        stats.throughput(),
+        throughput_bound,
+        &busy_fractions,
+        &plan_shares,
+    );
+    let total_weight: f64 = tenants.iter().map(|t: &TenantReport| t.weight).sum();
+    metrics.tenants = tenants
+        .iter()
+        .map(|t| TenantGap {
+            tenant: t.tenant,
+            achieved: t.throughput,
+            bound: if total_weight > 0.0 {
+                throughput_bound * t.weight / total_weight
+            } else {
+                throughput_bound
+            },
+        })
+        .collect();
     StreamReport {
         completed,
         total: requests.len(),
         makespan: stats.makespan,
         throughput: stats.throughput(),
-        throughput_bound: aggregate_throughput_bound(platform),
+        throughput_bound,
         mean_response: mean(&responses),
         p50_slowdown: quantile(&slowdowns, 0.50),
         p95_slowdown: quantile(&slowdowns, 0.95),
         p99_slowdown: quantile(&slowdowns, 0.99),
         tenants,
+        port: stats.port.clone(),
+        metrics,
     }
 }
 

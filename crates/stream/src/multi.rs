@@ -44,6 +44,7 @@ use stargemm_core::Job;
 use stargemm_dag::{DagJob, DagMaster, TaskId};
 use stargemm_platform::Platform;
 use stargemm_sim::{Action, ChunkId, JobId, MasterPolicy, SimCtx, SimEvent, StepId};
+use stargemm_sim::{ObsEvent, ObsSink};
 
 use crate::allocator::{weighted_maxmin, JobDemand};
 use crate::workload::JobRequest;
@@ -208,6 +209,12 @@ pub struct MultiJobMaster {
     /// Task completion orders of finished DAG jobs.
     dag_completions: HashMap<JobId, Vec<TaskId>>,
     stats: StreamStats,
+    /// Structured-event sink (off by default; observation only).
+    obs: ObsSink,
+    /// Engine clock mirrored at every policy entry point, so admission
+    /// and share refreshes (which have no `ctx` in hand) can timestamp
+    /// their events.
+    now: f64,
 }
 
 /// Per-worker chunk sides for `job` when memory is split `slots` ways.
@@ -306,7 +313,19 @@ impl MultiJobMaster {
             dag_specs,
             dag_completions: HashMap::new(),
             stats: StreamStats::default(),
+            obs: ObsSink::off(),
+            now: 0.0,
         })
+    }
+
+    /// Attaches a structured-event sink: the master then emits job
+    /// admissions, LP re-solves, deficit credits, and (through its DAG
+    /// members) frontier promotions. Observation only — the schedule is
+    /// identical with the sink on or off.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The arrival plan to attach to the engine
@@ -402,7 +421,8 @@ impl MultiJobMaster {
                             caps,
                             id_base,
                         )
-                        .expect("feasibility was validated at construction"),
+                        .expect("feasibility was validated at construction")
+                        .with_obs(self.obs.clone(), id),
                     ))
                 }
                 None => {
@@ -448,6 +468,10 @@ impl MultiJobMaster {
             });
             self.stats.admitted += 1;
             self.shares_dirty = true;
+            self.obs.emit(|| ObsEvent::JobAdmitted {
+                time: self.now,
+                job: id,
+            });
         }
     }
 
@@ -476,6 +500,11 @@ impl MultiJobMaster {
                 _ => a.weight,
             };
         }
+        self.obs.emit(|| ObsEvent::LpResolve {
+            time: self.now,
+            jobs: self.active.iter().map(|a| a.id).collect(),
+            shares: self.active.iter().map(|a| a.share).collect(),
+        });
     }
 
     // ------------------------------------------------------------------
@@ -595,6 +624,7 @@ fn carve_queues(
 
 impl MasterPolicy for MultiJobMaster {
     fn next_action(&mut self, ctx: &SimCtx) -> Action {
+        self.now = ctx.now();
         self.sync_liveness(ctx);
         self.admit_ready();
         if self.shares_dirty {
@@ -625,8 +655,13 @@ impl MasterPolicy for MultiJobMaster {
                             .is_none_or(|d| d.id >= DAG_ID_BASE || self.owner.contains_key(&d.id)),
                         "chunk planned without an owner"
                     );
-                    self.active[i].port_used +=
-                        fragment.blocks as f64 * self.platform.worker(worker).c;
+                    let credit = fragment.blocks as f64 * self.platform.worker(worker).c;
+                    self.active[i].port_used += credit;
+                    self.obs.emit(|| ObsEvent::DeficitCredit {
+                        time: self.now,
+                        job: self.active[i].id,
+                        port_seconds: credit,
+                    });
                     return Action::Send {
                         worker,
                         fragment,
@@ -638,7 +673,13 @@ impl MasterPolicy for MultiJobMaster {
                         .member
                         .geom(chunk)
                         .map_or(0, |g| (g.h * g.w) as u64);
-                    self.active[i].port_used += blocks as f64 * self.platform.worker(worker).c;
+                    let credit = blocks as f64 * self.platform.worker(worker).c;
+                    self.active[i].port_used += credit;
+                    self.obs.emit(|| ObsEvent::DeficitCredit {
+                        time: self.now,
+                        job: self.active[i].id,
+                        port_seconds: credit,
+                    });
                     return Action::Retrieve { worker, chunk };
                 }
                 Action::Finished if self.active[i].stranded.is_empty() => {
@@ -674,6 +715,7 @@ impl MasterPolicy for MultiJobMaster {
     }
 
     fn on_event(&mut self, ev: &SimEvent, ctx: &SimCtx) {
+        self.now = ctx.now();
         match *ev {
             SimEvent::JobArrived { job } => {
                 debug_assert!(

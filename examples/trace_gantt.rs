@@ -7,12 +7,14 @@
 //! cargo run --release --example trace_gantt
 //! ```
 
+use std::rc::Rc;
+
 use stargemm::core::algorithms::{build_policy, Algorithm};
 use stargemm::core::maxreuse::max_reuse_policy;
 use stargemm::core::Job;
 use stargemm::platform::{Platform, WorkerSpec};
-use stargemm::sim::trace::render_gantt;
-use stargemm::sim::Simulator;
+use stargemm::sim::trace::{render_gantt, render_obs_gantt};
+use stargemm::sim::{ObsSink, RunRecorder, Simulator};
 
 fn main() {
     // Figure 3 flavour: one worker, m = 24 → μ = 4, C split in 4×4
@@ -46,5 +48,23 @@ fn main() {
         stats.enrolled()
     );
     println!("{}", render_gantt(&trace, 2, 100));
-    println!("note the '=' lane never overlaps: the one-port model serializes all transfers.");
+    println!("note the '=' lane never overlaps: the one-port model serializes all transfers.\n");
+
+    // The same schedule through the unified observability recorder,
+    // rendered from structured events: per-lane port rows ('>' out,
+    // '<' back) and a master decision row. Under a k=2 multi-port
+    // contention model a second `port L1` row appears.
+    let job = Job::new(4, 8, 8, 80);
+    let platform = Platform::new(
+        "duo",
+        vec![WorkerSpec::new(0.5, 0.5, 40), WorkerSpec::new(2.0, 1.0, 24)],
+    );
+    let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
+    let rec = RunRecorder::shared();
+    Simulator::new(platform)
+        .run_observed(&mut policy, ObsSink::to(rec.clone()))
+        .unwrap();
+    let (events, _) = Rc::try_unwrap(rec).ok().unwrap().into_inner().into_parts();
+    println!("the same run from recorded observability events:\n");
+    println!("{}", render_obs_gantt(&events, 2, 100));
 }

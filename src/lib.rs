@@ -18,7 +18,9 @@
 //!   and the adaptive online scheduler built on top of them,
 //! * [`stream`] — multi-tenant job streams: seeded arrival generators,
 //!   the weighted max-min multi-job allocator, and the online
-//!   time-sharing master.
+//!   time-sharing master,
+//! * [`obs`] — the unified observability layer: structured run
+//!   recorder, bound-gap metrics registry, and Perfetto trace export.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! reproduction of every table and figure.
@@ -52,6 +54,7 @@ pub use stargemm_linalg as linalg;
 pub use stargemm_lp as lp;
 pub use stargemm_net as net;
 pub use stargemm_netmodel as netmodel;
+pub use stargemm_obs as obs;
 pub use stargemm_platform as platform;
 pub use stargemm_sim as sim;
 pub use stargemm_stream as stream;
