@@ -1,17 +1,31 @@
 //! Pinned perf trajectory: kernel events/sec, heap high-water,
-//! cancellation counts, and sweep per-cell wall times.
+//! cancellation counts, sweep per-cell wall times — and the net-engine
+//! leg (`BENCH_net.json`): threaded vs reactor throughput, the
+//! reactor's worker-scaling curve, and the netmodel zero-allocation
+//! steady-state assertion.
 //!
-//! CI runs `exp_perf --smoke --json BENCH_kernel.json` and uploads the
-//! artifact, so kernel or sweep regressions show up as steps in the
-//! trajectory across commits. The workloads are shared with
-//! `benches/kernel.rs` (see [`stargemm_bench::perf`]); this binary is
-//! the cheap always-on sampling pass, the criterion bench the
-//! statistically careful one.
+//! CI runs `exp_perf --smoke --json BENCH_kernel.json --net-baseline
+//! ci/BENCH_net_baseline.json` and uploads both artifacts, so kernel,
+//! sweep, or net-engine regressions show up as steps in the trajectory
+//! across commits (and a >20 % reactor throughput drop fails the job
+//! outright). The workloads are shared with `benches/kernel.rs` and the
+//! library tests (see [`stargemm_bench::perf`] and
+//! [`stargemm_bench::netperf`]); this binary is the cheap always-on
+//! sampling pass, the criterion bench the statistically careful one.
 
+use stargemm_bench::netperf::{
+    self, net_report_json, net_trajectory, netmodel_steady_state_bytes, render_net_table,
+};
 use stargemm_bench::perf::{
     kernel_trajectory, perf_report_json, render_kernel_table, sweep_cell_times,
 };
 use stargemm_bench::{write_json, write_results, Cli};
+
+// Every heap sample in this binary (kernel heap high-water, net-engine
+// heap high-water, the netmodel steady-state delta) flows through the
+// counting allocator.
+#[global_allocator]
+static ALLOC: netperf::CountingAlloc = netperf::CountingAlloc;
 
 fn main() {
     let cli = Cli::parse();
@@ -31,14 +45,43 @@ fn main() {
         println!("{:<28}{:>10.3}s", c.cell, c.wall_secs);
     }
 
+    // The net-engine leg. The head-to-head width keeps the threaded
+    // engine honest (it spawns ~2 OS threads per worker); the scaling
+    // curve is reactor-only — the whole point is reaching star widths
+    // the thread-per-worker model cannot.
+    let (head_to_head, curve): (usize, &[usize]) = (256, &[512, 1024, 2048]);
+    let steady = netmodel_steady_state_bytes(256, 1_000);
+    assert_eq!(
+        steady, 0,
+        "netmodel re-share steady state allocated {steady} bytes"
+    );
+    let net = net_trajectory(head_to_head, curve);
+    println!("\nnet engine (netmodel steady-state alloc: {steady} B):");
+    print!("{}", render_net_table(&net));
+    let net_json = net_report_json(&net, steady);
+
     let json = perf_report_json(&kernel, &cells);
     if let Ok(p) = write_results("perf.txt", &table) {
         eprintln!("(written to {})", p.display());
     }
     if let Some(path) = &cli.json {
         write_json(path, &json);
+        // BENCH_net.json rides next to the kernel artifact.
+        let net_path = path.with_file_name("BENCH_net.json");
+        write_json(&net_path, &net_json);
     }
     if let Some(path) = &cli.trace_out {
         stargemm_bench::obs::emit_default_trace(path);
+    }
+    if let Some(base_path) = &cli.net_baseline {
+        let baseline = std::fs::read_to_string(base_path)
+            .unwrap_or_else(|e| panic!("cannot read net baseline {}: {e}", base_path.display()));
+        match netperf::check_net_baseline(&baseline, &net) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -16,7 +16,9 @@ use stargemm_core::algorithms::{build_policy, Algorithm};
 use stargemm_core::Job;
 use stargemm_linalg::verify::{tolerance_for, verify_product};
 use stargemm_linalg::BlockMatrix;
-use stargemm_net::calibrate::{measure_block_update_seconds, measure_gflops};
+use stargemm_net::calibrate::{
+    measure_block_update_seconds, measure_gflops, time_scale_for_measured,
+};
 use stargemm_net::{NetOptions, NetRuntime};
 use stargemm_platform::{Platform, WorkerSpec};
 use stargemm_sim::Simulator;
@@ -42,6 +44,12 @@ fn main() {
         WorkerSpec::new(8.0 * w, w, 24),
     ];
     let platform = Platform::new("validation", specs);
+    // Feed the calibration into the reactor's pacing clock: the scale
+    // at which the paced update time covers the measured kernel. The
+    // platform's `w` *is* the measured value, so this lands at 1.0 —
+    // but derived from the measurement, not assumed.
+    let time_scale = time_scale_for_measured(&platform, w).max(1.0);
+    out.push_str(&format!("calibrated time_scale: {time_scale:.3}\n"));
     let job = if cli.smoke {
         Job::new(4, 6, 6, q)
     } else {
@@ -67,7 +75,7 @@ fn main() {
         let mut net_policy = build_policy(&platform, &job, alg).unwrap();
         let mut c = c0.clone();
         let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
-            time_scale: 1.0,
+            time_scale,
             ..Default::default()
         });
         let net_stats = rt.run(&mut net_policy, &a, &b, &mut c).unwrap();
@@ -105,12 +113,12 @@ fn main() {
         write_json(path, &json);
     }
     if let Some(path) = &cli.trace_out {
-        // Trace the *threaded* engine (not the simulator): the Perfetto
-        // timeline shows real wall-driven transfers, in model seconds.
+        // Trace the *net* engine (not the simulator): the Perfetto
+        // timeline shows reactor-paced transfers, in model seconds.
         let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
         let mut c = c0.clone();
         let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
-            time_scale: 1.0,
+            time_scale,
             ..Default::default()
         });
         let (res, events, _) = stargemm_bench::obs::record_with(|obs| {

@@ -10,7 +10,10 @@
 //!   (default: all available cores; `--threads 1` forces a serial run);
 //! * `--trace-out <path>` — write a Perfetto/Chrome `trace_event` JSON
 //!   of a representative cell to `path` (re-run serially under a
-//!   recorder, so the artifact is thread-count independent).
+//!   recorder, so the artifact is thread-count independent);
+//! * `--net-baseline <path>` — committed net-engine throughput baseline
+//!   to gate against (only `exp_perf` honours it; the run fails if the
+//!   reactor's events/sec drop more than 20 % below the baseline).
 //!
 //! ```sh
 //! cargo run --release -p stargemm-bench --bin exp_dynamic -- --smoke --threads 2
@@ -29,6 +32,8 @@ pub struct Cli {
     pub threads: usize,
     /// Where to write a Perfetto trace of a representative run.
     pub trace_out: Option<PathBuf>,
+    /// Committed net-engine baseline JSON to gate throughput against.
+    pub net_baseline: Option<PathBuf>,
 }
 
 impl Cli {
@@ -40,7 +45,10 @@ impl Cli {
             Ok(cli) => cli,
             Err(e) => {
                 eprintln!("error: {e}");
-                eprintln!("usage: [--smoke] [--json <path>] [--threads <n>] [--trace-out <path>]");
+                eprintln!(
+                    "usage: [--smoke] [--json <path>] [--threads <n>] \
+                     [--trace-out <path>] [--net-baseline <path>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -68,6 +76,7 @@ impl Cli {
             json: None,
             threads: default_threads(),
             trace_out: None,
+            net_baseline: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -78,6 +87,10 @@ impl Cli {
                 }
                 "--trace-out" => {
                     cli.trace_out = Some(PathBuf::from(value(&mut it, "--trace-out", "path")?));
+                }
+                "--net-baseline" => {
+                    cli.net_baseline =
+                        Some(PathBuf::from(value(&mut it, "--net-baseline", "path")?));
                 }
                 "--threads" => {
                     let n = value(&mut it, "--threads", "count")?;
@@ -93,7 +106,7 @@ impl Cli {
                     return Err(format!(
                         "unknown argument {other:?} \
                          (valid flags: --smoke, --json <path>, --threads <n>, \
-                         --trace-out <path>)"
+                         --trace-out <path>, --net-baseline <path>)"
                     ))
                 }
             }
@@ -121,6 +134,7 @@ mod tests {
         assert!(!cli.smoke);
         assert_eq!(cli.json, None);
         assert_eq!(cli.trace_out, None);
+        assert_eq!(cli.net_baseline, None);
         assert!(cli.threads >= 1);
     }
 
@@ -132,6 +146,8 @@ mod tests {
             "--smoke",
             "--trace-out",
             "t.json",
+            "--net-baseline",
+            "b.json",
             "--json",
             "o.json",
         ]))
@@ -139,6 +155,7 @@ mod tests {
         assert!(cli.smoke);
         assert_eq!(cli.json, Some(PathBuf::from("o.json")));
         assert_eq!(cli.trace_out, Some(PathBuf::from("t.json")));
+        assert_eq!(cli.net_baseline, Some(PathBuf::from("b.json")));
         assert_eq!(cli.threads, 3);
     }
 
@@ -150,6 +167,8 @@ mod tests {
         assert!(Cli::from_args(&strs(&["--threads", "0"])).is_err());
         assert!(Cli::from_args(&strs(&["--trace-out"])).is_err());
         assert!(Cli::from_args(&strs(&["--trace-out", "--smoke"])).is_err());
+        assert!(Cli::from_args(&strs(&["--net-baseline"])).is_err());
+        assert!(Cli::from_args(&strs(&["--net-baseline", "--smoke"])).is_err());
         assert!(Cli::from_args(&strs(&["--frobnicate"])).is_err());
     }
 

@@ -14,6 +14,7 @@
 //!   plus aligned text tables and CSV.
 
 pub mod cli;
+pub mod netperf;
 pub mod obs;
 pub mod perf;
 pub mod sweep;

@@ -83,13 +83,12 @@ pub struct AdaptiveStats {
     pub joins: u64,
 }
 
-/// In-flight transfer the wrapper is timing (one-port ⇒ at most one).
-#[derive(Clone, Copy, Debug)]
-struct PendingSend {
-    worker: usize,
-    blocks: u64,
-    issued_at: f64,
-}
+/// Key of an in-flight transfer the wrapper is timing. Keyed by full
+/// fragment identity, not just worker: concurrent contention models
+/// (`multiport`, `fairshare`) keep several sends in flight at once —
+/// even to the same worker — and complete them in share-dependent
+/// order.
+type PendingSendKey = (usize, ChunkId, StepId, MatKind);
 
 /// See the module docs.
 pub struct AdaptiveMaster {
@@ -100,7 +99,8 @@ pub struct AdaptiveMaster {
     job: Job,
     est: CostEstimator,
     up: Vec<bool>,
-    pending_send: Option<PendingSend>,
+    /// In-flight transfers being timed: `(blocks, issued_at)` by key.
+    pending_sends: HashMap<PendingSendKey, (u64, f64)>,
     /// Engine descriptors of every chunk ever issued or queued.
     descrs: HashMap<ChunkId, ChunkDescr>,
     /// Arrival time of the A fragment completing a step's operands.
@@ -151,7 +151,7 @@ impl AdaptiveMaster {
             job,
             est,
             up: vec![true; p],
-            pending_send: None,
+            pending_sends: HashMap::new(),
             descrs,
             step_ready: HashMap::new(),
             last_step_done: vec![0.0; p],
@@ -421,11 +421,10 @@ impl MasterPolicy for AdaptiveMaster {
                 if let Some(d) = new_chunk {
                     self.descrs.insert(d.id, d);
                 }
-                self.pending_send = Some(PendingSend {
-                    worker,
-                    blocks: fragment.blocks,
-                    issued_at: ctx.now(),
-                });
+                self.pending_sends.insert(
+                    (worker, fragment.chunk, fragment.step, fragment.kind),
+                    (fragment.blocks, ctx.now()),
+                );
                 action
             }
             Action::Finished if !self.stranded.is_empty() => {
@@ -442,13 +441,13 @@ impl MasterPolicy for AdaptiveMaster {
     fn on_event(&mut self, ev: &SimEvent, ctx: &SimCtx) {
         match *ev {
             SimEvent::SendDone { worker, fragment } => {
-                if let Some(p) = self.pending_send.take() {
-                    debug_assert_eq!(p.worker, worker);
+                let key = (worker, fragment.chunk, fragment.step, fragment.kind);
+                if let Some((blocks, issued_at)) = self.pending_sends.remove(&key) {
                     if self.cfg.adapt {
                         // A static plan does not calibrate online; only
                         // the adaptive master learns from observations.
                         self.est
-                            .observe_transfer(worker, p.blocks, ctx.now() - p.issued_at);
+                            .observe_transfer(worker, blocks, ctx.now() - issued_at);
                     }
                 }
                 // The A fragment completes a step's operand pair (B is
@@ -501,6 +500,9 @@ impl MasterPolicy for AdaptiveMaster {
                 self.stats.crashes += 1;
                 self.up[worker] = false;
                 self.last_step_done[worker] = ctx.now();
+                // Transfers to the dead lane never complete; stop
+                // timing them.
+                self.pending_sends.retain(|k, _| k.0 != worker);
                 // Unsent chunks of the dead lane survive on the master:
                 // re-plan them elsewhere right away. The active chunk's
                 // loss arrives as its own ChunkLost event.

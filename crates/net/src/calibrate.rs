@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use stargemm_linalg::gemm::{block_update, flops_per_update};
 use stargemm_linalg::Block;
 use stargemm_platform::units::{blocks_from_megabytes, c_from_bandwidth_mbps};
-use stargemm_platform::WorkerSpec;
+use stargemm_platform::{Platform, WorkerSpec};
 
 /// Median wall-clock time of one `q × q` block update over `reps`
 /// repetitions (the paper uses ten).
@@ -40,6 +40,37 @@ pub fn measure_block_update_seconds(q: usize, reps: usize) -> f64 {
 pub fn measure_gflops(q: usize, reps: usize) -> f64 {
     let secs = measure_block_update_seconds(q, reps);
     flops_per_update(q) as f64 / secs / 1e9
+}
+
+/// Smallest `time_scale` at which the reactor's pacing clock dominates
+/// real kernel work, given an already-measured block-update time.
+///
+/// The reactor runs every worker's GEMM inline on the master thread and
+/// then sleeps until the wall clock catches up with `model_time ×
+/// time_scale`. If some worker's paced update time `w_i × time_scale`
+/// is shorter than the real kernel, the wall clock is permanently ahead
+/// — the run degenerates into an unpaced sprint whose wall makespan
+/// measures this machine instead of the model. The worst-case ratio of
+/// measured to modelled update time is the smallest scale that keeps
+/// every worker inside its paced budget.
+pub fn time_scale_for_measured(platform: &Platform, measured_update_secs: f64) -> f64 {
+    assert!(
+        measured_update_secs > 0.0,
+        "measured update time must be positive"
+    );
+    platform
+        .workers()
+        .iter()
+        .map(|spec| measured_update_secs / spec.w)
+        .fold(0.0, f64::max)
+}
+
+/// Measures this machine's kernel and returns the smallest `time_scale`
+/// that keeps the reactor's virtual clock ahead of real compute on
+/// `platform` — the value to feed `NetOptions::time_scale` for
+/// wall-clock-faithful runs (see [`time_scale_for_measured`]).
+pub fn time_scale_for(platform: &Platform, q: usize, reps: usize) -> f64 {
+    time_scale_for_measured(platform, measure_block_update_seconds(q, reps))
 }
 
 /// A `WorkerSpec` for this machine: measured `w`, configured link
@@ -74,5 +105,40 @@ mod tests {
     fn calibrated_spec_is_valid() {
         let spec = calibrated_spec(16, 100.0, 64.0, 3);
         assert!(spec.c > 0.0 && spec.w > 0.0 && spec.m >= 3);
+    }
+
+    #[test]
+    fn time_scale_is_the_worst_case_ratio() {
+        let platform = Platform::new(
+            "t",
+            vec![
+                WorkerSpec::new(1.0, 2.0, 8),
+                WorkerSpec::new(1.0, 0.5, 8),
+                WorkerSpec::new(1.0, 4.0, 8),
+            ],
+        );
+        // The fastest modelled worker (w = 0.5) binds the scale.
+        let ts = time_scale_for_measured(&platform, 1.0);
+        assert!((ts - 2.0).abs() < 1e-12, "got {ts}");
+    }
+
+    #[test]
+    fn measured_time_scale_keeps_every_worker_paced() {
+        let platform = Platform::new(
+            "t",
+            vec![
+                WorkerSpec::new(1e-6, 1e-6, 8),
+                WorkerSpec::new(1e-6, 4e-6, 8),
+            ],
+        );
+        let measured = measure_block_update_seconds(16, 3);
+        let ts = time_scale_for(&platform, 16, 3);
+        assert!(ts > 0.0);
+        // Re-measurement varies, but the scale from *one* measurement
+        // must cover that measurement on the fastest worker.
+        let recheck = time_scale_for_measured(&platform, measured);
+        for spec in platform.workers() {
+            assert!(spec.w * recheck >= measured - 1e-15);
+        }
     }
 }

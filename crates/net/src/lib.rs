@@ -30,9 +30,10 @@
 
 pub mod calibrate;
 pub mod link;
+pub(crate) mod reactor;
 pub mod runtime;
 pub mod wire;
 pub mod worker;
 
 pub use link::StarEvent;
-pub use runtime::{NetError, NetOptions, NetRuntime};
+pub use runtime::{NetEngine, NetError, NetOptions, NetRuntime};

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use stargemm_linalg::Block;
-use stargemm_netmodel::{ContentionModel, NetModelSpec, TransferLane};
+use stargemm_netmodel::{ContentionModel, NetModelSpec, ShareScratch, TransferLane};
 use stargemm_platform::dynamic::{transfer_end_opt, transfer_nominal_between_opt, DynProfile};
 use stargemm_sim::{ChunkId, Fragment};
 
@@ -83,6 +83,10 @@ struct Lane {
 struct BackboneState {
     lanes: Vec<Lane>,
     next_id: u64,
+    /// Reusable buffers for the re-share hot path (no steady-state
+    /// allocation while transfers churn).
+    lane_scratch: Vec<TransferLane>,
+    share_scratch: ShareScratch,
 }
 
 /// The wall-clock twin of the simulator's contention machinery: all data
@@ -149,16 +153,16 @@ impl Backbone {
 
     /// Recomputes all shares from the contention model.
     fn reshare(&self, st: &mut BackboneState) {
-        let lanes: Vec<TransferLane> = st
-            .lanes
-            .iter()
-            .map(|l| TransferLane {
+        st.lane_scratch.clear();
+        for l in &st.lanes {
+            st.lane_scratch.push(TransferLane {
                 worker: l.worker,
                 link_rate: 1.0 / self.cs[l.worker],
-            })
-            .collect();
-        let shares = self.model.shares(&lanes);
-        for (l, s) in st.lanes.iter_mut().zip(shares) {
+            });
+        }
+        self.model
+            .shares_into(&st.lane_scratch, &mut st.share_scratch);
+        for (l, &s) in st.lanes.iter_mut().zip(st.share_scratch.shares()) {
             l.share = s;
         }
     }

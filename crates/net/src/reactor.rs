@@ -1,0 +1,777 @@
+//! The event-driven net runtime: one reactor thread drives the whole
+//! star.
+//!
+//! Instead of a thread per worker plus helper wire threads, the reactor
+//! keeps every worker as an in-process [`WorkerCore`] state machine and
+//! every in-flight transfer as a lane in a wall-clock lane table. The
+//! loop is the same three-beat cadence as the discrete-event engine —
+//! `pump` the shared [`MasterSm`] while the master is free, deliver the
+//! earliest projected event (a lane completing its share-weighted wire
+//! time, or a lifecycle boundary falling due), `settle`. Event times
+//! come from a deterministic virtual model clock advanced projection by
+//! projection; the wall clock only *paces* it (the reactor sleeps until
+//! `vnow × time_scale` of real time has elapsed), so machine load and
+//! inline compute never perturb the schedule.
+//!
+//! Because nothing blocks per transfer, the reactor scales to thousands
+//! of workers per star where the threaded runtime runs out of threads,
+//! and a stalled schedule is detected analytically (no event can ever
+//! arrive) instead of by burning the idle timeout.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use stargemm_core::stream::GeometryAccess;
+use stargemm_linalg::{Block, BlockMatrix};
+use stargemm_netmodel::{ContentionModel, ShareScratch, TransferLane};
+use stargemm_obs::Dir;
+use stargemm_platform::dynamic::{transfer_end_opt, transfer_nominal_between_opt, DynProfile};
+use stargemm_platform::Platform;
+use stargemm_sim::{
+    Action, ChunkDescr, ChunkId, CtxMirror, Fragment, MasterPolicy, MasterSm, MasterState,
+    MasterTransport, ObsEvent, ObsSink, PortAccounting, RunStats, SimEvent,
+};
+
+use crate::runtime::{
+    apply_worker_event, claim_lane, finish_stats, mat_tag, materialize, validate_retrieve,
+    validate_send, DynState, NetError, NetOptions,
+};
+use crate::wire::{ToMaster, ToWorker};
+use crate::worker::WorkerCore;
+
+/// One worker's in-process state machine plus its fault-injection
+/// bookkeeping (the reactor's analogue of a worker thread dying).
+struct WorkerSm {
+    core: WorkerCore,
+    fault_after: Option<usize>,
+    processed: usize,
+    dead: bool,
+}
+
+impl WorkerSm {
+    fn new(fault_after: Option<usize>) -> WorkerSm {
+        WorkerSm {
+            core: WorkerCore::new(),
+            fault_after,
+            processed: 0,
+            dead: false,
+        }
+    }
+
+    /// Feeds one decoded message to the core, honouring injected faults:
+    /// a dead worker silently drops everything, exactly like a panicked
+    /// worker thread whose channel is gone.
+    fn ingest(&mut self, msg: ToWorker, out: &mut Vec<ToMaster>) {
+        if self.dead {
+            return;
+        }
+        self.processed += 1;
+        if self.fault_after.is_some_and(|n| self.processed > n) {
+            self.dead = true;
+            return;
+        }
+        self.core.ingest(msg, out);
+    }
+}
+
+/// Payload riding on an in-flight lane, delivered when its wire time
+/// elapses.
+enum LaneKind {
+    /// Master → worker fragment (the decoded wire message).
+    Outbound { fragment: Fragment, msg: ToWorker },
+    /// Worker → master retrieved C blocks.
+    Inbound { chunk: ChunkId, blocks: Vec<Block> },
+}
+
+/// One in-flight transfer: remaining nominal wire seconds, its current
+/// share of the link, and the model instant the share last changed.
+struct WireLane {
+    id: u64,
+    worker: usize,
+    /// Stable lane index for port accounting / observability.
+    lane: usize,
+    /// Nominal model seconds remaining at share 1.0.
+    rem: f64,
+    share: f64,
+    /// Model time of the last `advance_all`.
+    since: f64,
+    started_model: f64,
+    kind: LaneKind,
+}
+
+/// The reactor's wall-clock contention engine: the same share algebra as
+/// the simulator (and the threaded `link::Backbone`), but driven by one
+/// thread projecting completions instead of helper threads sleeping.
+struct LaneTable {
+    model: Box<dyn ContentionModel>,
+    /// Per-worker nominal block costs (model seconds per block).
+    cs: Vec<f64>,
+    profile: Option<DynProfile>,
+    active: Vec<WireLane>,
+    lane_used: Vec<bool>,
+    lane_scratch: Vec<TransferLane>,
+    share_scratch: ShareScratch,
+    next_id: u64,
+}
+
+impl LaneTable {
+    fn new(model: Box<dyn ContentionModel>, cs: Vec<f64>, profile: Option<DynProfile>) -> Self {
+        LaneTable {
+            model,
+            cs,
+            profile,
+            active: Vec::new(),
+            lane_used: Vec::new(),
+            lane_scratch: Vec::new(),
+            share_scratch: ShareScratch::new(),
+            next_id: 0,
+        }
+    }
+
+    fn can_admit(&self) -> bool {
+        self.active.len() < self.model.capacity()
+    }
+
+    fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Advances every lane's remaining work to model time `now` under
+    /// its current share (idempotent between membership changes).
+    fn advance_all(&mut self, now: f64) {
+        for l in &mut self.active {
+            if now > l.since {
+                if l.share > 0.0 {
+                    let served = l.share
+                        * transfer_nominal_between_opt(
+                            self.profile.as_ref(),
+                            l.worker,
+                            l.since,
+                            now,
+                        );
+                    l.rem = (l.rem - served).max(0.0);
+                }
+                l.since = now;
+            }
+        }
+    }
+
+    /// Recomputes all shares from the contention model (allocation-free:
+    /// the scratch buffers persist across calls).
+    fn reshare(&mut self) {
+        self.lane_scratch.clear();
+        for l in &self.active {
+            self.lane_scratch.push(TransferLane {
+                worker: l.worker,
+                link_rate: 1.0 / self.cs[l.worker],
+            });
+        }
+        self.model
+            .shares_into(&self.lane_scratch, &mut self.share_scratch);
+        for (l, &s) in self.active.iter_mut().zip(self.share_scratch.shares()) {
+            l.share = s;
+        }
+    }
+
+    /// Admits a transfer of `base` nominal model seconds on `worker`'s
+    /// link; the caller has checked `can_admit`. Returns the lane index
+    /// used for port accounting.
+    fn admit(&mut self, now: f64, worker: usize, base: f64, kind: LaneKind) -> usize {
+        debug_assert!(self.can_admit());
+        self.advance_all(now);
+        let lane = claim_lane(&mut self.lane_used);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.active.push(WireLane {
+            id,
+            worker,
+            lane,
+            rem: base,
+            share: 0.0,
+            since: now,
+            started_model: now,
+            kind,
+        });
+        self.reshare();
+        lane
+    }
+
+    /// Projects the earliest lane completion under the current shares:
+    /// `(lane id, model end time)`. Every reshare invalidates previous
+    /// projections, so this is recomputed each loop instead of kept in a
+    /// timer heap.
+    fn next_completion(&self) -> Option<(u64, f64)> {
+        self.active
+            .iter()
+            .map(|l| {
+                let end =
+                    transfer_end_opt(self.profile.as_ref(), l.worker, l.since, l.rem, l.share);
+                (l.id, end)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    /// Completes lane `id` at model time `now`: accounts the final slice
+    /// of progress for everyone, removes the lane, and reshapes the
+    /// survivors' shares.
+    fn complete(&mut self, id: u64, now: f64) -> WireLane {
+        self.advance_all(now);
+        let idx = self
+            .active
+            .iter()
+            .position(|l| l.id == id)
+            .expect("completed lane vanished");
+        let lane = self.active.remove(idx);
+        self.lane_used[lane.lane] = false;
+        self.reshare();
+        lane
+    }
+}
+
+/// Runs one GEMM through the reactor. Entry point used by
+/// [`crate::runtime::NetRuntime::run_observed`] when the engine is
+/// [`crate::runtime::NetEngine::Reactor`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_reactor<P: MasterPolicy + GeometryAccess>(
+    platform: &Platform,
+    opts: &NetOptions,
+    policy: &mut P,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    c: &mut BlockMatrix,
+    obs: &ObsSink,
+) -> Result<RunStats, NetError> {
+    let epoch = Instant::now();
+    let mut mirror = CtxMirror::new(platform);
+    if let Some(p) = &opts.profile {
+        for w in 0..platform.len() {
+            if !p.is_up(w, 0.0) {
+                mirror.on_crash(w);
+            }
+        }
+    }
+    let cs: Vec<f64> = platform.workers().iter().map(|s| s.c).collect();
+    let workers = (0..platform.len())
+        .map(|w| {
+            WorkerSm::new(match opts.inject_fault {
+                Some((fw, n)) if fw == w => Some(n),
+                _ => None,
+            })
+        })
+        .collect();
+    let mut r = Reactor {
+        platform,
+        opts,
+        policy,
+        a,
+        b,
+        c,
+        obs,
+        epoch,
+        vnow: 0.0,
+        mirror,
+        workers,
+        lanes: LaneTable::new(opts.netmodel.build(), cs, opts.profile.clone()),
+        dyn_state: DynState::new(opts.profile.as_ref(), platform.len()),
+        descrs: HashMap::new(),
+        retrieved: HashSet::new(),
+        computed: HashSet::new(),
+        retrieve_pending: HashSet::new(),
+        inflight_blocks: vec![0; platform.len()],
+        chunks_retrieved: 0,
+        port_busy: 0.0,
+        port_acct: PortAccounting::default(),
+        inbox: VecDeque::new(),
+        replies: Vec::new(),
+    };
+    r.run()
+}
+
+struct Reactor<'r, P: MasterPolicy + GeometryAccess> {
+    platform: &'r Platform,
+    opts: &'r NetOptions,
+    policy: &'r mut P,
+    a: &'r BlockMatrix,
+    b: &'r BlockMatrix,
+    c: &'r mut BlockMatrix,
+    obs: &'r ObsSink,
+    epoch: Instant,
+    /// Deterministic virtual model clock (seconds): advanced to each
+    /// projected event time. Wall time only *paces* it (sleeps stretch
+    /// real elapsed time to `vnow × time_scale`); load and inline
+    /// compute never change the schedule the policy sees.
+    vnow: f64,
+    mirror: CtxMirror,
+    workers: Vec<WorkerSm>,
+    lanes: LaneTable,
+    dyn_state: DynState,
+    descrs: HashMap<ChunkId, (usize, ChunkDescr)>,
+    retrieved: HashSet<ChunkId>,
+    /// Chunks whose workers reported `ChunkComputed`.
+    computed: HashSet<ChunkId>,
+    /// Chunks with a retrieval requested (blocked or in flight) — the
+    /// duplicate-retrieve guard, mirroring the simulator's.
+    retrieve_pending: HashSet<ChunkId>,
+    /// Outbound blocks in flight per worker, reserved against its memory
+    /// capacity until delivery.
+    inflight_blocks: Vec<u64>,
+    chunks_retrieved: u64,
+    /// Wall seconds the wire spent occupied (× `time_scale` model secs).
+    port_busy: f64,
+    port_acct: PortAccounting,
+    /// Worker replies not yet delivered to the policy. Like the
+    /// simulator's event queue (and the threaded runtime's channel),
+    /// each reply is its own event: the policy is re-asked between
+    /// deliveries, so a `StepDone` never jumps ahead of the poll that
+    /// sim would have run first.
+    inbox: VecDeque<(usize, ToMaster)>,
+    /// Reply scratch for worker ingestion (reused across deliveries).
+    replies: Vec<ToMaster>,
+}
+
+impl<P: MasterPolicy + GeometryAccess> Reactor<'_, P> {
+    fn wall_now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// The virtual clock in the wall-seconds scale the `CtxMirror` and
+    /// worker-event bookkeeping use (`vnow × time_scale`).
+    fn vnow_wall(&self) -> f64 {
+        self.vnow * self.opts.time_scale
+    }
+
+    fn port_state(&self) -> MasterState {
+        if self.lanes.can_admit() {
+            MasterState::Idle
+        } else {
+            MasterState::Busy
+        }
+    }
+
+    /// The reactor's event loop: pump the shared master automaton,
+    /// project the next event (earliest lane completion or lifecycle
+    /// boundary), sleep until its wall instant, deliver it, settle.
+    fn run(&mut self) -> Result<RunStats, NetError> {
+        let mut sm = MasterSm::new();
+        loop {
+            sm.pump(self)?;
+            if sm.is_done() {
+                break;
+            }
+            // Queued worker replies are zero-delay events: deliver one,
+            // settle, and re-ask the policy — the same one-event-per-
+            // iteration cadence as the simulator's kernel.
+            if let Some((wid, msg)) = self.inbox.pop_front() {
+                self.apply_inbox(wid, msg)?;
+                sm.settle(self)?;
+                continue;
+            }
+            let next_lane = self.lanes.next_completion();
+            let next_boundary = self.dyn_state.pending.front().map(|e| e.time);
+            let target = match (next_lane, next_boundary) {
+                (Some((_, t)), Some(b)) => t.min(b),
+                (Some((_, t)), None) => t,
+                (None, Some(b)) => b,
+                (None, None) => return Err(self.stall_error()),
+            };
+            if !target.is_finite() {
+                return Err(self.stall_error());
+            }
+            // Pace the wall clock to the projected instant (capped by
+            // the idle budget so a pathological projection cannot hang
+            // forever), then advance the virtual clock exactly to it:
+            // the schedule is a pure function of the projections, never
+            // of sleep jitter or inline compute time.
+            let wall_target = target * self.opts.time_scale;
+            let ahead = wall_target - self.wall_now();
+            if ahead > 0.0 {
+                let wait = Duration::from_secs_f64(ahead);
+                if wait > self.opts.idle_timeout {
+                    return Err(NetError::Timeout);
+                }
+                std::thread::sleep(wait);
+            }
+            self.vnow = self.vnow.max(target);
+            // Lifecycle boundaries due by now fire before lane
+            // completions projected at-or-after them.
+            if next_boundary.is_some_and(|b| b <= target) {
+                self.pump_lifecycle()?;
+            } else if let Some((id, _)) = next_lane {
+                self.complete_lane(id, target)?;
+                sm.on_transfer_done();
+            }
+            sm.settle(self)?;
+        }
+        finish_stats(
+            &self.mirror,
+            &self.epoch,
+            self.port_busy,
+            &self.port_acct,
+            self.chunks_retrieved,
+            &self.descrs,
+            &self.dyn_state.lost,
+            self.policy.name(),
+        )
+    }
+
+    /// Nothing in flight and no boundary pending: no event can ever
+    /// arrive. An injected fault is reported as the worker failure it
+    /// is; anything else is a genuine schedule deadlock.
+    fn stall_error(&self) -> NetError {
+        for (w, sm) in self.workers.iter().enumerate() {
+            if sm.dead {
+                return NetError::WorkerFailure(format!(
+                    "injected fault on worker {w} after {} messages",
+                    sm.processed - 1
+                ));
+            }
+        }
+        NetError::Timeout
+    }
+
+    /// Applies every lifecycle boundary that model time has passed:
+    /// tells the worker machine, fixes the mirror, notifies the policy —
+    /// the reactor's analogue of `DynState::pump` over channels.
+    fn pump_lifecycle(&mut self) -> Result<(), NetError> {
+        let model_now = self.vnow;
+        while self.dyn_state.due(model_now) {
+            let ev = self
+                .dyn_state
+                .pending
+                .pop_front()
+                .expect("checked by due()");
+            self.mirror.set_now(self.vnow_wall());
+            self.replies.clear();
+            let mut replies = std::mem::take(&mut self.replies);
+            if ev.up {
+                self.workers[ev.worker].ingest(ToWorker::Recover, &mut replies);
+                self.dyn_state.down[ev.worker] = false;
+                self.mirror.on_rejoin(ev.worker);
+                self.obs.emit(|| ObsEvent::WorkerUp {
+                    time: model_now,
+                    worker: ev.worker,
+                });
+                self.policy.on_event(
+                    &SimEvent::WorkerUp { worker: ev.worker },
+                    &self.mirror.ctx(),
+                );
+            } else {
+                self.workers[ev.worker].ingest(ToWorker::Fail, &mut replies);
+                self.dyn_state.down[ev.worker] = true;
+                self.mirror.on_crash(ev.worker);
+                self.obs.emit(|| ObsEvent::WorkerDown {
+                    time: model_now,
+                    worker: ev.worker,
+                });
+                self.policy.on_event(
+                    &SimEvent::WorkerDown { worker: ev.worker },
+                    &self.mirror.ctx(),
+                );
+                let mut doomed: Vec<ChunkId> = self
+                    .descrs
+                    .iter()
+                    .filter(|(id, (w, _))| {
+                        *w == ev.worker
+                            && !self.retrieved.contains(*id)
+                            && !self.dyn_state.lost.contains(*id)
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                doomed.sort_unstable();
+                for chunk in doomed {
+                    self.dyn_state.lost.insert(chunk);
+                    self.obs.emit(|| ObsEvent::ChunkLost {
+                        time: model_now,
+                        worker: ev.worker,
+                        chunk,
+                    });
+                    self.policy.on_event(
+                        &SimEvent::ChunkLost {
+                            worker: ev.worker,
+                            chunk,
+                        },
+                        &self.mirror.ctx(),
+                    );
+                }
+            }
+            self.replies = replies;
+        }
+        Ok(())
+    }
+
+    /// Delivers a completed lane: port accounting, then the payload —
+    /// outbound fragments are ingested by the worker machine (whose
+    /// replies feed the policy), inbound results land in C.
+    fn complete_lane(&mut self, id: u64, now: f64) -> Result<(), NetError> {
+        let wl = self.lanes.complete(id, now);
+        let wall = self.vnow_wall();
+        let busy_wall = (now - wl.started_model) * self.opts.time_scale;
+        self.port_busy += busy_wall;
+        let lanes_after = self.lanes.active_len();
+        self.port_acct
+            .on_release(wall, wl.lane, busy_wall, lanes_after);
+        match wl.kind {
+            LaneKind::Outbound { fragment, msg } => {
+                self.obs.emit(|| ObsEvent::PortRelease {
+                    time: now,
+                    lane: wl.lane,
+                    worker: wl.worker,
+                    dir: Dir::ToWorker,
+                    chunk: fragment.chunk,
+                    blocks: fragment.blocks,
+                });
+                self.inflight_blocks[wl.worker] =
+                    self.inflight_blocks[wl.worker].saturating_sub(fragment.blocks);
+                self.mirror.set_now(wall);
+                if !self.dyn_state.down[wl.worker] && !self.dyn_state.lost.contains(&fragment.chunk)
+                {
+                    self.mirror.on_delivered(wl.worker, fragment.blocks);
+                }
+                let ev = SimEvent::SendDone {
+                    worker: wl.worker,
+                    fragment,
+                };
+                self.policy.on_event(&ev, &self.mirror.ctx());
+                self.ingest_and_enqueue(wl.worker, msg);
+            }
+            LaneKind::Inbound { chunk, blocks } => {
+                self.obs.emit(|| ObsEvent::PortRelease {
+                    time: now,
+                    lane: wl.lane,
+                    worker: wl.worker,
+                    dir: Dir::ToMaster,
+                    chunk,
+                    blocks: blocks.len() as u64,
+                });
+                if self.dyn_state.lost.contains(&chunk) {
+                    return Ok(()); // stale result of a dead chunk
+                }
+                let geom = self
+                    .policy
+                    .chunk_geom(chunk)
+                    .ok_or(NetError::UnknownChunk(chunk))?;
+                self.c.store_chunk(geom.i0, geom.j0, geom.h, geom.w, blocks);
+                self.mirror.set_now(wall);
+                self.mirror
+                    .on_retrieved(wl.worker, (geom.h * geom.w) as u64);
+                self.chunks_retrieved += 1;
+                self.retrieved.insert(chunk);
+                let ev = SimEvent::RetrieveDone {
+                    worker: wl.worker,
+                    chunk,
+                };
+                self.policy.on_event(&ev, &self.mirror.ctx());
+            }
+        }
+        Ok(())
+    }
+
+    /// Feeds one message to a worker machine and queues its replies as
+    /// pending events for the main loop to deliver one at a time.
+    fn ingest_and_enqueue(&mut self, worker: usize, msg: ToWorker) {
+        self.replies.clear();
+        let mut replies = std::mem::take(&mut self.replies);
+        self.workers[worker].ingest(msg, &mut replies);
+        for reply in replies.drain(..) {
+            self.inbox.push_back((worker, reply));
+        }
+        self.replies = replies;
+    }
+
+    /// Delivers one queued worker reply to the master-side bookkeeping
+    /// (mirror, computed set, policy hooks).
+    fn apply_inbox(&mut self, worker: usize, msg: ToMaster) -> Result<(), NetError> {
+        if let ToMaster::ChunkComputed { chunk } = &msg {
+            if !self.dyn_state.lost.contains(chunk) {
+                self.computed.insert(*chunk);
+            }
+        }
+        let wall = self.vnow_wall();
+        apply_worker_event(
+            &self.descrs,
+            &self.dyn_state.lost,
+            &msg,
+            worker,
+            &mut self.mirror,
+            self.policy,
+            wall,
+        )
+    }
+}
+
+impl<P: MasterPolicy + GeometryAccess> MasterTransport for Reactor<'_, P> {
+    type Error = NetError;
+
+    fn poll_action(&mut self) -> Action {
+        self.mirror.set_now(self.vnow_wall());
+        self.policy.next_action(&self.mirror.ctx())
+    }
+
+    fn perform(&mut self, action: Action) -> Result<MasterState, NetError> {
+        match action {
+            Action::Send {
+                worker,
+                fragment,
+                new_chunk,
+            } => {
+                if worker < self.workers.len() && self.workers[worker].dead {
+                    return Err(NetError::WorkerFailure(format!(
+                        "worker {worker} link down"
+                    )));
+                }
+                validate_send(
+                    self.platform,
+                    self.workers.len(),
+                    &self.dyn_state,
+                    &self.mirror,
+                    worker,
+                    &fragment,
+                    self.inflight_blocks[worker],
+                )?;
+                if let Some(d) = new_chunk {
+                    self.descrs.insert(d.id, (worker, d));
+                    self.mirror.on_chunk_assigned(worker);
+                }
+                let msg = materialize(self.policy, &fragment, new_chunk, self.a, self.b, self.c)?;
+                // Round-trip through the wire format: the payload that
+                // reaches the worker is exactly what a socket would carry.
+                let msg = ToWorker::decode(msg.encode());
+                let now = self.vnow;
+                let base = fragment.blocks as f64 * self.lanes.cs[worker];
+                self.inflight_blocks[worker] += fragment.blocks;
+                let lane =
+                    self.lanes
+                        .admit(now, worker, base, LaneKind::Outbound { fragment, msg });
+                self.port_acct
+                    .on_acquire(self.vnow_wall(), self.lanes.active_len());
+                self.obs.emit(|| ObsEvent::Dispatch {
+                    time: now,
+                    worker,
+                    chunk: fragment.chunk,
+                    step: fragment.step,
+                    mat: mat_tag(fragment.kind),
+                    blocks: fragment.blocks,
+                });
+                self.obs.emit(|| ObsEvent::PortAcquire {
+                    time: now,
+                    lane,
+                    worker,
+                    dir: Dir::ToWorker,
+                    chunk: fragment.chunk,
+                    blocks: fragment.blocks,
+                });
+                Ok(self.port_state())
+            }
+            Action::Retrieve { worker, chunk } => {
+                validate_retrieve(self.workers.len(), &self.dyn_state, worker, chunk)?;
+                let &(assigned, _) = self
+                    .descrs
+                    .get(&chunk)
+                    .ok_or(NetError::UnknownChunk(chunk))?;
+                if assigned != worker {
+                    return Err(NetError::Protocol(format!(
+                        "retrieve of chunk {chunk} from worker {worker}, \
+                         but it is assigned to worker {assigned}"
+                    )));
+                }
+                if self.retrieved.contains(&chunk) || self.retrieve_pending.contains(&chunk) {
+                    return Err(NetError::Protocol(format!("chunk {chunk} retrieved twice")));
+                }
+                self.retrieve_pending.insert(chunk);
+                if self.computed.contains(&chunk) {
+                    self.start_retrieval(worker, chunk)?;
+                    Ok(self.port_state())
+                } else {
+                    Ok(MasterState::BlockedRetrieve(chunk))
+                }
+            }
+            Action::CompleteJob { job } => Err(NetError::Protocol(format!(
+                "job streams are not supported by the reactor runtime \
+                 (CompleteJob for job {job})"
+            ))),
+            Action::Wait => Ok(MasterState::Waiting),
+            Action::Finished => Ok(MasterState::Done),
+        }
+    }
+
+    fn can_issue(&self) -> bool {
+        self.lanes.can_admit()
+    }
+
+    fn chunk_is_lost(&self, chunk: ChunkId) -> Result<bool, NetError> {
+        Ok(self.dyn_state.lost.contains(&chunk))
+    }
+
+    fn chunk_is_computed(&self, chunk: ChunkId) -> Result<bool, NetError> {
+        Ok(self.computed.contains(&chunk))
+    }
+
+    fn chunk_worker(&self, chunk: ChunkId) -> Result<usize, NetError> {
+        self.descrs
+            .get(&chunk)
+            .map(|&(w, _)| w)
+            .ok_or(NetError::UnknownChunk(chunk))
+    }
+
+    /// Pulls a computed chunk back: the retrieve control message goes to
+    /// the worker machine (control traffic is free, as on the threaded
+    /// path), and its `Result` payload is admitted as an inbound lane
+    /// that owns the wire for the C blocks' transfer time.
+    fn start_retrieval(&mut self, worker: usize, chunk: ChunkId) -> Result<(), NetError> {
+        if self.workers[worker].dead {
+            return Err(NetError::WorkerFailure(format!(
+                "worker {worker} link down"
+            )));
+        }
+        self.replies.clear();
+        let mut replies = std::mem::take(&mut self.replies);
+        self.workers[worker].ingest(ToWorker::Retrieve { chunk }, &mut replies);
+        let mut payload = None;
+        let wall = self.vnow_wall();
+        let mut result = Ok(());
+        for reply in replies.drain(..) {
+            match reply {
+                ToMaster::Result { chunk: got, blocks } if got == chunk => {
+                    payload = Some(blocks);
+                }
+                other => {
+                    if result.is_ok() {
+                        result = apply_worker_event(
+                            &self.descrs,
+                            &self.dyn_state.lost,
+                            &other,
+                            worker,
+                            &mut self.mirror,
+                            self.policy,
+                            wall,
+                        );
+                    }
+                }
+            }
+        }
+        self.replies = replies;
+        result?;
+        let blocks = payload.ok_or_else(|| {
+            NetError::WorkerFailure(format!(
+                "worker {worker} produced no result for chunk {chunk}"
+            ))
+        })?;
+        let now = self.vnow;
+        let base = blocks.len() as f64 * self.lanes.cs[worker];
+        let n_blocks = blocks.len() as u64;
+        let lane = self
+            .lanes
+            .admit(now, worker, base, LaneKind::Inbound { chunk, blocks });
+        self.port_acct
+            .on_acquire(self.vnow_wall(), self.lanes.active_len());
+        self.obs.emit(|| ObsEvent::PortAcquire {
+            time: now,
+            lane,
+            worker,
+            dir: Dir::ToMaster,
+            chunk,
+            blocks: n_blocks,
+        });
+        Ok(())
+    }
+}

@@ -26,6 +26,21 @@ use stargemm_sim::{
 use crate::link::{build_star_dyn, LinkDynamics, MasterLink, StarEvent};
 use crate::wire::{ToMaster, ToWorker};
 
+/// Which execution engine drives the star.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NetEngine {
+    /// The event-driven reactor (default): one thread, per-worker
+    /// in-process state machines, a wall-clock lane table for wire
+    /// contention, and timers for trace segments and lifecycle
+    /// boundaries. Scales to thousands of workers per star.
+    #[default]
+    Reactor,
+    /// The legacy thread-per-worker runtime (plus helper wire threads
+    /// under concurrent contention models). Kept as the reactor's
+    /// baseline: `BENCH_net.json` races the two.
+    Threaded,
+}
+
 /// Runtime tuning knobs.
 #[derive(Clone, Debug)]
 pub struct NetOptions {
@@ -34,20 +49,24 @@ pub struct NetOptions {
     pub time_scale: f64,
     /// Give up if no worker event arrives for this long.
     pub idle_timeout: Duration,
-    /// Fault injection: `(worker, n)` makes that worker panic after
-    /// processing `n` messages. Testing-only.
+    /// Fault injection: `(worker, n)` makes that worker die after
+    /// processing `n` messages (a panic on the threaded engine, a dead
+    /// state machine on the reactor). Testing-only.
     pub inject_fault: Option<(usize, usize)>,
     /// Dynamic scenario shared with the links and workers: cost traces
     /// throttle the wire, scheduled crashes wipe workers mid-run.
     /// Lifecycle times are in *model* seconds (wall = model ×
     /// `time_scale`). `None` = the static platform of the paper.
     pub profile: Option<DynProfile>,
-    /// Network-contention model of the star. One-port (the default)
-    /// serves transfers synchronously on the master thread; concurrent
-    /// models (`multiport`, `fairshare`) run each wire transfer on a
-    /// helper thread throttled by the shared `link::Backbone`
-    /// to the same shares the simulator computes.
+    /// Network-contention model of the star. The reactor serves every
+    /// model through its single-threaded lane table; on the threaded
+    /// engine one-port serves transfers synchronously on the master
+    /// thread and concurrent models (`multiport`, `fairshare`) run each
+    /// wire transfer on a helper thread throttled by the shared
+    /// `link::Backbone` to the same shares the simulator computes.
     pub netmodel: NetModelSpec,
+    /// Execution engine (defaults to the reactor).
+    pub engine: NetEngine,
 }
 
 impl Default for NetOptions {
@@ -58,22 +77,38 @@ impl Default for NetOptions {
             inject_fault: None,
             profile: None,
             netmodel: NetModelSpec::OnePort,
+            engine: NetEngine::Reactor,
+        }
+    }
+}
+
+impl NetOptions {
+    /// Options calibrated for wall-clock-faithful pacing on this
+    /// machine: measures the `q × q` kernel (the paper's benchmark
+    /// phase, `reps` repetitions) and sets `time_scale` to the smallest
+    /// value at which the reactor's paced clock stays ahead of the real
+    /// inline GEMM on every worker of `platform` — see
+    /// [`crate::calibrate::time_scale_for`].
+    pub fn calibrated(platform: &Platform, q: usize, reps: usize) -> NetOptions {
+        NetOptions {
+            time_scale: crate::calibrate::time_scale_for(platform, q, reps).max(1.0),
+            ..Default::default()
         }
     }
 }
 
 /// Master-side dynamic-scenario bookkeeping.
-struct DynState {
+pub(crate) struct DynState {
     /// Lifecycle boundaries not yet applied, in time order (model s).
-    pending: VecDeque<LifecycleEvent>,
+    pub(crate) pending: VecDeque<LifecycleEvent>,
     /// Chunks destroyed by crashes.
-    lost: HashSet<ChunkId>,
+    pub(crate) lost: HashSet<ChunkId>,
     /// Per-worker down flags, mirroring what the workers were told.
-    down: Vec<bool>,
+    pub(crate) down: Vec<bool>,
 }
 
 impl DynState {
-    fn new(profile: Option<&DynProfile>, p: usize) -> Self {
+    pub(crate) fn new(profile: Option<&DynProfile>, p: usize) -> Self {
         DynState {
             pending: profile
                 .map(|pr| pr.lifecycle_events().into())
@@ -85,7 +120,7 @@ impl DynState {
         }
     }
 
-    fn due(&self, model_now: f64) -> bool {
+    pub(crate) fn due(&self, model_now: f64) -> bool {
         self.pending.front().is_some_and(|e| e.time <= model_now)
     }
 
@@ -206,7 +241,7 @@ impl std::error::Error for NetError {}
 /// Applies one worker control event to the mirror and the policy.
 /// Events referencing chunks lost to a crash are dropped silently (the
 /// worker emitted them before it learned of its own death).
-fn apply_worker_event<P: MasterPolicy>(
+pub(crate) fn apply_worker_event<P: MasterPolicy>(
     descrs: &HashMap<ChunkId, (usize, ChunkDescr)>,
     lost: &HashSet<ChunkId>,
     msg: &ToMaster,
@@ -255,7 +290,7 @@ fn apply_worker_event<P: MasterPolicy>(
 /// Closes out a run shared by both drivers: every live chunk must have
 /// been retrieved, and the per-worker mirror is folded into [`RunStats`].
 #[allow(clippy::too_many_arguments)]
-fn finish_stats(
+pub(crate) fn finish_stats(
     mirror: &CtxMirror,
     start: &Instant,
     port_busy: f64,
@@ -291,7 +326,7 @@ fn finish_stats(
 /// worker's memory. `reserved_in_flight` covers blocks still on the
 /// wire (0 for the synchronous driver, whose deliveries are accounted
 /// immediately).
-fn validate_send(
+pub(crate) fn validate_send(
     platform: &Platform,
     workers: usize,
     dyn_state: &DynState,
@@ -327,7 +362,7 @@ fn validate_send(
 }
 
 /// Obs tag of a fragment's matrix kind.
-fn mat_tag(kind: MatKind) -> stargemm_obs::MatTag {
+pub(crate) fn mat_tag(kind: MatKind) -> stargemm_obs::MatTag {
     match kind {
         MatKind::A => stargemm_obs::MatTag::A,
         MatKind::B => stargemm_obs::MatTag::B,
@@ -336,7 +371,7 @@ fn mat_tag(kind: MatKind) -> stargemm_obs::MatTag {
 }
 
 /// Claims the lowest free contention lane (growing the set on demand).
-fn claim_lane(lane_used: &mut Vec<bool>) -> usize {
+pub(crate) fn claim_lane(lane_used: &mut Vec<bool>) -> usize {
     match lane_used.iter().position(|&u| !u) {
         Some(lane) => {
             lane_used[lane] = true;
@@ -350,7 +385,7 @@ fn claim_lane(lane_used: &mut Vec<bool>) -> usize {
 }
 
 /// Shared `Action::Retrieve` guards of both drivers.
-fn validate_retrieve(
+pub(crate) fn validate_retrieve(
     workers: usize,
     dyn_state: &DynState,
     worker: usize,
@@ -452,6 +487,11 @@ impl NetRuntime {
         if let Err(e) = self.opts.netmodel.validate() {
             return Err(NetError::Protocol(format!("invalid net model: {e}")));
         }
+
+        if self.opts.engine == NetEngine::Reactor {
+            return crate::reactor::run_reactor(&self.platform, &self.opts, policy, a, b, c, &obs);
+        }
+
         let cs: Vec<f64> = self.platform.workers().iter().map(|s| s.c).collect();
         let epoch = Instant::now();
         let dynamics = self.opts.profile.as_ref().map(|p| LinkDynamics {
@@ -568,7 +608,7 @@ impl NetRuntime {
                         descrs.insert(d.id, (worker, d));
                         mirror.on_chunk_assigned(worker);
                     }
-                    let msg = self.materialize(policy, &fragment, new_chunk, a, b, c)?;
+                    let msg = materialize(policy, &fragment, new_chunk, a, b, c)?;
                     // Round-trip through the wire format: the payload that
                     // reaches the worker is exactly what a socket would
                     // carry.
@@ -898,7 +938,7 @@ impl NetRuntime {
                         descrs.insert(d.id, (worker, d));
                         mirror.on_chunk_assigned(worker);
                     }
-                    let msg = self.materialize(policy, &fragment, new_chunk, a, b, c)?;
+                    let msg = materialize(policy, &fragment, new_chunk, a, b, c)?;
                     let msg = ToWorker::decode(msg.encode());
                     in_flight += 1;
                     inflight_blocks[worker] += fragment.blocks;
@@ -1183,64 +1223,63 @@ impl NetRuntime {
             policy.name(),
         )
     }
+}
 
-    /// Slices the real matrices into the fragment's payload.
-    fn materialize<P: GeometryAccess>(
-        &self,
-        policy: &P,
-        fragment: &Fragment,
-        new_chunk: Option<ChunkDescr>,
-        a: &BlockMatrix,
-        b: &BlockMatrix,
-        c: &BlockMatrix,
-    ) -> Result<ToWorker, NetError> {
-        let job = policy.job_dims();
-        let geom = policy
-            .chunk_geom(fragment.chunk)
-            .ok_or(NetError::UnknownChunk(fragment.chunk))?;
-        Ok(match fragment.kind {
-            MatKind::C => {
-                let descr = new_chunk
-                    .ok_or_else(|| NetError::Protocol("C load without chunk descriptor".into()))?;
-                ToWorker::LoadC {
-                    descr,
-                    h: geom.h as u32,
-                    w: geom.w as u32,
-                    blocks: c.chunk(geom.i0, geom.j0, geom.h, geom.w),
-                }
+/// Slices the real matrices into the fragment's payload.
+pub(crate) fn materialize<P: GeometryAccess>(
+    policy: &P,
+    fragment: &Fragment,
+    new_chunk: Option<ChunkDescr>,
+    a: &BlockMatrix,
+    b: &BlockMatrix,
+    c: &BlockMatrix,
+) -> Result<ToWorker, NetError> {
+    let job = policy.job_dims();
+    let geom = policy
+        .chunk_geom(fragment.chunk)
+        .ok_or(NetError::UnknownChunk(fragment.chunk))?;
+    Ok(match fragment.kind {
+        MatKind::C => {
+            let descr = new_chunk
+                .ok_or_else(|| NetError::Protocol("C load without chunk descriptor".into()))?;
+            ToWorker::LoadC {
+                descr,
+                h: geom.h as u32,
+                w: geom.w as u32,
+                blocks: c.chunk(geom.i0, geom.j0, geom.h, geom.w),
             }
-            MatKind::A => {
-                let (klo, khi) = geom.k_range(fragment.step, job.t);
-                let mut blocks = Vec::with_capacity(geom.h * (khi - klo));
-                for i in geom.i0..geom.i0 + geom.h {
-                    for kk in klo..khi {
-                        blocks.push(a.block(i, kk).clone());
-                    }
-                }
-                debug_assert_eq!(blocks.len() as u64, fragment.blocks);
-                ToWorker::FragA {
-                    chunk: fragment.chunk,
-                    step: fragment.step,
-                    blocks,
-                }
-            }
-            MatKind::B => {
-                let (klo, khi) = geom.k_range(fragment.step, job.t);
-                let mut blocks = Vec::with_capacity((khi - klo) * geom.w);
+        }
+        MatKind::A => {
+            let (klo, khi) = geom.k_range(fragment.step, job.t);
+            let mut blocks = Vec::with_capacity(geom.h * (khi - klo));
+            for i in geom.i0..geom.i0 + geom.h {
                 for kk in klo..khi {
-                    for j in geom.j0..geom.j0 + geom.w {
-                        blocks.push(b.block(kk, j).clone());
-                    }
-                }
-                debug_assert_eq!(blocks.len() as u64, fragment.blocks);
-                ToWorker::FragB {
-                    chunk: fragment.chunk,
-                    step: fragment.step,
-                    blocks,
+                    blocks.push(a.block(i, kk).clone());
                 }
             }
-        })
-    }
+            debug_assert_eq!(blocks.len() as u64, fragment.blocks);
+            ToWorker::FragA {
+                chunk: fragment.chunk,
+                step: fragment.step,
+                blocks,
+            }
+        }
+        MatKind::B => {
+            let (klo, khi) = geom.k_range(fragment.step, job.t);
+            let mut blocks = Vec::with_capacity((khi - klo) * geom.w);
+            for kk in klo..khi {
+                for j in geom.j0..geom.j0 + geom.w {
+                    blocks.push(b.block(kk, j).clone());
+                }
+            }
+            debug_assert_eq!(blocks.len() as u64, fragment.blocks);
+            ToWorker::FragB {
+                chunk: fragment.chunk,
+                step: fragment.step,
+                blocks,
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -1288,6 +1327,29 @@ mod tests {
     #[test]
     fn oddoml_produces_the_exact_product() {
         run_and_verify(Algorithm::Oddoml, small_platform(), Job::new(6, 5, 8, 4));
+    }
+
+    /// The legacy thread-per-worker engine stays covered even though the
+    /// reactor is the default (it is the baseline `BENCH_net.json` races).
+    #[test]
+    fn threaded_engine_still_produces_the_exact_product() {
+        let job = Job::new(6, 5, 8, 4);
+        let platform = small_platform();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+        let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+        let c0 = BlockMatrix::random(job.r, job.s, job.q, &mut rng);
+        let mut c = c0.clone();
+        let mut policy = build_policy(&platform, &job, Algorithm::Oddoml).unwrap();
+        let opts = NetOptions {
+            engine: NetEngine::Threaded,
+            ..fast_opts()
+        };
+        let rt = NetRuntime::new(platform).with_options(opts);
+        let stats = rt.run(&mut policy, &a, &b, &mut c).unwrap();
+        assert_eq!(stats.total_updates, job.total_updates());
+        let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+        assert!(report.passed(), "threaded: {report:?}");
     }
 
     #[test]

@@ -79,43 +79,54 @@ impl WorkerChunk {
     }
 }
 
-/// The worker main loop. Runs until `Shutdown`.
-pub fn worker_main(link: WorkerLink) {
-    worker_main_with_fault(link, None)
+/// The transport-free worker dataflow machine: chunk residency, step
+/// firing and retrieve bookkeeping, with no channel or clock attached.
+///
+/// The threaded runtime wraps it in a blocking receive loop
+/// ([`worker_main`]); the reactor drives one per worker inline, feeding
+/// it decoded wire messages and collecting its replies. Both paths share
+/// every semantic — including the reply ordering (step events before
+/// `ChunkComputed` before a deferred `Result`).
+pub(crate) struct WorkerCore {
+    chunks: HashMap<ChunkId, WorkerChunk>,
+    /// Fragments that overtook their chunk's C load on the wire:
+    /// concurrent contention models (`multiport`, `fairshare`) can finish
+    /// a small A/B transfer before the bigger C transfer admitted
+    /// earlier on the same link. They are stashed and replayed when the
+    /// C blocks land — the same any-order arrival the simulator models.
+    early: HashMap<ChunkId, Vec<ToWorker>>,
+    /// Dynamic platforms: a `Fail` control message simulates a crash —
+    /// all chunks are dropped and data is ignored until `Recover`.
+    down: bool,
 }
 
-/// Worker loop with optional fault injection: panics after processing
-/// `fault_after` messages — used to test that the runtime surfaces
-/// worker crashes instead of hanging.
-pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
-    let mut chunks: HashMap<ChunkId, WorkerChunk> = HashMap::new();
-    let mut processed = 0usize;
-    // Dynamic platforms: a `Fail` control message simulates a crash —
-    // all chunks are dropped and data is ignored until `Recover`.
-    let mut down = false;
-    loop {
-        let msg = link.recv();
-        processed += 1;
-        if fault_after.is_some_and(|n| processed > n) {
-            panic!(
-                "injected fault on worker {} after {n} messages",
-                link.id,
-                n = processed - 1
-            );
+impl WorkerCore {
+    /// A fresh (up, empty) worker.
+    pub(crate) fn new() -> WorkerCore {
+        WorkerCore {
+            chunks: HashMap::new(),
+            early: HashMap::new(),
+            down: false,
         }
+    }
+
+    /// Processes one message, appending any replies to `out`; returns
+    /// `true` on `Shutdown`.
+    pub(crate) fn ingest(&mut self, msg: ToWorker, out: &mut Vec<ToMaster>) -> bool {
         match msg {
             ToWorker::Fail => {
-                chunks.clear();
-                down = true;
-                continue;
+                self.chunks.clear();
+                self.early.clear();
+                self.down = true;
+                return false;
             }
             ToWorker::Recover => {
-                down = false;
-                continue;
+                self.down = false;
+                return false;
             }
-            ToWorker::Shutdown => break,
+            ToWorker::Shutdown => return true,
             // While down, every other message falls on dead hardware.
-            _ if down => continue,
+            _ if self.down => return false,
             ToWorker::LoadC {
                 descr,
                 h,
@@ -123,7 +134,7 @@ pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
                 blocks,
             } => {
                 assert_eq!(blocks.len(), (h * w) as usize, "C payload mismatch");
-                let prev = chunks.insert(
+                let prev = self.chunks.insert(
                     descr.id,
                     WorkerChunk {
                         descr,
@@ -137,32 +148,54 @@ pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
                     },
                 );
                 assert!(prev.is_none(), "chunk {} loaded twice", descr.id);
+                if let Some(stash) = self.early.remove(&descr.id) {
+                    for msg in stash {
+                        self.ingest(msg, out);
+                    }
+                }
             }
             ToWorker::FragA {
                 chunk,
                 step,
                 blocks,
             } => {
-                let ch = chunks.get_mut(&chunk).expect("fragment for unknown chunk");
+                let Some(ch) = self.chunks.get_mut(&chunk) else {
+                    self.early.entry(chunk).or_default().push(ToWorker::FragA {
+                        chunk,
+                        step,
+                        blocks,
+                    });
+                    return false;
+                };
                 let prev = ch.pend_a.insert(step, blocks);
                 assert!(prev.is_none(), "duplicate A fragment");
-                drain(ch, &link);
+                out.extend(ch.fire_ready());
             }
             ToWorker::FragB {
                 chunk,
                 step,
                 blocks,
             } => {
-                let ch = chunks.get_mut(&chunk).expect("fragment for unknown chunk");
+                let Some(ch) = self.chunks.get_mut(&chunk) else {
+                    self.early.entry(chunk).or_default().push(ToWorker::FragB {
+                        chunk,
+                        step,
+                        blocks,
+                    });
+                    return false;
+                };
                 let prev = ch.pend_b.insert(step, blocks);
                 assert!(prev.is_none(), "duplicate B fragment");
-                drain(ch, &link);
+                out.extend(ch.fire_ready());
             }
             ToWorker::Retrieve { chunk } => {
-                let ch = chunks.get_mut(&chunk).expect("retrieve of unknown chunk");
+                let ch = self
+                    .chunks
+                    .get_mut(&chunk)
+                    .expect("retrieve of unknown chunk");
                 ch.retrieve_requested = true;
                 if ch.steps_done == ch.descr.steps {
-                    reply_result(&mut chunks, chunk, &link);
+                    self.reply_result(chunk, out);
                 }
                 // Otherwise the reply happens when the last step fires —
                 // the master is blocked on its port meanwhile (one-port
@@ -170,29 +203,64 @@ pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
             }
         }
         // A completed chunk with a pending retrieval replies immediately.
-        let due: Vec<ChunkId> = chunks
+        let due: Vec<ChunkId> = self
+            .chunks
             .iter()
             .filter(|(_, c)| c.retrieve_requested && c.steps_done == c.descr.steps)
             .map(|(&id, _)| id)
             .collect();
         for id in due {
-            reply_result(&mut chunks, id, &link);
+            self.reply_result(id, out);
+        }
+        false
+    }
+
+    fn reply_result(&mut self, id: ChunkId, out: &mut Vec<ToMaster>) {
+        let ch = self.chunks.remove(&id).expect("due chunk exists");
+        out.push(ToMaster::Result {
+            chunk: id,
+            blocks: ch.c,
+        });
+    }
+}
+
+impl Default for WorkerCore {
+    fn default() -> Self {
+        WorkerCore::new()
+    }
+}
+
+/// The worker main loop. Runs until `Shutdown`.
+pub fn worker_main(link: WorkerLink) {
+    worker_main_with_fault(link, None)
+}
+
+/// Worker loop with optional fault injection: panics after processing
+/// `fault_after` messages — used to test that the runtime surfaces
+/// worker crashes instead of hanging.
+pub fn worker_main_with_fault(link: WorkerLink, fault_after: Option<usize>) {
+    let mut core = WorkerCore::new();
+    let mut processed = 0usize;
+    let mut out = Vec::new();
+    loop {
+        let msg = link.recv();
+        processed += 1;
+        if fault_after.is_some_and(|n| processed > n) {
+            panic!(
+                "injected fault on worker {} after {n} messages",
+                link.id,
+                n = processed - 1
+            );
+        }
+        out.clear();
+        let shutdown = core.ingest(msg, &mut out);
+        for ev in out.drain(..) {
+            link.send(ev);
+        }
+        if shutdown {
+            break;
         }
     }
-}
-
-fn drain(ch: &mut WorkerChunk, link: &WorkerLink) {
-    for ev in ch.fire_ready() {
-        link.send(ev);
-    }
-}
-
-fn reply_result(chunks: &mut HashMap<ChunkId, WorkerChunk>, id: ChunkId, link: &WorkerLink) {
-    let ch = chunks.remove(&id).expect("due chunk exists");
-    link.send(ToMaster::Result {
-        chunk: id,
-        blocks: ch.c,
-    });
 }
 
 #[cfg(test)]

@@ -57,6 +57,33 @@ pub struct TransferLane {
     pub link_rate: f64,
 }
 
+/// Reusable buffers for share computation, so the hot re-share path of
+/// an engine's lane table allocates nothing in steady state: the
+/// progressive-filling working vectors (`rates`, `frozen`) and the
+/// output `shares` all live here and are only ever grown, never freed.
+///
+/// One scratch per lane table; thread it through
+/// [`ContentionModel::shares_into`] on every active-set change.
+#[derive(Clone, Debug, Default)]
+pub struct ShareScratch {
+    rates: Vec<f64>,
+    frozen: Vec<bool>,
+    shares: Vec<f64>,
+}
+
+impl ShareScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        ShareScratch::default()
+    }
+
+    /// The shares computed by the last [`ContentionModel::shares_into`]
+    /// call, index-aligned with the active set it was given.
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+}
+
 /// A network-contention model: admission capacity plus bandwidth shares
 /// for the active transfer set.
 pub trait ContentionModel: Send + Sync {
@@ -73,7 +100,20 @@ pub trait ContentionModel: Send + Sync {
     /// Invariants every model must uphold: transfers on the same worker
     /// link never sum past that link's capacity, and — when the model has
     /// a backbone — allocated rates never sum past it.
-    fn shares(&self, active: &[TransferLane]) -> Vec<f64>;
+    ///
+    /// Convenience wrapper over [`ContentionModel::shares_into`] that
+    /// allocates the result; the engines' hot paths use the scratch form
+    /// directly.
+    fn shares(&self, active: &[TransferLane]) -> Vec<f64> {
+        let mut scratch = ShareScratch::new();
+        self.shares_into(active, &mut scratch);
+        std::mem::take(&mut scratch.shares)
+    }
+
+    /// Allocation-free form of [`ContentionModel::shares`]: writes the
+    /// shares into `scratch.shares` (cleared first), reusing its
+    /// buffers. Bitwise-identical results to `shares`.
+    fn shares_into(&self, active: &[TransferLane], scratch: &mut ShareScratch);
 }
 
 /// Deterministic progressive-filling max-min allocation.
@@ -87,13 +127,28 @@ pub trait ContentionModel: Send + Sync {
 /// With one lane per link and a non-binding backbone every share is
 /// exactly `1.0`.
 pub fn maxmin_shares(active: &[TransferLane], backbone: f64) -> Vec<f64> {
+    let mut scratch = ShareScratch::new();
+    maxmin_shares_into(active, backbone, &mut scratch);
+    std::mem::take(&mut scratch.shares)
+}
+
+/// [`maxmin_shares`] writing into a reusable [`ShareScratch`] — the
+/// allocation-free form the engines' re-share hot paths call. The
+/// arithmetic is identical to the allocating wrapper (bitwise), only the
+/// buffers are recycled.
+pub fn maxmin_shares_into(active: &[TransferLane], backbone: f64, scratch: &mut ShareScratch) {
     let n = active.len();
+    scratch.shares.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     // Lanes to the same worker share one physical link.
-    let mut rates = vec![0.0f64; n];
-    let mut frozen = vec![false; n];
+    scratch.rates.clear();
+    scratch.rates.resize(n, 0.0);
+    scratch.frozen.clear();
+    scratch.frozen.resize(n, false);
+    let rates = &mut scratch.rates;
+    let frozen = &mut scratch.frozen;
     let mut backbone_left = backbone;
     let link_used = |rates: &[f64], worker: usize| -> f64 {
         active
@@ -119,7 +174,7 @@ pub fn maxmin_shares(active: &[TransferLane], backbone: f64) -> Vec<f64> {
             if frozen[i] {
                 continue;
             }
-            let used = link_used(&rates, lane.worker);
+            let used = link_used(rates, lane.worker);
             let link_unfrozen = active
                 .iter()
                 .enumerate()
@@ -146,7 +201,7 @@ pub fn maxmin_shares(active: &[TransferLane], backbone: f64) -> Vec<f64> {
             if frozen[i] {
                 continue;
             }
-            if link_used(&rates, lane.worker) >= lane.link_rate * (1.0 - 1e-12) {
+            if link_used(rates, lane.worker) >= lane.link_rate * (1.0 - 1e-12) {
                 frozen[i] = true;
             }
         }
@@ -154,16 +209,14 @@ pub fn maxmin_shares(active: &[TransferLane], backbone: f64) -> Vec<f64> {
             break;
         }
     }
-    active
-        .iter()
-        .zip(&rates)
-        .map(|(l, &r)| {
+    scratch
+        .shares
+        .extend(active.iter().zip(rates.iter()).map(|(l, &r)| {
             // A single unconstrained lane must come out at exactly 1.0:
             // its rate accumulated exactly link_rate (one raise of
             // link_rate/1), and link_rate / link_rate == 1.0 bitwise.
             (r / l.link_rate).min(1.0)
-        })
-        .collect()
+        }));
 }
 
 /// The paper's one-port model: one transfer at a time, full link speed.
@@ -179,9 +232,10 @@ impl ContentionModel for OnePort {
         1
     }
 
-    fn shares(&self, active: &[TransferLane]) -> Vec<f64> {
+    fn shares_into(&self, active: &[TransferLane], scratch: &mut ShareScratch) {
         debug_assert!(active.len() <= 1, "one-port admitted {}", active.len());
-        vec![1.0; active.len()]
+        scratch.shares.clear();
+        scratch.shares.resize(active.len(), 1.0);
     }
 }
 
@@ -206,9 +260,9 @@ impl ContentionModel for BoundedMultiPort {
         self.k
     }
 
-    fn shares(&self, active: &[TransferLane]) -> Vec<f64> {
+    fn shares_into(&self, active: &[TransferLane], scratch: &mut ShareScratch) {
         debug_assert!(active.len() <= self.k, "multi-port overcommitted");
-        maxmin_shares(active, self.backbone)
+        maxmin_shares_into(active, self.backbone, scratch);
     }
 }
 
@@ -230,8 +284,8 @@ impl ContentionModel for FairShare {
         usize::MAX
     }
 
-    fn shares(&self, active: &[TransferLane]) -> Vec<f64> {
-        maxmin_shares(active, self.backbone)
+    fn shares_into(&self, active: &[TransferLane], scratch: &mut ShareScratch) {
+        maxmin_shares_into(active, self.backbone, scratch);
     }
 }
 
@@ -496,6 +550,34 @@ mod tests {
             }
             assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)), "{s:?}");
         }
+    }
+
+    #[test]
+    fn scratch_form_is_bitwise_identical_and_reuses_buffers() {
+        let mut scratch = ShareScratch::new();
+        for (ws, bb) in [
+            (vec![(0, 2.0), (1, 10.0)], 6.0),
+            (vec![(0, 4.0), (0, 4.0), (1, 8.0)], f64::INFINITY),
+            (vec![(0, 1.0), (1, 2.0), (2, 3.0)], 2.5),
+            (vec![(0, 7.25)], f64::INFINITY),
+            (vec![], 1.0),
+        ] {
+            let l = lanes(&ws);
+            maxmin_shares_into(&l, bb, &mut scratch);
+            let owned = maxmin_shares(&l, bb);
+            assert_eq!(scratch.shares(), &owned[..], "{ws:?} backbone={bb}");
+            // Bitwise, not approximately: the single-lane 1.0 guarantee
+            // must survive the scratch path too.
+            for (a, b) in scratch.shares().iter().zip(&owned) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Shrinking active sets reuse the grown buffers; capacity never
+        // shrinks back.
+        let cap = scratch.shares.capacity();
+        maxmin_shares_into(&lanes(&[(0, 1.0)]), f64::INFINITY, &mut scratch);
+        assert_eq!(scratch.shares(), &[1.0]);
+        assert!(scratch.shares.capacity() >= cap);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! memory admission control, crash handling) in [`crate::model`]. What
 //! remains here is the *protocol* between the master policy and the
 //! platform: the master is asked for its next
-//! [`Action`](crate::policy::Action) whenever its port is free; because
+//! [`Action`] whenever its port is free; because
 //! the port is unique (one-port model) at most one transfer is ever in
 //! flight.
 //!
@@ -24,9 +24,10 @@ use stargemm_platform::dynamic::{DynPlatform, DynProfile};
 use stargemm_platform::Platform;
 
 use crate::error::SimError;
-use crate::model::{EvKind, MasterState, StarModel};
-use crate::msg::JobId;
-use crate::policy::{MasterPolicy, SimCtx};
+use crate::master::{MasterSm, MasterState, MasterTransport};
+use crate::model::{EvKind, StarModel};
+use crate::msg::{ChunkId, JobId};
+use crate::policy::{Action, MasterPolicy, SimCtx};
 use crate::stats::RunStats;
 use crate::trace::TraceEntry;
 
@@ -190,22 +191,16 @@ impl Simulator {
             self.max_events,
             obs,
         );
-        let mut master = MasterState::Idle;
+        let mut sm = MasterSm::new();
 
         loop {
             // Ask the policy while the master is free to act.
-            while master == MasterState::Idle {
-                let action = {
-                    let ctx = SimCtx {
-                        now: st.now,
-                        workers: &st.workers,
-                    };
-                    policy.next_action(&ctx)
-                };
-                master = st.apply_action(action, policy)?;
-            }
+            sm.pump(&mut SimTransport {
+                st: &mut st,
+                policy: &mut *policy,
+            })?;
 
-            if master == MasterState::Done && !st.has_work_events() {
+            if sm.is_done() && !st.has_work_events() {
                 let stats = st.collect_stats(policy.name());
                 let trace = st.trace.take().unwrap_or_default();
                 return Ok((stats, trace));
@@ -221,36 +216,13 @@ impl Simulator {
 
             let hooks = st.apply_event(kind)?;
 
-            // Port-freeing effects: a completed transfer frees wire
-            // capacity, so a master parked on a full port may act again.
-            // (Under one-port, `Busy` means exactly "the transfer is in
-            // flight", as it always did.)
-            if matches!(kind, EvKind::SendDone { .. } | EvKind::RetrieveDone { .. })
-                && master == MasterState::Busy
-            {
-                master = MasterState::Idle;
+            if matches!(kind, EvKind::SendDone { .. } | EvKind::RetrieveDone { .. }) {
+                sm.on_transfer_done();
             }
-            // Blocked-retrieval resolution: a crash destroying the waited
-            // chunk releases the master; the chunk completing starts the
-            // retrieval as soon as the contention model has a free lane
-            // (immediately under one-port — no other transfer can be in
-            // flight while the master is blocked).
-            if let MasterState::BlockedRetrieve(waiting) = master {
-                if st.chunk_is_lost(waiting)? {
-                    master = MasterState::Idle;
-                } else if st.chunk_is_computed(waiting)? && st.can_issue() {
-                    let worker = st.chunk_worker(waiting)?;
-                    st.start_retrieval(worker, waiting);
-                    master = if st.can_issue() {
-                        MasterState::Idle
-                    } else {
-                        MasterState::Busy
-                    };
-                }
-            }
-            if master == MasterState::Waiting {
-                master = MasterState::Idle;
-            }
+            sm.settle(&mut SimTransport {
+                st: &mut st,
+                policy: &mut *policy,
+            })?;
 
             // Fire hooks after the state (and master bookkeeping) settled.
             for h in hooks {
@@ -261,6 +233,51 @@ impl Simulator {
                 policy.on_event(&h, &ctx);
             }
         }
+    }
+}
+
+/// [`MasterTransport`] over the virtual-time [`StarModel`]: the sim
+/// engine's clock is the kernel event queue, its wire the contention
+/// lane bookkeeping inside the model.
+struct SimTransport<'a> {
+    st: &'a mut StarModel,
+    policy: &'a mut dyn MasterPolicy,
+}
+
+impl MasterTransport for SimTransport<'_> {
+    type Error = SimError;
+
+    fn poll_action(&mut self) -> Action {
+        let ctx = SimCtx {
+            now: self.st.now,
+            workers: &self.st.workers,
+        };
+        self.policy.next_action(&ctx)
+    }
+
+    fn perform(&mut self, action: Action) -> Result<MasterState, SimError> {
+        self.st.apply_action(action, self.policy)
+    }
+
+    fn can_issue(&self) -> bool {
+        self.st.can_issue()
+    }
+
+    fn chunk_is_lost(&self, chunk: ChunkId) -> Result<bool, SimError> {
+        self.st.chunk_is_lost(chunk)
+    }
+
+    fn chunk_is_computed(&self, chunk: ChunkId) -> Result<bool, SimError> {
+        self.st.chunk_is_computed(chunk)
+    }
+
+    fn chunk_worker(&self, chunk: ChunkId) -> Result<usize, SimError> {
+        self.st.chunk_worker(chunk)
+    }
+
+    fn start_retrieval(&mut self, worker: usize, chunk: ChunkId) -> Result<(), SimError> {
+        self.st.start_retrieval(worker, chunk);
+        Ok(())
     }
 }
 

@@ -34,6 +34,7 @@ pub mod analysis;
 pub mod engine;
 pub mod error;
 pub mod kernel;
+pub mod master;
 pub mod model;
 pub mod msg;
 pub mod policy;
@@ -43,6 +44,7 @@ pub mod trace;
 pub use engine::Simulator;
 pub use error::SimError;
 pub use kernel::{ComponentId, EventId, EventQueue, KernelError};
+pub use master::{MasterSm, MasterState, MasterTransport};
 pub use model::{PortAccounting, WorkerRt};
 pub use msg::{ChunkDescr, ChunkId, Fragment, JobId, MatKind, StepCosts, StepId};
 pub use policy::{Action, CtxMirror, MasterPolicy, SimCtx, SimEvent};

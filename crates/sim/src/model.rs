@@ -25,7 +25,7 @@
 
 use std::collections::BTreeMap;
 
-use stargemm_netmodel::{ContentionModel, NetModelSpec, TransferLane};
+use stargemm_netmodel::{ContentionModel, NetModelSpec, ShareScratch, TransferLane};
 use stargemm_obs::{Dir, MatTag, ObsEvent, ObsSink};
 use stargemm_platform::dynamic::{
     compute_end_opt, transfer_end_opt, transfer_nominal_between_opt, DynProfile,
@@ -194,19 +194,7 @@ impl EvKind {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub(crate) enum MasterState {
-    /// Port free; ask the policy.
-    Idle,
-    /// A transfer is in flight.
-    Busy,
-    /// Blocked on a retrieval of a chunk still being computed.
-    BlockedRetrieve(ChunkId),
-    /// Policy returned [`Action::Wait`]; re-ask after the next event.
-    Waiting,
-    /// Policy returned [`Action::Finished`].
-    Done,
-}
+pub(crate) use crate::master::MasterState;
 
 /// One wire transfer currently in flight under the contention model.
 ///
@@ -299,6 +287,11 @@ pub(crate) struct StarModel {
     netmodel: Box<dyn ContentionModel>,
     /// Transfers currently occupying the wire, in start order.
     active: Vec<ActiveTransfer>,
+    /// Reusable lane descriptions handed to the contention model (the
+    /// re-share hot path allocates nothing in steady state).
+    lane_scratch: Vec<TransferLane>,
+    /// Reusable share-computation buffers, same reason.
+    share_scratch: ShareScratch,
     port_busy: f64,
     /// Per-lane busy/idle breakdown (always on — plain accumulation).
     port_acct: PortAccounting,
@@ -354,6 +347,8 @@ impl StarModel {
             queue: EventQueue::new().with_max_events(max_events),
             netmodel: netmodel.build(),
             active: Vec::new(),
+            lane_scratch: Vec::new(),
+            share_scratch: ShareScratch::new(),
             port_busy: 0.0,
             port_acct: PortAccounting::default(),
             obs,
@@ -510,18 +505,20 @@ impl StarModel {
         if self.active.is_empty() {
             return;
         }
-        let lanes: Vec<TransferLane> = self
-            .active
-            .iter()
-            .map(|t| TransferLane {
+        self.lane_scratch.clear();
+        self.lane_scratch
+            .extend(self.active.iter().map(|t| TransferLane {
                 worker: t.worker,
                 link_rate: 1.0 / self.workers[t.worker].c,
-            })
-            .collect();
-        let shares = self.netmodel.shares(&lanes);
-        debug_assert_eq!(shares.len(), self.active.len());
+            }));
+        self.netmodel
+            .shares_into(&self.lane_scratch, &mut self.share_scratch);
+        debug_assert_eq!(self.share_scratch.shares().len(), self.active.len());
+        // Take the scratch out so the loop below may mutate `self`
+        // (cancel/reschedule); put it back — buffers intact — after.
+        let scratch = std::mem::take(&mut self.share_scratch);
         let now = self.now;
-        for (i, &share) in shares.iter().enumerate() {
+        for (i, &share) in scratch.shares().iter().enumerate() {
             let t = self.active[i];
             if t.event.is_some() && share == t.share {
                 continue; // projected end still exact
@@ -546,6 +543,7 @@ impl StarModel {
             t.share = share;
             t.event = Some(ev);
         }
+        self.share_scratch = scratch;
     }
 
     pub(crate) fn chunk_is_lost(&self, id: ChunkId) -> Result<bool, SimError> {

@@ -393,6 +393,109 @@ fn dag_net_run_survives_a_crash_with_an_exact_product() {
     assert!(stats.total_updates >= dag.total_updates());
 }
 
+/// The reactor's scale pin: on a 512-worker star — far past what the
+/// thread-per-worker engine is meant for, and exactly what the reactor
+/// exists for — the static `Het` plan realizes the *identical*
+/// per-worker schedule in the simulator and in the (default, reactor)
+/// net engine, and the product is exact. The reactor's virtual clock
+/// makes this deterministic: the schedule is a pure function of the
+/// projected transfer timeline, never of host load.
+#[test]
+fn wide_star_schedule_is_identical_across_engines() {
+    let q = 2;
+    let job = Job::new(8, 2, 64, q);
+    // Two memory tiers so the heterogeneous selection has real work to
+    // do across the wide star.
+    let mut specs = Vec::new();
+    for i in 0..512 {
+        specs.push(if i % 2 == 0 {
+            WorkerSpec::new(1e-6, 1e-6, 24)
+        } else {
+            WorkerSpec::new(2e-6, 2e-6, 12)
+        });
+    }
+    let platform = Platform::new("wide-star", specs);
+
+    let sim = run_sim(&platform, &job, Algorithm::Het);
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+    let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+    let c0 = BlockMatrix::zeros(job.r, job.s, job.q);
+    let mut c = c0.clone();
+    let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
+    let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
+        time_scale: 1e-7,
+        idle_timeout: Duration::from_secs(20),
+        ..Default::default()
+    });
+    let net = rt.run(&mut policy, &a, &b, &mut c).unwrap();
+
+    assert_eq!(sim.chunks, net.chunks);
+    assert_eq!(sim.total_updates, net.total_updates);
+    assert_eq!(sim.blocks_to_workers, net.blocks_to_workers);
+    assert_eq!(sim.blocks_to_master, net.blocks_to_master);
+    assert_eq!(sim.per_worker.len(), net.per_worker.len());
+    for (w, (s, n)) in sim.per_worker.iter().zip(&net.per_worker).enumerate() {
+        assert_eq!(s.chunks_assigned, n.chunks_assigned, "worker {w} chunks");
+        assert_eq!(s.updates, n.updates, "worker {w} updates");
+        assert_eq!(s.blocks_rx, n.blocks_rx, "worker {w} blocks in");
+        assert_eq!(s.blocks_tx, n.blocks_tx, "worker {w} blocks out");
+    }
+    let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+    assert!(report.passed(), "{report:?}");
+}
+
+/// Churn under a concurrent contention model on the reactor: a worker
+/// crashes mid-run while transfers share the star through a bounded
+/// multi-port (k = 2) model, the lost chunks are re-planned, and the
+/// finished product is exact. This is the combination the threaded
+/// engine never supported well (helper wire threads + crashes + shared
+/// backbone); on the reactor it is one state machine.
+#[test]
+fn adaptive_multiport_reactor_run_survives_a_crash_with_an_exact_product() {
+    let job = Job::new(6, 5, 9, 4);
+    let platform = Platform::new(
+        "net-crash-mp",
+        vec![
+            WorkerSpec::new(1e-3, 1e-6, 40),
+            WorkerSpec::new(1e-3, 1e-6, 40),
+            WorkerSpec::new(2e-3, 2e-6, 24),
+        ],
+    );
+    let profile = DynProfile::new(vec![
+        stargemm::platform::WorkerDyn::new(
+            stargemm::platform::Trace::default(),
+            stargemm::platform::Trace::default(),
+            vec![(0.2, f64::INFINITY)],
+        ),
+        stargemm::platform::WorkerDyn::stable(),
+        stargemm::platform::WorkerDyn::stable(),
+    ]);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let a = BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+    let b = BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+    let c0 = BlockMatrix::random(job.r, job.s, job.q, &mut rng);
+    let mut c = c0.clone();
+    let mut adaptive = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
+    let rt = NetRuntime::new(platform).with_options(NetOptions {
+        time_scale: 1.0,
+        idle_timeout: Duration::from_secs(20),
+        profile: Some(profile),
+        netmodel: stargemm::netmodel::NetModelSpec::BoundedMultiPort {
+            k: 2,
+            backbone: Some(1.5e3),
+        },
+        ..Default::default()
+    });
+    let stats = rt.run(&mut adaptive, &a, &b, &mut c).unwrap();
+    assert_eq!(adaptive.stats().crashes, 1, "crash must have landed");
+    assert!(adaptive.stats().reassigned_chunks > 0);
+    let report = verify_product(&c, &c0, &a, &b, tolerance_for(job.t * job.q));
+    assert!(report.passed(), "{report:?}");
+    assert!(stats.total_updates >= job.total_updates());
+}
+
 #[test]
 fn cross_validated_run_still_computes_the_right_product() {
     // The schedule comparison is only meaningful if the threaded run is

@@ -184,6 +184,66 @@ proptest! {
         prop_assert_eq!(n_off, 0);
     }
 
+    /// The reactor runtime joins the zero-perturbation contract: a live
+    /// recorder must not change one schedule counter or result byte.
+    /// The reactor's virtual clock makes its schedule deterministic, so
+    /// the comparison covers every deterministic field (wall-clock
+    /// durations are real time, not schedule, and are excluded).
+    #[test]
+    fn reactor_recorder_on_off_schedule_identical(platform in arb_platform(), job in arb_job(),
+                                                  ai in 0usize..7, seed in 0u64..1_000) {
+        use rand::SeedableRng;
+        use stargemm::net::{NetOptions, NetRuntime};
+        let alg = stargemm::core::algorithms::Algorithm::all()[ai];
+        prop_assume!(build_policy(&platform, &job, alg).is_ok());
+
+        let run = |on: bool| {
+            let rec = RunRecorder::shared();
+            let sink = if on { ObsSink::to(rec.clone()) } else { ObsSink::off() };
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a = stargemm::linalg::BlockMatrix::random(job.r, job.t, job.q, &mut rng);
+            let b = stargemm::linalg::BlockMatrix::random(job.t, job.s, job.q, &mut rng);
+            let mut c = stargemm::linalg::BlockMatrix::zeros(job.r, job.s, job.q);
+            let mut policy = build_policy(&platform, &job, alg).unwrap();
+            let rt = NetRuntime::new(platform.clone()).with_options(NetOptions {
+                time_scale: 1e-7,
+                ..Default::default()
+            });
+            let out = match rt.run_observed(&mut policy, &a, &b, &mut c, sink) {
+                Ok(stats) => {
+                    let per_worker: Vec<_> = stats
+                        .per_worker
+                        .iter()
+                        .map(|w| (w.chunks_assigned, w.updates, w.blocks_rx, w.blocks_tx))
+                        .collect();
+                    format!(
+                        "{} {} {} {} {:?}\n{:?}",
+                        stats.chunks,
+                        stats.total_updates,
+                        stats.blocks_to_workers,
+                        stats.blocks_to_master,
+                        per_worker,
+                        c
+                    )
+                }
+                Err(e) => format!("error: {e:?}"),
+            };
+            let Ok(rec) = Rc::try_unwrap(rec) else {
+                unreachable!("recorder has one owner after the run")
+            };
+            let (events, _) = rec.into_inner().into_parts();
+            (out, events.len())
+        };
+        let (off, n_off) = run(false);
+        let (on, n_on) = run(true);
+        let completed = !on.starts_with("error");
+        prop_assert_eq!(off, on);
+        prop_assert_eq!(n_off, 0, "an off sink must record nothing");
+        if completed {
+            prop_assert!(n_on > 0, "a live sink on a completed reactor run must record events");
+        }
+    }
+
     /// Histogram quantiles track an exact nearest-rank oracle within the
     /// bucket resolution (log buckets, eight per octave ⇒ ≤ ~9% wide;
     /// the geometric-midpoint representative is within ~4.4% of every
