@@ -109,25 +109,26 @@ fn scenarios(base: &Platform, smoke: bool) -> Vec<(&'static str, DynPlatform, bo
         ("jitter-wild", jit(3.0, 2.0, 12), false),
         (
             "degrade-1x8",
-            degradation_scenario(base, 1, 8.0, 25.0),
+            degradation_scenario(base, 1, 8.0, 25.0).expect("valid scenario"),
             false,
         ),
         (
             "crash-top",
-            churn_scenario(base, &[(0, 40.0, f64::INFINITY)]),
+            churn_scenario(base, &[(0, 40.0, f64::INFINITY)]).expect("valid scenario"),
             true,
         ),
     ];
     if !smoke {
         v.push((
             "churn-2",
-            churn_scenario(base, &[(0, 40.0, f64::INFINITY), (2, 20.0, 120.0)]),
+            churn_scenario(base, &[(0, 40.0, f64::INFINITY), (2, 20.0, 120.0)])
+                .expect("valid scenario"),
             true,
         ));
         // The acceptance combination: a top worker dies while another
         // degrades ×10.
-        let mut combo = degradation_scenario(base, 1, 10.0, 10.0);
-        let churn = churn_scenario(base, &[(0, 40.0, f64::INFINITY)]);
+        let mut combo = degradation_scenario(base, 1, 10.0, 10.0).expect("valid scenario");
+        let churn = churn_scenario(base, &[(0, 40.0, f64::INFINITY)]).expect("valid scenario");
         combo.profile = DynProfile::new(
             combo
                 .profile

@@ -110,3 +110,16 @@ fn exp_netmodel_smoke_json_is_pinned() {
         include_str!("golden/exp_netmodel.json"),
     );
 }
+
+#[test]
+fn exp_fed_smoke_json_is_pinned() {
+    // Pins the federation stack end to end: root placement, the
+    // multi-server uplink feed serialization, per-star MultiJobMaster
+    // schedules under slot-partitioned memory, and the hierarchical LP
+    // bounds (including the k = 1 collapse flag in the artifact).
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_exp_fed"),
+        "exp_fed",
+        include_str!("golden/exp_fed.json"),
+    );
+}

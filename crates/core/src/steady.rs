@@ -15,7 +15,7 @@
 
 use stargemm_lp::LpProblem;
 use stargemm_netmodel::NetModelSpec;
-use stargemm_platform::{Platform, WorkerId, WorkerSpec};
+use stargemm_platform::{shard_widths, FedPlatform, Platform, WorkerId, WorkerSpec};
 
 use crate::job::Job;
 use crate::layout::effective_mu;
@@ -216,6 +216,172 @@ pub fn model_makespan_lower_bound(platform: &Platform, job: &Job, model: &NetMod
     job.total_updates() as f64 / model_throughput(platform, job.r, model)
 }
 
+/// The hierarchical steady-state LP for a federated platform.
+///
+/// Variables: per star `s` a full Table-1-style block
+/// `[x_{s,1}..x_{s,p_s}, y_{s,1}..y_{s,p_s}]` (generalized to the star's
+/// own contention model exactly as [`generalized_lp`] does), followed by
+/// one **uplink rate** `u_s` (blocks of A per second the root streams to
+/// star `s`). On top of each star's rows:
+///
+/// * **uplink tie** — star `s` owns a `shard_s`-column shard of C, so
+///   one block of A fuels at most `shard_s` of its updates:
+///   `Σ_i x_{s,i} / shard_s − u_s ≤ 0` (a zero-width shard forces
+///   `Σ_i x_{s,i} ≤ 0`);
+/// * **per-uplink capacity** — `u_s · c_up_s ≤ 1`;
+/// * an **aggregate uplink row** `Σ_s u_s · c_up_s ≤ k_root` when the
+///   root drives at most `k_root` simultaneous uplinks (omitted for an
+///   unlimited-capacity model);
+/// * an **uplink backbone row** `Σ_s u_s ≤ B` when the uplink model caps
+///   the aggregate block rate.
+///
+/// With `k = 1` stars this **is** the single-star bound, row for row: it
+/// early-returns [`generalized_lp`] on the lone star (and hence
+/// [`table1_lp`] under one-port) — no uplink variables or rows at all.
+pub fn federated_lp(fed: &FedPlatform, job: &Job) -> LpProblem {
+    if fed.len() == 1 {
+        let star = &fed.star(0).platform;
+        return generalized_lp(&star.base, job.r, &star.netmodel);
+    }
+    let k = fed.len();
+    let shards = shard_widths(job.s, k);
+    let offsets: Vec<usize> = fed
+        .stars
+        .iter()
+        .scan(0usize, |acc, s| {
+            let off = *acc;
+            *acc += 2 * s.platform.base.len();
+            Some(off)
+        })
+        .collect();
+    let uvar_base: usize = fed.stars.iter().map(|s| 2 * s.platform.base.len()).sum();
+    let nvars = uvar_base + k;
+    let mut objective = vec![0.0; nvars];
+    let mut constraints: Vec<Vec<f64>> = Vec::new();
+    let mut rhs: Vec<f64> = Vec::new();
+    for (s, star) in fed.stars.iter().enumerate() {
+        let plat = &star.platform.base;
+        let model = &star.platform.netmodel;
+        let p = plat.len();
+        let off = offsets[s];
+        let mus: Vec<f64> = plat
+            .workers()
+            .iter()
+            .map(|w| effective_mu(w.m, job.r).max(1) as f64)
+            .collect();
+        for i in 0..p {
+            objective[off + i] = if effective_mu(plat.worker(i).m, job.r) > 0 {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        // Aggregate port row Σ y_i c_i ≤ capacity (dropped when the
+        // star's model admits unboundedly many transfers).
+        if model.capacity() != usize::MAX {
+            let mut row = vec![0.0; nvars];
+            for (i, spec) in plat.iter() {
+                row[off + p + i] = spec.c;
+            }
+            constraints.push(row);
+            rhs.push(model.capacity() as f64);
+        }
+        // Compute rates: x_i w_i ≤ 1.
+        for (i, spec) in plat.iter() {
+            let mut row = vec![0.0; nvars];
+            row[off + i] = spec.w;
+            constraints.push(row);
+            rhs.push(1.0);
+        }
+        // Data-dependency coupling: x_i/μ_i² − y_i/(2μ_i) ≤ 0.
+        for i in 0..p {
+            let mut row = vec![0.0; nvars];
+            row[off + i] = 1.0 / (mus[i] * mus[i]);
+            row[off + p + i] = -1.0 / (2.0 * mus[i]);
+            constraints.push(row);
+            rhs.push(0.0);
+        }
+        // Per-port rows y_i c_i ≤ 1 (redundant under one-port's
+        // aggregate row, exactly as in `generalized_lp`).
+        if *model != NetModelSpec::OnePort {
+            for (i, spec) in plat.iter() {
+                let mut row = vec![0.0; nvars];
+                row[off + p + i] = spec.c;
+                constraints.push(row);
+                rhs.push(1.0);
+            }
+        }
+        // Star backbone row: Σ y_i ≤ B.
+        if let Some(bb) = model.backbone() {
+            let mut row = vec![0.0; nvars];
+            for i in 0..p {
+                row[off + p + i] = 1.0;
+            }
+            constraints.push(row);
+            rhs.push(bb);
+        }
+        // Uplink tie: Σ_i x_{s,i} / shard_s ≤ u_s.
+        let mut row = vec![0.0; nvars];
+        if shards[s] == 0 {
+            for i in 0..p {
+                row[off + i] = 1.0;
+            }
+        } else {
+            for i in 0..p {
+                row[off + i] = 1.0 / shards[s] as f64;
+            }
+            row[uvar_base + s] = -1.0;
+        }
+        constraints.push(row);
+        rhs.push(0.0);
+        // Per-uplink capacity: u_s · c_up_s ≤ 1.
+        let mut row = vec![0.0; nvars];
+        row[uvar_base + s] = star.uplink_c;
+        constraints.push(row);
+        rhs.push(1.0);
+    }
+    // Aggregate uplink row: Σ_s u_s c_up_s ≤ k_root.
+    if fed.uplink.capacity() != usize::MAX {
+        let mut row = vec![0.0; nvars];
+        for (s, star) in fed.stars.iter().enumerate() {
+            row[uvar_base + s] = star.uplink_c;
+        }
+        constraints.push(row);
+        rhs.push(fed.uplink.capacity() as f64);
+    }
+    // Uplink backbone row: Σ_s u_s ≤ B.
+    if let Some(bb) = fed.uplink.backbone() {
+        let mut row = vec![0.0; nvars];
+        for s in 0..k {
+            row[uvar_base + s] = 1.0;
+        }
+        constraints.push(row);
+        rhs.push(bb);
+    }
+    LpProblem {
+        objective,
+        constraints,
+        rhs,
+    }
+}
+
+/// Steady-state throughput bound of a federation (block updates per
+/// second): the optimum of [`federated_lp`]. No federated schedule can
+/// sustain more on the static platform.
+pub fn federated_throughput(fed: &FedPlatform, job: &Job) -> f64 {
+    federated_lp(fed, job)
+        .solve()
+        .expect("federated steady-state LP is feasible and bounded")
+        .objective
+}
+
+/// Makespan lower bound implied by the federated throughput bound:
+/// `r·s·t / ρ*_fed`. Collapses to [`model_makespan_lower_bound`] when
+/// the federation has a single star.
+pub fn federated_makespan_lower_bound(fed: &FedPlatform, job: &Job) -> f64 {
+    job.total_updates() as f64 / federated_throughput(fed, job)
+}
+
 /// Makespan lower bound implied by the steady-state throughput:
 /// `r·s·t / ρ`. The paper compares Het's achieved throughput against
 /// this optimistic bound (ratio ≈ 2.3× on average).
@@ -385,6 +551,92 @@ mod tests {
             );
             assert!((op - k1).abs() < 1e-9, "r={r}: {op} vs {k1}");
         }
+    }
+
+    #[test]
+    fn federated_lp_collapses_to_table1_for_one_star() {
+        use stargemm_platform::DynPlatform;
+        let job = Job::new(12, 8, 20, 2);
+        // One-port star: the federated LP must be `table1_lp`, row for
+        // row, coefficient for coefficient.
+        let fed = FedPlatform::single(DynPlatform::constant(platform()));
+        let flp = federated_lp(&fed, &job);
+        let t1 = table1_lp(&fed.star(0).platform.base, job.r);
+        assert_eq!(flp.objective, t1.objective);
+        assert_eq!(flp.constraints, t1.constraints);
+        assert_eq!(flp.rhs, t1.rhs);
+        // Non-one-port star: must be `generalized_lp` on that model.
+        let spec = NetModelSpec::BoundedMultiPort {
+            k: 2,
+            backbone: Some(3.0),
+        };
+        let fed = FedPlatform::single(DynPlatform::constant(platform()).with_netmodel(spec));
+        let flp = federated_lp(&fed, &job);
+        let gen = generalized_lp(&fed.star(0).platform.base, job.r, &spec);
+        assert_eq!(flp.objective, gen.objective);
+        assert_eq!(flp.constraints, gen.constraints);
+        assert_eq!(flp.rhs, gen.rhs);
+        // And the throughputs agree bitwise.
+        assert_eq!(
+            federated_throughput(&fed, &job).to_bits(),
+            model_throughput(&fed.star(0).platform.base, job.r, &spec).to_bits()
+        );
+    }
+
+    #[test]
+    fn federation_beats_one_star_with_fast_uplinks() {
+        use stargemm_platform::{DynPlatform, FedStar};
+        let job = Job::new(12, 8, 20, 2);
+        let single = model_throughput(&platform(), job.r, &NetModelSpec::OnePort);
+        // Two copies of the star behind cheap uplinks: the bound must
+        // exceed the lone star's (and stay below twice it).
+        let mk_star = || DynPlatform::constant(platform());
+        let fed = FedPlatform::new(
+            "fed2",
+            vec![FedStar::new(mk_star(), 0.01), FedStar::new(mk_star(), 0.01)],
+            NetModelSpec::OnePort,
+        );
+        let rho = federated_throughput(&fed, &job);
+        assert!(rho > single * 1.2, "fed {rho} vs single {single}");
+        assert!(rho <= 2.0 * single + 1e-9);
+        let bound = federated_makespan_lower_bound(&fed, &job);
+        assert!((bound - job.total_updates() as f64 / rho).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_uplinks_throttle_the_federated_bound() {
+        use stargemm_platform::{DynPlatform, FedStar};
+        let job = Job::new(12, 8, 20, 2);
+        let mk_star = || DynPlatform::constant(platform());
+        let fast = FedPlatform::new(
+            "fast",
+            vec![FedStar::new(mk_star(), 0.01), FedStar::new(mk_star(), 0.01)],
+            NetModelSpec::OnePort,
+        );
+        let slow = FedPlatform::new(
+            "slow",
+            vec![FedStar::new(mk_star(), 5.0), FedStar::new(mk_star(), 5.0)],
+            NetModelSpec::OnePort,
+        );
+        let rho_fast = federated_throughput(&fast, &job);
+        let rho_slow = federated_throughput(&slow, &job);
+        assert!(rho_slow < rho_fast, "{rho_slow} vs {rho_fast}");
+        // With uplink cost c_up = 5 and the one-port root, Σ u_s·5 ≤ 1,
+        // so total updates/s ≤ shard·Σu ≤ (s/k)·(1/5)·... just check the
+        // closed cap per star: x_s ≤ shard_s · u_s ≤ shard_s / c_up.
+        let shard_cap: f64 = shard_widths(job.s, 2).iter().map(|&w| w as f64 / 5.0).sum();
+        assert!(rho_slow <= shard_cap + 1e-9);
+        // A multiport root with two uplink ports relaxes the aggregate
+        // row: the bound can only improve.
+        let multi = FedPlatform::new(
+            "slow-multi",
+            vec![FedStar::new(mk_star(), 5.0), FedStar::new(mk_star(), 5.0)],
+            NetModelSpec::BoundedMultiPort {
+                k: 2,
+                backbone: None,
+            },
+        );
+        assert!(federated_throughput(&multi, &job) >= rho_slow - 1e-9);
     }
 
     #[test]

@@ -40,4 +40,6 @@ pub use stargemm_platform::dynamic as model;
 pub use adaptive::{AdaptiveConfig, AdaptiveMaster, AdaptiveStats};
 pub use bound::dyn_makespan_lower_bound;
 pub use estimate::{CostEstimator, Ewma};
-pub use scenario::{churn_scenario, degradation_scenario, random_scenario, ScenarioConfig};
+pub use scenario::{
+    churn_scenario, degradation_scenario, random_scenario, ScenarioConfig, ScenarioError,
+};

@@ -91,33 +91,130 @@ pub fn random_scenario(base: &Platform, cfg: ScenarioConfig, seed: u64) -> DynPl
     DynPlatform::new(base.clone(), DynProfile::new(workers))
 }
 
+/// Why a deterministic scenario description is unusable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// A schedule entry names a worker the base platform does not have.
+    UnknownWorker {
+        /// The dangling index.
+        worker: usize,
+        /// Workers on the base platform.
+        platform_len: usize,
+    },
+    /// A downtime interval ends before it starts.
+    InvertedInterval {
+        /// The worker the interval was scheduled for.
+        worker: usize,
+        /// Interval start.
+        from: f64,
+        /// Interval end.
+        until: f64,
+    },
+    /// A degradation factor or onset time is not a finite positive
+    /// number.
+    BadDegradation {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownWorker {
+                worker,
+                platform_len,
+            } => write!(
+                f,
+                "unknown worker {worker} (platform has {platform_len} workers)"
+            ),
+            ScenarioError::InvertedInterval {
+                worker,
+                from,
+                until,
+            } => write!(
+                f,
+                "inverted downtime interval [{from}, {until}) on worker {worker}"
+            ),
+            ScenarioError::BadDegradation { value } => {
+                write!(
+                    f,
+                    "degradation parameter {value} is not finite and positive"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
 /// A deterministic churn-only scenario: `schedule` lists
 /// `(worker, crash_at, rejoin_at)` triples (`rejoin_at = ∞` for a
 /// permanent crash); costs stay nominal.
 ///
-/// # Panics
-/// Panics on an unknown worker or an inverted interval.
-pub fn churn_scenario(base: &Platform, schedule: &[(usize, f64, f64)]) -> DynPlatform {
+/// # Errors
+/// [`ScenarioError::UnknownWorker`] when an entry names a worker the
+/// base platform does not have; [`ScenarioError::InvertedInterval`]
+/// when an interval ends at or before its start.
+pub fn churn_scenario(
+    base: &Platform,
+    schedule: &[(usize, f64, f64)],
+) -> Result<DynPlatform, ScenarioError> {
     let mut workers: Vec<WorkerDyn> = vec![WorkerDyn::stable(); base.len()];
     for &(w, from, until) in schedule {
-        assert!(w < base.len(), "unknown worker {w}");
+        if w >= base.len() {
+            return Err(ScenarioError::UnknownWorker {
+                worker: w,
+                platform_len: base.len(),
+            });
+        }
+        // `partial_cmp` so NaN endpoints are rejected alongside inverted
+        // (or empty) intervals.
+        if until.partial_cmp(&from) != Some(std::cmp::Ordering::Greater) {
+            return Err(ScenarioError::InvertedInterval {
+                worker: w,
+                from,
+                until,
+            });
+        }
         workers[w] = WorkerDyn::new(workers[w].c_scale.clone(), workers[w].w_scale.clone(), {
             let mut d = workers[w].downtime.clone();
             d.push((from, until));
             d
         });
     }
-    DynPlatform::new(base.clone(), DynProfile::new(workers))
+    Ok(DynPlatform::new(base.clone(), DynProfile::new(workers)))
 }
 
 /// A deterministic jitter-only scenario: worker `w`'s link cost is
 /// multiplied by `factor` from `t = at` on (no churn). Useful for
 /// pinning adaptive-vs-static comparisons.
-pub fn degradation_scenario(base: &Platform, w: usize, factor: f64, at: f64) -> DynPlatform {
-    assert!(w < base.len(), "unknown worker {w}");
+///
+/// # Errors
+/// [`ScenarioError::UnknownWorker`] when `w` is out of range;
+/// [`ScenarioError::BadDegradation`] when `factor` is not finite and
+/// positive or `at` is negative or non-finite.
+pub fn degradation_scenario(
+    base: &Platform,
+    w: usize,
+    factor: f64,
+    at: f64,
+) -> Result<DynPlatform, ScenarioError> {
+    if w >= base.len() {
+        return Err(ScenarioError::UnknownWorker {
+            worker: w,
+            platform_len: base.len(),
+        });
+    }
+    if !(factor.is_finite() && factor > 0.0) {
+        return Err(ScenarioError::BadDegradation { value: factor });
+    }
+    if !(at.is_finite() && at >= 0.0) {
+        return Err(ScenarioError::BadDegradation { value: at });
+    }
     let mut workers: Vec<WorkerDyn> = vec![WorkerDyn::stable(); base.len()];
     workers[w].c_scale = Trace::new(vec![(0.0, 1.0), (at, factor)]);
-    DynPlatform::new(base.clone(), DynProfile::new(workers))
+    Ok(DynPlatform::new(base.clone(), DynProfile::new(workers)))
 }
 
 #[cfg(test)]
@@ -185,12 +282,54 @@ mod tests {
 
     #[test]
     fn deterministic_builders() {
-        let dp = churn_scenario(&base(), &[(1, 10.0, 20.0), (2, 5.0, f64::INFINITY)]);
+        let dp = churn_scenario(&base(), &[(1, 10.0, 20.0), (2, 5.0, f64::INFINITY)]).unwrap();
         assert!(!dp.profile.is_up(1, 15.0));
         assert!(dp.profile.is_up(1, 25.0));
         assert!(!dp.profile.is_up(2, 1e9));
-        let dg = degradation_scenario(&base(), 3, 4.0, 7.0);
+        let dg = degradation_scenario(&base(), 3, 4.0, 7.0).unwrap();
         assert_eq!(dg.profile.c_scale(3, 6.9), 1.0);
         assert_eq!(dg.profile.c_scale(3, 7.0), 4.0);
+    }
+
+    #[test]
+    fn malformed_scenarios_are_typed_errors() {
+        let err = churn_scenario(&base(), &[(9, 1.0, 2.0)]).err().unwrap();
+        assert_eq!(
+            err,
+            ScenarioError::UnknownWorker {
+                worker: 9,
+                platform_len: 4
+            }
+        );
+        assert!(err.to_string().contains("worker 9"));
+
+        let err = churn_scenario(&base(), &[(1, 5.0, 5.0)]).err().unwrap();
+        assert_eq!(
+            err,
+            ScenarioError::InvertedInterval {
+                worker: 1,
+                from: 5.0,
+                until: 5.0
+            }
+        );
+
+        assert_eq!(
+            degradation_scenario(&base(), 4, 2.0, 1.0).err().unwrap(),
+            ScenarioError::UnknownWorker {
+                worker: 4,
+                platform_len: 4
+            }
+        );
+        assert_eq!(
+            degradation_scenario(&base(), 0, 0.0, 1.0).err().unwrap(),
+            ScenarioError::BadDegradation { value: 0.0 }
+        );
+        match degradation_scenario(&base(), 0, 2.0, f64::NAN)
+            .err()
+            .unwrap()
+        {
+            ScenarioError::BadDegradation { value } => assert!(value.is_nan()),
+            other => panic!("expected BadDegradation, got {other:?}"),
+        }
     }
 }

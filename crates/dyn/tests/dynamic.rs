@@ -100,7 +100,8 @@ fn permanent_churn_still_completes_with_exact_coverage() {
     let dp = churn_scenario(
         &platform.clone(),
         &[(0, 25.0, f64::INFINITY), (2, 15.0, 90.0)],
-    );
+    )
+    .unwrap();
     let mut adaptive = AdaptiveMaster::adaptive_het(&platform, &job).unwrap();
     let stats = Simulator::new_dyn(dp).run(&mut adaptive).unwrap();
     validate_coverage(&job, &adaptive.retrieved_geoms()).unwrap();

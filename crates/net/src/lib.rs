@@ -29,11 +29,13 @@
 //! simulator uses.
 
 pub mod calibrate;
+pub mod fed;
 pub mod link;
 pub(crate) mod reactor;
 pub mod runtime;
 pub mod wire;
 pub mod worker;
 
+pub use fed::{FedNetRun, FedNetRuntime};
 pub use link::StarEvent;
 pub use runtime::{NetEngine, NetError, NetOptions, NetRuntime};

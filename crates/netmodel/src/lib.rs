@@ -219,6 +219,99 @@ pub fn maxmin_shares_into(active: &[TransferLane], backbone: f64, scratch: &mut 
         }));
 }
 
+/// Completion times of a batch of transfers drained through a
+/// contention model: lane `i` must move `volume[i]` blocks over
+/// `lanes[i]`, all requested at `t = 0`, admitted FIFO in index order up
+/// to [`ContentionModel::capacity`] and re-shared (through
+/// [`ContentionModel::shares_into`]) at every completion.
+///
+/// This is the closed-form integrator the federated layers use for the
+/// root's uplink feeds: lane `i` is star `i`'s uplink
+/// (`link_rate = 1 / uplink_c_i`), `volume[i]` its shard in blocks, and
+/// the returned time is when star `i`'s feed lands. Zero-volume lanes
+/// complete at `t = 0` without occupying a port. Deterministic pure-f64
+/// arithmetic; under [`OnePort`] lane `i` completes at
+/// `Σ_{j ≤ i} volume[j] / link_rate_j` exactly.
+///
+/// # Panics
+/// Panics when `lanes` and `volume` disagree in length or a volume is
+/// negative/non-finite.
+pub fn drain_times(
+    lanes: &[TransferLane],
+    volume: &[f64],
+    model: &dyn ContentionModel,
+) -> Vec<f64> {
+    assert_eq!(lanes.len(), volume.len(), "one volume per lane");
+    assert!(
+        volume.iter().all(|&v| v.is_finite() && v >= 0.0),
+        "volumes must be finite and non-negative"
+    );
+    let n = lanes.len();
+    let mut done = vec![0.0f64; n];
+    let mut rem = volume.to_vec();
+    let mut waiting: std::collections::VecDeque<usize> = (0..n).filter(|&i| rem[i] > 0.0).collect();
+    let cap = model.capacity();
+    let mut active: Vec<usize> = Vec::with_capacity(cap.min(n));
+    while active.len() < cap {
+        match waiting.pop_front() {
+            Some(i) => active.push(i),
+            None => break,
+        }
+    }
+    let mut t = 0.0f64;
+    let mut active_lanes: Vec<TransferLane> = Vec::with_capacity(active.len());
+    let mut scratch = ShareScratch::new();
+    while !active.is_empty() {
+        active_lanes.clear();
+        active_lanes.extend(active.iter().map(|&i| lanes[i]));
+        model.shares_into(&active_lanes, &mut scratch);
+        let shares = scratch.shares();
+        // Wall time until the first active transfer completes.
+        let mut dt = f64::INFINITY;
+        for (j, &i) in active.iter().enumerate() {
+            let rate = shares[j] * lanes[i].link_rate;
+            if rate > 0.0 {
+                dt = dt.min(rem[i] / rate);
+            }
+        }
+        if !dt.is_finite() {
+            // Every active lane is starved (shares all zero): the
+            // remaining transfers never complete.
+            for &i in &active {
+                done[i] = f64::INFINITY;
+            }
+            for &i in &waiting {
+                done[i] = f64::INFINITY;
+            }
+            return done;
+        }
+        t += dt;
+        // Complete every lane finishing now (the minimizer, plus ties
+        // within fp tolerance — forcing the minimizer avoids a residue
+        // like `rem - (rem/rate)*rate != 0`); advance the rest.
+        let mut j = 0;
+        active.retain(|&i| {
+            let rate = shares[j] * lanes[i].link_rate;
+            j += 1;
+            if rate > 0.0 && rem[i] / rate <= dt * (1.0 + 1e-12) {
+                rem[i] = 0.0;
+                done[i] = t;
+                false
+            } else {
+                rem[i] -= dt * rate;
+                true
+            }
+        });
+        while active.len() < cap {
+            match waiting.pop_front() {
+                Some(i) => active.push(i),
+                None => break,
+            }
+        }
+    }
+    done
+}
+
 /// The paper's one-port model: one transfer at a time, full link speed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OnePort;
@@ -578,6 +671,61 @@ mod tests {
         maxmin_shares_into(&lanes(&[(0, 1.0)]), f64::INFINITY, &mut scratch);
         assert_eq!(scratch.shares(), &[1.0]);
         assert!(scratch.shares.capacity() >= cap);
+    }
+
+    #[test]
+    fn drain_times_oneport_serializes_fifo() {
+        // One-port: lane i completes at the prefix sum of volume/rate.
+        let l = lanes(&[(0, 2.0), (1, 4.0), (2, 1.0)]);
+        let d = drain_times(&l, &[4.0, 4.0, 3.0], &OnePort);
+        assert_eq!(d, vec![2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn drain_times_zero_volume_completes_instantly() {
+        let l = lanes(&[(0, 2.0), (1, 4.0), (2, 1.0)]);
+        let d = drain_times(&l, &[4.0, 0.0, 3.0], &OnePort);
+        // Lane 1 never occupies the port; lane 2 starts right after 0.
+        assert_eq!(d, vec![2.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn drain_times_fairshare_backbone_split() {
+        // Two lanes, links 2.0 each, backbone 2.0: rates 1.0 apiece until
+        // lane 0 (volume 2) finishes at t=2, then lane 1 takes the full
+        // backbone (rate 2.0) for its remaining 2 blocks → t=3.
+        let l = lanes(&[(0, 2.0), (1, 2.0)]);
+        let d = drain_times(&l, &[2.0, 4.0], &FairShare { backbone: 2.0 });
+        assert!(
+            (d[0] - 2.0).abs() < 1e-12 && (d[1] - 3.0).abs() < 1e-12,
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn drain_times_multiport_admits_k_at_a_time() {
+        // k=2, no backbone: lanes 0 and 1 run at full link speed; lane 2
+        // is admitted when lane 0 finishes.
+        let l = lanes(&[(0, 1.0), (1, 2.0), (2, 1.0)]);
+        let m = BoundedMultiPort {
+            k: 2,
+            backbone: f64::INFINITY,
+        };
+        let d = drain_times(&l, &[1.0, 4.0, 1.0], &m);
+        assert!((d[0] - 1.0).abs() < 1e-12, "{d:?}");
+        assert!((d[1] - 2.0).abs() < 1e-12, "{d:?}");
+        assert!((d[2] - 2.0).abs() < 1e-12, "{d:?}");
+    }
+
+    #[test]
+    fn drain_times_ties_complete_together() {
+        let l = lanes(&[(0, 2.0), (1, 2.0)]);
+        let m = BoundedMultiPort {
+            k: 2,
+            backbone: f64::INFINITY,
+        };
+        let d = drain_times(&l, &[6.0, 6.0], &m);
+        assert_eq!(d, vec![3.0, 3.0]);
     }
 
     #[test]

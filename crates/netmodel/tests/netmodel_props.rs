@@ -1,0 +1,133 @@
+//! Property: the allocation-free re-share path is *bitwise* the legacy
+//! allocating path.
+//!
+//! The engines' hot loops call [`maxmin_shares_into`] with a recycled
+//! [`ShareScratch`]; the allocating [`maxmin_shares`] wrapper is the
+//! reference. Any arithmetic drift between them (a re-ordered sum, a
+//! buffer not fully cleared between calls) would silently de-pin every
+//! golden schedule, so the contract is equality of `f64::to_bits`, not
+//! approximate closeness — across random lane sets, with and without a
+//! finite backbone, including the `delta <= 0` saturation break (a zero
+//! or exactly-consumed backbone freezes all remaining lanes at once).
+
+use proptest::prelude::*;
+use stargemm_netmodel::{maxmin_shares, maxmin_shares_into, ShareScratch, TransferLane};
+
+/// Random active sets: up to 12 lanes over 5 workers, so draws routinely
+/// put several lanes on one physical link (the progressive-filling
+/// interesting case) and sometimes produce the empty set.
+fn arb_lanes() -> impl Strategy<Value = Vec<TransferLane>> {
+    prop::collection::vec((0usize..5, 0.05f64..8.0), 0..12).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(worker, link_rate)| TransferLane { worker, link_rate })
+            .collect()
+    })
+}
+
+/// Backbone selector: infinite (no aggregate constraint), a plain finite
+/// cap, a tiny cap that binds before any link does, and exactly zero —
+/// the degenerate draw that must take the `delta <= 0` break on the very
+/// first filling round.
+fn backbone_of(kind: usize, cap: f64) -> f64 {
+    match kind {
+        0 => f64::INFINITY,
+        1 => cap,
+        2 => cap * 1e-3,
+        _ => 0.0,
+    }
+}
+
+fn bits(shares: &[f64]) -> Vec<u64> {
+    shares.iter().map(|s| s.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `maxmin_shares_into` == `maxmin_shares`, bit for bit, on fresh
+    /// scratch buffers.
+    #[test]
+    fn scratch_path_is_bitwise_the_allocating_path(
+        lanes in arb_lanes(),
+        kind in 0usize..4,
+        cap in 0.0f64..25.0,
+    ) {
+        let backbone = backbone_of(kind, cap);
+        let reference = maxmin_shares(&lanes, backbone);
+        let mut scratch = ShareScratch::new();
+        maxmin_shares_into(&lanes, backbone, &mut scratch);
+        prop_assert_eq!(scratch.shares().len(), lanes.len());
+        prop_assert_eq!(bits(scratch.shares()), bits(&reference));
+    }
+
+    /// Recycling one scratch across calls (big set, then small, then big
+    /// again — the engines' steady state) never lets stale buffer
+    /// contents leak into a later allocation.
+    #[test]
+    fn recycled_scratch_never_leaks_between_calls(
+        first in arb_lanes(),
+        second in arb_lanes(),
+        kind in 0usize..4,
+        cap in 0.0f64..25.0,
+    ) {
+        let backbone = backbone_of(kind, cap);
+        let mut scratch = ShareScratch::new();
+        maxmin_shares_into(&first, backbone, &mut scratch);
+        maxmin_shares_into(&second, backbone, &mut scratch);
+        prop_assert_eq!(bits(scratch.shares()), bits(&maxmin_shares(&second, backbone)));
+        // And back to the first set: the shrink-then-grow cycle.
+        maxmin_shares_into(&first, backbone, &mut scratch);
+        prop_assert_eq!(bits(scratch.shares()), bits(&maxmin_shares(&first, backbone)));
+    }
+}
+
+/// The `delta <= 0` break, pinned deterministically: a zero backbone has
+/// no headroom at all, so every lane freezes at rate 0 on round one and
+/// both paths must report all-zero shares.
+#[test]
+fn zero_backbone_saturates_immediately_on_both_paths() {
+    let lanes = vec![
+        TransferLane {
+            worker: 0,
+            link_rate: 2.0,
+        },
+        TransferLane {
+            worker: 0,
+            link_rate: 2.0,
+        },
+        TransferLane {
+            worker: 1,
+            link_rate: 0.5,
+        },
+    ];
+    let reference = maxmin_shares(&lanes, 0.0);
+    assert_eq!(reference, vec![0.0; 3]);
+    let mut scratch = ShareScratch::new();
+    maxmin_shares_into(&lanes, 0.0, &mut scratch);
+    assert_eq!(bits(scratch.shares()), bits(&reference));
+}
+
+/// An exactly-consumed backbone: two saturating rounds, then the break.
+/// The faster link freezes first at the backbone's expense; the rerun
+/// through the scratch path reproduces each intermediate freeze bitwise.
+#[test]
+fn exactly_consumed_backbone_matches_bitwise() {
+    let lanes = vec![
+        TransferLane {
+            worker: 0,
+            link_rate: 1.0,
+        },
+        TransferLane {
+            worker: 1,
+            link_rate: 3.0,
+        },
+    ];
+    // Backbone = 2.0: both rise to 1.0 (lane 0 saturates its link and the
+    // backbone is exactly consumed), so lane 1 freezes mid-link.
+    let reference = maxmin_shares(&lanes, 2.0);
+    assert_eq!(reference[0], 1.0);
+    assert!(reference[1] < 1.0);
+    let mut scratch = ShareScratch::new();
+    maxmin_shares_into(&lanes, 2.0, &mut scratch);
+    assert_eq!(bits(scratch.shares()), bits(&reference));
+}

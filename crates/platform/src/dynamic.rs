@@ -569,7 +569,15 @@ fn render_time(t: f64) -> String {
 /// [`parse_dyn_platform`]; parsing the output reproduces the input
 /// bit-for-bit (Rust's `{}` float formatting is shortest-round-trip).
 pub fn render_dyn_platform(dp: &DynPlatform) -> String {
-    let mut out = format!("# {}\n", dp.base.name);
+    format!("# {}\n{}", dp.base.name, render_dyn_body(dp))
+}
+
+/// The body of [`render_dyn_platform`] — worker lines, `@netmodel`, and
+/// per-worker directives, without the `# name` header. The federated
+/// renderer ([`crate::fed::render_fed_platform`]) emits one body per
+/// `@star` section.
+pub(crate) fn render_dyn_body(dp: &DynPlatform) -> String {
+    let mut out = String::new();
     for spec in dp.base.workers() {
         out.push_str(&format!("{} {} {}\n", spec.c, spec.w, spec.m));
     }

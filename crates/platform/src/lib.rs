@@ -21,6 +21,7 @@
 //! by both execution engines.
 
 pub mod dynamic;
+pub mod fed;
 pub mod parse;
 pub mod platform;
 pub mod presets;
@@ -28,5 +29,6 @@ pub mod random;
 pub mod units;
 
 pub use dynamic::{DynPlatform, DynProfile, LifecycleEvent, Trace, WorkerDyn};
+pub use fed::{parse_fed_platform, render_fed_platform, shard_widths, FedPlatform, FedStar};
 pub use platform::{Platform, WorkerId, WorkerSpec};
 pub use stargemm_netmodel::NetModelSpec;

@@ -33,6 +33,7 @@
 pub mod analysis;
 pub mod engine;
 pub mod error;
+pub mod fed;
 pub mod kernel;
 pub mod master;
 pub mod model;
@@ -43,6 +44,7 @@ pub mod trace;
 
 pub use engine::Simulator;
 pub use error::SimError;
+pub use fed::{FedModel, FedRun};
 pub use kernel::{ComponentId, EventId, EventQueue, KernelError};
 pub use master::{MasterSm, MasterState, MasterTransport};
 pub use model::{PortAccounting, WorkerRt};

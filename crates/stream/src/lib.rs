@@ -27,11 +27,13 @@
 //! tenant mix × platform over this machinery.
 
 pub mod allocator;
+pub mod fed;
 pub mod metrics;
 pub mod multi;
 pub mod workload;
 
 pub use allocator::{weighted_maxmin, JobDemand, MultiJobAllocation};
+pub use fed::{job_volume, FedStreamError, FedStreamRun, MultiStarMaster};
 pub use metrics::{
     aggregate_throughput_bound, solo_makespan, stream_report, StreamReport, TenantReport,
 };

@@ -88,6 +88,35 @@ pub enum StreamError {
         /// The offending job id.
         job: JobId,
     },
+    /// The [`StreamConfig`] itself is unusable (zero slots or a zero
+    /// lookahead window).
+    Config(String),
+    /// Two requests carry the same job id.
+    DuplicateJob {
+        /// The repeated id.
+        job: JobId,
+    },
+    /// A DAG was registered for a job id absent from the request list.
+    UnknownDagJob {
+        /// The dangling id.
+        job: JobId,
+    },
+    /// Two DAGs were registered for the same job id.
+    DuplicateDag {
+        /// The repeated id.
+        job: JobId,
+    },
+    /// A DAG job's id is too large for the reserved chunk-id namespace.
+    DagIdOverflow {
+        /// The offending id.
+        job: JobId,
+    },
+    /// A DAG job's request dimensions disagree with the DAG's virtual
+    /// GEMM (`dag.virtual_job(q)`).
+    DagMismatch {
+        /// The offending id.
+        job: JobId,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -97,6 +126,18 @@ impl std::fmt::Display for StreamError {
                 f,
                 "job {job} fits no worker under the partitioned memory layout"
             ),
+            StreamError::Config(msg) => write!(f, "bad stream config: {msg}"),
+            StreamError::DuplicateJob { job } => write!(f, "duplicate job id {job}"),
+            StreamError::UnknownDagJob { job } => {
+                write!(f, "DAG registered for unknown job {job}")
+            }
+            StreamError::DuplicateDag { job } => write!(f, "duplicate DAG for job {job}"),
+            StreamError::DagIdOverflow { job } => {
+                write!(f, "job id {job} outside the DAG chunk-id namespace")
+            }
+            StreamError::DagMismatch { job } => {
+                write!(f, "job {job} does not match its DAG's virtual GEMM")
+            }
         }
     }
 }
@@ -159,6 +200,9 @@ struct ActiveJob {
     id: JobId,
     weight: f64,
     job: Job,
+    /// The memory slot this job occupies (its per-worker caps come from
+    /// [`slot_cap`] at this index).
+    slot: usize,
     /// Per-worker chunk sides under the partitioned layout (0 = worker
     /// cannot serve this job).
     sides: Vec<usize>,
@@ -217,12 +261,29 @@ pub struct MultiJobMaster {
     now: f64,
 }
 
-/// Per-worker chunk sides for `job` when memory is split `slots` ways.
-fn partitioned_sides(platform: &Platform, job: &Job, cfg: &StreamConfig) -> Vec<usize> {
+/// Memory cap of slice `slot` on a worker with `m` block buffers: an
+/// even `m / slots` split with the `m mod slots` remainder blocks
+/// assigned deterministically to the **lowest** slot indices first, so
+/// `Σ_slot slot_cap(m, slots, slot) = m` exactly. (A plain integer
+/// division stranded the remainder on every worker and pushed
+/// small-memory workers to `μ = 0` infeasibility.)
+pub(crate) fn slot_cap(m: usize, slots: usize, slot: usize) -> usize {
+    debug_assert!(slot < slots);
+    m / slots + usize::from(slot < m % slots)
+}
+
+/// Per-worker chunk sides for `job` in memory slice `slot` when memory
+/// is split `slots` ways.
+pub(crate) fn partitioned_sides(
+    platform: &Platform,
+    job: &Job,
+    cfg: &StreamConfig,
+    slot: usize,
+) -> Vec<usize> {
     platform
         .workers()
         .iter()
-        .map(|s| mu_with_window(s.m / cfg.slots, cfg.window as usize).min(job.r))
+        .map(|s| mu_with_window(slot_cap(s.m, cfg.slots, slot), cfg.window as usize).min(job.r))
         .collect()
 }
 
@@ -230,10 +291,9 @@ impl MultiJobMaster {
     /// A master for the given request stream.
     ///
     /// Validates up front that every job fits at least one worker under
-    /// the partitioned memory layout.
-    ///
-    /// # Panics
-    /// Panics on zero slots, a zero window, or duplicate job ids.
+    /// the partitioned memory layout, and returns a typed
+    /// [`StreamError`] for every malformed input (bad config, duplicate
+    /// ids, infeasible jobs) instead of panicking.
     pub fn new(
         platform: &Platform,
         requests: &[JobRequest],
@@ -247,55 +307,64 @@ impl MultiJobMaster {
     /// The request's `job` must equal `dag.virtual_job(q)` for its block
     /// side `q` — the DAG's schedule *is* a schedule of that GEMM.
     ///
-    /// # Panics
-    /// Panics on zero slots, a zero window, duplicate job ids, a DAG for
-    /// an unknown request, a DAG job id outside the id namespace, or a
-    /// DAG/job dimension mismatch.
+    /// All malformed inputs — zero slots, a zero window, duplicate job
+    /// ids, a DAG for an unknown request, a DAG job id outside the id
+    /// namespace, a DAG/job dimension mismatch, or an infeasible job —
+    /// are reported as typed [`StreamError`]s.
     pub fn with_dags(
         platform: &Platform,
         requests: &[JobRequest],
         dags: Vec<(JobId, DagJob)>,
         cfg: StreamConfig,
     ) -> Result<Self, StreamError> {
-        assert!(cfg.slots >= 1, "at least one job slot is required");
-        assert!(cfg.window >= 1, "window must be at least 1 step");
+        if cfg.slots < 1 {
+            return Err(StreamError::Config(
+                "at least one job slot is required".into(),
+            ));
+        }
+        if cfg.window < 1 {
+            return Err(StreamError::Config("window must be at least 1 step".into()));
+        }
         let mut dag_specs = HashMap::new();
         for (id, dag) in dags {
-            assert!(
-                requests.iter().any(|r| r.id == id),
-                "DAG registered for unknown job {id}"
-            );
-            assert!(
-                (id as ChunkId) < (ChunkId::MAX - DAG_ID_BASE) / DAG_ID_SPAN,
-                "job id {id} outside the DAG chunk-id namespace"
-            );
-            let prev = dag_specs.insert(id, dag);
-            assert!(prev.is_none(), "duplicate DAG for job {id}");
+            if !requests.iter().any(|r| r.id == id) {
+                return Err(StreamError::UnknownDagJob { job: id });
+            }
+            if (id as ChunkId) >= (ChunkId::MAX - DAG_ID_BASE) / DAG_ID_SPAN {
+                return Err(StreamError::DagIdOverflow { job: id });
+            }
+            if dag_specs.insert(id, dag).is_some() {
+                return Err(StreamError::DuplicateDag { job: id });
+            }
         }
         let mut by_id = HashMap::new();
         for r in requests {
+            // Feasibility is checked against slot 0 — the largest slice
+            // ([`slot_cap`] is non-increasing in the slot index), so a
+            // job infeasible there is infeasible in every slot.
             let feasible = match dag_specs.get(&r.id) {
                 Some(dag) => {
-                    assert_eq!(
-                        r.job,
-                        dag.virtual_job(r.job.q),
-                        "job {} does not match its DAG's virtual GEMM",
-                        r.id
-                    );
+                    if r.job != dag.virtual_job(r.job.q) {
+                        return Err(StreamError::DagMismatch { job: r.id });
+                    }
                     // Every task must fit some worker's memory slice.
-                    let caps: Vec<usize> =
-                        platform.workers().iter().map(|s| s.m / cfg.slots).collect();
+                    let caps: Vec<usize> = platform
+                        .workers()
+                        .iter()
+                        .map(|s| slot_cap(s.m, cfg.slots, 0))
+                        .collect();
                     (0..dag.len()).all(|t| caps.iter().any(|&m| 2 * dag.width(t) < m))
                 }
-                None => partitioned_sides(platform, &r.job, &cfg)
+                None => partitioned_sides(platform, &r.job, &cfg, 0)
                     .iter()
                     .any(|&s| s > 0),
             };
             if !feasible {
                 return Err(StreamError::Infeasible { job: r.id });
             }
-            let prev = by_id.insert(r.id, *r);
-            assert!(prev.is_none(), "duplicate job id {}", r.id);
+            if by_id.insert(r.id, *r).is_some() {
+                return Err(StreamError::DuplicateJob { job: r.id });
+            }
         }
         Ok(MultiJobMaster {
             platform: platform.clone(),
@@ -365,15 +434,24 @@ impl MultiJobMaster {
     // Admission and planning.
     // ------------------------------------------------------------------
 
+    /// Per-worker memory caps of slice `slot`.
+    fn slot_caps(&self, slot: usize) -> Vec<usize> {
+        self.platform
+            .workers()
+            .iter()
+            .map(|s| slot_cap(s.m, self.cfg.slots, slot))
+            .collect()
+    }
+
     /// Per-worker "sides" of a DAG job for the allocator: the widest
-    /// task half-width each worker's memory slice accommodates, capped
+    /// task half-width each worker's slice `slot` accommodates, capped
     /// at the DAG's widest task (0 = the worker serves no task at all).
-    fn dag_sides(&self, dag: &DagJob) -> Vec<usize> {
+    fn dag_sides(&self, dag: &DagJob, slot: usize) -> Vec<usize> {
         self.platform
             .workers()
             .iter()
             .map(|s| {
-                let cap = s.m / self.cfg.slots;
+                let cap = slot_cap(s.m, self.cfg.slots, slot);
                 if cap < 3 {
                     0
                 } else {
@@ -384,32 +462,50 @@ impl MultiJobMaster {
     }
 
     /// Admits backlog jobs FIFO while slots are free and the head job
-    /// has a live worker to run on.
+    /// fits some free slot on a live worker. Slots are tried in
+    /// ascending index order (slot 0 holds the remainder blocks, so it
+    /// has the largest caps); the head job waits — it is never
+    /// overtaken — if no free slot currently fits it.
     fn admit_ready(&mut self) {
         while self.active.len() < self.cfg.slots {
             let Some(&id) = self.backlog.front() else {
                 return;
             };
             let req = self.requests[&id];
-            let sides = match self.dag_specs.get(&id) {
-                Some(dag) => self.dag_sides(dag),
-                None => partitioned_sides(&self.platform, &req.job, &self.cfg),
-            };
-            if !sides.iter().enumerate().any(|(w, &s)| s > 0 && self.up[w]) {
-                // Head-of-line job has no live host right now; admission
-                // resumes when a worker rejoins (FIFO is kept — jobs are
-                // not overtaken while they wait out a crash).
-                return;
+            // Lowest free slot where the job is feasible on a live
+            // worker. Uneven memory makes feasibility slot-dependent:
+            // a job may fit slot 0's caps but not slot 1's.
+            let mut chosen: Option<(usize, Vec<usize>)> = None;
+            for slot in 0..self.cfg.slots {
+                if self.active.iter().any(|a| a.slot == slot) {
+                    continue;
+                }
+                let sides = match self.dag_specs.get(&id) {
+                    Some(dag) => {
+                        let caps = self.slot_caps(slot);
+                        if !(0..dag.len()).all(|t| caps.iter().any(|&m| 2 * dag.width(t) < m)) {
+                            continue;
+                        }
+                        self.dag_sides(dag, slot)
+                    }
+                    None => partitioned_sides(&self.platform, &req.job, &self.cfg, slot),
+                };
+                if sides.iter().enumerate().any(|(w, &s)| s > 0 && self.up[w]) {
+                    chosen = Some((slot, sides));
+                    break;
+                }
             }
+            let Some((slot, sides)) = chosen else {
+                // Head-of-line job has no live host (or no fitting free
+                // slot) right now; admission resumes when a worker
+                // rejoins or a slot frees (FIFO is kept — jobs are not
+                // overtaken while they wait).
+                return;
+            };
             self.backlog.pop_front();
             let member = match self.dag_specs.get(&id) {
                 Some(dag) => {
-                    let caps: Vec<usize> = self
-                        .platform
-                        .workers()
-                        .iter()
-                        .map(|s| s.m / self.cfg.slots)
-                        .collect();
+                    let caps = self.slot_caps(slot);
                     let id_base = DAG_ID_BASE + id * DAG_ID_SPAN;
                     Member::Dag(Box::new(
                         DagMaster::with_capacity(
@@ -460,6 +556,7 @@ impl MultiJobMaster {
                 id,
                 weight: req.weight,
                 job: req.job,
+                slot,
                 sides,
                 member,
                 port_used,
@@ -1090,6 +1187,165 @@ mod tests {
         .err()
         .expect("wide task must not fit");
         assert_eq!(err, StreamError::Infeasible { job: 0 });
+    }
+
+    #[test]
+    fn slot_caps_assign_the_remainder_to_low_slots() {
+        // 61 blocks over 2 slots: 31 + 30, nothing stranded.
+        assert_eq!(slot_cap(61, 2, 0), 31);
+        assert_eq!(slot_cap(61, 2, 1), 30);
+        // Any (m, slots): caps are non-increasing and sum to m exactly.
+        for m in 0..40 {
+            for slots in 1..6 {
+                let caps: Vec<usize> = (0..slots).map(|s| slot_cap(m, slots, s)).collect();
+                assert_eq!(caps.iter().sum::<usize>(), m, "m={m} slots={slots}");
+                assert!(caps.windows(2).all(|w| w[0] >= w[1]), "m={m} slots={slots}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_memory_worker_is_rescued_by_the_remainder_block() {
+        // m = 9, slots = 2, window = 2: the old integer division gave
+        // every slot cap 4 → μ = 0, rejecting the job outright. The
+        // fixed split gives slot 0 cap 5 → μ = 1: feasible, and the run
+        // completes within the 9-block budget.
+        let odd = Platform::new("odd", vec![WorkerSpec::new(1.0, 1.0, 9)]);
+        let reqs = vec![JobRequest {
+            id: 0,
+            tenant: 0,
+            weight: 1.0,
+            job: Job::new(2, 2, 2, 2),
+            arrival: 0.0,
+        }];
+        let (stats, policy) = run_stream(&odd, &reqs, StreamConfig::default());
+        assert_eq!(stats.jobs.len(), 1);
+        assert!(stats.jobs[0].completion.is_some());
+        assert_eq!(policy.stats().completed, 1);
+        assert!(stats.per_worker[0].mem_high_water <= 9);
+        validate_coverage(&reqs[0].job, policy.retrieved_geoms(0)).unwrap();
+    }
+
+    #[test]
+    fn odd_memory_platform_never_overflows_under_contention() {
+        // Two concurrent jobs on odd-memory workers: slot 0 gets the
+        // extra block, slot 1 the floor, and Σ caps = m keeps the
+        // engine's strict memory check green.
+        let odd = Platform::new(
+            "odd2",
+            vec![
+                WorkerSpec::new(0.2, 0.1, 61),
+                WorkerSpec::new(0.3, 0.15, 41),
+            ],
+        );
+        let reqs = workload(6, 17, 5.0);
+        let (stats, policy) = run_stream(&odd, &reqs, StreamConfig::default());
+        assert_eq!(stats.jobs.len(), 6);
+        assert!(stats.jobs.iter().all(|j| j.completion.is_some()));
+        assert_eq!(policy.stats().completed, 6);
+        assert!(stats.per_worker[0].mem_high_water <= 61);
+        assert!(stats.per_worker[1].mem_high_water <= 41);
+    }
+
+    #[test]
+    fn bad_configs_are_typed_errors() {
+        let reqs = workload(1, 1, 1.0);
+        let no_slots = StreamConfig {
+            slots: 0,
+            window: 2,
+        };
+        match MultiJobMaster::new(&platform(), &reqs, no_slots).err() {
+            Some(StreamError::Config(msg)) => assert!(msg.contains("slot")),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        let no_window = StreamConfig {
+            slots: 2,
+            window: 0,
+        };
+        match MultiJobMaster::new(&platform(), &reqs, no_window).err() {
+            Some(StreamError::Config(msg)) => assert!(msg.contains("window")),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_job_ids_are_rejected() {
+        let mut reqs = workload(2, 1, 1.0);
+        reqs[1].id = reqs[0].id;
+        let err = MultiJobMaster::new(&platform(), &reqs, StreamConfig::default())
+            .err()
+            .expect("duplicate ids must be rejected");
+        assert_eq!(err, StreamError::DuplicateJob { job: reqs[0].id });
+    }
+
+    #[test]
+    fn dag_for_unknown_job_is_rejected() {
+        let reqs = workload(1, 1, 1.0);
+        let (dag, _) = stargemm_dag::lu_dag(2);
+        let err = MultiJobMaster::with_dags(
+            &platform(),
+            &reqs,
+            vec![(999, dag)],
+            StreamConfig::default(),
+        )
+        .err()
+        .expect("dangling DAG must be rejected");
+        assert_eq!(err, StreamError::UnknownDagJob { job: 999 });
+    }
+
+    #[test]
+    fn duplicate_dags_are_rejected() {
+        let (req, (id, dag)) = lu_request(5, 2, 0.0);
+        let err = MultiJobMaster::with_dags(
+            &platform(),
+            &[req],
+            vec![(id, dag.clone()), (id, dag)],
+            StreamConfig::default(),
+        )
+        .err()
+        .expect("duplicate DAG must be rejected");
+        assert_eq!(err, StreamError::DuplicateDag { job: id });
+    }
+
+    #[test]
+    fn dag_id_overflow_is_rejected() {
+        let big = (ChunkId::MAX - DAG_ID_BASE) / DAG_ID_SPAN;
+        let (dag, _) = stargemm_dag::lu_dag(2);
+        let job = dag.virtual_job(2);
+        let reqs = vec![JobRequest {
+            id: big,
+            tenant: 0,
+            weight: 1.0,
+            job,
+            arrival: 0.0,
+        }];
+        let err = MultiJobMaster::with_dags(
+            &platform(),
+            &reqs,
+            vec![(big, dag)],
+            StreamConfig::default(),
+        )
+        .err()
+        .expect("oversized DAG id must be rejected");
+        assert_eq!(err, StreamError::DagIdOverflow { job: big });
+    }
+
+    #[test]
+    fn dag_dimension_mismatch_is_rejected() {
+        let (dag, _) = stargemm_dag::lu_dag(3);
+        // Wrong r/t/s for the DAG's virtual GEMM at q = 2.
+        let reqs = vec![JobRequest {
+            id: 4,
+            tenant: 0,
+            weight: 1.0,
+            job: Job::new(1, 1, 1, 2),
+            arrival: 0.0,
+        }];
+        let err =
+            MultiJobMaster::with_dags(&platform(), &reqs, vec![(4, dag)], StreamConfig::default())
+                .err()
+                .expect("mismatched DAG job must be rejected");
+        assert_eq!(err, StreamError::DagMismatch { job: 4 });
     }
 
     #[test]
