@@ -163,4 +163,12 @@ fn main() {
             stargemm_core::algorithms::Algorithm::Het,
         );
     }
+    if let Some(path) = &cli.attr_out {
+        stargemm_bench::obs::emit_gemm_attr(
+            path,
+            &platform,
+            &job,
+            stargemm_core::algorithms::Algorithm::Het,
+        );
+    }
 }

@@ -93,4 +93,7 @@ fn main() {
     if let Some(path) = &cli.trace_out {
         stargemm_bench::obs::emit_default_trace(path);
     }
+    if let Some(path) = &cli.attr_out {
+        stargemm_bench::obs::emit_default_attr(path);
+    }
 }

@@ -30,6 +30,7 @@ use stargemm_bench::{write_json, write_results, Cli, SweepSpec};
 use stargemm_core::cpath::dag_makespan_lower_bound;
 use stargemm_core::Job;
 use stargemm_dag::{lu_dag, DagJob};
+use stargemm_obs::Attribution;
 use stargemm_platform::{Platform, WorkerSpec};
 use stargemm_sim::Simulator;
 use stargemm_stream::{
@@ -58,6 +59,7 @@ struct Row {
     gemm_jobs: usize,
     lower_bound: f64,
     report: Option<StreamReport>,
+    attribution: Option<Attribution>,
     error: Option<String>,
 }
 
@@ -71,6 +73,7 @@ impl Serialize for Row {
             ("gemm_jobs", self.gemm_jobs.to_value()),
             ("lower_bound", self.lower_bound.to_value()),
             ("report", self.report.to_value()),
+            ("attribution", self.attribution.to_value()),
             ("error", self.error.to_value()),
         ])
     }
@@ -194,35 +197,43 @@ fn grid(smoke: bool) -> Vec<Cell> {
     cells
 }
 
-/// Runs one sweep cell (executed on a pool worker).
+/// Runs one sweep cell (executed on a pool worker). The cell runs under
+/// a recorder so the row can carry its makespan attribution; recording
+/// is observation-only, so the report is identical to an unrecorded run.
 fn run_cell(cell: &Cell) -> Row {
     let dag_jobs = cell.dags.len();
     let gemm_jobs = cell.requests.len() - dag_jobs;
-    let outcome = MultiJobMaster::with_dags(
-        &cell.platform,
-        &cell.requests,
-        cell.dags.clone(),
-        StreamConfig::default(),
-    )
-    .map_err(|e| e.to_string())
-    .and_then(|mut policy| {
-        let stats = Simulator::new(cell.platform.clone())
-            .with_arrivals(MultiJobMaster::arrival_plan(&cell.requests))
-            .run(&mut policy)
-            .map_err(|e| e.to_string())?;
-        // Every DAG member must have completed in dependency order.
-        for (id, dag) in &cell.dags {
-            let order = policy.dag_completion_order(*id);
-            assert!(
-                dag.is_topological(order),
-                "job {id}: completion order violates the DAG"
-            );
-        }
-        Ok(stream_report(&cell.platform, &cell.requests, &stats))
+    let (outcome, events, _) = stargemm_bench::obs::record_with(|obs| {
+        MultiJobMaster::with_dags(
+            &cell.platform,
+            &cell.requests,
+            cell.dags.clone(),
+            StreamConfig::default(),
+        )
+        .map_err(|e| e.to_string())
+        .and_then(|policy| {
+            let mut policy = policy.with_obs(obs.clone());
+            let stats = Simulator::new(cell.platform.clone())
+                .with_arrivals(MultiJobMaster::arrival_plan(&cell.requests))
+                .run_observed(&mut policy, obs)
+                .map_err(|e| e.to_string())?;
+            // Every DAG member must have completed in dependency order.
+            for (id, dag) in &cell.dags {
+                let order = policy.dag_completion_order(*id);
+                assert!(
+                    dag.is_topological(order),
+                    "job {id}: completion order violates the DAG"
+                );
+            }
+            Ok((stream_report(&cell.platform, &cell.requests, &stats), stats))
+        })
     });
-    let (report, error) = match outcome {
-        Ok(r) => (Some(r), None),
-        Err(e) => (None, Some(e)),
+    let (report, attribution, error) = match outcome {
+        Ok((r, stats)) => {
+            let attr = Attribution::from_events(&events, stats.makespan);
+            (Some(r), Some(attr), None)
+        }
+        Err(e) => (None, None, Some(e)),
     };
     Row {
         platform: cell.platform_name,
@@ -232,6 +243,7 @@ fn run_cell(cell: &Cell) -> Row {
         gemm_jobs,
         lower_bound: cell.lower_bound,
         report,
+        attribution,
         error,
     }
 }
@@ -304,7 +316,7 @@ fn main() {
     if let Some(path) = &cli.json {
         write_json(path, &outcome.to_json());
     }
-    if let Some(path) = &cli.trace_out {
+    if cli.trace_out.is_some() || cli.attr_out.is_some() {
         // The representative mixed cell: the first grid cell that has
         // DAG jobs, re-run serially under the recorder so the trace
         // carries frontier promotions next to the port and worker
@@ -326,7 +338,12 @@ fn main() {
                 .with_arrivals(MultiJobMaster::arrival_plan(&cell.requests))
                 .run_observed(&mut policy, obs)
         });
-        res.expect("trace cell completes");
-        stargemm_bench::obs::write_perfetto(path, &events);
+        let stats = res.expect("trace cell completes");
+        if let Some(path) = &cli.trace_out {
+            stargemm_bench::obs::write_perfetto(path, &events);
+        }
+        if let Some(path) = &cli.attr_out {
+            stargemm_bench::obs::write_folded_stacks(path, &events, stats.makespan);
+        }
     }
 }

@@ -268,7 +268,7 @@ fn main() {
     if let Some(path) = &cli.json {
         write_json(path, &outcome.to_json());
     }
-    if let Some(path) = &cli.trace_out {
+    if cli.trace_out.is_some() || cli.attr_out.is_some() {
         // The representative dynamic cell: AdaptiveHet through the
         // crash-top scenario (a top worker dies mid-run), so the trace
         // shows crash, chunk reassignment, and recovery events.
@@ -281,7 +281,12 @@ fn main() {
         let (res, events, _) = stargemm_bench::obs::record_with(|obs| {
             Simulator::new_dyn(dp).run_observed(&mut policy, obs)
         });
-        res.expect("crash-top run succeeds");
-        stargemm_bench::obs::write_perfetto(path, &events);
+        let stats = res.expect("crash-top run succeeds");
+        if let Some(path) = &cli.trace_out {
+            stargemm_bench::obs::write_perfetto(path, &events);
+        }
+        if let Some(path) = &cli.attr_out {
+            stargemm_bench::obs::write_folded_stacks(path, &events, stats.makespan);
+        }
     }
 }

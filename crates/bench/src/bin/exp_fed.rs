@@ -41,6 +41,7 @@ use stargemm_bench::{write_json, write_results, Cli, SweepSpec};
 use stargemm_core::steady::{bandwidth_centric, federated_lp, federated_throughput, table1_lp};
 use stargemm_core::Job;
 use stargemm_netmodel::NetModelSpec;
+use stargemm_obs::Attribution;
 use stargemm_platform::{DynPlatform, FedPlatform, FedStar, Platform, WorkerSpec};
 use stargemm_stream::{
     ArrivalProcess, JobRequest, MultiStarMaster, StreamConfig, TenantSpec, WorkloadSpec,
@@ -92,6 +93,9 @@ struct Row {
     throughput: f64,
     bound: f64,
     single_star: f64,
+    /// Attribution of the critical (latest-finishing) star's timeline
+    /// against the federated makespan.
+    attribution: Attribution,
 }
 
 impl Serialize for Row {
@@ -105,6 +109,7 @@ impl Serialize for Row {
             ("throughput", self.throughput.to_value()),
             ("fed_bound", self.bound.to_value()),
             ("single_star_bound", self.single_star.to_value()),
+            ("attribution", self.attribution.to_value()),
         ])
     }
 }
@@ -181,12 +186,25 @@ fn grid(smoke: bool) -> Vec<Cell> {
     cells
 }
 
-/// Runs one sweep cell (executed on a pool worker).
+/// Runs one sweep cell (executed on a pool worker). The cell runs under
+/// per-star recorders; the row attributes the critical star — the one
+/// whose timeline (including its uplink feeds) ends last — against the
+/// federated makespan, so uplink stalls show up as `uplink_wait`.
 fn run_cell(cell: &Cell) -> Row {
     let root = MultiStarMaster::new(cell.fed.clone(), StreamConfig::default());
-    let run = root
-        .run(&cell.requests)
+    let (run, logs) = root
+        .run_recorded(&cell.requests)
         .expect("federated stream cell completes");
+    let critical = logs
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            let ta = a.last().map_or(0.0, |e| e.time());
+            let tb = b.last().map_or(0.0, |e| e.time());
+            ta.total_cmp(&tb)
+        })
+        .map_or(0, |(i, _)| i);
+    let attribution = Attribution::from_events(&logs[critical], run.makespan);
     Row {
         k: cell.k,
         ratio: cell.ratio,
@@ -196,6 +214,7 @@ fn run_cell(cell: &Cell) -> Row {
         throughput: run.throughput(),
         bound: cell.bound,
         single_star: cell.single_star,
+        attribution,
     }
 }
 
@@ -284,7 +303,7 @@ fn main() {
         .render_pretty();
         write_json(path, &json);
     }
-    if let Some(path) = &cli.trace_out {
+    if cli.trace_out.is_some() || cli.attr_out.is_some() {
         // Representative trace: one regional star's MultiJobMaster under
         // the even mix (the federated run is k such timelines plus the
         // uplink drain offsets).
@@ -306,7 +325,12 @@ fn main() {
                 .with_arrivals(MultiJobMaster::arrival_plan(&requests))
                 .run_observed(&mut policy, obs)
         });
-        res.expect("trace cell completes");
-        stargemm_bench::obs::write_perfetto(path, &events);
+        let stats = res.expect("trace cell completes");
+        if let Some(path) = &cli.trace_out {
+            stargemm_bench::obs::write_perfetto(path, &events);
+        }
+        if let Some(path) = &cli.attr_out {
+            stargemm_bench::obs::write_folded_stacks(path, &events, stats.makespan);
+        }
     }
 }

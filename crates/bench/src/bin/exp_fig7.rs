@@ -32,6 +32,10 @@ fn main() {
         let (p, j) = &grid[0];
         obs::emit_gemm_trace(path, p, j, Algorithm::Het);
     }
+    if let Some(path) = &cli.attr_out {
+        let (p, j) = &grid[0];
+        obs::emit_gemm_attr(path, p, j, Algorithm::Het);
+    }
 
     // Satellite view: where the one-port actually spent its time under
     // the best algorithm (Het) on every platform.

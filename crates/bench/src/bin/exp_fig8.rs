@@ -38,4 +38,8 @@ fn main() {
         let (p, j) = &grid[0];
         obs::emit_gemm_trace(path, p, j, stargemm_core::algorithms::Algorithm::Het);
     }
+    if let Some(path) = &cli.attr_out {
+        let (p, j) = &grid[0];
+        obs::emit_gemm_attr(path, p, j, stargemm_core::algorithms::Algorithm::Het);
+    }
 }

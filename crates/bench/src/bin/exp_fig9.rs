@@ -141,4 +141,8 @@ fn main() {
         let (p, j) = &grid7[0];
         stargemm_bench::obs::emit_gemm_trace(path, p, j, Algorithm::Het);
     }
+    if let Some(path) = &cli.attr_out {
+        let (p, j) = &grid7[0];
+        stargemm_bench::obs::emit_gemm_attr(path, p, j, Algorithm::Het);
+    }
 }

@@ -361,7 +361,7 @@ fn main() {
         .render_pretty();
         write_json(path, &json);
     }
-    if let Some(path) = &cli.trace_out {
+    if cli.trace_out.is_some() || cli.attr_out.is_some() {
         // The representative cell: Het under bounded multi-port k=2 on
         // the ratio-2 preset — the trace shows two concurrent port lanes.
         let platform = stargemm_platform::presets::fully_het(2.0);
@@ -375,7 +375,12 @@ fn main() {
                 })
                 .run_observed(&mut policy, obs)
         });
-        res.expect("trace cell completes");
-        stargemm_bench::obs::write_perfetto(path, &events);
+        let stats = res.expect("trace cell completes");
+        if let Some(path) = &cli.trace_out {
+            stargemm_bench::obs::write_perfetto(path, &events);
+        }
+        if let Some(path) = &cli.attr_out {
+            stargemm_bench::obs::write_folded_stacks(path, &events, stats.makespan);
+        }
     }
 }

@@ -110,4 +110,9 @@ fn main() {
         let platform = Platform::new("ooc", vec![WorkerSpec::new(c, w, 1_200)]);
         stargemm_bench::obs::emit_gemm_trace(path, &platform, &job, Algorithm::Bmm);
     }
+    if let Some(path) = &cli.attr_out {
+        let c = (q * q * 8) as f64 / (200.0 * 1e6);
+        let platform = Platform::new("ooc", vec![WorkerSpec::new(c, w, 1_200)]);
+        stargemm_bench::obs::emit_gemm_attr(path, &platform, &job, Algorithm::Bmm);
+    }
 }

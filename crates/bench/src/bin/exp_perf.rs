@@ -17,7 +17,8 @@ use stargemm_bench::netperf::{
     self, net_report_json, net_trajectory, netmodel_steady_state_bytes, render_net_table,
 };
 use stargemm_bench::perf::{
-    kernel_trajectory, perf_report_json, render_kernel_table, sweep_cell_times,
+    check_kernel_baseline, kernel_trajectory, perf_report_json, render_kernel_table,
+    sweep_cell_times,
 };
 use stargemm_bench::{write_json, write_results, Cli};
 
@@ -73,15 +74,47 @@ fn main() {
     if let Some(path) = &cli.trace_out {
         stargemm_bench::obs::emit_default_trace(path);
     }
+    if let Some(path) = &cli.attr_out {
+        stargemm_bench::obs::emit_default_attr(path);
+    }
     if let Some(base_path) = &cli.net_baseline {
-        let baseline = std::fs::read_to_string(base_path)
-            .unwrap_or_else(|e| panic!("cannot read net baseline {}: {e}", base_path.display()));
+        let baseline = read_baseline(
+            base_path,
+            "{\"workers\": <n>, \"events_per_sec\": <events/sec>}",
+        );
         match netperf::check_net_baseline(&baseline, &net) {
             Ok(msg) => println!("{msg}"),
             Err(msg) => {
                 eprintln!("error: {msg}");
                 std::process::exit(1);
             }
+        }
+    }
+    if let Some(base_path) = &cli.kernel_baseline {
+        let baseline = read_baseline(
+            base_path,
+            "{\"hold\": <events/sec>, \"cancel_half\": <events/sec>, \"drain\": <events/sec>}",
+        );
+        match check_kernel_baseline(&baseline, &kernel) {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Reads a committed baseline file, turning a missing or unreadable
+/// path into a CLI error that names the expected schema instead of a
+/// panic.
+fn read_baseline(path: &std::path::Path, schema: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {}: {e}", path.display());
+            eprintln!("expected a committed JSON file of the form {schema}");
+            std::process::exit(1);
         }
     }
 }

@@ -112,7 +112,7 @@ fn main() {
         .render_pretty();
         write_json(path, &json);
     }
-    if let Some(path) = &cli.trace_out {
+    if cli.trace_out.is_some() || cli.attr_out.is_some() {
         // Trace the *net* engine (not the simulator): the Perfetto
         // timeline shows reactor-paced transfers, in model seconds.
         let mut policy = build_policy(&platform, &job, Algorithm::Het).unwrap();
@@ -124,7 +124,12 @@ fn main() {
         let (res, events, _) = stargemm_bench::obs::record_with(|obs| {
             rt.run_observed(&mut policy, &a, &b, &mut c, obs)
         });
-        res.unwrap();
-        stargemm_bench::obs::write_perfetto(path, &events);
+        let stats = res.unwrap();
+        if let Some(path) = &cli.trace_out {
+            stargemm_bench::obs::write_perfetto(path, &events);
+        }
+        if let Some(path) = &cli.attr_out {
+            stargemm_bench::obs::write_folded_stacks(path, &events, stats.makespan);
+        }
     }
 }

@@ -24,6 +24,7 @@ use serde::json::Value;
 use serde::Serialize;
 use stargemm_bench::{write_json, write_results, Cli, SweepSpec};
 use stargemm_core::Job;
+use stargemm_obs::Attribution;
 use stargemm_platform::dynamic::{DynPlatform, DynProfile, Trace, WorkerDyn};
 use stargemm_platform::{Platform, WorkerSpec};
 use stargemm_sim::Simulator;
@@ -47,6 +48,7 @@ struct Row {
     mix: &'static str,
     load: f64,
     report: Option<StreamReport>,
+    attribution: Option<Attribution>,
     error: Option<String>,
 }
 
@@ -57,6 +59,7 @@ impl Serialize for Row {
             ("mix", self.mix.to_value()),
             ("load", self.load.to_value()),
             ("report", self.report.to_value()),
+            ("attribution", self.attribution.to_value()),
             ("error", self.error.to_value()),
         ])
     }
@@ -172,26 +175,35 @@ fn grid(smoke: bool) -> Vec<Cell> {
     cells
 }
 
-/// Runs one sweep cell (executed on a pool worker).
+/// Runs one sweep cell (executed on a pool worker). The cell runs under
+/// a recorder so the row can carry its makespan attribution; recording
+/// is observation-only, so the report is identical to an unrecorded run.
 fn run_cell(cell: &Cell) -> Row {
-    let outcome = MultiJobMaster::new(&cell.dp.base, &cell.requests, StreamConfig::default())
-        .map_err(|e| e.to_string())
-        .and_then(|mut policy| {
-            Simulator::new_dyn(cell.dp.clone())
-                .with_arrivals(MultiJobMaster::arrival_plan(&cell.requests))
-                .run(&mut policy)
-                .map_err(|e| e.to_string())
-        })
-        .map(|stats| stream_report(&cell.dp.base, &cell.requests, &stats));
-    let (report, error) = match outcome {
-        Ok(r) => (Some(r), None),
-        Err(e) => (None, Some(e)),
+    let (outcome, events, _) = stargemm_bench::obs::record_with(|obs| {
+        MultiJobMaster::new(&cell.dp.base, &cell.requests, StreamConfig::default())
+            .map_err(|e| e.to_string())
+            .and_then(|policy| {
+                let mut policy = policy.with_obs(obs.clone());
+                Simulator::new_dyn(cell.dp.clone())
+                    .with_arrivals(MultiJobMaster::arrival_plan(&cell.requests))
+                    .run_observed(&mut policy, obs)
+                    .map_err(|e| e.to_string())
+            })
+            .map(|stats| (stream_report(&cell.dp.base, &cell.requests, &stats), stats))
+    });
+    let (report, attribution, error) = match outcome {
+        Ok((r, stats)) => {
+            let attr = Attribution::from_events(&events, stats.makespan);
+            (Some(r), Some(attr), None)
+        }
+        Err(e) => (None, None, Some(e)),
     };
     Row {
         platform: cell.platform_name,
         mix: cell.mix,
         load: cell.load,
         report,
+        attribution,
         error,
     }
 }
@@ -303,7 +315,7 @@ fn main() {
     if let Some(path) = &cli.json {
         write_json(path, &outcome.to_json());
     }
-    if let Some(path) = &cli.trace_out {
+    if cli.trace_out.is_some() || cli.attr_out.is_some() {
         // The representative stream cell: the first grid cell (static
         // platform, uniform mix, lightest load), re-run serially under
         // the recorder — the trace gets job admission/completion, LP
@@ -318,7 +330,12 @@ fn main() {
                 .with_arrivals(MultiJobMaster::arrival_plan(&cell.requests))
                 .run_observed(&mut policy, obs)
         });
-        res.expect("trace cell completes");
-        stargemm_bench::obs::write_perfetto(path, &events);
+        let stats = res.expect("trace cell completes");
+        if let Some(path) = &cli.trace_out {
+            stargemm_bench::obs::write_perfetto(path, &events);
+        }
+        if let Some(path) = &cli.attr_out {
+            stargemm_bench::obs::write_folded_stacks(path, &events, stats.makespan);
+        }
     }
 }

@@ -130,4 +130,7 @@ fn main() {
         // The starvation cell the table is about: x = 8.
         stargemm_bench::obs::emit_gemm_trace(path, &table2_platform(8.0), &job, Algorithm::Het);
     }
+    if let Some(path) = &cli.attr_out {
+        stargemm_bench::obs::emit_gemm_attr(path, &table2_platform(8.0), &job, Algorithm::Het);
+    }
 }

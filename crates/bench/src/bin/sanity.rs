@@ -49,4 +49,10 @@ fn main() {
         .render_pretty();
         write_json(path, &json);
     }
+    if let Some(path) = &cli.trace_out {
+        stargemm_bench::obs::emit_default_trace(path);
+    }
+    if let Some(path) = &cli.attr_out {
+        stargemm_bench::obs::emit_default_attr(path);
+    }
 }

@@ -11,9 +11,15 @@
 //! * `--trace-out <path>` — write a Perfetto/Chrome `trace_event` JSON
 //!   of a representative cell to `path` (re-run serially under a
 //!   recorder, so the artifact is thread-count independent);
+//! * `--attr-out <path>` — write the folded flamegraph stacks of the
+//!   same representative cell's makespan attribution to `path`
+//!   (mirrors `--trace-out`: serial re-run, thread-count independent);
 //! * `--net-baseline <path>` — committed net-engine throughput baseline
 //!   to gate against (only `exp_perf` honours it; the run fails if the
-//!   reactor's events/sec drop more than 20 % below the baseline).
+//!   reactor's events/sec drop more than 20 % below the baseline);
+//! * `--kernel-baseline <path>` — committed event-kernel throughput
+//!   baseline (only `exp_perf` honours it; same 20 % floor per
+//!   workload).
 //!
 //! ```sh
 //! cargo run --release -p stargemm-bench --bin exp_dynamic -- --smoke --threads 2
@@ -32,8 +38,12 @@ pub struct Cli {
     pub threads: usize,
     /// Where to write a Perfetto trace of a representative run.
     pub trace_out: Option<PathBuf>,
+    /// Where to write folded attribution stacks of a representative run.
+    pub attr_out: Option<PathBuf>,
     /// Committed net-engine baseline JSON to gate throughput against.
     pub net_baseline: Option<PathBuf>,
+    /// Committed event-kernel baseline JSON to gate throughput against.
+    pub kernel_baseline: Option<PathBuf>,
 }
 
 impl Cli {
@@ -47,7 +57,8 @@ impl Cli {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: [--smoke] [--json <path>] [--threads <n>] \
-                     [--trace-out <path>] [--net-baseline <path>]"
+                     [--trace-out <path>] [--attr-out <path>] \
+                     [--net-baseline <path>] [--kernel-baseline <path>]"
                 );
                 std::process::exit(2);
             }
@@ -76,7 +87,9 @@ impl Cli {
             json: None,
             threads: default_threads(),
             trace_out: None,
+            attr_out: None,
             net_baseline: None,
+            kernel_baseline: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -88,9 +101,16 @@ impl Cli {
                 "--trace-out" => {
                     cli.trace_out = Some(PathBuf::from(value(&mut it, "--trace-out", "path")?));
                 }
+                "--attr-out" => {
+                    cli.attr_out = Some(PathBuf::from(value(&mut it, "--attr-out", "path")?));
+                }
                 "--net-baseline" => {
                     cli.net_baseline =
                         Some(PathBuf::from(value(&mut it, "--net-baseline", "path")?));
+                }
+                "--kernel-baseline" => {
+                    cli.kernel_baseline =
+                        Some(PathBuf::from(value(&mut it, "--kernel-baseline", "path")?));
                 }
                 "--threads" => {
                     let n = value(&mut it, "--threads", "count")?;
@@ -106,7 +126,8 @@ impl Cli {
                     return Err(format!(
                         "unknown argument {other:?} \
                          (valid flags: --smoke, --json <path>, --threads <n>, \
-                         --trace-out <path>, --net-baseline <path>)"
+                         --trace-out <path>, --attr-out <path>, \
+                         --net-baseline <path>, --kernel-baseline <path>)"
                     ))
                 }
             }
@@ -134,7 +155,9 @@ mod tests {
         assert!(!cli.smoke);
         assert_eq!(cli.json, None);
         assert_eq!(cli.trace_out, None);
+        assert_eq!(cli.attr_out, None);
         assert_eq!(cli.net_baseline, None);
+        assert_eq!(cli.kernel_baseline, None);
         assert!(cli.threads >= 1);
     }
 
@@ -146,8 +169,12 @@ mod tests {
             "--smoke",
             "--trace-out",
             "t.json",
+            "--attr-out",
+            "a.folded",
             "--net-baseline",
             "b.json",
+            "--kernel-baseline",
+            "k.json",
             "--json",
             "o.json",
         ]))
@@ -155,7 +182,9 @@ mod tests {
         assert!(cli.smoke);
         assert_eq!(cli.json, Some(PathBuf::from("o.json")));
         assert_eq!(cli.trace_out, Some(PathBuf::from("t.json")));
+        assert_eq!(cli.attr_out, Some(PathBuf::from("a.folded")));
         assert_eq!(cli.net_baseline, Some(PathBuf::from("b.json")));
+        assert_eq!(cli.kernel_baseline, Some(PathBuf::from("k.json")));
         assert_eq!(cli.threads, 3);
     }
 
@@ -167,8 +196,12 @@ mod tests {
         assert!(Cli::from_args(&strs(&["--threads", "0"])).is_err());
         assert!(Cli::from_args(&strs(&["--trace-out"])).is_err());
         assert!(Cli::from_args(&strs(&["--trace-out", "--smoke"])).is_err());
+        assert!(Cli::from_args(&strs(&["--attr-out"])).is_err());
+        assert!(Cli::from_args(&strs(&["--attr-out", "--smoke"])).is_err());
         assert!(Cli::from_args(&strs(&["--net-baseline"])).is_err());
         assert!(Cli::from_args(&strs(&["--net-baseline", "--smoke"])).is_err());
+        assert!(Cli::from_args(&strs(&["--kernel-baseline"])).is_err());
+        assert!(Cli::from_args(&strs(&["--kernel-baseline", "--smoke"])).is_err());
         assert!(Cli::from_args(&strs(&["--frobnicate"])).is_err());
     }
 
@@ -188,6 +221,8 @@ mod tests {
         assert!(err.contains("--frobnicate"), "{err}");
         assert!(err.contains("--smoke"), "{err}");
         assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("--attr-out"), "{err}");
+        assert!(err.contains("--kernel-baseline"), "{err}");
         let err = Cli::from_args(&strs(&["--threads", "0"])).unwrap_err();
         assert!(err.contains("at least 1"), "{err}");
         let err = Cli::from_args(&strs(&["--threads", "three"])).unwrap_err();

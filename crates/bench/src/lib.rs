@@ -21,9 +21,9 @@ pub mod sweep;
 
 use serde::json::Value;
 use serde::Serialize;
-use stargemm_core::algorithms::{run_algorithm, Algorithm};
+use stargemm_core::algorithms::Algorithm;
 use stargemm_core::Job;
-use stargemm_obs::RunMetrics;
+use stargemm_obs::{Attribution, RunMetrics};
 use stargemm_platform::Platform;
 use stargemm_sim::RunStats;
 
@@ -37,6 +37,8 @@ pub struct AlgResult {
     pub stats: Option<RunStats>,
     /// Bound-gap metrics derived from the stats (None on failure).
     pub metrics: Option<RunMetrics>,
+    /// Conserved makespan attribution of the run (None on failure).
+    pub attribution: Option<Attribution>,
     /// Error string when the run failed (e.g. no feasible layout).
     pub error: Option<String>,
 }
@@ -62,17 +64,22 @@ pub struct Instance {
 }
 
 impl Instance {
-    /// Runs all seven algorithms.
+    /// Runs all seven algorithms (each under a recorder, so the
+    /// artifact can carry the makespan attribution next to the metrics
+    /// block — recording is observation-only, the stats are identical
+    /// to an unrecorded run).
     pub fn run(platform: &Platform, job: &Job) -> Instance {
         let results = Algorithm::all()
             .into_iter()
-            .map(|alg| match run_algorithm(platform, job, alg) {
-                Ok(stats) => {
+            .map(|alg| match obs::record_algorithm(platform, job, alg) {
+                Ok((stats, events, _)) => {
                     let metrics = obs::gemm_run_metrics(platform, job, &stats);
+                    let attribution = Attribution::from_events(&events, stats.makespan);
                     AlgResult {
                         algorithm: alg,
                         stats: Some(stats),
                         metrics: Some(metrics),
+                        attribution: Some(attribution),
                         error: None,
                     }
                 }
@@ -80,6 +87,7 @@ impl Instance {
                     algorithm: alg,
                     stats: None,
                     metrics: None,
+                    attribution: None,
                     error: Some(e.to_string()),
                 },
             })
@@ -145,6 +153,7 @@ impl Serialize for AlgResult {
             ("enrolled", enrolled.to_value()),
             ("work", work.to_value()),
             ("metrics", self.metrics.to_value()),
+            ("attribution", self.attribution.to_value()),
             // Keep "error" last: Instance::to_value pops it to splice
             // the relative metrics in front.
             ("error", self.error.to_value()),
@@ -355,6 +364,10 @@ pub fn emit_size_figure(id: &str, title: &str, platform: &Platform, cli: &Cli) {
         let (p, j) = grid.last().expect("size grid is never empty");
         obs::emit_gemm_trace(path, p, j, Algorithm::Het);
     }
+    if let Some(path) = &cli.attr_out {
+        let (p, j) = grid.last().expect("size grid is never empty");
+        obs::emit_gemm_attr(path, p, j, Algorithm::Het);
+    }
 }
 
 /// Standard output for a figure: render both panels, print, and persist
@@ -493,6 +506,7 @@ mod tests {
                 algorithm: Algorithm::Het,
                 stats: None,
                 metrics: None,
+                attribution: None,
                 error: Some("no feasible layout".into()),
             }],
         };

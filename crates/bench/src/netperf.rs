@@ -324,10 +324,12 @@ pub fn check_net_baseline(
     baseline_json: &str,
     samples: &[NetPerfSample],
 ) -> Result<String, String> {
+    const SCHEMA: &str = "{\"workers\": <n>, \"events_per_sec\": <events/sec>}";
     let workers = scan_json_number(baseline_json, "workers")
-        .ok_or("baseline has no \"workers\" field")? as usize;
+        .ok_or_else(|| format!("baseline has no \"workers\" field (expected {SCHEMA})"))?
+        as usize;
     let base = scan_json_number(baseline_json, "events_per_sec")
-        .ok_or("baseline has no \"events_per_sec\" field")?;
+        .ok_or_else(|| format!("baseline has no \"events_per_sec\" field (expected {SCHEMA})"))?;
     let sample = samples
         .iter()
         .find(|s| s.engine == "reactor" && s.workers == workers)

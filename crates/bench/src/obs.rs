@@ -15,7 +15,7 @@ use std::rc::Rc;
 use stargemm_core::algorithms::{run_algorithm_observed, Algorithm};
 use stargemm_core::steady::lp_throughput;
 use stargemm_core::Job;
-use stargemm_obs::{perfetto_trace, MetricsRegistry, ObsEvent, RunMetrics};
+use stargemm_obs::{perfetto_trace, Attribution, MetricsRegistry, ObsEvent, RunMetrics};
 use stargemm_platform::Platform;
 use stargemm_sim::{ObsSink, RunRecorder, RunStats, SimError};
 
@@ -74,6 +74,41 @@ pub fn emit_default_trace(path: &Path) {
     let platform = stargemm_platform::presets::fully_het(2.0);
     let job = Job::paper(16_000);
     emit_gemm_trace(path, &platform, &job, Algorithm::Het);
+}
+
+/// Writes the folded flamegraph stacks of `events`' makespan
+/// attribution (one `category;frame;... <µs>` line per stack; feed to
+/// `flamegraph.pl` or inferno).
+pub fn write_folded_stacks(path: &Path, events: &[ObsEvent], makespan: f64) {
+    let attr = Attribution::from_events(events, makespan);
+    if let Err(e) = std::fs::write(path, attr.folded_stacks()) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("folded attribution stacks written to {}", path.display());
+}
+
+/// Honours `--attr-out` for a binary whose representative cell is a
+/// plain single-GEMM run: records `alg` serially and writes the folded
+/// attribution stacks (mirrors [`emit_gemm_trace`]).
+pub fn emit_gemm_attr(path: &Path, platform: &Platform, job: &Job, alg: Algorithm) {
+    match record_algorithm(platform, job, alg) {
+        Ok((stats, events, _)) => write_folded_stacks(path, &events, stats.makespan),
+        Err(e) => eprintln!(
+            "(no attribution: {} on {} failed: {e})",
+            alg.name(),
+            platform.name
+        ),
+    }
+}
+
+/// Honours `--attr-out` for binaries whose own cells are not engine
+/// runs: attributes Het on the ratio-2 preset (mirrors
+/// [`emit_default_trace`]).
+pub fn emit_default_attr(path: &Path) {
+    let platform = stargemm_platform::presets::fully_het(2.0);
+    let job = Job::paper(16_000);
+    emit_gemm_attr(path, &platform, &job, Algorithm::Het);
 }
 
 /// The [`RunMetrics`] bound-gap block of a single-GEMM run: port
@@ -170,6 +205,42 @@ mod tests {
         assert!(m.port.gap > 0.0 && m.port.gap <= 1.0, "{:?}", m.port);
         assert!(m.throughput.bound > 0.0);
         assert_eq!(m.workers.len(), p.len());
+    }
+
+    #[test]
+    fn attr_diff_blames_halved_port_bandwidth_on_the_port() {
+        // Same job, same workers — but every per-block comm cost is
+        // doubled, i.e. the shared port runs at half bandwidth. The
+        // attribution diff must pin the slowdown on the port category,
+        // not spread it around.
+        let (fast, job) = tiny();
+        let slow = Platform::new(
+            "obs-t-slow",
+            fast.workers()
+                .iter()
+                .map(|s| WorkerSpec::new(2.0 * s.c, s.w, s.m))
+                .collect(),
+        );
+        let (st_a, ev_a, _) = record_algorithm(&fast, &job, Algorithm::Het).unwrap();
+        let (st_b, ev_b, _) = record_algorithm(&slow, &job, Algorithm::Het).unwrap();
+        let a = Attribution::from_events(&ev_a, st_a.makespan);
+        let b = Attribution::from_events(&ev_b, st_b.makespan);
+        assert!(
+            b.makespan > a.makespan,
+            "halving port bandwidth must slow the run"
+        );
+        let d = a.diff(&b);
+        // d[0] is port_busy (CATEGORY_NAMES order); it must be the
+        // dominant mover and carry most of the makespan growth.
+        assert_eq!(stargemm_obs::CATEGORY_NAMES[0], "port_busy");
+        let max = d.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        assert_eq!(d[0], max, "port_busy must be the largest delta: {d:?}");
+        assert!(
+            d[0] >= 0.5 * (b.makespan - a.makespan),
+            "port_busy delta {} vs makespan delta {}",
+            d[0],
+            b.makespan - a.makespan
+        );
     }
 
     #[test]

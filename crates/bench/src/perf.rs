@@ -179,6 +179,47 @@ pub fn sweep_cell_times(cli: &Cli) -> Vec<CellSample> {
         .collect()
 }
 
+/// Gates the measured kernel trajectory against a committed baseline
+/// (`ci/BENCH_kernel_baseline.json`): every workload must deliver at
+/// least 80 % of its committed events/sec — symmetric with
+/// [`crate::netperf::check_net_baseline`]. Returns the gate report on
+/// success and the first violation (or schema problem) on failure.
+pub fn check_kernel_baseline(
+    baseline_json: &str,
+    samples: &[KernelSample],
+) -> Result<String, String> {
+    const SCHEMA: &str =
+        "{\"hold\": <events/sec>, \"cancel_half\": <events/sec>, \"drain\": <events/sec>}";
+    // Validate the whole baseline schema up front so a malformed file
+    // is reported as such even when the measured samples are short.
+    let mut gates = Vec::new();
+    for workload in ["hold", "cancel_half", "drain"] {
+        let base = crate::netperf::scan_json_number(baseline_json, workload)
+            .ok_or_else(|| format!("baseline has no \"{workload}\" field (expected {SCHEMA})"))?;
+        gates.push((workload, base));
+    }
+    let mut lines = Vec::new();
+    for (workload, base) in gates {
+        let sample = samples
+            .iter()
+            .find(|s| s.workload == workload)
+            .ok_or_else(|| format!("no {workload} sample to gate against"))?;
+        let floor = 0.8 * base;
+        if sample.events_per_sec < floor {
+            return Err(format!(
+                "kernel perf regression: {workload} delivers {:.0} events/sec, \
+                 below 80% of the committed baseline {base:.0} (floor {floor:.0})",
+                sample.events_per_sec
+            ));
+        }
+        lines.push(format!(
+            "kernel baseline gate ok: {workload} {:.0} events/sec >= floor {floor:.0}",
+            sample.events_per_sec
+        ));
+    }
+    Ok(lines.join("\n"))
+}
+
 /// Renders the `BENCH_kernel.json` artifact.
 pub fn perf_report_json(kernel: &[KernelSample], cells: &[CellSample]) -> String {
     Value::object([
@@ -239,6 +280,38 @@ mod tests {
         assert!(json.contains("\"heap_high_water\""));
         assert!(json.contains("\"sweep_cells\""));
         assert!(json.contains("t/s=8"));
+    }
+
+    #[test]
+    fn kernel_baseline_gate_passes_floor_and_fails_regression() {
+        let samples: Vec<KernelSample> = ["hold", "cancel_half", "drain"]
+            .iter()
+            .map(|w| KernelSample {
+                workload: w.to_string(),
+                events: 1_000,
+                events_per_sec: 1_000.0,
+                heap_high_water: 64,
+                cancelled: 0,
+                wall_secs: 1.0,
+            })
+            .collect();
+        // At the committed level and 20 % below: ok. Below the floor: err.
+        let base = r#"{"hold": 1000.0, "cancel_half": 1000.0, "drain": 1000.0}"#;
+        assert!(check_kernel_baseline(base, &samples).is_ok());
+        let hot = r#"{"hold": 1200.0, "cancel_half": 1200.0, "drain": 1200.0}"#;
+        assert!(check_kernel_baseline(hot, &samples).is_ok());
+        let far = r#"{"hold": 1000.0, "cancel_half": 2000.0, "drain": 1000.0}"#;
+        let err = check_kernel_baseline(far, &samples).unwrap_err();
+        assert!(err.contains("cancel_half"), "{err}");
+        assert!(err.contains("80%"), "{err}");
+    }
+
+    #[test]
+    fn kernel_baseline_gate_names_the_expected_schema() {
+        let err = check_kernel_baseline(r#"{"hold": 1.0}"#, &[]).unwrap_err();
+        assert!(err.contains("cancel_half"), "{err}");
+        assert!(err.contains("expected"), "{err}");
+        assert!(err.contains("drain"), "{err}");
     }
 
     #[test]

@@ -99,6 +99,9 @@ pub struct DagMaster {
     /// Job id stamped on emitted frontier events (the multi-tenant layer
     /// sets its stream job id; standalone runs use 0).
     obs_job: JobId,
+    /// Whether a memory-stall episode is open (observation only; feeds
+    /// `MemoryStallBegin`/`MemoryStallEnd`, never read by dispatch).
+    mem_stalled: bool,
 }
 
 impl DagMaster {
@@ -203,6 +206,7 @@ impl DagMaster {
             done: 0,
             obs: ObsSink::off(),
             obs_job: 0,
+            mem_stalled: false,
         })
     }
 
@@ -259,6 +263,7 @@ impl DagMaster {
         } else {
             0
         };
+        let mut unplaced: Vec<TaskId> = Vec::new();
         for pi in 0..self.priority.len() {
             let t = self.priority[pi];
             if self.state[t] != TaskState::Ready {
@@ -279,7 +284,10 @@ impl DagMaster {
                     best = Some((finish, i));
                 }
             }
-            let Some((finish, i)) = best else { continue };
+            let Some((finish, i)) = best else {
+                unplaced.push(t);
+                continue;
+            };
             let id = self.next_chunk;
             self.next_chunk += 1;
             let pc = plan_chunk(&self.virt, id, i, 0, self.dag.col0(t), 1, width, 1);
@@ -296,6 +304,31 @@ impl DagMaster {
                 frontier_width,
             });
             frontier_width = frontier_width.saturating_sub(1);
+        }
+        // Memory-stall tracking (observation only, mirroring the
+        // frontier-width idiom above): the frontier is memory-blocked
+        // when some ready task finds no live worker whose memory cap
+        // fits it — transient lane busyness does not count.
+        if self.obs.is_on() {
+            let blocked = unplaced.iter().any(|&t| {
+                let need = 2 * self.dag.width(t) + 1;
+                !(0..self.platform.len()).any(|i| ctx.is_up(i) && need <= self.capacity[i])
+            });
+            if blocked != self.mem_stalled {
+                self.mem_stalled = blocked;
+                let ev = if blocked {
+                    ObsEvent::MemoryStallBegin {
+                        time: ctx.now(),
+                        job: self.obs_job,
+                    }
+                } else {
+                    ObsEvent::MemoryStallEnd {
+                        time: ctx.now(),
+                        job: self.obs_job,
+                    }
+                };
+                self.obs.emit(|| ev);
+            }
         }
     }
 

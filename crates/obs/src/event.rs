@@ -126,6 +126,28 @@ pub enum ObsEvent {
         worker: usize,
         chunk: u32,
     },
+    /// A federated uplink started shipping a job's operand volume from
+    /// the root master down to star `star`.
+    UplinkAcquire {
+        time: f64,
+        star: usize,
+        job: u32,
+        blocks: u64,
+    },
+    /// The uplink shipment for `job` landed at star `star`.
+    UplinkRelease {
+        time: f64,
+        star: usize,
+        job: u32,
+        blocks: u64,
+    },
+    /// The stream/DAG master found work ready but could not admit it
+    /// for lack of worker memory (no fitting slot / capacity). One
+    /// event per stall episode, closed by `MemoryStallEnd`.
+    MemoryStallBegin { time: f64, job: u32 },
+    /// The memory/slot stall for `job` ended (admission or promotion
+    /// became possible again).
+    MemoryStallEnd { time: f64, job: u32 },
     /// A job entered the system (arrival event).
     JobArrived { time: f64, job: u32 },
     /// The stream master admitted an arrived job into the active set.
@@ -149,6 +171,10 @@ impl ObsEvent {
             | ObsEvent::WorkerDown { time, .. }
             | ObsEvent::WorkerUp { time, .. }
             | ObsEvent::ChunkLost { time, .. }
+            | ObsEvent::UplinkAcquire { time, .. }
+            | ObsEvent::UplinkRelease { time, .. }
+            | ObsEvent::MemoryStallBegin { time, .. }
+            | ObsEvent::MemoryStallEnd { time, .. }
             | ObsEvent::JobArrived { time, .. }
             | ObsEvent::JobAdmitted { time, .. }
             | ObsEvent::JobCompleted { time, .. } => time,
@@ -170,6 +196,10 @@ impl ObsEvent {
             ObsEvent::WorkerDown { .. } => "worker_down",
             ObsEvent::WorkerUp { .. } => "worker_up",
             ObsEvent::ChunkLost { .. } => "chunk_lost",
+            ObsEvent::UplinkAcquire { .. } => "uplink_acquire",
+            ObsEvent::UplinkRelease { .. } => "uplink_release",
+            ObsEvent::MemoryStallBegin { .. } => "memory_stall_begin",
+            ObsEvent::MemoryStallEnd { .. } => "memory_stall_end",
             ObsEvent::JobArrived { .. } => "job_arrived",
             ObsEvent::JobAdmitted { .. } => "job_admitted",
             ObsEvent::JobCompleted { .. } => "job_completed",

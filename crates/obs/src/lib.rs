@@ -32,7 +32,13 @@
 //!   artifacts;
 //! * [`perfetto_trace`] — Chrome/Perfetto `trace_event` JSON with one
 //!   track per port lane, per worker comm/compute lane, and per job
-//!   (written by every `exp_*` binary's `--trace-out` flag).
+//!   (written by every `exp_*` binary's `--trace-out` flag);
+//! * [`Attribution`] — post-run critical-path attribution: a conserved
+//!   decomposition of the makespan into eight wait/work categories
+//!   (summing *bit-exactly* to the makespan), a critical-path summary,
+//!   and folded flamegraph stacks (written by `--attr-out`, embedded as
+//!   the `attribution` block in `--json` artifacts, and diffed by
+//!   `exp_attr --diff`).
 //!
 //! Dependency-graph position: `obs` is a leaf above `serde` only, so
 //! every engine and policy crate can depend on it without cycles; LP
@@ -41,12 +47,14 @@
 //!
 //! [`RunStats`]: ../stargemm_sim/stats/struct.RunStats.html
 
+mod attr;
 mod event;
 mod metrics;
 mod perfetto;
 mod recorder;
 mod runmetrics;
 
+pub use attr::{Attribution, Categories, CriticalPath, CATEGORY_COUNT, CATEGORY_NAMES};
 pub use event::{Dir, MatTag, ObsEvent};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use perfetto::perfetto_trace;

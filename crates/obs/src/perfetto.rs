@@ -29,6 +29,7 @@ const PORT_PID: u64 = 1;
 const WORKER_PID: u64 = 2;
 const JOB_PID: u64 = 3;
 const MASTER_PID: u64 = 4;
+const UPLINK_PID: u64 = 5;
 
 fn us(t: f64) -> f64 {
     t * 1e6
@@ -112,6 +113,9 @@ pub fn perfetto_trace(events: &[ObsEvent]) -> Value {
     let mut open_port: Vec<(usize, f64)> = Vec::new();
     let mut open_steps: Vec<((usize, u32, u32), f64)> = Vec::new();
     let mut open_jobs: Vec<(u32, f64)> = Vec::new();
+    let mut open_uplinks: Vec<((usize, u32), f64)> = Vec::new();
+    let mut seen_star: Vec<usize> = Vec::new();
+    let mut uplink_pid_named = false;
 
     let note_lane = |lane: usize, metas: &mut Vec<Value>, seen: &mut Vec<usize>| {
         if !seen.contains(&lane) {
@@ -343,6 +347,58 @@ pub fn perfetto_trace(events: &[ObsEvent]) -> Value {
                     format!("chunk_lost c{chunk}"),
                     *time,
                     Value::object([("worker", worker.to_value()), ("chunk", chunk.to_value())]),
+                ));
+            }
+            ObsEvent::UplinkAcquire {
+                time, star, job, ..
+            } => {
+                if !uplink_pid_named {
+                    uplink_pid_named = true;
+                    metas.push(meta(UPLINK_PID, None, "uplinks"));
+                }
+                if !seen_star.contains(star) {
+                    seen_star.push(*star);
+                    metas.push(meta(
+                        UPLINK_PID,
+                        Some(*star as u64 + 1),
+                        &format!("star {star}"),
+                    ));
+                }
+                let key = (*star, *job);
+                open_uplinks.retain(|(k, _)| *k != key);
+                open_uplinks.push((key, *time));
+            }
+            ObsEvent::UplinkRelease {
+                time,
+                star,
+                job,
+                blocks,
+            } => {
+                let key = (*star, *job);
+                if let Some(pos) = open_uplinks.iter().position(|(k, _)| *k == key) {
+                    let (_, start) = open_uplinks.swap_remove(pos);
+                    out.push(span(
+                        UPLINK_PID,
+                        *star as u64 + 1,
+                        format!("feed j{job}"),
+                        start,
+                        *time,
+                        Value::object([("job", job.to_value()), ("blocks", blocks.to_value())]),
+                    ));
+                }
+            }
+            ObsEvent::MemoryStallBegin { time, job } => {
+                out.push(instant(
+                    format!("memory_stall_begin j{job}"),
+                    *time,
+                    Value::object([("job", job.to_value())]),
+                ));
+            }
+            ObsEvent::MemoryStallEnd { time, job } => {
+                out.push(instant(
+                    format!("memory_stall_end j{job}"),
+                    *time,
+                    Value::object([("job", job.to_value())]),
                 ));
             }
             ObsEvent::JobAdmitted { time, job } => {

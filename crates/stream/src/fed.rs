@@ -24,8 +24,9 @@
 
 use stargemm_core::steady::bandwidth_centric;
 use stargemm_core::Job;
+use stargemm_obs::ObsEvent;
 use stargemm_platform::FedPlatform;
-use stargemm_sim::{JobId, RunStats, SimError, Simulator};
+use stargemm_sim::{JobId, ObsSink, RunRecorder, RunStats, SimError, Simulator};
 
 use crate::multi::{MultiJobMaster, StreamConfig, StreamError, StreamStats};
 use crate::workload::JobRequest;
@@ -221,6 +222,89 @@ impl MultiStarMaster {
             stream_stats,
             makespan,
         })
+    }
+
+    /// [`MultiStarMaster::run`] with a recorder attached to every
+    /// star's simulation. Returns the run alongside one structured
+    /// event log per star; each log additionally carries synthesized
+    /// [`ObsEvent::UplinkAcquire`]/[`ObsEvent::UplinkRelease`] spans
+    /// for the star's operand feeds (none at `k = 1`, where nothing
+    /// crosses a wire), so post-run attribution can see uplink
+    /// serialization next to the star's local port and compute
+    /// timeline. The schedule is identical to the unrecorded run —
+    /// observation only.
+    pub fn run_recorded(
+        &self,
+        requests: &[JobRequest],
+    ) -> Result<(FedStreamRun, Vec<Vec<ObsEvent>>), FedStreamError> {
+        let placement = self.place(requests);
+        let arrivals = self.feed_arrivals(requests, &placement);
+        let mut stars = Vec::with_capacity(self.fed.len());
+        let mut stream_stats = Vec::with_capacity(self.fed.len());
+        let mut logs: Vec<Vec<ObsEvent>> = Vec::with_capacity(self.fed.len());
+        for s in 0..self.fed.len() {
+            let local: Vec<JobRequest> = requests
+                .iter()
+                .zip(&placement)
+                .zip(&arrivals)
+                .filter(|((_, &p), _)| p == s)
+                .map(|((r, _), &at)| JobRequest { arrival: at, ..*r })
+                .collect();
+            let star = self.fed.star(s);
+            let rec = RunRecorder::shared();
+            let obs = ObsSink::to(rec.clone());
+            let mut policy =
+                MultiJobMaster::new(&star.platform.base, &local, self.cfg)?.with_obs(obs.clone());
+            let stats = Simulator::new_dyn(star.platform.clone())
+                .with_arrivals(MultiJobMaster::arrival_plan(&local))
+                .run_observed(&mut policy, obs)?;
+            stream_stats.push(policy.stats());
+            stars.push(stats);
+            // The policy still holds its sink clone; release it so the
+            // recorder is back to a single owner.
+            drop(policy);
+            let Ok(rec) = std::rc::Rc::try_unwrap(rec) else {
+                unreachable!("recorder has one owner after the run")
+            };
+            let (mut events, _) = rec.into_inner().into_parts();
+            if self.fed.len() > 1 {
+                for ((r, &p), &at) in requests.iter().zip(&placement).zip(&arrivals) {
+                    if p != s {
+                        continue;
+                    }
+                    let volume = job_volume(&r.job);
+                    let dur = volume * star.uplink_c;
+                    let blocks = volume as u64;
+                    events.push(ObsEvent::UplinkAcquire {
+                        time: at - dur,
+                        star: s,
+                        job: r.id,
+                        blocks,
+                    });
+                    events.push(ObsEvent::UplinkRelease {
+                        time: at,
+                        star: s,
+                        job: r.id,
+                        blocks,
+                    });
+                }
+                // Stable by time: engine events are already ordered, and
+                // same-instant pairs keep their emission order.
+                events.sort_by(|a, b| a.time().total_cmp(&b.time()));
+            }
+            logs.push(events);
+        }
+        let makespan = stars.iter().map(|s| s.makespan).fold(0.0f64, f64::max);
+        Ok((
+            FedStreamRun {
+                placement: requests.iter().map(|r| r.id).zip(placement).collect(),
+                feed_arrivals: requests.iter().map(|r| r.id).zip(arrivals).collect(),
+                stars,
+                stream_stats,
+                makespan,
+            },
+            logs,
+        ))
     }
 }
 

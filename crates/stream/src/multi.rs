@@ -255,6 +255,10 @@ pub struct MultiJobMaster {
     stats: StreamStats,
     /// Structured-event sink (off by default; observation only).
     obs: ObsSink,
+    /// Head-of-line job currently blocked on memory (no fitting free
+    /// slot on a live worker), if any. Pure observation state feeding
+    /// `MemoryStallBegin`/`MemoryStallEnd` — never read by scheduling.
+    mem_stalled: Option<JobId>,
     /// Engine clock mirrored at every policy entry point, so admission
     /// and share refreshes (which have no `ctx` in hand) can timestamp
     /// their events.
@@ -383,6 +387,7 @@ impl MultiJobMaster {
             dag_completions: HashMap::new(),
             stats: StreamStats::default(),
             obs: ObsSink::off(),
+            mem_stalled: None,
             now: 0.0,
         })
     }
@@ -467,10 +472,17 @@ impl MultiJobMaster {
     /// has the largest caps); the head job waits — it is never
     /// overtaken — if no free slot currently fits it.
     fn admit_ready(&mut self) {
-        while self.active.len() < self.cfg.slots {
+        loop {
             let Some(&id) = self.backlog.front() else {
+                self.note_mem_stall(None);
                 return;
             };
+            if self.active.len() >= self.cfg.slots {
+                // Every slot is occupied: the head job is blocked on
+                // the slot partition of worker memory.
+                self.note_mem_stall(Some(id));
+                return;
+            }
             let req = self.requests[&id];
             // Lowest free slot where the job is feasible on a live
             // worker. Uneven memory makes feasibility slot-dependent:
@@ -500,8 +512,10 @@ impl MultiJobMaster {
                 // slot) right now; admission resumes when a worker
                 // rejoins or a slot frees (FIFO is kept — jobs are not
                 // overtaken while they wait).
+                self.note_mem_stall(Some(id));
                 return;
             };
+            self.note_mem_stall(None);
             self.backlog.pop_front();
             let member = match self.dag_specs.get(&id) {
                 Some(dag) => {
@@ -568,6 +582,29 @@ impl MultiJobMaster {
             self.obs.emit(|| ObsEvent::JobAdmitted {
                 time: self.now,
                 job: id,
+            });
+        }
+    }
+
+    /// Tracks the head-of-line memory stall episode and emits the
+    /// begin/end transition events. `head` is the job currently blocked
+    /// on memory (`None` = not blocked). Observation only: the tracked
+    /// state is never read by any scheduling decision.
+    fn note_mem_stall(&mut self, head: Option<JobId>) {
+        if self.mem_stalled == head {
+            return;
+        }
+        if let Some(prev) = self.mem_stalled.take() {
+            self.obs.emit(|| ObsEvent::MemoryStallEnd {
+                time: self.now,
+                job: prev,
+            });
+        }
+        if let Some(job) = head {
+            self.mem_stalled = Some(job);
+            self.obs.emit(|| ObsEvent::MemoryStallBegin {
+                time: self.now,
+                job,
             });
         }
     }

@@ -18,10 +18,12 @@ use stargemm::core::algorithms::build_policy;
 use stargemm::core::Job;
 use stargemm::dynamic::model::DynPlatform;
 use stargemm::dynamic::{random_scenario, AdaptiveMaster, ScenarioConfig};
-use stargemm::obs::{Histogram, ObsSink, RunRecorder};
+use stargemm::obs::{Attribution, Histogram, ObsEvent, ObsSink, RunRecorder};
 use stargemm::platform::{Platform, WorkerSpec};
 use stargemm::sim::Simulator;
-use stargemm::stream::{ArrivalProcess, MultiJobMaster, StreamConfig, TenantSpec, WorkloadSpec};
+use stargemm::stream::{
+    ArrivalProcess, JobRequest, MultiJobMaster, StreamConfig, TenantSpec, WorkloadSpec,
+};
 
 fn arb_spec() -> impl Strategy<Value = WorkerSpec> {
     (0.05f64..4.0, 0.05f64..4.0, 16usize..400).prop_map(|(c, w, m)| WorkerSpec::new(c, w, m))
@@ -96,6 +98,15 @@ fn run_bytes(
     };
     let (events, _) = rec.into_inner().into_parts();
     (out, events.len())
+}
+
+/// Drains a recorder back to its captured event log (the recorder must
+/// be the sole remaining owner).
+fn drain(rec: Rc<std::cell::RefCell<RunRecorder>>) -> Vec<ObsEvent> {
+    let Ok(rec) = Rc::try_unwrap(rec) else {
+        unreachable!("recorder has one owner after the run")
+    };
+    rec.into_inner().into_parts().0
 }
 
 proptest! {
@@ -267,5 +278,187 @@ proptest! {
             (est - exact).abs() <= tol,
             "q={}: est {} vs exact {} (n={})", q, est, exact, samples.len()
         );
+    }
+
+    /// Makespan attribution is *conserved* on static runs — the eight
+    /// categories sum bit-exactly to the makespan — and on a crash-free
+    /// one-port run its `port_busy / makespan` reproduces the BoundGap
+    /// port-occupancy metric (same numerator and denominator, different
+    /// summation order, so a relative tolerance covers the float noise).
+    #[test]
+    fn attribution_conserves_static_and_pins_the_port_gap(
+        platform in arb_platform(), job in arb_job(), ai in 0usize..7,
+    ) {
+        let alg = stargemm::core::algorithms::Algorithm::all()[ai];
+        prop_assume!(build_policy(&platform, &job, alg).is_ok());
+        let rec = RunRecorder::shared();
+        let mut policy = build_policy(&platform, &job, alg).unwrap();
+        let res = Simulator::new(platform.clone())
+            .run_observed(&mut policy, ObsSink::to(rec.clone()));
+        let events = drain(rec);
+        let Ok(stats) = res else { return Ok(()) };
+        let attr = Attribution::from_events(&events, stats.makespan);
+        prop_assert!(
+            attr.is_conserved(),
+            "categories sum {} != makespan {}", attr.categories.total(), attr.makespan
+        );
+        prop_assert_eq!(attr.categories.crash_rework, 0.0, "no crashes, no rework");
+        if stats.port.peak_lanes <= 1 && stats.makespan > 0.0 {
+            let gap = stats.port_busy / stats.makespan;
+            let got = attr.categories.port_busy / attr.makespan;
+            prop_assert!(
+                (got - gap).abs() <= 1e-9 * gap.max(1.0),
+                "attribution port occupancy {} vs BoundGap port metric {}", got, gap
+            );
+        }
+    }
+
+    /// Conservation holds under jitter and churn too — crash rework and
+    /// downtime segments must not open a hole in the timeline.
+    #[test]
+    fn attribution_conserves_under_jitter_and_churn(scenario in arb_scenario()) {
+        let (dp, job) = scenario;
+        prop_assume!(AdaptiveMaster::adaptive_het(&dp.base, &job).is_ok());
+        let rec = RunRecorder::shared();
+        let mut policy = AdaptiveMaster::adaptive_het(&dp.base, &job).unwrap();
+        let res = Simulator::new_dyn(dp.clone())
+            .run_observed(&mut policy, ObsSink::to(rec.clone()));
+        let events = drain(rec);
+        let Ok(stats) = res else { return Ok(()) };
+        let attr = Attribution::from_events(&events, stats.makespan);
+        prop_assert!(
+            attr.is_conserved(),
+            "categories sum {} != makespan {}", attr.categories.total(), attr.makespan
+        );
+    }
+
+    /// Conservation across multi-tenant streams (admission queues, LP
+    /// re-solves, memory-stall episodes from the multi-job master).
+    #[test]
+    fn attribution_conserves_streams(seed in 0u64..500, jobs in 2usize..8,
+                                     mean in 1.0f64..40.0) {
+        let platform = Platform::new(
+            "obs-stream",
+            vec![
+                WorkerSpec::new(0.20, 0.10, 80),
+                WorkerSpec::new(0.30, 0.15, 60),
+                WorkerSpec::new(0.50, 0.30, 40),
+            ],
+        );
+        let requests = WorkloadSpec {
+            tenants: vec![
+                TenantSpec::new("light", 1.0, vec![Job::new(3, 2, 4, 2)]),
+                TenantSpec::new("heavy", 2.0, vec![Job::new(5, 3, 6, 2)]),
+            ],
+            arrivals: ArrivalProcess::Open { mean_interarrival: mean },
+            jobs,
+            seed,
+        }
+        .generate();
+        prop_assume!(MultiJobMaster::new(&platform, &requests, StreamConfig::default()).is_ok());
+        let rec = RunRecorder::shared();
+        let sink = ObsSink::to(rec.clone());
+        let mut policy = MultiJobMaster::new(&platform, &requests, StreamConfig::default())
+            .unwrap()
+            .with_obs(sink.clone());
+        let res = Simulator::new(platform.clone())
+            .with_arrivals(MultiJobMaster::arrival_plan(&requests))
+            .run_observed(&mut policy, sink);
+        drop(policy); // releases the policy's clone of the sink
+        let events = drain(rec);
+        let Ok(stats) = res else { return Ok(()) };
+        let attr = Attribution::from_events(&events, stats.makespan);
+        prop_assert!(
+            attr.is_conserved(),
+            "categories sum {} != makespan {}", attr.categories.total(), attr.makespan
+        );
+    }
+
+    /// Conservation with DAG-structured jobs in the mix (frontier
+    /// promotions, per-task placement, aggregated memory stalls).
+    #[test]
+    fn attribution_conserves_dag_streams(seed in 0u64..200, panels in 2usize..4,
+                                         gap in 0.0f64..20.0) {
+        let platform = Platform::new(
+            "obs-dag",
+            vec![
+                WorkerSpec::new(0.20, 0.10, 80),
+                WorkerSpec::new(0.30, 0.15, 60),
+                WorkerSpec::new(0.50, 0.30, 40),
+            ],
+        );
+        let (dag, _) = stargemm::dag::lu_dag(panels);
+        let requests = vec![
+            JobRequest { id: 0, tenant: 0, weight: 1.0, job: dag.virtual_job(2), arrival: 0.0 },
+            JobRequest {
+                id: 1,
+                tenant: 1,
+                weight: 1.0,
+                job: Job::new(3, 2, 4, 2),
+                arrival: gap + seed as f64 * 1e-3,
+            },
+        ];
+        let build = || MultiJobMaster::with_dags(
+            &platform, &requests, vec![(0, dag.clone())], StreamConfig::default(),
+        );
+        prop_assume!(build().is_ok());
+        let rec = RunRecorder::shared();
+        let sink = ObsSink::to(rec.clone());
+        let mut policy = build().unwrap().with_obs(sink.clone());
+        let res = Simulator::new(platform.clone())
+            .with_arrivals(MultiJobMaster::arrival_plan(&requests))
+            .run_observed(&mut policy, sink);
+        drop(policy);
+        let events = drain(rec);
+        let Ok(stats) = res else { return Ok(()) };
+        let attr = Attribution::from_events(&events, stats.makespan);
+        prop_assert!(
+            attr.is_conserved(),
+            "categories sum {} != makespan {}", attr.categories.total(), attr.makespan
+        );
+    }
+
+    /// Conservation on federated runs: the critical star's log (local
+    /// timeline plus synthesized uplink spans) is attributed against the
+    /// *federated* makespan — uplink waits and cross-star idle must
+    /// still close the budget exactly.
+    #[test]
+    fn attribution_conserves_federated(k in 1usize..4, ratio in 0.05f64..2.0,
+                                       jobs in 2usize..6) {
+        use stargemm::netmodel::NetModelSpec;
+        use stargemm::platform::{FedPlatform, FedStar};
+        use stargemm::stream::MultiStarMaster;
+        let star = Platform::new(
+            "obs-fed",
+            vec![
+                WorkerSpec::new(0.2, 0.1, 60),
+                WorkerSpec::new(0.3, 0.15, 60),
+                WorkerSpec::new(0.5, 0.3, 40),
+            ],
+        );
+        let uplink_c = ratio * 0.2;
+        let fed = FedPlatform::new(
+            "obs-fed",
+            (0..k)
+                .map(|_| FedStar::new(DynPlatform::constant(star.clone()), uplink_c))
+                .collect(),
+            NetModelSpec::BoundedMultiPort { k, backbone: None },
+        );
+        let requests = WorkloadSpec {
+            tenants: vec![TenantSpec::new("a", 1.0, vec![Job::new(6, 6, 32, 2)])],
+            arrivals: ArrivalProcess::ClosedBatch,
+            jobs,
+            seed: 2008,
+        }
+        .generate();
+        let Ok((run, logs)) = MultiStarMaster::new(fed, StreamConfig::default())
+            .run_recorded(&requests) else { return Ok(()) };
+        for log in &logs {
+            let attr = Attribution::from_events(log, run.makespan);
+            prop_assert!(
+                attr.is_conserved(),
+                "categories sum {} != makespan {}", attr.categories.total(), attr.makespan
+            );
+        }
     }
 }
